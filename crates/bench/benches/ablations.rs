@@ -1,0 +1,52 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §7:
+//!
+//! * ∀-simplification on/off — the §4.8 visual-complexity reduction;
+//! * barycenter crossing-reduction passes 0/1/3 — layout quality vs cost.
+//!
+//! Besides timing, each ablation prints its quality metric once (element
+//! counts, edge crossings) so `cargo bench` output documents the effect.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use queryvis::corpus::unique_set_sql;
+use queryvis_diagram::{build_diagram, diagram_stats};
+use queryvis_layout::{crossing_count, layout_diagram, LayoutOptions};
+use queryvis_logic::{simplify, translate};
+use queryvis_sql::parse_query;
+
+fn bench_simplify_ablation(c: &mut Criterion) {
+    let lt = translate(&parse_query(unique_set_sql()).unwrap(), None).unwrap();
+    let simplified = simplify(&lt);
+    let raw_elems = diagram_stats(&build_diagram(&lt)).visual_elements();
+    let simp_elems = diagram_stats(&build_diagram(&simplified)).visual_elements();
+    println!(
+        "[ablation] unique-set visual elements: without simplify = {raw_elems}, \
+         with simplify = {simp_elems}"
+    );
+    let mut group = c.benchmark_group("ablation/simplify");
+    group.bench_function("off", |b| b.iter(|| build_diagram(black_box(&lt))));
+    group.bench_function("on", |b| {
+        b.iter(|| build_diagram(&simplify(black_box(&lt))))
+    });
+    group.finish();
+}
+
+fn bench_barycenter_ablation(c: &mut Criterion) {
+    let lt = translate(&parse_query(unique_set_sql()).unwrap(), None).unwrap();
+    let diagram = build_diagram(&lt);
+    let mut group = c.benchmark_group("ablation/barycenter");
+    for passes in [0usize, 1, 3] {
+        let options = LayoutOptions {
+            barycenter_passes: passes,
+            ..LayoutOptions::default()
+        };
+        let crossings = crossing_count(&layout_diagram(&diagram, &options));
+        println!("[ablation] barycenter passes = {passes}: edge crossings = {crossings}");
+        group.bench_with_input(BenchmarkId::from_parameter(passes), &passes, |b, _| {
+            b.iter(|| layout_diagram(black_box(&diagram), &options))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplify_ablation, bench_barycenter_ablation);
+criterion_main!(benches);

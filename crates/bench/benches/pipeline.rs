@@ -1,0 +1,73 @@
+//! Criterion benchmarks for every pipeline stage (parse → translate →
+//! simplify → diagram → layout → SVG) on three reference workloads:
+//! the small conjunctive Qsome (Fig. 3a), the depth-3 unique-set query
+//! (Fig. 1a), and the widest study stimulus (Q3, 10 tables).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use queryvis::corpus::{chinook_schema, study_questions, unique_set_sql};
+use queryvis::QueryVis;
+use queryvis_diagram::build_diagram;
+use queryvis_layout::{layout_diagram, LayoutOptions};
+use queryvis_logic::{simplify, translate};
+use queryvis_render::{render_svg, to_dot};
+use queryvis_sql::parse_query;
+
+fn workloads() -> Vec<(&'static str, String)> {
+    let q3 = study_questions()
+        .into_iter()
+        .find(|q| q.id == "Q3")
+        .unwrap();
+    vec![
+        (
+            "qsome",
+            "SELECT F.person FROM Frequents F, Likes L, Serves S \
+             WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink"
+                .to_string(),
+        ),
+        ("unique_set", unique_set_sql().to_string()),
+        ("study_q3", q3.sql.to_string()),
+    ]
+}
+
+fn bench_stages(c: &mut Criterion) {
+    for (name, sql) in workloads() {
+        let ast = parse_query(&sql).unwrap();
+        let schema = chinook_schema();
+        let schema_opt = if name == "study_q3" { Some(&schema) } else { None };
+        let lt = translate(&ast, schema_opt).unwrap();
+        let simplified = simplify(&lt);
+        let diagram = build_diagram(&simplified);
+        let layout = layout_diagram(&diagram, &LayoutOptions::default());
+        let _ = layout;
+
+        let mut group = c.benchmark_group(format!("pipeline/{name}"));
+        group.bench_function("parse", |b| b.iter(|| parse_query(black_box(&sql)).unwrap()));
+        group.bench_function("translate", |b| {
+            b.iter(|| translate(black_box(&ast), schema_opt).unwrap())
+        });
+        group.bench_function("simplify", |b| b.iter(|| simplify(black_box(&lt))));
+        group.bench_function("build_diagram", |b| {
+            b.iter(|| build_diagram(black_box(&simplified)))
+        });
+        group.bench_function("layout", |b| {
+            b.iter(|| layout_diagram(black_box(&diagram), &LayoutOptions::default()))
+        });
+        group.bench_function("render_svg", |b| b.iter(|| render_svg(black_box(&diagram))));
+        group.bench_function("render_dot", |b| b.iter(|| to_dot(black_box(&diagram))));
+        group.bench_function("end_to_end", |b| {
+            b.iter(|| QueryVis::from_sql(black_box(&sql)).unwrap().svg())
+        });
+        group.finish();
+    }
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    let lt = translate(&parse_query(unique_set_sql()).unwrap(), None).unwrap();
+    let diagram = build_diagram(&lt);
+    c.bench_function("inverse/unique_set", |b| {
+        b.iter(|| queryvis::recover_logic_tree(black_box(&diagram)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_stages, bench_inverse);
+criterion_main!(benches);

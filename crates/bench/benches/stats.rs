@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the statistics substrate: exact vs
+//! normal-approximation Wilcoxon, bootstrap resample sweeps, Shapiro-Wilk.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use queryvis_stats::{bca_interval, mean, shapiro_wilk, wilcoxon_signed_rank_less};
+
+fn paired_sample(n: usize) -> (Vec<f64>, Vec<f64>) {
+    // Deterministic untied sample with a negative median shift.
+    let x: Vec<f64> = (0..n).map(|i| 100.0 + (i as f64) * 1.618).collect();
+    let y: Vec<f64> = (0..n)
+        .map(|i| 100.0 + (i as f64) * 1.618 + 12.0 + ((i * 7919) % 13) as f64 * 0.31)
+        .collect();
+    (x, y)
+}
+
+fn bench_wilcoxon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats/wilcoxon");
+    for n in [10usize, 25, 42, 100] {
+        let (x, y) = paired_sample(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| wilcoxon_signed_rank_less(black_box(&x), black_box(&y)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let data: Vec<f64> = (1..=42).map(|i| (i as f64).sqrt() * 25.0).collect();
+    let mut group = c.benchmark_group("stats/bca_bootstrap");
+    group.sample_size(20);
+    for resamples in [1000usize, 5000, 20000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resamples),
+            &resamples,
+            |b, &r| b.iter(|| bca_interval(black_box(&data), &mean, 0.95, r, 42)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_shapiro(c: &mut Criterion) {
+    let data: Vec<f64> = (1..=126)
+        .map(|i| ((i as f64) / 127.0).ln().abs() * 60.0)
+        .collect();
+    c.bench_function("stats/shapiro_wilk_126", |b| {
+        b.iter(|| shapiro_wilk(black_box(&data)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_wilcoxon, bench_bootstrap, bench_shapiro);
+criterion_main!(benches);

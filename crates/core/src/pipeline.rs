@@ -1,0 +1,258 @@
+//! The one-stop [`QueryVis`] pipeline: SQL → logic tree → simplification →
+//! diagram → layout → rendering (the Fig. 8 flowchart).
+
+use queryvis_diagram::{build_diagram, diagram_stats, render_reading, Diagram, DiagramStats};
+use queryvis_layout::{layout_diagram, Layout, LayoutOptions};
+use queryvis_logic::{
+    check_non_degenerate, check_valid_diagram_source, simplify, to_trc, translate, DegeneracyError,
+    LogicTree, TranslateError,
+};
+use queryvis_render::{to_ascii, to_dot, to_svg, SvgTheme};
+use queryvis_sql::{parse_query, ParseError, Query, Schema, SemanticError};
+use std::fmt;
+
+/// Errors from any pipeline stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryVisError {
+    Parse(ParseError),
+    Semantic(SemanticError),
+    Translate(TranslateError),
+    /// The query violates the non-degeneracy properties (§5.1) — a diagram
+    /// could still be drawn, but it would not be provably unambiguous, so
+    /// strict mode refuses.
+    Degenerate(DegeneracyError),
+}
+
+impl fmt::Display for QueryVisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryVisError::Parse(e) => write!(f, "{e}"),
+            QueryVisError::Semantic(e) => write!(f, "{e}"),
+            QueryVisError::Translate(e) => write!(f, "{e}"),
+            QueryVisError::Degenerate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryVisError {}
+
+impl From<ParseError> for QueryVisError {
+    fn from(e: ParseError) -> Self {
+        QueryVisError::Parse(e)
+    }
+}
+
+impl From<TranslateError> for QueryVisError {
+    fn from(e: TranslateError) -> Self {
+        QueryVisError::Translate(e)
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct QueryVisOptions {
+    /// Validate column references against this schema before translating.
+    pub schema: Option<Schema>,
+    /// Reject queries violating the non-degeneracy properties (§5.1)
+    /// instead of drawing a possibly-ambiguous diagram.
+    pub strict: bool,
+    /// Skip the ∄∄ → ∀∃ simplification (Fig. 2b instead of Fig. 2c).
+    pub no_simplify: bool,
+    /// Layout tuning for rendering.
+    pub layout: Option<LayoutOptions>,
+}
+
+/// The result of running the full QueryVis pipeline over one query.
+#[derive(Debug, Clone)]
+pub struct QueryVis {
+    /// Original SQL text.
+    pub sql: String,
+    /// Parsed AST.
+    pub query: Query,
+    /// Logic tree straight from translation (all ∃/∄).
+    pub logic_tree: LogicTree,
+    /// Logic tree after the ∀ simplification.
+    pub simplified: LogicTree,
+    /// The diagram being rendered (from `simplified` unless `no_simplify`).
+    pub diagram: Diagram,
+    /// The diagram of the unsimplified tree (Fig. 2b form) — the input to
+    /// the inverse mapping.
+    pub raw_diagram: Diagram,
+    options: QueryVisOptions,
+}
+
+impl QueryVis {
+    /// Run the pipeline with default options (no schema, lenient,
+    /// simplification on).
+    pub fn from_sql(sql: &str) -> Result<QueryVis, QueryVisError> {
+        QueryVis::with_options(sql, QueryVisOptions::default())
+    }
+
+    /// Run the pipeline with schema validation.
+    pub fn with_schema(sql: &str, schema: &Schema) -> Result<QueryVis, QueryVisError> {
+        QueryVis::with_options(
+            sql,
+            QueryVisOptions {
+                schema: Some(schema.clone()),
+                ..QueryVisOptions::default()
+            },
+        )
+    }
+
+    /// Run the pipeline with explicit options.
+    pub fn with_options(sql: &str, options: QueryVisOptions) -> Result<QueryVis, QueryVisError> {
+        let query = parse_query(sql)?;
+        if let Some(schema) = &options.schema {
+            schema.check_query(&query).map_err(QueryVisError::Semantic)?;
+        }
+        let logic_tree = translate(&query, options.schema.as_ref())?;
+        if options.strict {
+            check_valid_diagram_source(&logic_tree).map_err(QueryVisError::Degenerate)?;
+        }
+        let simplified = simplify(&logic_tree);
+        let raw_diagram = build_diagram(&logic_tree);
+        let diagram = if options.no_simplify {
+            raw_diagram.clone()
+        } else {
+            build_diagram(&simplified)
+        };
+        Ok(QueryVis {
+            sql: sql.to_string(),
+            query,
+            logic_tree,
+            simplified,
+            diagram,
+            raw_diagram,
+            options,
+        })
+    }
+
+    /// Lay out the diagram (deterministic).
+    pub fn layout(&self) -> Layout {
+        layout_diagram(
+            &self.diagram,
+            &self.options.layout.unwrap_or_default(),
+        )
+    }
+
+    /// Render to a standalone SVG document.
+    pub fn svg(&self) -> String {
+        to_svg(&self.diagram, &self.layout(), &SvgTheme::default())
+    }
+
+    /// Export to GraphViz DOT.
+    pub fn dot(&self) -> String {
+        to_dot(&self.diagram)
+    }
+
+    /// Render to plain text.
+    pub fn ascii(&self) -> String {
+        to_ascii(&self.diagram)
+    }
+
+    /// The natural-language reading along the default reading order (§4.6).
+    pub fn reading(&self) -> String {
+        render_reading(&self.diagram)
+    }
+
+    /// The tuple-relational-calculus form (Fig. 9).
+    pub fn trc(&self) -> String {
+        to_trc(&self.logic_tree)
+    }
+
+    /// Mark/channel statistics of the rendered diagram (§4.8).
+    pub fn stats(&self) -> DiagramStats {
+        diagram_stats(&self.diagram)
+    }
+
+    /// The canonical logical pattern of this query (App. G): equal strings
+    /// ⟺ same visual pattern, across schemas.
+    pub fn pattern(&self) -> String {
+        crate::pattern::canonical_pattern(&self.logic_tree)
+    }
+
+    /// Whether the query is non-degenerate (Properties 5.1/5.2).
+    pub fn check_non_degenerate(&self) -> Result<(), DegeneracyError> {
+        check_non_degenerate(&self.logic_tree)
+    }
+
+    /// Whether the diagram is *provably unambiguous* (non-degenerate and
+    /// nesting depth ≤ 3, §5.2).
+    pub fn check_unambiguous(&self) -> Result<(), DegeneracyError> {
+        check_valid_diagram_source(&self.logic_tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use queryvis_corpus::{beers_schema, chinook_schema, study_questions, unique_set_sql};
+
+    #[test]
+    fn pipeline_end_to_end_on_unique_set() {
+        let qv = QueryVis::with_schema(unique_set_sql(), &beers_schema()).unwrap();
+        assert_eq!(qv.logic_tree.node_count(), 6);
+        assert_eq!(qv.diagram.tables.len(), 7);
+        assert!(qv.svg().contains("</svg>"));
+        assert!(qv.dot().starts_with("digraph"));
+        assert!(qv.ascii().contains("Likes"));
+        assert!(qv.reading().starts_with("Return"));
+        assert!(qv.trc().starts_with("{Q("));
+        qv.check_unambiguous().unwrap();
+    }
+
+    #[test]
+    fn pipeline_runs_on_every_study_question() {
+        let schema = chinook_schema();
+        for q in study_questions() {
+            let qv = QueryVis::with_schema(q.sql, &schema)
+                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            assert!(qv.stats().visual_elements() > 0);
+            assert!(qv.svg().contains("</svg>"), "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn strict_mode_rejects_degenerate_queries() {
+        let sql = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+                   (SELECT * FROM Serves S WHERE S.bar = F.bar AND F.bar = 'Owl')";
+        // Lenient: builds a diagram anyway.
+        QueryVis::from_sql(sql).unwrap();
+        // Strict: refuses.
+        let err = QueryVis::with_options(
+            sql,
+            QueryVisOptions {
+                strict: true,
+                ..QueryVisOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, QueryVisError::Degenerate(_)));
+    }
+
+    #[test]
+    fn no_simplify_keeps_dashed_boxes() {
+        let sql = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+                   (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+                   (SELECT * FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))";
+        let simplified = QueryVis::from_sql(sql).unwrap();
+        assert_eq!(simplified.diagram.boxes.len(), 1); // one ∀ box
+        let raw = QueryVis::with_options(
+            sql,
+            QueryVisOptions {
+                no_simplify: true,
+                ..QueryVisOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(raw.diagram.boxes.len(), 2); // two ∄ boxes
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let err = QueryVis::from_sql("SELECT FROM").unwrap_err();
+        assert!(matches!(err, QueryVisError::Parse(_)));
+        let err = QueryVis::with_schema("SELECT X.a FROM Xyz X", &beers_schema()).unwrap_err();
+        assert!(matches!(err, QueryVisError::Semantic(_)));
+    }
+}

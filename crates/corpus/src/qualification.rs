@@ -1,0 +1,186 @@
+//! The 6 qualification-exam questions of Appendix D.
+//!
+//! Workers had to answer at least 4 of these 6 correctly (within 10
+//! minutes) to qualify for the study, ensuring basic SQL proficiency.
+
+use crate::study::McqQuestion;
+use crate::study::{Complexity, QuestionCategory};
+
+/// Minimum number of correct answers (out of 6) to pass qualification.
+pub const QUALIFICATION_PASS_THRESHOLD: usize = 4;
+
+/// All 6 qualification questions in presentation order.
+pub fn qualification_questions() -> Vec<McqQuestion> {
+    vec![
+        McqQuestion {
+            id: "QQ1",
+            number: 1,
+            category: QuestionCategory::Conjunctive,
+            complexity: Complexity::Simple,
+            sql: "SELECT P.PlaylistId, P.Name\n\
+                  FROM Playlist P, PlaylistTrack PT, Track T, Album AL, Artist A\n\
+                  WHERE P.PlaylistId = PT.PlaylistId\n\
+                  AND PT.TrackId = T.TrackId\n\
+                  AND T.AlbumId = AL.AlbumId\n\
+                  AND AL.ArtistId = A.ArtistId\n\
+                  AND A.Name = 'AC/DC'",
+            choices: [
+                "Find playlists that have all tracks from all albums by artists with the name 'AC/DC'.",
+                "Find playlists that have all tracks from an album by an artist with the name 'AC/DC'.",
+                "Find playlists that only have tracks from albums by artists with the name 'AC/DC'.",
+                "Find playlists that have at least one track from an album by an artist with the name 'AC/DC'.",
+            ],
+            correct: 3,
+        },
+        McqQuestion {
+            id: "QQ2",
+            number: 2,
+            category: QuestionCategory::SelfJoin,
+            complexity: Complexity::Medium,
+            sql: "SELECT C.CustomerId, C.FirstName, C.LastName\n\
+                  FROM Customer C, Invoice I,\n\
+                  InvoiceLine IL1, InvoiceLine IL2,\n\
+                  Track T1, Track T2\n\
+                  WHERE C.CustomerId = I.CustomerId\n\
+                  AND I.InvoiceId = IL1.InvoiceId\n\
+                  AND I.InvoiceId = IL2.InvoiceId\n\
+                  AND IL1.TrackId = T1.TrackId\n\
+                  AND IL2.TrackId = T2.TrackId\n\
+                  AND T1.GenreId <> T2.GenreId",
+            choices: [
+                "Find customers who have at least two invoices and for each invoice there are at least two tracks of different genres.",
+                "Find customers who have an invoice with at least two tracks of different genres.",
+                "Find customers who have at least two invoices with tracks of different genres.",
+                "Find customers who have an invoice with only two tracks that are of different genres.",
+            ],
+            correct: 1,
+        },
+        McqQuestion {
+            id: "QQ3",
+            number: 3,
+            category: QuestionCategory::Grouping,
+            complexity: Complexity::Simple,
+            sql: "SELECT P.PlaylistId, G.Name, COUNT(T.TrackId)\n\
+                  FROM Playlist P, PlaylistTrack PT, Track T, Genre G\n\
+                  WHERE P.PlaylistId = PT.PlaylistId\n\
+                  AND PT.TrackId = T.TrackId\n\
+                  AND T.GenreId = G.GenreId\n\
+                  GROUP BY P.PlaylistId, G.Name",
+            choices: [
+                "For each playlist, find the number of tracks per genre.",
+                "For each genre, find the number of tracks in the genre.",
+                "For each playlist find the number of tracks in the playlist.",
+                "For each playlist and genre, find the number of tracks in each playlist.",
+            ],
+            correct: 0,
+        },
+        McqQuestion {
+            id: "QQ4",
+            number: 4,
+            category: QuestionCategory::Nested,
+            complexity: Complexity::Medium,
+            sql: "SELECT A.ArtistId, A.Name\n\
+                  FROM Artist A\n\
+                  WHERE NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Album AL\n\
+                  WHERE AL.ArtistId = A.ArtistId\n\
+                  AND NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Track T, MediaType MT\n\
+                  WHERE AL.AlbumId = T.AlbumId\n\
+                  AND T.MediaTypeId = MT.MediaTypeId\n\
+                  AND MT.Name = 'ACC audio file')\n\
+                  )",
+            choices: [
+                "Find artists where all tracks in all their albums are available in 'ACC audio file' type.",
+                "Find artists where all their albums have a track that is available in 'ACC audio file' type.",
+                "Find artists where none of their albums have a track that is available in 'ACC audio file' type.",
+                "Find artists where none of their albums have all their tracks available in 'ACC audio file' type.",
+            ],
+            correct: 1,
+        },
+        McqQuestion {
+            id: "QQ5",
+            number: 5,
+            category: QuestionCategory::Nested,
+            complexity: Complexity::Complex,
+            sql: "SELECT C1.CustomerId, C1.FirstName, C1.LastName\n\
+                  FROM Customer C1, Invoice I1, InvoiceLine IL1,\n\
+                  Track T1, Album AL1, Artist A1\n\
+                  WHERE C1.CustomerId = I1.CustomerId\n\
+                  AND I1.InvoiceId = IL1.InvoiceId\n\
+                  AND IL1.TrackId = T1.TrackId\n\
+                  AND T1.AlbumId = AL1.AlbumId\n\
+                  AND AL1.ArtistId = A1.ArtistId\n\
+                  AND A1.Name = 'AC/DC'\n\
+                  AND NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Customer C2, Invoice I2, InvoiceLine IL2,\n\
+                  Track T2, Album AL2, Artist A2\n\
+                  WHERE C2.CustomerId <> C1.CustomerId\n\
+                  AND C1.City = C2.City\n\
+                  AND C2.CustomerId = I2.CustomerId\n\
+                  AND I2.InvoiceId = IL2.InvoiceId\n\
+                  AND IL2.TrackId = T2.TrackId\n\
+                  AND T2.AlbumId = AL2.AlbumId\n\
+                  AND AL2.ArtistId = A2.ArtistId\n\
+                  AND A2.Name = 'AC/DC')",
+            choices: [
+                "Find customers who were not the only ones in their city to buy every track from an album by an artist with the name 'AC/DC'.",
+                "Find customers who were the only ones in their city to buy every track from an album by an artist with the name 'AC/DC'.",
+                "Find customers who were not the only ones in their city to buy a track from an album by an artist with the name 'AC/DC'.",
+                "Find customers who were the only ones in their city to buy a track from an album by an artist with the name 'AC/DC'.",
+            ],
+            correct: 3,
+        },
+        McqQuestion {
+            id: "QQ6",
+            number: 6,
+            category: QuestionCategory::Grouping,
+            complexity: Complexity::Complex,
+            sql: "SELECT E1.EmployeeId, COUNT(C.CustomerId), AVG(I.Total)\n\
+                  FROM Employee E1, Employee E2, Customer C, Invoice I\n\
+                  WHERE E1.ReportsTo = E2.EmployeeId\n\
+                  AND E1.Country <> E2.Country\n\
+                  AND E1.EmployeeId = C.SupportRepId\n\
+                  AND E1.Country = C.Country\n\
+                  AND C.CustomerId = I.CustomerId\n\
+                  GROUP BY E1.EmployeeId",
+            choices: [
+                "For each employee that reports to an employee in another country, find the number of customers the former employee services in a different country than theirs and the average invoice total of those customers.",
+                "For each employee that reports to an employee in another country, find the number of customers the former employee services in their country and the average invoice total of those customers.",
+                "For each employee that reports to an employee in another country, find the number of customers the latter employee services in a different country than theirs and the average invoice total of those customers.",
+                "For each employee that reports to an employee in another country, find the number of customers the latter employee services in their country and the average invoice total of those customers.",
+            ],
+            correct: 1,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_questions() {
+        assert_eq!(qualification_questions().len(), 6);
+    }
+
+    #[test]
+    fn pass_threshold_matches_paper() {
+        // §6.1: "workers needed at least 4/6 correct answers".
+        assert_eq!(QUALIFICATION_PASS_THRESHOLD, 4);
+    }
+
+    #[test]
+    fn choices_distinct_and_correct_in_range() {
+        for q in qualification_questions() {
+            let mut set = std::collections::HashSet::new();
+            for c in &q.choices {
+                assert!(set.insert(*c), "{}: duplicate choice", q.id);
+            }
+            assert!(q.correct < 4);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The 12 multiple-choice study questions of Appendix F.
+//!
+//! Q1–Q3: conjunctive without self-joins; Q4–Q6: conjunctive with
+//! self-joins; Q7–Q9: grouping (the extension excluded from the paper's
+//! main 9-question analysis); Q10–Q12: nested. Within each category the
+//! three questions are designated simple / medium / complex "based on the
+//! number of joins and number of table aliases referenced" (§6.1).
+//!
+//! The SQL is transcribed verbatim except for one typo fix: Q7's
+//! `I.InvocieId` (sic) is corrected to `I.InvoiceId` so the query
+//! validates against the Chinook schema.
+
+/// The paper's three main question categories plus the grouping extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuestionCategory {
+    /// Conjunctive queries without self-joins (Q1–Q3).
+    Conjunctive,
+    /// Conjunctive queries with self-joins (Q4–Q6).
+    SelfJoin,
+    /// GROUP BY / aggregate queries (Q7–Q9; extension).
+    Grouping,
+    /// Nested queries (Q10–Q12).
+    Nested,
+}
+
+/// Per-category difficulty designation (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Complexity {
+    Simple,
+    Medium,
+    Complex,
+}
+
+/// One multiple-choice question: a query plus four closely-worded
+/// interpretations, exactly one of which is correct.
+#[derive(Debug, Clone)]
+pub struct McqQuestion {
+    /// "Q1" … "Q12".
+    pub id: &'static str,
+    /// 1-based question number (presentation order).
+    pub number: usize,
+    pub category: QuestionCategory,
+    pub complexity: Complexity,
+    pub sql: &'static str,
+    pub choices: [&'static str; 4],
+    /// Index into `choices` of the correct interpretation.
+    pub correct: usize,
+}
+
+impl McqQuestion {
+    /// True if the question is part of the paper's main 9-question
+    /// analysis (everything except the grouping extension).
+    pub fn in_core_nine(&self) -> bool {
+        self.category != QuestionCategory::Grouping
+    }
+}
+
+/// All 12 study questions in presentation order.
+pub fn study_questions() -> Vec<McqQuestion> {
+    vec![
+        McqQuestion {
+            id: "Q1",
+            number: 1,
+            category: QuestionCategory::Conjunctive,
+            complexity: Complexity::Simple,
+            sql: "SELECT A.Name\n\
+                  FROM Artist A, Album AL, Track T\n\
+                  WHERE AL.AlbumId = T.AlbumId\n\
+                  AND A.ArtistId = AL.ArtistId\n\
+                  AND A.Name = T.Composer",
+            choices: [
+                "Find artists who have an album with a track that is composed by themselves.",
+                "Find artists who have an album with a track whose composer has the same name as the artists themselves.",
+                "Find artists whose names are the same as the composer of some track in some album.",
+                "Find artists whose names are the same as the composer of some track in an album by an artist other than themselves.",
+            ],
+            correct: 1,
+        },
+        McqQuestion {
+            id: "Q2",
+            number: 2,
+            category: QuestionCategory::Conjunctive,
+            complexity: Complexity::Medium,
+            sql: "SELECT E1.EmployeeId\n\
+                  FROM Employee E1, Employee E2, Customer C, Invoice I, InvoiceLine IL, Track T, Genre G\n\
+                  WHERE E1.ReportsTo = E2.EmployeeId\n\
+                  AND E1.Country <> E2.Country\n\
+                  AND E2.EmployeeId = C.SupportRepId\n\
+                  AND I.CustomerId = C.CustomerId\n\
+                  AND I.InvoiceId = IL.InvoiceId\n\
+                  AND T.TrackId = IL.TrackId\n\
+                  AND T.GenreId = G.GenreId\n\
+                  AND G.Name = 'Rock'",
+            choices: [
+                "Find employees who report to an employee in a different country and the former employee supports at least one customer that has bought a 'Rock' track.",
+                "Find employees who report to an employee in a different country and the former employee supports only support customers that have bought a 'Rock' track.",
+                "Find employees who report to an employee in a different country and the latter employee only supports customers that have bought a 'Rock' track.",
+                "Find employees who report to an employee in a different country and the latter employee supports at least one customer that has bought a 'Rock' track.",
+            ],
+            correct: 3,
+        },
+        McqQuestion {
+            id: "Q3",
+            number: 3,
+            category: QuestionCategory::Conjunctive,
+            complexity: Complexity::Complex,
+            sql: "SELECT A.Name\n\
+                  FROM Artist A, Album AL, Track T,\n\
+                  PlaylistTrack PT, Playlist P, MediaType MT, Genre G,\n\
+                  InvoiceLine IL, Invoice I, Customer C\n\
+                  WHERE AL.ArtistId = A.ArtistId\n\
+                  AND AL.AlbumId = T.AlbumId\n\
+                  AND T.TrackId = PT.TrackId\n\
+                  AND P.PlaylistId = PT.PlaylistId\n\
+                  AND T.MediaTypeId = MT.MediaTypeId\n\
+                  AND G.GenreId = T.GenreId\n\
+                  AND T.TrackId = IL.TrackId\n\
+                  AND I.InvoiceId = IL.InvoiceId\n\
+                  AND I.CustomerId = C.CustomerId\n\
+                  AND MT.Name = 'AAC audio file'\n\
+                  AND G.Name = 'Rock'",
+            choices: [
+                "Find artists who have an album that has a 'Rock' track that is available as 'ACC audio file', and the album has a track that is in a playlist and was purchased by a customer.",
+                "Find artists who have an album that has a 'Rock' track that is available as 'ACC audio file', is in a playlist, and was purchased by a customer.",
+                "Find artists who have an album that has a track that is in a playlist and was purchased by a customer, and a 'Rock' track that is available as 'ACC audio file'.",
+                "Find artists who have an album that has a track that is in a playlist, is available as 'ACC audio file', and was purchased by a customer who also bought a 'Rock' track from the same artist.",
+            ],
+            correct: 1,
+        },
+        McqQuestion {
+            id: "Q4",
+            number: 4,
+            category: QuestionCategory::SelfJoin,
+            complexity: Complexity::Simple,
+            sql: "SELECT A.ArtistId, A.Name\n\
+                  FROM Artist A, Album AL1, Album AL2, Track T1, Track T2, Genre G1, Genre G2,\n\
+                  PlaylistTrack PT1, PlaylistTrack PT2\n\
+                  WHERE A.ArtistId = AL1.ArtistId\n\
+                  AND A.ArtistId = AL2.ArtistId\n\
+                  AND AL1.AlbumId = T1.AlbumId\n\
+                  AND AL2.AlbumId = T2.AlbumId\n\
+                  AND T1.GenreId = G1.GenreId\n\
+                  AND T2.GenreId = G2.GenreId\n\
+                  AND PT1.PlaylistId = PT2.PlaylistId\n\
+                  AND PT1.TrackId = T1.TrackId\n\
+                  AND PT2.TrackId = T2.TrackId\n\
+                  AND G1.Name = 'Rock'\n\
+                  AND G2.Name = 'Pop'",
+            choices: [
+                "Find artists who have an album with a 'Pop' track and an album with a 'Rock' track and both tracks are in the same playlist.",
+                "Find artists who have an album with a 'Pop' track and a 'Rock' track and each track is in at least one playlist.",
+                "Find artists who have an album with a 'Pop' track and an album with a 'Rock' track and each track is in at least one playlist.",
+                "Find artists who have an album with a 'Pop' track and a 'Rock' track and both tracks are in the same playlist.",
+            ],
+            correct: 0,
+        },
+        McqQuestion {
+            id: "Q5",
+            number: 5,
+            category: QuestionCategory::SelfJoin,
+            complexity: Complexity::Medium,
+            sql: "SELECT C.CustomerId, C.FirstName, C.LastName\n\
+                  FROM Customer C, Invoice I1, Invoice I2\n\
+                  WHERE C.State = 'Michigan'\n\
+                  AND C.CustomerId = I1.CustomerId\n\
+                  AND C.CustomerId = I2.CustomerId\n\
+                  AND I1.BillingState <> I2.BillingState",
+            choices: [
+                "Find customers from 'Michigan' that have two invoices billed at two different states where one of them is 'Michigan'.",
+                "Find customers from 'Michigan' that have two invoices billed at two different states where none of them is 'Michigan'.",
+                "Find customers from 'Michigan' that have two invoices billed at two different states.",
+                "Find customers from 'Michigan' that have two invoices billed at 'Michigan'.",
+            ],
+            correct: 2,
+        },
+        McqQuestion {
+            id: "Q6",
+            number: 6,
+            category: QuestionCategory::SelfJoin,
+            complexity: Complexity::Complex,
+            sql: "SELECT P.PlaylistId, P.Name\n\
+                  FROM Playlist P, PlaylistTrack PT1,\n\
+                  PlaylistTrack PT2, PlaylistTrack PT3,\n\
+                  Track T1, Track T2, Track T3\n\
+                  WHERE P.PlaylistId = PT1.PlaylistId\n\
+                  AND P.PlaylistId = PT2.PlaylistId\n\
+                  AND P.PlaylistId = PT3.PlaylistId\n\
+                  AND PT1.TrackId <> PT2.TrackId\n\
+                  AND PT2.TrackId <> PT3.TrackId\n\
+                  AND PT1.TrackId <> PT3.TrackId\n\
+                  AND PT1.TrackId = T1.TrackId\n\
+                  AND PT2.TrackId = T2.TrackId\n\
+                  AND PT3.TrackId = T3.TrackId\n\
+                  AND T1.AlbumId = T2.AlbumId\n\
+                  AND T2.AlbumId = T3.AlbumId\n\
+                  AND T2.Composer = T3.Composer",
+            choices: [
+                "Find playlists that have at least 3 different tracks that are in the same album and they are all made by the same composer.",
+                "Find playlists that have at least 3 different tracks so that at least 2 of them are in the same album but all 3 tracks are made by the same composer.",
+                "Find playlists that have at least 3 different tracks so that at least 2 of them are in the same album and made by the same composer.",
+                "Find playlists that have at least 3 different tracks that are in the same album and at least 2 of them are made by the same composer.",
+            ],
+            correct: 3,
+        },
+        McqQuestion {
+            id: "Q7",
+            number: 7,
+            category: QuestionCategory::Grouping,
+            complexity: Complexity::Simple,
+            sql: "SELECT I.CustomerId, SUM(IL.Quantity)\n\
+                  FROM Artist A, Album AL, Track T, InvoiceLine IL, Invoice I\n\
+                  WHERE A.ArtistId = AL.ArtistId\n\
+                  AND AL.AlbumId = T.AlbumId\n\
+                  AND T.TrackId = IL.TrackId\n\
+                  AND IL.InvoiceId = I.InvoiceId\n\
+                  AND A.Name = 'Carlos'\n\
+                  GROUP BY I.CustomerId",
+            choices: [
+                "For each customer who bought a track from an artist named 'Carlos', find the number of tracks they bought that are by that same artist named 'Carlos'.",
+                "For each customer who bought a track from an artist named 'Carlos', find the number of tracks they bought that are part of invoices that include a track by that same artist named 'Carlos'.",
+                "For each customer who bought a track from an artist named 'Carlos', find the total number of tracks that customer has purchased.",
+                "For each customer who bought a track from an artist named 'Carlos', find the total number of invoices they have.",
+            ],
+            correct: 0,
+        },
+        McqQuestion {
+            id: "Q8",
+            number: 8,
+            category: QuestionCategory::Grouping,
+            complexity: Complexity::Medium,
+            sql: "SELECT T.AlbumId, MAX(T.Milliseconds)\n\
+                  FROM Track T, Playlist P, PlaylistTrack PT, Genre G\n\
+                  WHERE T.TrackId = PT.TrackId\n\
+                  AND P.PlaylistId = PT.PlaylistId\n\
+                  AND T.GenreId = G.GenreId\n\
+                  AND G.Name = 'Classical'\n\
+                  GROUP BY T.AlbumId",
+            choices: [
+                "For each album that has a 'Classical' track, find the maximum duration of any track that is listed in at least one playlist.",
+                "For each album that has a 'Classical' track, find the maximum duration of any track that is listed in some playlist that includes a 'Classical' track.",
+                "For each album that has a 'Classical' track, find the maximum duration of any 'Classical' track that is listed in at least one playlist.",
+                "For each album that has a 'Classical' track listed in at least one playlist, find the maximum duration of any track in that album.",
+            ],
+            correct: 2,
+        },
+        McqQuestion {
+            id: "Q9",
+            number: 9,
+            category: QuestionCategory::Grouping,
+            complexity: Complexity::Complex,
+            sql: "SELECT G.Name, MAX(T.Milliseconds)\n\
+                  FROM Playlist P, PlaylistTrack PT, Track T, Genre G, InvoiceLine IL, Invoice I, Customer C\n\
+                  WHERE T.GenreId = G.GenreId\n\
+                  AND T.TrackId = IL.TrackId\n\
+                  AND IL.InvoiceId = I.InvoiceId\n\
+                  AND I.CustomerId = C.CustomerId\n\
+                  AND PT.TrackId = T.TrackId\n\
+                  AND P.PlaylistId = PT.PlaylistId\n\
+                  AND P.Name = 'workout'\n\
+                  AND C.Country = 'France'\n\
+                  GROUP BY G.Name",
+            choices: [
+                "For each genre, find the maximum duration of any track that is sold to at least one customer from France who bought some track that is listed in a playlist named 'workout'.",
+                "For each genre, find the maximum duration of any track that is sold to at least one customer from France and is listed in a playlist named 'workout'.",
+                "For each genre that has a track listed in a playlist named 'workout', find the maximum duration of any track that is sold to at least one customer from France.",
+                "For each genre that has a track sold to at least one customer from France, find the maximum duration of any track that is listed in a playlist named 'workout'.",
+            ],
+            correct: 1,
+        },
+        McqQuestion {
+            id: "Q10",
+            number: 10,
+            category: QuestionCategory::Nested,
+            complexity: Complexity::Simple,
+            sql: "SELECT A.ArtistId, A.Name\n\
+                  FROM Artist A\n\
+                  WHERE NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Album AL, Track T\n\
+                  WHERE A.ArtistId = AL.ArtistId\n\
+                  AND AL.AlbumId = T.AlbumId\n\
+                  AND T.Composer = A.Name)",
+            choices: [
+                "Find artists who do not have any album that has a track that is composed by someone with the same name as the artist.",
+                "Find artists who have an album that does not have any track that is composed by someone with the same name as the artist.",
+                "Find artists who do not have any album where all its tracks are composed by someone with the same name as the artist.",
+                "Find artists so that all their albums have a track that is not composed by someone with the same name as the artist.",
+            ],
+            correct: 0,
+        },
+        McqQuestion {
+            id: "Q11",
+            number: 11,
+            category: QuestionCategory::Nested,
+            complexity: Complexity::Medium,
+            sql: "SELECT A.ArtistId, A.Name\n\
+                  FROM Artist A, Album AL1, Album AL2\n\
+                  WHERE A.ArtistId = AL1.ArtistId\n\
+                  AND A.ArtistId = AL2.ArtistId\n\
+                  AND AL1.AlbumId <> AL2.AlbumId\n\
+                  AND NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Track T1, Genre G1\n\
+                  WHERE AL1.AlbumId = T1.AlbumId\n\
+                  AND T1.GenreId = G1.GenreId\n\
+                  AND G1.Name = 'Rock')\n\
+                  AND NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Track T2\n\
+                  WHERE AL2.AlbumId = T2.AlbumId\n\
+                  AND T2.Milliseconds < 270000)",
+            choices: [
+                "Find artists that have at least two albums such that they both do not have any track in the 'Rock' genre and all their tracks are shorter than 270000 milliseconds.",
+                "Find artists that have at least two albums such that one of their albums does not have any track in the 'Rock' genre and another of their albums only has tracks shorter than 270000 milliseconds.",
+                "Find artists that have at least two albums such that they both do not have any track in the 'Rock' genre and none of their track is shorter than 270000 milliseconds.",
+                "Find artists that have at least two albums such that one of their albums does not have any track in the 'Rock' genre and another of their albums does not have any track shorter than 270000 milliseconds.",
+            ],
+            correct: 3,
+        },
+        McqQuestion {
+            id: "Q12",
+            number: 12,
+            category: QuestionCategory::Nested,
+            complexity: Complexity::Complex,
+            sql: "SELECT A.ArtistId, A.Name\n\
+                  FROM Artist A, Album AL\n\
+                  WHERE A.ArtistId = AL.ArtistId\n\
+                  AND NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Track T, Genre G\n\
+                  WHERE AL.AlbumId = T.AlbumId\n\
+                  AND T.GenreId = G.GenreId\n\
+                  AND G.Name = 'Jazz'\n\
+                  AND NOT EXISTS\n\
+                  (SELECT *\n\
+                  FROM Playlist P, PlaylistTrack PT\n\
+                  WHERE P.PlaylistId = PT.PlaylistId\n\
+                  AND PT.TrackId = T.TrackId)\n\
+                  )",
+            choices: [
+                "Find artists that have an album such that none of its tracks that are in the 'Jazz' genre are individually in at least one playlist.",
+                "Find artists that have an album such that at least one of its tracks that are in the 'Jazz' genre are in all playlists.",
+                "Find artists that have an album such that each its tracks that are in the 'Jazz' genre are in all playlists.",
+                "Find artists that have an album such that each of its tracks that are in the 'Jazz' genre are individually in at least one playlist.",
+            ],
+            correct: 3,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_questions_three_per_category() {
+        let questions = study_questions();
+        assert_eq!(questions.len(), 12);
+        for cat in [
+            QuestionCategory::Conjunctive,
+            QuestionCategory::SelfJoin,
+            QuestionCategory::Grouping,
+            QuestionCategory::Nested,
+        ] {
+            let in_cat: Vec<&McqQuestion> =
+                questions.iter().filter(|q| q.category == cat).collect();
+            assert_eq!(in_cat.len(), 3, "{cat:?}");
+            // One of each complexity per category.
+            let mut levels: Vec<Complexity> = in_cat.iter().map(|q| q.complexity).collect();
+            levels.sort();
+            assert_eq!(
+                levels,
+                vec![Complexity::Simple, Complexity::Medium, Complexity::Complex]
+            );
+        }
+    }
+
+    #[test]
+    fn core_nine_excludes_grouping() {
+        let nine: Vec<&'static str> = study_questions()
+            .iter()
+            .filter(|q| q.in_core_nine())
+            .map(|q| q.id)
+            .collect();
+        assert_eq!(nine.len(), 9);
+        assert!(!nine.contains(&"Q7"));
+        assert!(!nine.contains(&"Q8"));
+        assert!(!nine.contains(&"Q9"));
+    }
+
+    #[test]
+    fn each_question_has_four_distinct_choices() {
+        for q in study_questions() {
+            let mut set = std::collections::HashSet::new();
+            for c in &q.choices {
+                assert!(set.insert(*c), "{}: duplicate choice", q.id);
+            }
+            assert!(q.correct < 4);
+        }
+    }
+
+    #[test]
+    fn numbers_are_presentation_order() {
+        let qs = study_questions();
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.number, i + 1);
+        }
+    }
+}

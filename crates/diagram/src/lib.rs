@@ -1,0 +1,37 @@
+//! # queryvis-diagram
+//!
+//! The QueryVis diagram model and its construction from a logic tree
+//! (paper §4.3–§4.8 and Appendix A.3).
+//!
+//! A diagram consists of exactly the marks the paper proves minimal:
+//!
+//! * **table composite marks** — a header row (black background; gray for
+//!   the special `SELECT` table) stacked over attribute rows, selection
+//!   predicate rows (yellow), group-by rows (gray), and aggregate rows;
+//! * **quantifier bounding boxes** — dashed for ∄, double-lined for ∀
+//!   (∃ blocks and the root get no box);
+//! * **edges** — lines between attribute rows; unlabeled means equijoin,
+//!   arrowheads encode the nesting order via the arrow rules, labels carry
+//!   non-equality operators.
+//!
+//! Submodules:
+//! * [`model`] — the diagram data structures.
+//! * [`build`] — LT → diagram construction (incl. the arrow rules).
+//! * [`reading`] — the default reading order (DFS with restarts, §4.6) and
+//!   a natural-language reading generator.
+//! * [`stats`] — visual-element counting backing the §4.8 minimality
+//!   numbers (+13 % for ∄-only nesting, +7 % with ∀ simplification).
+
+pub mod build;
+pub mod model;
+pub mod reading;
+pub mod stats;
+pub mod verify;
+
+pub use build::build_diagram;
+pub use model::{
+    Diagram, DiagramTable, Edge, EdgeEndpoint, QuantifierBox, RowKind, TableId, TableRow,
+};
+pub use reading::{reading_order, render_reading, ReadingStep};
+pub use stats::{diagram_stats, DiagramStats};
+pub use verify::{verify_diagram, DiagramDefect};

@@ -1,0 +1,156 @@
+//! Minimal 2D geometry used by the layout engine and renderers.
+
+/// A point in diagram coordinates (y grows downward, as in SVG).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Midpoint between two points.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+/// An axis-aligned rectangle (origin at top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    pub x: f64,
+    pub y: f64,
+    pub w: f64,
+    pub h: f64,
+}
+
+impl Rect {
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    pub fn right(&self) -> f64 {
+        self.x + self.w
+    }
+
+    pub fn bottom(&self) -> f64 {
+        self.y + self.h
+    }
+
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Midpoint of the left edge.
+    pub fn left_mid(&self) -> Point {
+        Point::new(self.x, self.y + self.h / 2.0)
+    }
+
+    /// Midpoint of the right edge.
+    pub fn right_mid(&self) -> Point {
+        Point::new(self.right(), self.y + self.h / 2.0)
+    }
+
+    /// Grow the rectangle outward by `pad` on every side.
+    pub fn inflate(&self, pad: f64) -> Rect {
+        Rect::new(self.x - pad, self.y - pad, self.w + 2.0 * pad, self.h + 2.0 * pad)
+    }
+
+    /// The smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        let r = self.right().max(other.right());
+        let b = self.bottom().max(other.bottom());
+        Rect::new(x, y, r - x, b - y)
+    }
+
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x <= self.right() && p.y >= self.y && p.y <= self.bottom()
+    }
+
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x < other.right()
+            && other.x < self.right()
+            && self.y < other.bottom()
+            && other.y < self.bottom()
+    }
+}
+
+/// True if segment (a1, a2) properly intersects segment (b1, b2).
+/// Shared endpoints do not count as crossings (edges meeting at the same
+/// attribute row are not a legibility problem).
+pub fn segments_cross(a1: Point, a2: Point, b1: Point, b2: Point) -> bool {
+    const EPS: f64 = 1e-9;
+    let close = |p: Point, q: Point| (p.x - q.x).abs() < EPS && (p.y - q.y).abs() < EPS;
+    if close(a1, b1) || close(a1, b2) || close(a2, b1) || close(a2, b2) {
+        return false;
+    }
+    let d = |p: Point, q: Point, r: Point| (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+    let d1 = d(b1, b2, a1);
+    let d2 = d(b1, b2, a2);
+    let d3 = d(a1, a2, b1);
+    let d4 = d(a1, a2, b2);
+    (d1 * d2 < -EPS) && (d3 * d4 < -EPS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_accessors() {
+        let r = Rect::new(10.0, 20.0, 30.0, 40.0);
+        assert_eq!(r.right(), 40.0);
+        assert_eq!(r.bottom(), 60.0);
+        assert_eq!(r.center(), Point::new(25.0, 40.0));
+        assert_eq!(r.left_mid(), Point::new(10.0, 40.0));
+        assert_eq!(r.right_mid(), Point::new(40.0, 40.0));
+    }
+
+    #[test]
+    fn rect_inflate_union() {
+        let r = Rect::new(10.0, 10.0, 10.0, 10.0).inflate(5.0);
+        assert_eq!(r, Rect::new(5.0, 5.0, 20.0, 20.0));
+        let u = Rect::new(0.0, 0.0, 5.0, 5.0).union(&Rect::new(10.0, 10.0, 5.0, 5.0));
+        assert_eq!(u, Rect::new(0.0, 0.0, 15.0, 15.0));
+    }
+
+    #[test]
+    fn rect_containment_intersection() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(!r.contains(Point::new(15.0, 5.0)));
+        assert!(r.intersects(&Rect::new(5.0, 5.0, 10.0, 10.0)));
+        assert!(!r.intersects(&Rect::new(20.0, 20.0, 5.0, 5.0)));
+    }
+
+    #[test]
+    fn crossing_segments() {
+        let cross = segments_cross(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 0.0),
+        );
+        assert!(cross);
+        let parallel = segments_cross(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 5.0),
+            Point::new(10.0, 5.0),
+        );
+        assert!(!parallel);
+        // Shared endpoint does not count.
+        let shared = segments_cross(
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+        );
+        assert!(!shared);
+    }
+}

@@ -1,0 +1,26 @@
+//! # queryvis-layout
+//!
+//! A from-scratch layered layout engine for QueryVis diagrams — the
+//! substitute for GraphViz, which the paper uses for rendering
+//! (Appendix A.4) but which is not available to this reproduction.
+//!
+//! Only the diagram's *topology* carries meaning (enclosure, arrows,
+//! labels — paper §4); the layout's job is to place it legibly:
+//!
+//! * tables are arranged in **columns by nesting depth** (SELECT leftmost,
+//!   root block next, deeper blocks further right), which makes the
+//!   default left-to-right reading order follow the arrows;
+//! * tables of one query block stay **contiguous**, so its quantifier box
+//!   is a simple padded rectangle;
+//! * vertical order within a column is refined by a few **barycenter**
+//!   passes (the classic Sugiyama crossing-reduction heuristic);
+//! * edges attach to the left/right midpoint of their attribute rows and
+//!   carry an optional operator label at the midpoint.
+
+pub mod engine;
+pub mod geometry;
+
+pub use engine::{
+    crossing_count, layout_diagram, BoxLayout, EdgeLayout, Layout, LayoutOptions, TableLayout,
+};
+pub use geometry::{Point, Rect};

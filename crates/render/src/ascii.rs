@@ -1,0 +1,154 @@
+//! Plain-text rendering for terminals, examples, and golden tests.
+//!
+//! Tables are drawn as small boxes arranged in columns by nesting depth
+//! (SELECT leftmost), each prefixed by its quantifier symbol when enclosed
+//! in a box; edges are listed below the grid in reading form. Selection
+//! rows are marked `*`, group-by rows `#`.
+
+use queryvis_diagram::{Diagram, RowKind};
+use std::collections::BTreeMap;
+
+/// Render a diagram as plain text.
+pub fn to_ascii(diagram: &Diagram) -> String {
+    // Render each table to a block of lines.
+    let mut blocks: Vec<Vec<String>> = Vec::new();
+    for table in &diagram.tables {
+        let quant = diagram
+            .box_of(table.id)
+            .map(|b| format!(" {}", b.quantifier))
+            .unwrap_or_default();
+        let title = if table.alias != table.name && !table.is_select {
+            format!("{} ({}){}", table.name, table.alias, quant)
+        } else {
+            format!("{}{}", table.name, quant)
+        };
+        let mut body: Vec<String> = Vec::new();
+        for row in &table.rows {
+            let marker = match row.kind {
+                RowKind::Selection { .. } => "*",
+                RowKind::GroupBy => "#",
+                _ => " ",
+            };
+            body.push(format!("{marker}{}", row.display()));
+        }
+        let width = std::iter::once(title.len())
+            .chain(body.iter().map(String::len))
+            .max()
+            .unwrap_or(1);
+        let mut lines = Vec::new();
+        lines.push(format!("+{}+", "-".repeat(width + 2)));
+        lines.push(format!("| {title:<width$} |"));
+        lines.push(format!("+{}+", "-".repeat(width + 2)));
+        for row in &body {
+            lines.push(format!("| {row:<width$} |"));
+        }
+        lines.push(format!("+{}+", "-".repeat(width + 2)));
+        blocks.push(lines);
+    }
+
+    // Column per depth (SELECT first).
+    let mut columns: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for table in &diagram.tables {
+        let col = if table.is_select { 0 } else { table.depth + 1 };
+        columns.entry(col).or_default().push(table.id);
+    }
+
+    // Stack blocks within each column.
+    let mut column_texts: Vec<Vec<String>> = Vec::new();
+    for ids in columns.values() {
+        let mut lines = Vec::new();
+        for (i, &id) in ids.iter().enumerate() {
+            if i > 0 {
+                lines.push(String::new());
+            }
+            lines.extend(blocks[id].iter().cloned());
+        }
+        column_texts.push(lines);
+    }
+
+    // Join columns side by side.
+    let heights: Vec<usize> = column_texts.iter().map(Vec::len).collect();
+    let max_height = heights.iter().copied().max().unwrap_or(0);
+    let widths: Vec<usize> = column_texts
+        .iter()
+        .map(|c| c.iter().map(String::len).max().unwrap_or(0))
+        .collect();
+    let mut out = String::new();
+    for line_idx in 0..max_height {
+        let mut line = String::new();
+        for (col, text) in column_texts.iter().enumerate() {
+            let cell = text.get(line_idx).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:<width$}   ", width = widths[col]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+
+    // Edge legend.
+    if !diagram.edges.is_empty() {
+        out.push('\n');
+        for edge in &diagram.edges {
+            let from = &diagram.tables[edge.from.table];
+            let to = &diagram.tables[edge.to.table];
+            let arrow = if edge.directed { "-->" } else { "---" };
+            let label = edge
+                .label
+                .map(|op| format!(" [{op}]"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "{}.{} {arrow} {}.{}{label}\n",
+                from.alias,
+                from.rows[edge.from.row].column,
+                to.alias,
+                to.rows[edge.to.row].column,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use queryvis_diagram::build_diagram;
+    use queryvis_logic::translate;
+    use queryvis_sql::parse_query;
+
+    fn ascii(sql: &str) -> String {
+        to_ascii(&build_diagram(
+            &translate(&parse_query(sql).unwrap(), None).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn ascii_contains_tables_and_edges() {
+        let s = ascii(
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar)",
+        );
+        assert!(s.contains("SELECT"));
+        assert!(s.contains("Frequents"));
+        assert!(s.contains("Serves (S) \u{2204}"));
+        assert!(s.contains("F.bar --> S.bar"));
+        assert!(s.contains("SELECT.person --- F.person"));
+    }
+
+    #[test]
+    fn selection_rows_marked() {
+        let s = ascii("SELECT B.bid FROM Boat B WHERE B.color = 'red'");
+        assert!(s.contains("*color = 'red'"));
+    }
+
+    #[test]
+    fn group_rows_marked() {
+        let s = ascii("SELECT T.a, COUNT(T.b) FROM T GROUP BY T.a");
+        assert!(s.contains("#a"));
+        assert!(s.contains("COUNT(b)"));
+    }
+
+    #[test]
+    fn label_in_edge_legend() {
+        let s = ascii("SELECT A.x FROM T A, T B WHERE A.x <> B.x");
+        assert!(s.contains("[<>]"));
+    }
+}

@@ -1,0 +1,150 @@
+//! GraphViz DOT export.
+//!
+//! The paper's own pipeline renders diagrams with GraphViz (Appendix A.4,
+//! reference 32); this exporter lets users with a GraphViz installation reproduce
+//! that path. Tables become HTML-like labels with one port per row;
+//! quantifier boxes become clusters (dashed for ∄, `peripheries=2` for ∀).
+
+use queryvis_diagram::{Diagram, RowKind, TableId};
+use queryvis_logic::Quantifier;
+use std::fmt::Write;
+
+fn html_escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn table_label(diagram: &Diagram, id: TableId) -> String {
+    let table = &diagram.tables[id];
+    let mut out = String::from(
+        r#"<<table border="0" cellborder="1" cellspacing="0" cellpadding="4">"#,
+    );
+    let (bg, fg) = if table.is_select {
+        ("#bdbdbd", "black")
+    } else {
+        ("black", "white")
+    };
+    let _ = write!(
+        out,
+        r#"<tr><td bgcolor="{bg}"><font color="{fg}"><b>{}</b></font></td></tr>"#,
+        html_escape(&table.name)
+    );
+    for (i, row) in table.rows.iter().enumerate() {
+        let bg = match row.kind {
+            RowKind::Selection { .. } => r##" bgcolor="#ffe9a8""##,
+            RowKind::GroupBy => r##" bgcolor="#d9d9d9""##,
+            _ => "",
+        };
+        let _ = write!(
+            out,
+            r#"<tr><td port="r{i}"{bg}>{}</td></tr>"#,
+            html_escape(&row.display())
+        );
+    }
+    out.push_str("</table>>");
+    out
+}
+
+/// Export a diagram as a GraphViz `digraph`.
+pub fn to_dot(diagram: &Diagram) -> String {
+    let mut out = String::from("digraph queryvis {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=plaintext];\n");
+
+    // Boxed tables inside clusters.
+    for (i, qbox) in diagram.boxes.iter().enumerate() {
+        let style = match qbox.quantifier {
+            Quantifier::NotExists => "style=dashed",
+            Quantifier::ForAll => "peripheries=2",
+            Quantifier::Exists => "style=invis",
+        };
+        let _ = writeln!(out, "  subgraph cluster_{i} {{\n    {style};");
+        for &tid in &qbox.tables {
+            let _ = writeln!(out, "    t{tid} [label={}];", table_label(diagram, tid));
+        }
+        out.push_str("  }\n");
+    }
+    // Unboxed tables.
+    for table in &diagram.tables {
+        if diagram.box_of(table.id).is_none() {
+            let _ = writeln!(
+                out,
+                "  t{} [label={}];",
+                table.id,
+                table_label(diagram, table.id)
+            );
+        }
+    }
+    // Edges.
+    for edge in &diagram.edges {
+        let mut attrs = Vec::new();
+        if !edge.directed {
+            attrs.push("dir=none".to_string());
+        }
+        if let Some(op) = edge.label {
+            attrs.push(format!("label=\"{}\"", op.as_str()));
+        }
+        let attr_str = if attrs.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", attrs.join(", "))
+        };
+        let _ = writeln!(
+            out,
+            "  t{}:r{} -> t{}:r{}{attr_str};",
+            edge.from.table, edge.from.row, edge.to.table, edge.to.row
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use queryvis_diagram::build_diagram;
+    use queryvis_logic::{simplify, translate};
+    use queryvis_sql::parse_query;
+
+    fn dot(sql: &str, simplified: bool) -> String {
+        let lt = translate(&parse_query(sql).unwrap(), None).unwrap();
+        let lt = if simplified { simplify(&lt) } else { lt };
+        to_dot(&build_diagram(&lt))
+    }
+
+    #[test]
+    fn dot_has_clusters_for_boxes() {
+        let s = dot(
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar)",
+            false,
+        );
+        assert!(s.contains("subgraph cluster_0"));
+        assert!(s.contains("style=dashed"));
+        assert!(s.starts_with("digraph queryvis {"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn forall_cluster_uses_double_periphery() {
+        let s = dot(
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+             (SELECT * FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))",
+            true,
+        );
+        assert!(s.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn undirected_edges_marked_dir_none() {
+        let s = dot("SELECT L.beer FROM Likes L", false);
+        assert!(s.contains("dir=none"));
+    }
+
+    #[test]
+    fn labels_escaped() {
+        let s = dot("SELECT A.x FROM T A, T B WHERE A.x <> B.x", false);
+        assert!(s.contains("label=\"<>\""));
+    }
+}

@@ -1,0 +1,30 @@
+//! # queryvis-render
+//!
+//! Renderers for laid-out QueryVis diagrams:
+//!
+//! * [`svg`] — standalone SVG styled like the paper's figures: black table
+//!   headers with white text, a gray `SELECT` header, yellow selection
+//!   rows, gray group-by rows, dashed ∄ boxes, double-lined ∀ boxes,
+//!   arrowheads and operator labels on edges.
+//! * [`dot`] — GraphViz DOT export (HTML-like labels + dashed clusters)
+//!   for users who want to reproduce the paper's original GraphViz
+//!   rendering pipeline (Appendix A.4, reference 32 of the paper).
+//! * [`ascii`] — a plain-text rendering for terminals, examples, and
+//!   golden tests.
+
+pub mod ascii;
+pub mod dot;
+pub mod svg;
+
+pub use ascii::to_ascii;
+pub use dot::to_dot;
+pub use svg::{to_svg, SvgTheme};
+
+use queryvis_diagram::Diagram;
+use queryvis_layout::{layout_diagram, LayoutOptions};
+
+/// Convenience: lay out and render a diagram as SVG with default options.
+pub fn render_svg(diagram: &Diagram) -> String {
+    let layout = layout_diagram(diagram, &LayoutOptions::default());
+    to_svg(diagram, &layout, &SvgTheme::default())
+}

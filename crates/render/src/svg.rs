@@ -1,0 +1,266 @@
+//! SVG rendering of laid-out diagrams, styled after the paper's figures.
+
+use queryvis_diagram::{Diagram, RowKind};
+use queryvis_layout::Layout;
+use queryvis_logic::Quantifier;
+use std::fmt::Write;
+
+/// Colors and strokes for the SVG output. Defaults mirror the paper (black
+/// headers, lighter SELECT header, yellow selection rows, gray group rows).
+#[derive(Debug, Clone)]
+pub struct SvgTheme {
+    pub background: String,
+    pub header_fill: String,
+    pub header_text: String,
+    pub select_header_fill: String,
+    pub select_header_text: String,
+    pub row_fill: String,
+    pub selection_row_fill: String,
+    pub group_row_fill: String,
+    pub border: String,
+    pub edge: String,
+    pub font_family: String,
+    pub font_size: f64,
+}
+
+impl Default for SvgTheme {
+    fn default() -> Self {
+        SvgTheme {
+            background: "#ffffff".into(),
+            header_fill: "#1a1a1a".into(),
+            header_text: "#ffffff".into(),
+            select_header_fill: "#bdbdbd".into(),
+            select_header_text: "#000000".into(),
+            row_fill: "#ffffff".into(),
+            selection_row_fill: "#ffe9a8".into(),
+            group_row_fill: "#d9d9d9".into(),
+            border: "#333333".into(),
+            edge: "#222222".into(),
+            font_family: "Helvetica, Arial, sans-serif".into(),
+            font_size: 12.0,
+        }
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('\'', "&apos;")
+        .replace('"', "&quot;")
+}
+
+/// Render a laid-out diagram as a standalone SVG document.
+pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+        layout.width, layout.height, layout.width, layout.height
+    );
+    let _ = writeln!(
+        out,
+        r#"<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="7" markerHeight="7" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="{}"/></marker></defs>"#,
+        theme.edge
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect x="0" y="0" width="{:.0}" height="{:.0}" fill="{}"/>"#,
+        layout.width, layout.height, theme.background
+    );
+
+    // Quantifier boxes first (beneath tables).
+    for bl in &layout.boxes {
+        let qbox = &diagram.boxes[bl.box_index];
+        let r = bl.rect;
+        match qbox.quantifier {
+            Quantifier::NotExists => {
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="8" fill="none" stroke="{}" stroke-width="1.5" stroke-dasharray="6,4" class="box not-exists"/>"#,
+                    r.x, r.y, r.w, r.h, theme.border
+                );
+            }
+            Quantifier::ForAll => {
+                // Double line: two nested rounded rects.
+                let inner = queryvis_layout::Rect::new(
+                    r.x + 3.0,
+                    r.y + 3.0,
+                    r.w - 6.0,
+                    r.h - 6.0,
+                );
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="8" fill="none" stroke="{}" stroke-width="1.5" class="box for-all"/>"#,
+                    r.x, r.y, r.w, r.h, theme.border
+                );
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="6" fill="none" stroke="{}" stroke-width="1.5" class="box for-all-inner"/>"#,
+                    inner.x, inner.y, inner.w, inner.h, theme.border
+                );
+            }
+            Quantifier::Exists => {}
+        }
+    }
+
+    // Edges beneath tables so lines visually attach to row borders.
+    for el in &layout.edges {
+        let edge = &diagram.edges[el.edge_index];
+        let marker = if edge.directed {
+            r#" marker-end="url(#arrow)""#
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="1.4"{} class="edge"/>"#,
+            el.from.x, el.from.y, el.to.x, el.to.y, theme.edge, marker
+        );
+        if let Some(op) = edge.label {
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}" class="edge-label">{}</text>"#,
+                el.label_pos.x,
+                el.label_pos.y,
+                theme.font_family,
+                theme.font_size,
+                theme.edge,
+                escape(op.as_str())
+            );
+        }
+    }
+
+    // Tables.
+    for tl in &layout.tables {
+        let table = &diagram.tables[tl.table];
+        let (header_fill, header_text) = if table.is_select {
+            (&theme.select_header_fill, &theme.select_header_text)
+        } else {
+            (&theme.header_fill, &theme.header_text)
+        };
+        // Header.
+        let h = tl.header;
+        let _ = writeln!(
+            out,
+            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="{}" class="header"/>"#,
+            h.x, h.y, h.w, h.h, header_fill, theme.border
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}">{}</text>"#,
+            h.center().x,
+            h.center().y + theme.font_size / 3.0,
+            theme.font_family,
+            theme.font_size,
+            header_text,
+            escape(&table.name)
+        );
+        // Rows.
+        for (i, row) in table.rows.iter().enumerate() {
+            let r = tl.row_rects[i];
+            let fill = match row.kind {
+                RowKind::Attribute | RowKind::Aggregate { .. } => &theme.row_fill,
+                RowKind::Selection { .. } => &theme.selection_row_fill,
+                RowKind::GroupBy => &theme.group_row_fill,
+            };
+            let _ = writeln!(
+                out,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="{}" class="row"/>"#,
+                r.x, r.y, r.w, r.h, fill, theme.border
+            );
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" fill="#000000">{}</text>"##,
+                r.center().x,
+                r.center().y + theme.font_size / 3.0,
+                theme.font_family,
+                theme.font_size,
+                escape(&row.display())
+            );
+        }
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use queryvis_diagram::build_diagram;
+    use queryvis_layout::{layout_diagram, LayoutOptions};
+    use queryvis_logic::{simplify, translate};
+    use queryvis_sql::parse_query;
+
+    fn svg(sql: &str, simplified: bool) -> String {
+        let lt = translate(&parse_query(sql).unwrap(), None).unwrap();
+        let lt = if simplified { simplify(&lt) } else { lt };
+        let d = build_diagram(&lt);
+        let l = layout_diagram(&d, &LayoutOptions::default());
+        to_svg(&d, &l, &SvgTheme::default())
+    }
+
+    const QONLY: &str = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+        (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+        (SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))";
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let s = svg(QONLY, false);
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<svg").count(), 1);
+        // Every mark element is self-closing; nothing is left unterminated.
+        for tag in ["<rect", "<line", "<text", "<path"] {
+            assert!(s.matches(tag).count() > 0 || tag == "<path", "{tag} missing");
+        }
+        assert_eq!(s.matches("<text").count(), s.matches("</text>").count());
+    }
+
+    #[test]
+    fn dashed_box_for_not_exists() {
+        let s = svg(QONLY, false);
+        assert_eq!(s.matches("stroke-dasharray").count(), 2);
+        assert!(!s.contains("for-all"));
+    }
+
+    #[test]
+    fn double_box_for_forall() {
+        let s = svg(QONLY, true);
+        assert!(s.contains(r#"class="box for-all""#));
+        assert!(s.contains(r#"class="box for-all-inner""#));
+        assert_eq!(s.matches("stroke-dasharray").count(), 0);
+    }
+
+    #[test]
+    fn arrowheads_present_on_directed_edges() {
+        let s = svg(QONLY, false);
+        assert_eq!(s.matches("marker-end").count(), 3);
+    }
+
+    #[test]
+    fn selection_row_highlighted() {
+        let s = svg(
+            "SELECT B.bid FROM Boat B WHERE B.color = 'red'",
+            false,
+        );
+        assert!(s.contains("#ffe9a8"));
+        assert!(s.contains("color = &apos;red&apos;"));
+    }
+
+    #[test]
+    fn label_rendered_for_inequality() {
+        let s = svg(
+            "SELECT A.x FROM T A, T B WHERE A.x <> B.x",
+            false,
+        );
+        assert!(s.contains("&lt;&gt;"));
+    }
+
+    #[test]
+    fn select_header_uses_light_fill() {
+        let s = svg("SELECT L.beer FROM Likes L", false);
+        assert!(s.contains("#bdbdbd"));
+    }
+}

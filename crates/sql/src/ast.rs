@@ -1,0 +1,505 @@
+//! Abstract syntax tree for the QueryVis SQL fragment (paper Fig. 4 plus the
+//! GROUP BY / aggregate extension exercised by study questions Q7–Q9).
+//!
+//! The AST mirrors the grammar one-to-one: a [`Query`] is a single query
+//! block (`SELECT`–`FROM`–`WHERE`[–`GROUP BY`]) whose `WHERE` clause is a
+//! *conjunction* of [`Predicate`]s; subqueries appear only inside predicates
+//! (`EXISTS`, `IN`, `ANY`/`ALL`), exactly as in the paper.
+
+use std::fmt;
+
+/// The six comparison operators of the fragment: `< <= = <> >= >`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl CompareOp {
+    /// Logical negation: `¬(a < b) ≡ a >= b`, etc. Used when de-sugaring
+    /// `x op ALL (Q)` into `∄ t ∈ Q : x ¬op t` (§4.7).
+    pub fn negate(self) -> CompareOp {
+        match self {
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Eq => CompareOp::Ne,
+            CompareOp::Ne => CompareOp::Eq,
+            CompareOp::Ge => CompareOp::Lt,
+            CompareOp::Gt => CompareOp::Le,
+        }
+    }
+
+    /// Operand swap: `a < b ≡ b > a`. Used by the arrow rules when the drawn
+    /// edge direction disagrees with the operand order (§4.5.1).
+    pub fn flip(self) -> CompareOp {
+        match self {
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Ge => CompareOp::Le,
+            CompareOp::Gt => CompareOp::Lt,
+        }
+    }
+
+    /// True for the symmetric operators `=` and `<>` whose operand order is
+    /// irrelevant (no arrowhead needed per §4.3.1).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, CompareOp::Eq | CompareOp::Ne)
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Ge => ">=",
+            CompareOp::Gt => ">",
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A (possibly qualified) column reference: `[T.]A`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table alias qualifier; `None` for unqualified references that are
+    /// resolved against the FROM clause during semantic analysis.
+    pub table: Option<String>,
+    pub column: String,
+}
+
+impl ColumnRef {
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+
+    pub fn unqualified(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A constant value (`V` in the grammar): number or string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Numeric literal kept as its source text (`270000`, `3.5`) so that
+    /// printing is lossless and equality is textual.
+    Number(String),
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// One side of a comparison predicate: a column or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    Column(ColumnRef),
+    Value(Value),
+}
+
+impl Operand {
+    pub fn as_column(&self) -> Option<&ColumnRef> {
+        match self {
+            Operand::Column(c) => Some(c),
+            Operand::Value(_) => None,
+        }
+    }
+
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Operand::Value(_))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Column(c) => write!(f, "{c}"),
+            Operand::Value(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Aggregate functions of the GROUP BY extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// An aggregate call `AGG(T.A)` or `COUNT(*)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggCall {
+    pub func: AggFunc,
+    /// `None` encodes `COUNT(*)`.
+    pub arg: Option<ColumnRef>,
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(c) => write!(f, "{}({c})", self.func),
+            None => write!(f, "{}(*)", self.func),
+        }
+    }
+}
+
+/// A SELECT-list item: plain column or aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SelectItem {
+    Column(ColumnRef),
+    Aggregate(AggCall),
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column(c) => write!(f, "{c}"),
+            SelectItem::Aggregate(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// `SELECT *` or an explicit item list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SelectList {
+    Star,
+    Items(Vec<SelectItem>),
+}
+
+impl SelectList {
+    pub fn items(&self) -> &[SelectItem] {
+        match self {
+            SelectList::Star => &[],
+            SelectList::Items(items) => items,
+        }
+    }
+
+    /// Plain (non-aggregate) columns of the select list.
+    pub fn columns(&self) -> impl Iterator<Item = &ColumnRef> {
+        self.items().iter().filter_map(|item| match item {
+            SelectItem::Column(c) => Some(c),
+            SelectItem::Aggregate(_) => None,
+        })
+    }
+}
+
+/// A FROM-clause entry: `Table [AS] Alias`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    pub fn new(table: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: None,
+        }
+    }
+
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef {
+            table: table.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// The name this table is referenced by in predicates: the alias if
+    /// present, otherwise the table name itself.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} {a}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+/// Whether a quantified comparison uses `ANY` or `ALL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubqueryQuantifier {
+    Any,
+    All,
+}
+
+impl SubqueryQuantifier {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SubqueryQuantifier::Any => "ANY",
+            SubqueryQuantifier::All => "ALL",
+        }
+    }
+}
+
+/// A single conjunct of a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `C O C` (join predicate) or `C O V` (selection predicate).
+    Compare {
+        lhs: Operand,
+        op: CompareOp,
+        rhs: Operand,
+    },
+    /// `[NOT] EXISTS (Q)`.
+    Exists { negated: bool, query: Box<Query> },
+    /// `C [NOT] IN (Q)`.
+    InSubquery {
+        column: ColumnRef,
+        negated: bool,
+        query: Box<Query>,
+    },
+    /// `C O {ANY | ALL} (Q)`, possibly under a leading `NOT`.
+    Quantified {
+        column: ColumnRef,
+        op: CompareOp,
+        quantifier: SubqueryQuantifier,
+        negated: bool,
+        query: Box<Query>,
+    },
+}
+
+impl Predicate {
+    /// Convenience constructor for an equijoin predicate.
+    pub fn equi(
+        lt: impl Into<String>,
+        lc: impl Into<String>,
+        rt: impl Into<String>,
+        rc: impl Into<String>,
+    ) -> Predicate {
+        Predicate::Compare {
+            lhs: Operand::Column(ColumnRef::new(lt, lc)),
+            op: CompareOp::Eq,
+            rhs: Operand::Column(ColumnRef::new(rt, rc)),
+        }
+    }
+
+    /// True if this predicate contains a nested subquery.
+    pub fn has_subquery(&self) -> bool {
+        !matches!(self, Predicate::Compare { .. })
+    }
+
+    /// The nested query, if any.
+    pub fn subquery(&self) -> Option<&Query> {
+        match self {
+            Predicate::Compare { .. } => None,
+            Predicate::Exists { query, .. }
+            | Predicate::InSubquery { query, .. }
+            | Predicate::Quantified { query, .. } => Some(query),
+        }
+    }
+}
+
+/// A query block (`SELECT`–`FROM`–`WHERE`[–`GROUP BY`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: SelectList,
+    pub from: Vec<TableRef>,
+    /// Conjunction of predicates; empty means no WHERE clause.
+    pub where_clause: Vec<Predicate>,
+    /// GROUP BY columns (study extension); empty means no grouping.
+    pub group_by: Vec<ColumnRef>,
+}
+
+impl Query {
+    pub fn new(select: SelectList, from: Vec<TableRef>) -> Self {
+        Query {
+            select,
+            from,
+            where_clause: Vec::new(),
+            group_by: Vec::new(),
+        }
+    }
+
+    /// Maximum nesting depth of the query: 0 for a flat (conjunctive) query,
+    /// +1 per level of subquery (`NOT EXISTS`, `IN`, `ANY`/`ALL`).
+    pub fn nesting_depth(&self) -> usize {
+        self.where_clause
+            .iter()
+            .filter_map(Predicate::subquery)
+            .map(|q| 1 + q.nesting_depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of query blocks (this block plus all subquery blocks).
+    pub fn block_count(&self) -> usize {
+        1 + self
+            .where_clause
+            .iter()
+            .filter_map(Predicate::subquery)
+            .map(Query::block_count)
+            .sum::<usize>()
+    }
+
+    /// Total number of table references across all blocks — the paper's
+    /// "number of table aliases referenced" complexity measure (§6.1).
+    pub fn table_ref_count(&self) -> usize {
+        self.from.len()
+            + self
+                .where_clause
+                .iter()
+                .filter_map(Predicate::subquery)
+                .map(Query::table_ref_count)
+                .sum::<usize>()
+    }
+
+    /// Total number of join predicates (column-to-column comparisons) across
+    /// all blocks — the other half of the paper's complexity measure.
+    pub fn join_count(&self) -> usize {
+        let own = self
+            .where_clause
+            .iter()
+            .filter(|p| {
+                matches!(
+                    p,
+                    Predicate::Compare {
+                        lhs: Operand::Column(_),
+                        rhs: Operand::Column(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        own + self
+            .where_clause
+            .iter()
+            .filter_map(Predicate::subquery)
+            .map(Query::join_count)
+            .sum::<usize>()
+    }
+
+    /// True if the query uses grouping or any aggregate select item.
+    pub fn uses_grouping(&self) -> bool {
+        !self.group_by.is_empty()
+            || self
+                .select
+                .items()
+                .iter()
+                .any(|i| matches!(i, SelectItem::Aggregate(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_op_negate_roundtrip() {
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Ge,
+            CompareOp::Gt,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn compare_op_symmetry() {
+        assert!(CompareOp::Eq.is_symmetric());
+        assert!(CompareOp::Ne.is_symmetric());
+        assert!(!CompareOp::Lt.is_symmetric());
+        assert_eq!(CompareOp::Lt.flip(), CompareOp::Gt);
+        assert_eq!(CompareOp::Le.negate(), CompareOp::Gt);
+    }
+
+    #[test]
+    fn binding_prefers_alias() {
+        assert_eq!(TableRef::aliased("Likes", "L1").binding(), "L1");
+        assert_eq!(TableRef::new("Likes").binding(), "Likes");
+    }
+
+    #[test]
+    fn depth_and_counts() {
+        let inner = Query::new(SelectList::Star, vec![TableRef::aliased("Likes", "L2")]);
+        let mut outer = Query::new(
+            SelectList::Items(vec![SelectItem::Column(ColumnRef::new("L1", "drinker"))]),
+            vec![TableRef::aliased("Likes", "L1")],
+        );
+        outer.where_clause.push(Predicate::Exists {
+            negated: true,
+            query: Box::new(inner),
+        });
+        assert_eq!(outer.nesting_depth(), 1);
+        assert_eq!(outer.block_count(), 2);
+        assert_eq!(outer.table_ref_count(), 2);
+        assert_eq!(outer.join_count(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ColumnRef::new("T", "a").to_string(), "T.a");
+        assert_eq!(Value::Str("Rock".into()).to_string(), "'Rock'");
+        assert_eq!(
+            AggCall {
+                func: AggFunc::Count,
+                arg: None
+            }
+            .to_string(),
+            "COUNT(*)"
+        );
+    }
+}

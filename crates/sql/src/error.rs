@@ -1,0 +1,149 @@
+//! Error types for lexing, parsing, and semantic validation.
+
+use crate::token::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+    /// 1-based line of the error start (computed at construction time so the
+    /// error is self-contained once the source text is gone).
+    pub line: usize,
+    /// 1-based column of the error start.
+    pub column: usize,
+}
+
+impl ParseError {
+    pub fn new(message: impl Into<String>, span: Span, source: &str) -> Self {
+        let (line, column) = span.line_col(source);
+        ParseError {
+            message: message.into(),
+            span,
+            line,
+            column,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error produced while validating a parsed query against a schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemanticError {
+    /// The FROM clause references a table that is not in the schema.
+    UnknownTable { table: String },
+    /// A column reference names a binding (alias) that is not in scope.
+    UnknownBinding { binding: String },
+    /// A column does not exist on the table it was resolved to.
+    UnknownColumn { binding: String, column: String },
+    /// An unqualified column name matches no table in scope.
+    UnresolvedColumn { column: String },
+    /// An unqualified column name matches more than one table in scope.
+    AmbiguousColumn { column: String, candidates: Vec<String> },
+    /// The same alias is introduced twice in one FROM clause.
+    DuplicateAlias { alias: String },
+    /// A predicate compares two constants (degenerate per the paper §4.4:
+    /// "at most one of the exp's is a constant").
+    ConstantComparison,
+    /// `IN` / quantified subquery whose SELECT list is not exactly one column.
+    SubqueryArity { found: usize },
+    /// Aggregates are only allowed in the SELECT list of a grouped query.
+    MisplacedAggregate,
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticError::UnknownTable { table } => {
+                write!(f, "unknown table `{table}`")
+            }
+            SemanticError::UnknownBinding { binding } => {
+                write!(f, "unknown table alias `{binding}`")
+            }
+            SemanticError::UnknownColumn { binding, column } => {
+                write!(f, "table `{binding}` has no column `{column}`")
+            }
+            SemanticError::UnresolvedColumn { column } => {
+                write!(f, "column `{column}` matches no table in scope")
+            }
+            SemanticError::AmbiguousColumn { column, candidates } => {
+                write!(
+                    f,
+                    "column `{column}` is ambiguous; candidates: {}",
+                    candidates.join(", ")
+                )
+            }
+            SemanticError::DuplicateAlias { alias } => {
+                write!(f, "alias `{alias}` introduced twice in one FROM clause")
+            }
+            SemanticError::ConstantComparison => {
+                write!(f, "predicate compares two constants")
+            }
+            SemanticError::SubqueryArity { found } => {
+                write!(
+                    f,
+                    "IN/ANY/ALL subquery must select exactly one column, found {found}"
+                )
+            }
+            SemanticError::MisplacedAggregate => {
+                write!(f, "aggregate functions are only allowed in the SELECT list")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SemanticError {}
+
+/// Combined error type for [`crate::parse_and_check`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    Parse(ParseError),
+    Semantic(SemanticError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => write!(f, "{e}"),
+            SqlError::Semantic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_includes_position() {
+        let src = "SELECT\nFROM";
+        let err = ParseError::new("boom", Span::new(7, 11), src);
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("line 2, column 1"));
+    }
+
+    #[test]
+    fn semantic_error_messages() {
+        let e = SemanticError::AmbiguousColumn {
+            column: "bar".into(),
+            candidates: vec!["F".into(), "S".into()],
+        };
+        assert!(e.to_string().contains("ambiguous"));
+        assert!(e.to_string().contains("F, S"));
+    }
+}

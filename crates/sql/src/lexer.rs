@@ -1,0 +1,281 @@
+//! Hand-written lexer for the QueryVis SQL fragment.
+
+use crate::error::ParseError;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Tokenize `source` into a vector of tokens ending with a single
+/// [`TokenKind::Eof`] token.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(tok(TokenKind::LParen, start, i + 1));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(tok(TokenKind::RParen, start, i + 1));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(tok(TokenKind::Comma, start, i + 1));
+                i += 1;
+            }
+            b'.' => {
+                tokens.push(tok(TokenKind::Dot, start, i + 1));
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(tok(TokenKind::Star, start, i + 1));
+                i += 1;
+            }
+            b';' => {
+                tokens.push(tok(TokenKind::Semicolon, start, i + 1));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(tok(TokenKind::Eq, start, i + 1));
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(tok(TokenKind::Ne, start, i + 2));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(tok(TokenKind::Le, start, i + 2));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Lt, start, i + 1));
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(tok(TokenKind::Ge, start, i + 2));
+                    i += 2;
+                } else {
+                    tokens.push(tok(TokenKind::Gt, start, i + 1));
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    // Accept the common `!=` spelling, normalized to `<>`.
+                    tokens.push(tok(TokenKind::Ne, start, i + 2));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(
+                        "unexpected character `!` (did you mean `!=`?)",
+                        Span::new(start, start + 1),
+                        source,
+                    ));
+                }
+            }
+            b'\'' => {
+                // String literal; doubled quote ('') escapes a quote.
+                let mut value = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new(
+                            "unterminated string literal",
+                            Span::new(start, bytes.len()),
+                            source,
+                        ));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            value.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Strings may contain arbitrary UTF-8; walk chars.
+                        let ch = source[i..].chars().next().unwrap();
+                        value.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(tok(TokenKind::Str(value), start, i));
+            }
+            b'0'..=b'9' => {
+                let mut j = i + 1;
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    match bytes[j] {
+                        b'0'..=b'9' => j += 1,
+                        b'.' if !seen_dot
+                            && j + 1 < bytes.len()
+                            && bytes[j + 1].is_ascii_digit() =>
+                        {
+                            seen_dot = true;
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                tokens.push(tok(TokenKind::Number(source[i..j].to_string()), start, j));
+                i = j;
+            }
+            _ if is_ident_start(b) => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_continue(bytes[j]) {
+                    j += 1;
+                }
+                let text = &source[i..j];
+                let kind = match Keyword::lookup(text) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(text.to_string()),
+                };
+                tokens.push(tok(kind, start, j));
+                i = j;
+            }
+            _ => {
+                let ch = source[i..].chars().next().unwrap();
+                return Err(ParseError::new(
+                    format!("unexpected character `{ch}`"),
+                    Span::new(start, start + ch.len_utf8()),
+                    source,
+                ));
+            }
+        }
+    }
+    tokens.push(tok(TokenKind::Eof, bytes.len(), bytes.len()));
+    Ok(tokens)
+}
+
+fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
+    Token {
+        kind,
+        span: Span::new(start, end),
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{Keyword, TokenKind as T};
+
+    fn kinds(src: &str) -> Vec<T> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_select() {
+        let ks = kinds("SELECT a FROM t;");
+        assert_eq!(
+            ks,
+            vec![
+                T::Keyword(Keyword::Select),
+                T::Ident("a".into()),
+                T::Keyword(Keyword::From),
+                T::Ident("t".into()),
+                T::Semicolon,
+                T::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        let ks = kinds("a < b <= c = d <> e >= f > g != h");
+        let ops: Vec<_> = ks
+            .iter()
+            .filter(|k| {
+                matches!(k, T::Lt | T::Le | T::Eq | T::Ne | T::Ge | T::Gt)
+            })
+            .cloned()
+            .collect();
+        assert_eq!(ops, vec![T::Lt, T::Le, T::Eq, T::Ne, T::Ge, T::Gt, T::Ne]);
+    }
+
+    #[test]
+    fn lex_string_with_escape() {
+        let ks = kinds("name = 'AC/DC' AND x = 'it''s'");
+        assert!(ks.contains(&T::Str("AC/DC".into())));
+        assert!(ks.contains(&T::Str("it's".into())));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let ks = kinds("x = 270000 AND y = 3.5");
+        assert!(ks.contains(&T::Number("270000".into())));
+        assert!(ks.contains(&T::Number("3.5".into())));
+    }
+
+    #[test]
+    fn lex_line_comment() {
+        let ks = kinds("SELECT a -- the select list\nFROM t");
+        assert_eq!(ks.len(), 5); // SELECT a FROM t EOF
+    }
+
+    #[test]
+    fn lex_unterminated_string() {
+        let err = tokenize("x = 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn lex_unexpected_char() {
+        let err = tokenize("x # y").unwrap_err();
+        assert!(err.message.contains('#'));
+        assert_eq!(err.column, 3);
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let ks = kinds("select From WHERE and Not exists");
+        assert_eq!(
+            ks[..6],
+            [
+                T::Keyword(Keyword::Select),
+                T::Keyword(Keyword::From),
+                T::Keyword(Keyword::Where),
+                T::Keyword(Keyword::And),
+                T::Keyword(Keyword::Not),
+                T::Keyword(Keyword::Exists),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_then_dot_ident_not_merged() {
+        // `L1.drinker` style references must lex as Ident Dot Ident, and a
+        // trailing `1.` must not swallow the dot when not followed by digits.
+        let ks = kinds("L1.drinker");
+        assert_eq!(
+            ks[..3],
+            [T::Ident("L1".into()), T::Dot, T::Ident("drinker".into())]
+        );
+    }
+}

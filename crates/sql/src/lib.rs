@@ -1,0 +1,75 @@
+//! # queryvis-sql
+//!
+//! Lexer, parser, AST, pretty-printer, schema catalog, and text-complexity
+//! metrics for the SQL fragment supported by QueryVis (Leventidis et al.,
+//! SIGMOD 2020, Figure 4), extended with the `GROUP BY` / aggregate subset
+//! used by the paper's user study (Appendix F, Q7–Q9).
+//!
+//! The grammar, verbatim from the paper:
+//!
+//! ```text
+//! Q ::= SELECT C [, C ...] | *        select clause
+//!     | FROM S [, S ...]              from clause
+//!     | [WHERE P]                     where clause
+//!     | [GROUP BY C [, C ...]]        (study extension)
+//! C ::= [T.]A | AGG([T.]A) | AGG(*)   column / aggregate
+//! S ::= T [AS T]                      table (alias)
+//! P ::= P [AND P ... AND P]           conjunction
+//!     | C O C                         join predicate
+//!     | C O V                         selection predicate
+//!     | [NOT] EXISTS (Q)              existential subquery
+//!     | C [NOT] IN (Q)                membership subquery
+//!     | C O {ALL | ANY} (Q)           quantified subquery
+//! O ::= < | <= | = | <> | >= | >      comparison operator
+//! ```
+//!
+//! Disjunction (`OR`) is deliberately not part of the fragment (§4.4). The
+//! parser reports precise, spanned errors for anything outside the fragment.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod metrics;
+pub mod parser;
+pub mod printer;
+pub mod schema;
+pub mod token;
+
+pub use ast::{
+    AggCall, AggFunc, ColumnRef, CompareOp, Operand, Predicate, Query, SelectItem, SelectList,
+    TableRef, Value,
+};
+pub use error::{ParseError, SemanticError};
+pub use parser::parse_query;
+pub use printer::to_sql;
+pub use schema::{Schema, Table};
+
+/// Parse a query and semantically validate it against a schema in one call.
+pub fn parse_and_check(sql: &str, schema: &Schema) -> Result<Query, error::SqlError> {
+    let query = parse_query(sql).map_err(error::SqlError::Parse)?;
+    schema
+        .check_query(&query)
+        .map_err(error::SqlError::Semantic)?;
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_check_smoke() {
+        let schema = Schema::new("beers")
+            .with_table(Table::new("Likes", &["drinker", "beer"]))
+            .with_table(Table::new("Frequents", &["drinker", "bar"]))
+            .with_table(Table::new("Serves", &["bar", "beer"]));
+        let q = parse_and_check(
+            "SELECT F.drinker FROM Frequents F, Likes L, Serves S \
+             WHERE F.drinker = L.drinker AND F.bar = S.bar AND L.beer = S.beer",
+            &schema,
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.where_clause.len(), 3);
+    }
+}

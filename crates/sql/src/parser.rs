@@ -1,0 +1,599 @@
+//! Recursive-descent parser for the QueryVis SQL fragment.
+//!
+//! The parser is a direct transcription of the grammar in the paper's
+//! Figure 4 (see the crate docs). Constructs outside the fragment that a
+//! user is likely to reach for (`OR`, `JOIN`, `HAVING`, `UNION`,
+//! `DISTINCT`, `ORDER BY`) are rejected with targeted error messages that
+//! point at the paper's fragment definition instead of a generic
+//! "unexpected token".
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Span, Token, TokenKind};
+
+/// Parse a single query (optionally terminated by `;`) into an AST.
+pub fn parse_query(source: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        source,
+    };
+    let query = parser.query_block()?;
+    parser.eat_if(&TokenKind::Semicolon);
+    parser.expect_eof()?;
+    Ok(query)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    source: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2_kind(&self) -> &TokenKind {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn err(&self, message: impl Into<String>, span: Span) -> ParseError {
+        ParseError::new(message, span, self.source)
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        self.err(message, self.peek().span)
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if matches!(self.peek_kind(), TokenKind::Keyword(k) if *k == kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!(
+                "expected `{}`, found `{}`",
+                kw.as_str(),
+                self.peek_kind()
+            )))
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.eat_if(&kind) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected `{kind}`, found `{}`", self.peek_kind())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match self.peek_kind() {
+            TokenKind::Eof => Ok(()),
+            other => Err(self.err_here(format!("unexpected trailing input `{other}`"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.err_here(format!("expected {what}, found `{other}`"))),
+        }
+    }
+
+    /// Reject unsupported keywords with a message pointing at the fragment.
+    fn check_unsupported(&self) -> Result<(), ParseError> {
+        let unsupported = match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Or) => {
+                Some("disjunction (`OR`) is outside the supported fragment (paper §4.4)")
+            }
+            TokenKind::Keyword(Keyword::Join) => Some(
+                "explicit `JOIN` syntax is not part of the fragment; \
+                 use implicit joins in the FROM/WHERE clauses (paper Fig. 4)",
+            ),
+            TokenKind::Keyword(Keyword::Having) => {
+                Some("`HAVING` is outside the supported fragment")
+            }
+            TokenKind::Keyword(Keyword::Union) => {
+                Some("`UNION` is outside the supported fragment")
+            }
+            TokenKind::Keyword(Keyword::Distinct) => {
+                Some("`DISTINCT` is outside the supported fragment (set semantics are implied)")
+            }
+            TokenKind::Keyword(Keyword::OrderKw) => {
+                Some("`ORDER BY` is outside the supported fragment")
+            }
+            _ => None,
+        };
+        match unsupported {
+            Some(msg) => Err(self.err_here(msg)),
+            None => Ok(()),
+        }
+    }
+
+    // Q ::= SELECT ... FROM ... [WHERE ...] [GROUP BY ...]
+    fn query_block(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword(Keyword::Select)?;
+        self.check_unsupported()?;
+        let select = self.select_list()?;
+        self.expect_keyword(Keyword::From)?;
+        let from = self.table_refs()?;
+        let mut query = Query::new(select, from);
+        if self.eat_keyword(Keyword::Where) {
+            query.where_clause = self.predicates()?;
+        }
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                query.group_by.push(self.column_ref()?);
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.check_unsupported()?;
+        Ok(query)
+    }
+
+    fn select_list(&mut self) -> Result<SelectList, ParseError> {
+        if self.eat_if(&TokenKind::Star) {
+            return Ok(SelectList::Star);
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(SelectList::Items(items))
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        let agg = match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Count) => Some(AggFunc::Count),
+            TokenKind::Keyword(Keyword::Sum) => Some(AggFunc::Sum),
+            TokenKind::Keyword(Keyword::Avg) => Some(AggFunc::Avg),
+            TokenKind::Keyword(Keyword::Min) => Some(AggFunc::Min),
+            TokenKind::Keyword(Keyword::Max) => Some(AggFunc::Max),
+            _ => None,
+        };
+        if let Some(func) = agg {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            let arg = if self.eat_if(&TokenKind::Star) {
+                None
+            } else {
+                Some(self.column_ref()?)
+            };
+            self.expect(TokenKind::RParen)?;
+            return Ok(SelectItem::Aggregate(AggCall { func, arg }));
+        }
+        Ok(SelectItem::Column(self.column_ref()?))
+    }
+
+    fn table_refs(&mut self) -> Result<Vec<TableRef>, ParseError> {
+        let mut refs = Vec::new();
+        loop {
+            let table = self.expect_ident("a table name")?;
+            let alias = if self.eat_keyword(Keyword::As) {
+                Some(self.expect_ident("an alias after AS")?)
+            } else if let TokenKind::Ident(name) = self.peek_kind().clone() {
+                self.advance();
+                Some(name)
+            } else {
+                None
+            };
+            refs.push(TableRef { table, alias });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(refs)
+    }
+
+    fn predicates(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut preds = vec![self.predicate()?];
+        loop {
+            self.check_unsupported()?;
+            if !self.eat_keyword(Keyword::And) {
+                break;
+            }
+            preds.push(self.predicate()?);
+        }
+        Ok(preds)
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        self.check_unsupported()?;
+        // `NOT EXISTS (Q)` or a leading `NOT` on IN / ANY / ALL forms.
+        if matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Not)) {
+            let not_span = self.peek().span;
+            self.advance();
+            if self.eat_keyword(Keyword::Exists) {
+                let query = self.subquery()?;
+                return Ok(Predicate::Exists {
+                    negated: true,
+                    query,
+                });
+            }
+            // e.g. `NOT S.sid = ANY (Q)` — Fig. 24 third variant.
+            let inner = self.comparison_like()?;
+            return match inner {
+                Predicate::InSubquery {
+                    column,
+                    negated,
+                    query,
+                } => Ok(Predicate::InSubquery {
+                    column,
+                    negated: !negated,
+                    query,
+                }),
+                Predicate::Quantified {
+                    column,
+                    op,
+                    quantifier,
+                    negated,
+                    query,
+                } => Ok(Predicate::Quantified {
+                    column,
+                    op,
+                    quantifier,
+                    negated: !negated,
+                    query,
+                }),
+                Predicate::Compare { .. } | Predicate::Exists { .. } => Err(self.err(
+                    "`NOT` may only prefix EXISTS, IN, or ANY/ALL predicates in this fragment",
+                    not_span,
+                )),
+            };
+        }
+        if self.eat_keyword(Keyword::Exists) {
+            let query = self.subquery()?;
+            return Ok(Predicate::Exists {
+                negated: false,
+                query,
+            });
+        }
+        self.comparison_like()
+    }
+
+    /// `C O C` | `C O V` | `V O C` | `C [NOT] IN (Q)` | `C O {ANY|ALL} (Q)`.
+    fn comparison_like(&mut self) -> Result<Predicate, ParseError> {
+        let lhs = self.operand()?;
+        // `C [NOT] IN (Q)`
+        if let Operand::Column(col) = &lhs {
+            if matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Not))
+                && matches!(self.peek2_kind(), TokenKind::Keyword(Keyword::In))
+            {
+                self.advance();
+                self.advance();
+                let query = self.subquery()?;
+                return Ok(Predicate::InSubquery {
+                    column: col.clone(),
+                    negated: true,
+                    query,
+                });
+            }
+            if self.eat_keyword(Keyword::In) {
+                let query = self.subquery()?;
+                return Ok(Predicate::InSubquery {
+                    column: col.clone(),
+                    negated: false,
+                    query,
+                });
+            }
+        }
+        let op = self.compare_op()?;
+        // `C O ANY (Q)` / `C O ALL (Q)`
+        let quantifier = if self.eat_keyword(Keyword::Any) {
+            Some(SubqueryQuantifier::Any)
+        } else if self.eat_keyword(Keyword::All) {
+            Some(SubqueryQuantifier::All)
+        } else {
+            None
+        };
+        if let Some(quantifier) = quantifier {
+            let column = match lhs {
+                Operand::Column(c) => c,
+                Operand::Value(_) => {
+                    return Err(self.err_here(
+                        "the left-hand side of an ANY/ALL comparison must be a column",
+                    ))
+                }
+            };
+            let query = self.subquery()?;
+            return Ok(Predicate::Quantified {
+                column,
+                op,
+                quantifier,
+                negated: false,
+                query,
+            });
+        }
+        let rhs = self.operand()?;
+        Ok(Predicate::Compare { lhs, op, rhs })
+    }
+
+    fn subquery(&mut self) -> Result<Box<Query>, ParseError> {
+        self.expect(TokenKind::LParen)?;
+        let query = self.query_block()?;
+        self.expect(TokenKind::RParen)?;
+        Ok(Box::new(query))
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp, ParseError> {
+        let op = match self.peek_kind() {
+            TokenKind::Lt => CompareOp::Lt,
+            TokenKind::Le => CompareOp::Le,
+            TokenKind::Eq => CompareOp::Eq,
+            TokenKind::Ne => CompareOp::Ne,
+            TokenKind::Ge => CompareOp::Ge,
+            TokenKind::Gt => CompareOp::Gt,
+            other => {
+                return Err(self.err_here(format!(
+                    "expected a comparison operator (< <= = <> >= >), found `{other}`"
+                )))
+            }
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn operand(&mut self) -> Result<Operand, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Operand::Value(Value::Number(n)))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Operand::Value(Value::Str(s)))
+            }
+            TokenKind::Ident(_) => Ok(Operand::Column(self.column_ref()?)),
+            other => Err(self.err_here(format!(
+                "expected a column reference or constant, found `{other}`"
+            ))),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.expect_ident("a column reference")?;
+        if self.eat_if(&TokenKind::Dot) {
+            let column = self.expect_ident("a column name after `.`")?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_conjunctive_query() {
+        let q = parse_query(
+            "SELECT F.person FROM Frequents F, Likes L, Serves S \
+             WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.where_clause.len(), 3);
+        assert_eq!(q.nesting_depth(), 0);
+        assert_eq!(q.join_count(), 3);
+    }
+
+    #[test]
+    fn parse_qonly_nested() {
+        let q = parse_query(
+            "SELECT F.person FROM Frequents F WHERE not exists \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar AND not exists \
+             (SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))",
+        )
+        .unwrap();
+        assert_eq!(q.nesting_depth(), 2);
+        assert_eq!(q.block_count(), 3);
+        assert_eq!(q.table_ref_count(), 3);
+    }
+
+    #[test]
+    fn parse_unique_set_query() {
+        // Fig. 1a of the paper, depth-3 nesting, 6 aliases of the same table.
+        let q = parse_query(
+            "SELECT L1.drinker FROM Likes L1 WHERE NOT EXISTS( \
+               SELECT * FROM Likes L2 WHERE L1.drinker <> L2.drinker \
+               AND NOT EXISTS( \
+                 SELECT * FROM Likes L3 WHERE L3.drinker = L2.drinker \
+                 AND NOT EXISTS( \
+                   SELECT * FROM Likes L4 WHERE L4.drinker = L1.drinker \
+                   AND L4.beer = L3.beer)) \
+               AND NOT EXISTS( \
+                 SELECT * FROM Likes L5 WHERE L5.drinker = L1.drinker \
+                 AND NOT EXISTS( \
+                   SELECT * FROM Likes L6 WHERE L6.drinker = L2.drinker \
+                   AND L6.beer = L5.beer)))",
+        )
+        .unwrap();
+        assert_eq!(q.nesting_depth(), 3);
+        assert_eq!(q.block_count(), 6);
+        assert_eq!(q.table_ref_count(), 6);
+        assert_eq!(q.join_count(), 7);
+    }
+
+    #[test]
+    fn parse_in_and_any_variants() {
+        // The three semantically equivalent variants of Fig. 24.
+        let v2 = parse_query(
+            "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN( \
+             SELECT R.sid FROM Reserves R WHERE R.bid NOT IN( \
+             SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
+        )
+        .unwrap();
+        assert_eq!(v2.nesting_depth(), 2);
+        let v3 = parse_query(
+            "SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY( \
+             SELECT R.sid FROM Reserves R WHERE NOT R.bid = ANY( \
+             SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
+        )
+        .unwrap();
+        assert_eq!(v3.nesting_depth(), 2);
+        match &v3.where_clause[0] {
+            Predicate::Quantified {
+                negated,
+                quantifier,
+                op,
+                ..
+            } => {
+                assert!(*negated);
+                assert_eq!(*quantifier, SubqueryQuantifier::Any);
+                assert_eq!(*op, CompareOp::Eq);
+            }
+            other => panic!("expected quantified predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_all_comparison() {
+        let q = parse_query(
+            "SELECT T.TrackId FROM Track T WHERE T.Milliseconds >= ALL \
+             (SELECT T2.Milliseconds FROM Track T2)",
+        )
+        .unwrap();
+        match &q.where_clause[0] {
+            Predicate::Quantified { quantifier, .. } => {
+                assert_eq!(*quantifier, SubqueryQuantifier::All)
+            }
+            other => panic!("expected quantified predicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_group_by_with_aggregates() {
+        let q = parse_query(
+            "SELECT P.PlaylistId, G.Name, COUNT(T.TrackId) \
+             FROM Playlist P, PlaylistTrack PT, Track T, Genre G \
+             WHERE P.PlaylistId = PT.PlaylistId AND PT.TrackId = T.TrackId \
+             AND T.GenreId = G.GenreId GROUP BY P.PlaylistId, G.Name",
+        )
+        .unwrap();
+        assert!(q.uses_grouping());
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.select.items().len(), 3);
+    }
+
+    #[test]
+    fn parse_selection_predicates() {
+        let q = parse_query(
+            "SELECT T.TrackId FROM Track T WHERE T.UnitPrice > 2 AND T.Name = 'Bohemian'",
+        )
+        .unwrap();
+        assert_eq!(q.where_clause.len(), 2);
+        assert_eq!(q.join_count(), 0);
+    }
+
+    #[test]
+    fn reject_or() {
+        let err = parse_query("SELECT a FROM t WHERE a = 1 OR a = 2").unwrap_err();
+        assert!(err.message.contains("OR"), "{}", err.message);
+        assert!(err.message.contains("4.4"), "{}", err.message);
+    }
+
+    #[test]
+    fn reject_explicit_join() {
+        let err = parse_query("SELECT a FROM t JOIN s").unwrap_err();
+        assert!(err.message.contains("JOIN"), "{}", err.message);
+    }
+
+    #[test]
+    fn reject_not_before_plain_comparison() {
+        let err = parse_query("SELECT a FROM t WHERE NOT t.a = 3").unwrap_err();
+        assert!(err.message.contains("NOT"), "{}", err.message);
+    }
+
+    #[test]
+    fn reject_trailing_garbage() {
+        let err = parse_query("SELECT a FROM t WHERE t.a = 1 banana").unwrap_err();
+        assert!(err.message.contains("alias") || err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn reject_missing_from() {
+        let err = parse_query("SELECT a").unwrap_err();
+        assert!(err.message.contains("FROM"));
+    }
+
+    #[test]
+    fn alias_with_and_without_as() {
+        let q = parse_query("SELECT a FROM Likes AS L1, Serves S2 WHERE L1.a = S2.b").unwrap();
+        assert_eq!(q.from[0].binding(), "L1");
+        assert_eq!(q.from[1].binding(), "S2");
+    }
+
+    #[test]
+    fn semicolon_is_optional() {
+        assert!(parse_query("SELECT a FROM t;").is_ok());
+        assert!(parse_query("SELECT a FROM t").is_ok());
+    }
+
+    #[test]
+    fn error_carries_line_and_column() {
+        let err = parse_query("SELECT a\nFROM t\nWHERE a ==").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn count_star() {
+        let q = parse_query("SELECT COUNT(*) FROM t GROUP BY t.a").unwrap();
+        match &q.select.items()[0] {
+            SelectItem::Aggregate(AggCall { func, arg }) => {
+                assert_eq!(*func, AggFunc::Count);
+                assert!(arg.is_none());
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+}

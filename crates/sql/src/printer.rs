@@ -1,0 +1,177 @@
+//! Canonical pretty-printer for the SQL fragment.
+//!
+//! The study stimuli (paper §2, Fig. 3, App. F) present SQL "auto-indented,
+//! keywords capitalized"; this printer reproduces that canonical layout so
+//! that (a) round-trip tests can compare ASTs after re-parsing and (b) the
+//! word-count complexity metric (§4.8) is computed over a normalized form
+//! rather than over incidental whitespace choices.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a query as canonical multi-line SQL text.
+pub fn to_sql(query: &Query) -> String {
+    let mut out = String::new();
+    write_query(&mut out, query, 0);
+    out.push(';');
+    out
+}
+
+/// Render a query on a single line (used in logs and error messages).
+pub fn to_sql_one_line(query: &Query) -> String {
+    to_sql(query)
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_query(out: &mut String, query: &Query, level: usize) {
+    indent(out, level);
+    out.push_str("SELECT ");
+    match &query.select {
+        SelectList::Star => out.push('*'),
+        SelectList::Items(items) => {
+            let rendered: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+            out.push_str(&rendered.join(", "));
+        }
+    }
+    out.push('\n');
+    indent(out, level);
+    out.push_str("FROM ");
+    let tables: Vec<String> = query.from.iter().map(|t| t.to_string()).collect();
+    out.push_str(&tables.join(", "));
+    if !query.where_clause.is_empty() {
+        out.push('\n');
+        indent(out, level);
+        out.push_str("WHERE ");
+        for (i, pred) in query.where_clause.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+                indent(out, level);
+                out.push_str("AND ");
+            }
+            write_predicate(out, pred, level);
+        }
+    }
+    if !query.group_by.is_empty() {
+        out.push('\n');
+        indent(out, level);
+        out.push_str("GROUP BY ");
+        let cols: Vec<String> = query.group_by.iter().map(|c| c.to_string()).collect();
+        out.push_str(&cols.join(", "));
+    }
+}
+
+fn write_predicate(out: &mut String, pred: &Predicate, level: usize) {
+    match pred {
+        Predicate::Compare { lhs, op, rhs } => {
+            let _ = write!(out, "{lhs} {op} {rhs}");
+        }
+        Predicate::Exists { negated, query } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (\n");
+            write_query(out, query, level + 1);
+            out.push(')');
+        }
+        Predicate::InSubquery {
+            column,
+            negated,
+            query,
+        } => {
+            let _ = write!(out, "{column} ");
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("IN (\n");
+            write_query(out, query, level + 1);
+            out.push(')');
+        }
+        Predicate::Quantified {
+            column,
+            op,
+            quantifier,
+            negated,
+            query,
+        } => {
+            if *negated {
+                out.push_str("NOT ");
+            }
+            let _ = writeln!(out, "{column} {op} {} (", quantifier.as_str());
+            write_query(out, query, level + 1);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn roundtrip(sql: &str) {
+        let q1 = parse_query(sql).unwrap();
+        let printed = to_sql(&q1);
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of printed SQL failed: {e}\n{printed}"));
+        assert_eq!(q1, q2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_conjunctive() {
+        roundtrip(
+            "SELECT F.person FROM Frequents F, Likes L, Serves S \
+             WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink",
+        );
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        roundtrip(
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+             (SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))",
+        );
+    }
+
+    #[test]
+    fn roundtrip_in_and_quantified() {
+        roundtrip(
+            "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN \
+             (SELECT R.sid FROM Reserves R WHERE R.bid = ANY \
+             (SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
+        );
+        roundtrip("SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY (SELECT R.sid FROM Reserves R)");
+    }
+
+    #[test]
+    fn roundtrip_group_by() {
+        roundtrip(
+            "SELECT T.AlbumId, MAX(T.Milliseconds) FROM Track T, Genre G \
+             WHERE T.GenreId = G.GenreId AND G.Name = 'Classical' GROUP BY T.AlbumId",
+        );
+    }
+
+    #[test]
+    fn printed_form_is_canonical() {
+        let q = parse_query("select   a from t where t.a=1").unwrap();
+        let printed = to_sql(&q);
+        assert!(printed.starts_with("SELECT a\nFROM t\nWHERE t.a = 1"));
+    }
+
+    #[test]
+    fn one_line_has_no_newlines() {
+        let q = parse_query(
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS (SELECT * FROM Serves S)",
+        )
+        .unwrap();
+        assert!(!to_sql_one_line(&q).contains('\n'));
+    }
+}

@@ -1,0 +1,218 @@
+//! Token definitions for the SQL lexer.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text.
+///
+/// Spans are carried on every token so that parse errors can point at the
+/// exact offending location (`line:column`), which matters for the longer
+/// study queries (some span 25+ lines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// Merge two spans into the smallest span covering both.
+    pub fn cover(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// SQL keywords recognized by the fragment. Keywords are case-insensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    As,
+    Not,
+    Exists,
+    In,
+    Any,
+    All,
+    Group,
+    By,
+    // Aggregates (study extension).
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    // Recognized so we can reject them with a targeted message instead of a
+    // generic "unexpected identifier".
+    Or,
+    Having,
+    Join,
+    Union,
+    Distinct,
+    OrderKw,
+}
+
+impl Keyword {
+    pub fn lookup(ident: &str) -> Option<Keyword> {
+        let upper = ident.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "AS" => Keyword::As,
+            "NOT" => Keyword::Not,
+            "EXISTS" => Keyword::Exists,
+            "IN" => Keyword::In,
+            "ANY" | "SOME" => Keyword::Any,
+            "ALL" => Keyword::All,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "AVG" => Keyword::Avg,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "OR" => Keyword::Or,
+            "HAVING" => Keyword::Having,
+            "JOIN" => Keyword::Join,
+            "UNION" => Keyword::Union,
+            "DISTINCT" => Keyword::Distinct,
+            "ORDER" => Keyword::OrderKw,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::From => "FROM",
+            Keyword::Where => "WHERE",
+            Keyword::And => "AND",
+            Keyword::As => "AS",
+            Keyword::Not => "NOT",
+            Keyword::Exists => "EXISTS",
+            Keyword::In => "IN",
+            Keyword::Any => "ANY",
+            Keyword::All => "ALL",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Count => "COUNT",
+            Keyword::Sum => "SUM",
+            Keyword::Avg => "AVG",
+            Keyword::Min => "MIN",
+            Keyword::Max => "MAX",
+            Keyword::Or => "OR",
+            Keyword::Having => "HAVING",
+            Keyword::Join => "JOIN",
+            Keyword::Union => "UNION",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::OrderKw => "ORDER",
+        }
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    Keyword(Keyword),
+    /// Unquoted identifier (table, alias, or attribute name).
+    Ident(String),
+    /// Numeric literal, kept as source text to print back verbatim.
+    Number(String),
+    /// Single-quoted string literal (contents, quotes stripped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semicolon,
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Number(s) => write!(f, "{s}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::Le => write!(f, "<="),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Ne => write!(f, "<>"),
+            TokenKind::Ge => write!(f, ">="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::Eof => write!(f, "<end of input>"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::lookup("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::lookup("NOT"), Some(Keyword::Not));
+        assert_eq!(Keyword::lookup("drinker"), None);
+    }
+
+    #[test]
+    fn some_is_alias_for_any() {
+        assert_eq!(Keyword::lookup("SOME"), Some(Keyword::Any));
+    }
+
+    #[test]
+    fn span_cover_and_line_col() {
+        let s = Span::new(4, 8).cover(Span::new(2, 5));
+        assert_eq!(s, Span::new(2, 8));
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 2));
+    }
+}

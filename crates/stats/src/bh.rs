@@ -1,0 +1,87 @@
+//! Benjamini–Hochberg false-discovery-rate adjustment.
+//!
+//! The paper runs two hypotheses per outcome (time: QV < SQL, Both < SQL;
+//! error likewise) and "adjusted all p-values using the Benjamini and
+//! Hochberg procedure in order to minimize false discoveries caused by
+//! multiple hypothesis testing" (§6.2).
+
+/// Adjust a slice of p-values with the BH step-up procedure, returning
+/// adjusted p-values in the original order.
+///
+/// `adjusted[i] = min_{j : p_j >= p_i} ( m * p_j / rank_j )`, capped at 1.
+pub fn benjamini_hochberg(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| p_values[a].partial_cmp(&p_values[b]).unwrap());
+
+    // Walk from the largest p-value down, enforcing monotonicity.
+    let mut adjusted = vec![0.0; m];
+    let mut running_min = 1.0_f64;
+    for (rank_from_top, &idx) in order.iter().enumerate().rev() {
+        let rank = rank_from_top + 1; // 1-based rank in ascending order
+        let candidate = (p_values[idx] * m as f64 / rank as f64).min(1.0);
+        running_min = running_min.min(candidate);
+        adjusted[idx] = running_min;
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_p_unchanged() {
+        assert_eq!(benjamini_hochberg(&[0.03]), vec![0.03]);
+    }
+
+    #[test]
+    fn matches_r_p_adjust_reference() {
+        // R: p.adjust(c(0.01, 0.04, 0.03, 0.005), method="BH")
+        //    → 0.02 0.04 0.04 0.02
+        let adj = benjamini_hochberg(&[0.01, 0.04, 0.03, 0.005]);
+        let expected = [0.02, 0.04, 0.04, 0.02];
+        for (a, e) in adj.iter().zip(&expected) {
+            assert!((a - e).abs() < 1e-12, "{adj:?}");
+        }
+    }
+
+    #[test]
+    fn adjusted_never_below_raw() {
+        let raw = [0.001, 0.2, 0.04, 0.9, 0.015];
+        let adj = benjamini_hochberg(&raw);
+        for (a, r) in adj.iter().zip(&raw) {
+            assert!(a >= r);
+            assert!(*a <= 1.0);
+        }
+    }
+
+    #[test]
+    fn preserves_order_monotonicity() {
+        // If p_i <= p_j then adjusted_i <= adjusted_j.
+        let raw = [0.5, 0.01, 0.3, 0.02, 0.8];
+        let adj = benjamini_hochberg(&raw);
+        let mut pairs: Vec<(f64, f64)> = raw.iter().copied().zip(adj.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_hypotheses_like_the_paper() {
+        // Two tests on the same data (the paper's setting): the smaller
+        // p-value doubles unless the larger is small too.
+        let adj = benjamini_hochberg(&[0.0005, 0.30]);
+        assert!((adj[0] - 0.001).abs() < 1e-12);
+        assert!((adj[1] - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(benjamini_hochberg(&[]).is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Bootstrap confidence intervals: percentile and BCa (bias-corrected and
+//! accelerated, Efron 1987).
+//!
+//! The paper reports "bias-corrected and accelerated (BCa) 95% confidence
+//! intervals to indicate the range of plausible values for the mean time
+//! and mean error" (§6.2, Fig. 7).
+
+use crate::descriptive::mean;
+use crate::normal::{normal_cdf, normal_quantile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided confidence interval around a point estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapInterval {
+    pub estimate: f64,
+    pub lower: f64,
+    pub upper: f64,
+    /// Nominal coverage, e.g. 0.95.
+    pub confidence: f64,
+}
+
+fn resample_statistics(
+    data: &[f64],
+    statistic: &dyn Fn(&[f64]) -> f64,
+    resamples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.len();
+    let mut buffer = vec![0.0; n];
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for slot in buffer.iter_mut() {
+            *slot = data[rng.gen_range(0..n)];
+        }
+        stats.push(statistic(&buffer));
+    }
+    stats
+}
+
+fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Simple percentile bootstrap interval (used as a cross-check for BCa).
+pub fn percentile_interval(
+    data: &[f64],
+    statistic: &dyn Fn(&[f64]) -> f64,
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> BootstrapInterval {
+    let estimate = statistic(data);
+    let mut stats = resample_statistics(data, statistic, resamples, seed);
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - confidence) / 2.0;
+    BootstrapInterval {
+        estimate,
+        lower: percentile_of_sorted(&stats, alpha),
+        upper: percentile_of_sorted(&stats, 1.0 - alpha),
+        confidence,
+    }
+}
+
+/// BCa bootstrap interval (Efron 1987): corrects the percentile interval
+/// for median bias (z₀, from the fraction of resamples below the point
+/// estimate) and for skew (acceleration a, from the jackknife).
+pub fn bca_interval(
+    data: &[f64],
+    statistic: &dyn Fn(&[f64]) -> f64,
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> BootstrapInterval {
+    assert!(data.len() >= 2, "BCa needs at least two observations");
+    let estimate = statistic(data);
+    let mut stats = resample_statistics(data, statistic, resamples, seed);
+    stats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Bias correction z0.
+    let below = stats.iter().filter(|s| **s < estimate).count() as f64;
+    let proportion = (below / resamples as f64).clamp(
+        1.0 / (resamples as f64 + 1.0),
+        1.0 - 1.0 / (resamples as f64 + 1.0),
+    );
+    let z0 = normal_quantile(proportion);
+
+    // Acceleration a via the jackknife.
+    let n = data.len();
+    let mut jack = Vec::with_capacity(n);
+    let mut holdout = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        holdout.clear();
+        holdout.extend(data.iter().take(i).chain(data.iter().skip(i + 1)));
+        jack.push(statistic(&holdout));
+    }
+    let jack_mean = mean(&jack);
+    let num: f64 = jack.iter().map(|j| (jack_mean - j).powi(3)).sum();
+    let den: f64 = jack.iter().map(|j| (jack_mean - j).powi(2)).sum();
+    let a = if den > 0.0 {
+        num / (6.0 * den.powf(1.5))
+    } else {
+        0.0
+    };
+
+    let alpha = (1.0 - confidence) / 2.0;
+    let adjust = |z_alpha: f64| -> f64 {
+        let zz = z0 + z_alpha;
+        normal_cdf(z0 + zz / (1.0 - a * zz))
+    };
+    let a1 = adjust(normal_quantile(alpha));
+    let a2 = adjust(normal_quantile(1.0 - alpha));
+
+    BootstrapInterval {
+        estimate,
+        lower: percentile_of_sorted(&stats, a1),
+        upper: percentile_of_sorted(&stats, a2),
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::median;
+
+    fn sample() -> Vec<f64> {
+        // Mildly skewed deterministic sample.
+        (1..=40).map(|i| (i as f64).sqrt() * 10.0).collect()
+    }
+
+    #[test]
+    fn interval_contains_estimate() {
+        let data = sample();
+        for interval in [
+            percentile_interval(&data, &mean, 0.95, 2000, 7),
+            bca_interval(&data, &mean, 0.95, 2000, 7),
+        ] {
+            assert!(interval.lower <= interval.estimate);
+            assert!(interval.estimate <= interval.upper);
+            assert!(interval.upper - interval.lower > 0.0);
+        }
+    }
+
+    #[test]
+    fn bca_close_to_percentile_for_symmetric_statistic() {
+        let data = sample();
+        let p = percentile_interval(&data, &mean, 0.95, 4000, 11);
+        let b = bca_interval(&data, &mean, 0.95, 4000, 11);
+        let width = p.upper - p.lower;
+        assert!((p.lower - b.lower).abs() < width * 0.5);
+        assert!((p.upper - b.upper).abs() < width * 0.5);
+    }
+
+    #[test]
+    fn works_for_median_statistic() {
+        let data = sample();
+        let b = bca_interval(&data, &median, 0.95, 2000, 3);
+        assert!(b.lower <= b.estimate && b.estimate <= b.upper);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let data = sample();
+        let a = bca_interval(&data, &mean, 0.95, 1000, 42);
+        let b = bca_interval(&data, &mean, 0.95, 1000, 42);
+        assert_eq!(a, b);
+        let c = bca_interval(&data, &mean, 0.95, 1000, 43);
+        assert!(a.lower != c.lower || a.upper != c.upper);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_interval() {
+        let data = sample();
+        let i90 = bca_interval(&data, &mean, 0.90, 3000, 5);
+        let i99 = bca_interval(&data, &mean, 0.99, 3000, 5);
+        assert!(i99.upper - i99.lower > i90.upper - i90.lower);
+    }
+
+    #[test]
+    fn coverage_on_known_population() {
+        // Rough frequentist check: resampling n=30 draws from a grid of a
+        // uniform distribution, the 95% CI for the mean should usually
+        // contain the true mean. We check a handful of deterministic seeds.
+        let population_mean = 0.5;
+        let mut covered = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<f64> = (0..30).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let ci = bca_interval(&data, &mean, 0.95, 500, seed + 1000);
+            if ci.lower <= population_mean && population_mean <= ci.upper {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 17, "only {covered}/{trials} intervals covered");
+    }
+}

@@ -1,0 +1,165 @@
+//! Latin squares and the 6-sequence condition-order design of §6.1.
+//!
+//! The study shows each participant 9 (or 12) questions; the *condition*
+//! (SQL, QV, Both) of each question is determined by the participant's
+//! sequence number S1–S6 — one of the 3! = 6 permutations of the condition
+//! triple, repeated cyclically across question triplets. Sequences are
+//! assigned round-robin so the design stays balanced.
+
+/// Generate all permutations of `0..k` in lexicographic order.
+fn permutations(k: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut items: Vec<usize> = (0..k).collect();
+    fn heap(items: &mut Vec<usize>, n: usize, out: &mut Vec<Vec<usize>>) {
+        if n == 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..n {
+            heap(items, n - 1, out);
+            if n.is_multiple_of(2) {
+                items.swap(i, n - 1);
+            } else {
+                items.swap(0, n - 1);
+            }
+        }
+    }
+    heap(&mut items, k, &mut result);
+    result.sort();
+    result
+}
+
+/// The 6 condition sequences S1–S6: all permutations of (0, 1, 2), in
+/// lexicographic order. Index 0 ↦ S1, …, index 5 ↦ S6.
+pub fn condition_sequences() -> Vec<[usize; 3]> {
+    permutations(3)
+        .into_iter()
+        .map(|p| [p[0], p[1], p[2]])
+        .collect()
+}
+
+/// Assign sequence numbers 0..6 to `n` participants round-robin (§6.1:
+/// "We assigned a sequence number to each participant in a round robin
+/// fashion and ensured a balanced number of participants in each
+/// sequence").
+pub fn assign_sequences(n: usize) -> Vec<usize> {
+    (0..n).map(|i| i % 6).collect()
+}
+
+/// A cyclic k × k Latin square: `square[r][c] = (r + c) mod k`.
+pub fn latin_square(k: usize) -> Vec<Vec<usize>> {
+    (0..k).map(|r| (0..k).map(|c| (r + c) % k).collect()).collect()
+}
+
+/// Check the Latin-square property: every symbol exactly once per row and
+/// per column.
+pub fn is_latin_square(square: &[Vec<usize>]) -> bool {
+    let k = square.len();
+    if square.iter().any(|row| row.len() != k) {
+        return false;
+    }
+    let valid = |values: Vec<usize>| {
+        let mut v = values;
+        v.sort_unstable();
+        v == (0..k).collect::<Vec<_>>()
+    };
+    for row in square {
+        if !valid(row.clone()) {
+            return false;
+        }
+    }
+    for c in 0..k {
+        if !valid(square.iter().map(|row| row[c]).collect()) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The condition shown to a participant with sequence `seq` (0-based) on
+/// question `q` (0-based): the sequence's permutation repeats across
+/// question triplets.
+pub fn condition_for(seq: usize, question: usize) -> usize {
+    condition_sequences()[seq % 6][question % 3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_distinct_sequences() {
+        let seqs = condition_sequences();
+        assert_eq!(seqs.len(), 6);
+        for s in &seqs {
+            let mut sorted = *s;
+            sorted.sort_unstable();
+            assert_eq!(sorted, [0, 1, 2], "each sequence is a permutation");
+        }
+        // All distinct.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_ne!(seqs[i], seqs[j]);
+            }
+        }
+        // S1 = SQL→QV→Both and S2 = SQL→Both→QV under the convention
+        // 0=SQL, 1=QV, 2=Both (§6.1).
+        assert_eq!(seqs[0], [0, 1, 2]);
+        assert_eq!(seqs[1], [0, 2, 1]);
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let assignment = assign_sequences(42);
+        let mut counts = [0usize; 6];
+        for &s in &assignment {
+            counts[s] += 1;
+        }
+        assert_eq!(counts, [7; 6]);
+    }
+
+    #[test]
+    fn each_participant_sees_each_condition_three_times_in_nine() {
+        for seq in 0..6 {
+            let mut counts = [0usize; 3];
+            for q in 0..9 {
+                counts[condition_for(seq, q)] += 1;
+            }
+            assert_eq!(counts, [3, 3, 3], "sequence {seq}");
+        }
+    }
+
+    #[test]
+    fn each_participant_sees_each_condition_four_times_in_twelve() {
+        for seq in 0..6 {
+            let mut counts = [0usize; 3];
+            for q in 0..12 {
+                counts[condition_for(seq, q)] += 1;
+            }
+            assert_eq!(counts, [4, 4, 4], "sequence {seq}");
+        }
+    }
+
+    #[test]
+    fn conditions_balanced_per_question_across_sequences() {
+        // For every question, the 6 sequences cover each condition exactly
+        // twice — the Latin-square counterbalancing property.
+        for q in 0..9 {
+            let mut counts = [0usize; 3];
+            for seq in 0..6 {
+                counts[condition_for(seq, q)] += 1;
+            }
+            assert_eq!(counts, [2, 2, 2], "question {q}");
+        }
+    }
+
+    #[test]
+    fn cyclic_square_is_latin() {
+        for k in [3, 4, 6] {
+            assert!(is_latin_square(&latin_square(k)));
+        }
+        let mut broken = latin_square(3);
+        broken[0][0] = 1;
+        assert!(!is_latin_square(&broken));
+    }
+}

@@ -1,0 +1,46 @@
+//! # queryvis-stats
+//!
+//! The statistics substrate for reproducing the paper's preregistered user
+//! study analysis (§6.2). Everything is implemented from scratch:
+//!
+//! * [`descriptive`] — means, medians, variance, percentiles, and ranks
+//!   with midrank tie handling.
+//! * [`normal`] — the standard normal CDF (erf-based) and quantile
+//!   (Acklam's algorithm).
+//! * [`wilcoxon`] — the one-tailed Wilcoxon signed-rank test used for all
+//!   four within-subject hypotheses (exact null distribution for small
+//!   samples, normal approximation with tie and continuity corrections
+//!   otherwise).
+//! * [`shapiro`] — the Shapiro–Wilk normality test (Royston's AS R94),
+//!   used by the paper to justify non-parametric tests.
+//! * [`bh`] — Benjamini–Hochberg FDR adjustment for the multi-hypothesis
+//!   correction.
+//! * [`bootstrap`] — percentile and bias-corrected & accelerated (BCa)
+//!   bootstrap confidence intervals (Efron), used for the 95 % CIs of
+//!   Fig. 7.
+//! * [`boxcox`] — the Box–Cox transformation family and its profile
+//!   log-likelihood, used to check transformability to normal.
+//! * [`power`] — a-priori power analysis for one-tailed two-sample mean
+//!   comparisons (the n = 84 computation of §6.2).
+//! * [`latin`] — Latin squares and the 6-sequence condition-order design
+//!   of §6.1.
+
+pub mod bh;
+pub mod bootstrap;
+pub mod boxcox;
+pub mod descriptive;
+pub mod latin;
+pub mod normal;
+pub mod power;
+pub mod shapiro;
+pub mod wilcoxon;
+
+pub use bh::benjamini_hochberg;
+pub use bootstrap::{bca_interval, percentile_interval, BootstrapInterval};
+pub use boxcox::{boxcox_lambda, boxcox_transform};
+pub use descriptive::{mean, median, percentile, ranks, std_dev, variance};
+pub use latin::{assign_sequences, condition_sequences, is_latin_square, latin_square};
+pub use normal::{normal_cdf, normal_quantile};
+pub use power::{required_n_one_tailed, round_up_to_multiple};
+pub use shapiro::shapiro_wilk;
+pub use wilcoxon::{wilcoxon_signed_rank_less, WilcoxonResult};

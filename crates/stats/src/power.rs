@@ -1,0 +1,73 @@
+//! A-priori power analysis for one-tailed two-sample mean comparisons.
+//!
+//! §6.2: "Our power analysis assumes comparing two-sample means with a
+//! one-tailed test given parameters of α = 5% and 1−β = 90%"; on the pilot
+//! data "the estimated sample size required to achieve the desired power
+//! was n = 84, rounded up to the nearest multiple of six to ensure an even
+//! split of participants across sequences."
+
+use crate::normal::normal_quantile;
+
+/// Required sample size **per group** for a one-tailed two-sample z-test
+/// to detect a mean difference of `delta` at significance `alpha` with
+/// power `power`, given a common standard deviation `sd`:
+///
+/// `n = 2 · ((z₁₋α + z₁₋β) · σ / δ)²`, rounded up.
+pub fn required_n_one_tailed(delta: f64, sd: f64, alpha: f64, power: f64) -> usize {
+    assert!(delta > 0.0, "effect size must be positive");
+    assert!(sd > 0.0, "standard deviation must be positive");
+    let z_alpha = normal_quantile(1.0 - alpha);
+    let z_beta = normal_quantile(power);
+    let n = 2.0 * ((z_alpha + z_beta) * sd / delta).powi(2);
+    n.ceil() as usize
+}
+
+/// Round `n` up to the nearest multiple of `m` (the paper uses m = 6 so
+/// participants split evenly across the six Latin-square sequences).
+pub fn round_up_to_multiple(n: usize, m: usize) -> usize {
+    assert!(m > 0);
+    n.div_ceil(m) * m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_reference_value() {
+        // Classic reference: α=0.05 one-tailed, power 0.80, d = δ/σ = 0.5
+        // → n per group ≈ 2(1.645+0.8416)²/0.25 ≈ 50.
+        let n = required_n_one_tailed(0.5, 1.0, 0.05, 0.80);
+        assert!((49..=51).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn paper_parameters_alpha5_power90() {
+        // With α=5%, 1−β=90%: 2(1.645+1.282)² ≈ 17.1, so d=0.64 gives ~42
+        // per group → 84 total, the paper's number.
+        let per_group = required_n_one_tailed(0.6402, 1.0, 0.05, 0.90);
+        assert_eq!(round_up_to_multiple(per_group * 2, 6), 84);
+    }
+
+    #[test]
+    fn smaller_effect_needs_more_samples() {
+        let big = required_n_one_tailed(1.0, 1.0, 0.05, 0.9);
+        let small = required_n_one_tailed(0.2, 1.0, 0.05, 0.9);
+        assert!(small > big * 20);
+    }
+
+    #[test]
+    fn more_power_needs_more_samples() {
+        let p80 = required_n_one_tailed(0.5, 1.0, 0.05, 0.80);
+        let p95 = required_n_one_tailed(0.5, 1.0, 0.05, 0.95);
+        assert!(p95 > p80);
+    }
+
+    #[test]
+    fn rounding_to_multiples() {
+        assert_eq!(round_up_to_multiple(84, 6), 84);
+        assert_eq!(round_up_to_multiple(83, 6), 84);
+        assert_eq!(round_up_to_multiple(1, 6), 6);
+        assert_eq!(round_up_to_multiple(0, 6), 0);
+    }
+}

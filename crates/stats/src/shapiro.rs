@@ -1,0 +1,171 @@
+//! Shapiro–Wilk normality test, Royston's AS R94 approximation.
+//!
+//! The paper uses Shapiro–Wilk (α = 5 %) on each condition's distribution
+//! to decide between parametric and non-parametric tests (§6.2); the data
+//! fail the test, motivating the Wilcoxon signed-rank analysis.
+//!
+//! This implementation follows Royston (1995), "Remark AS R94", valid for
+//! 3 ≤ n ≤ 5000.
+
+use crate::normal::{normal_cdf, normal_quantile};
+
+/// Result of the Shapiro–Wilk test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapiroResult {
+    /// The W statistic in (0, 1]; values near 1 indicate normality.
+    pub w: f64,
+    /// p-value for the null hypothesis of normality.
+    pub p_value: f64,
+}
+
+/// Run the Shapiro–Wilk test. Requires 3 ≤ n ≤ 5000 and non-constant data;
+/// returns `None` otherwise.
+pub fn shapiro_wilk(data: &[f64]) -> Option<ShapiroResult> {
+    let n = data.len();
+    if !(3..=5000).contains(&n) {
+        return None;
+    }
+    let mut x = data.to_vec();
+    x.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let range = x[n - 1] - x[0];
+    if range <= 0.0 {
+        return None; // constant sample
+    }
+
+    // Expected order statistics of the standard normal (Blom approximation).
+    let m: Vec<f64> = (1..=n)
+        .map(|i| normal_quantile((i as f64 - 0.375) / (n as f64 + 0.25)))
+        .collect();
+    let ssq_m: f64 = m.iter().map(|v| v * v).sum();
+    let rsn = 1.0 / (n as f64).sqrt();
+
+    // Weights a_i (Royston's polynomial corrections to c = m/√(mᵀm)).
+    let mut a = vec![0.0_f64; n];
+    if n == 3 {
+        a[0] = -std::f64::consts::FRAC_1_SQRT_2;
+        a[2] = std::f64::consts::FRAC_1_SQRT_2;
+    } else {
+        let c_n = m[n - 1] / ssq_m.sqrt();
+        let a_n = -2.706056 * rsn.powi(5) + 4.434685 * rsn.powi(4) - 2.071190 * rsn.powi(3)
+            - 0.147981 * rsn.powi(2)
+            + 0.221157 * rsn
+            + c_n;
+        if n <= 5 {
+            let phi = (ssq_m - 2.0 * m[n - 1].powi(2)) / (1.0 - 2.0 * a_n.powi(2));
+            a[n - 1] = a_n;
+            a[0] = -a_n;
+            for i in 1..n - 1 {
+                a[i] = m[i] / phi.sqrt();
+            }
+        } else {
+            let c_n1 = m[n - 2] / ssq_m.sqrt();
+            let a_n1 = -3.582633 * rsn.powi(5) + 5.682633 * rsn.powi(4)
+                - 1.752461 * rsn.powi(3)
+                - 0.293762 * rsn.powi(2)
+                + 0.042981 * rsn
+                + c_n1;
+            let phi = (ssq_m - 2.0 * m[n - 1].powi(2) - 2.0 * m[n - 2].powi(2))
+                / (1.0 - 2.0 * a_n.powi(2) - 2.0 * a_n1.powi(2));
+            a[n - 1] = a_n;
+            a[n - 2] = a_n1;
+            a[0] = -a_n;
+            a[1] = -a_n1;
+            for i in 2..n - 2 {
+                a[i] = m[i] / phi.sqrt();
+            }
+        }
+    }
+
+    // W statistic.
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let numerator: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>().powi(2);
+    let denominator: f64 = x.iter().map(|xi| (xi - mean).powi(2)).sum();
+    let w = (numerator / denominator).min(1.0);
+
+    // p-value (Royston's normalizing transformations).
+    let p_value = if n == 3 {
+        let p = 6.0 / std::f64::consts::PI
+            * ((w.sqrt()).asin() - (0.75_f64).sqrt().asin());
+        p.clamp(0.0, 1.0)
+    } else if n <= 11 {
+        let nf = n as f64;
+        let g = -2.273 + 0.459 * nf;
+        let mu = 0.5440 - 0.39978 * nf + 0.025054 * nf * nf - 0.0006714 * nf.powi(3);
+        let sigma = (1.3822 - 0.77857 * nf + 0.062767 * nf * nf - 0.0020322 * nf.powi(3)).exp();
+        let arg = g - (1.0 - w).ln();
+        if arg <= 0.0 {
+            return Some(ShapiroResult { w, p_value: 0.0 });
+        }
+        let z = (-(arg.ln()) - mu) / sigma;
+        1.0 - normal_cdf(z)
+    } else {
+        let ln_n = (n as f64).ln();
+        let mu = 0.0038915 * ln_n.powi(3) - 0.083751 * ln_n.powi(2) - 0.31082 * ln_n - 1.5861;
+        let sigma = (0.0030302 * ln_n.powi(2) - 0.082676 * ln_n - 0.4803).exp();
+        let z = ((1.0 - w).ln() - mu) / sigma;
+        1.0 - normal_cdf(z)
+    };
+
+    Some(ShapiroResult { w, p_value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic approximately-normal sample via the probit transform.
+    fn normal_sample(n: usize) -> Vec<f64> {
+        (1..=n)
+            .map(|i| normal_quantile(i as f64 / (n as f64 + 1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn normal_data_passes() {
+        let r = shapiro_wilk(&normal_sample(50)).unwrap();
+        assert!(r.w > 0.97, "W = {}", r.w);
+        assert!(r.p_value > 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exponential_data_fails() {
+        // Heavily skewed data (like response times) must be rejected.
+        let data: Vec<f64> = (1..=50)
+            .map(|i| -((1.0 - i as f64 / 51.0).ln()))
+            .collect();
+        let r = shapiro_wilk(&data).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn lognormal_data_fails() {
+        let data: Vec<f64> = normal_sample(42).iter().map(|z| z.exp()).collect();
+        let r = shapiro_wilk(&data).unwrap();
+        assert!(r.p_value < 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn reference_value_small_sample() {
+        // R: shapiro.test(c(148, 154, 158, 160, 161, 162, 166, 170, 182, 195,
+        //    236)) → W = 0.79, p = 0.0073 (a classic skewed example).
+        let data = [
+            148.0, 154.0, 158.0, 160.0, 161.0, 162.0, 166.0, 170.0, 182.0, 195.0, 236.0,
+        ];
+        let r = shapiro_wilk(&data).unwrap();
+        assert!((r.w - 0.79).abs() < 0.02, "W = {}", r.w);
+        assert!(r.p_value < 0.02, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(shapiro_wilk(&[1.0, 2.0]).is_none());
+        assert!(shapiro_wilk(&[5.0; 10]).is_none());
+    }
+
+    #[test]
+    fn n3_uses_closed_form() {
+        let r = shapiro_wilk(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(r.w > 0.99);
+        assert!(r.p_value > 0.9);
+    }
+}

@@ -1,0 +1,234 @@
+//! One-tailed Wilcoxon signed-rank test (paired samples).
+//!
+//! The paper's preregistered analysis tests, within subjects, whether e.g.
+//! `time_QV < time_SQL` — a one-tailed signed-rank test on the paired
+//! differences. Following standard practice (and R's `wilcox.test`):
+//!
+//! * zero differences are dropped;
+//! * absolute differences are ranked with midranks for ties;
+//! * for small samples without ties the **exact** null distribution of the
+//!   positive-rank sum `W⁺` is enumerated by dynamic programming;
+//! * otherwise the **normal approximation** with tie correction and a
+//!   continuity correction is used.
+
+use crate::descriptive::ranks;
+use crate::normal::normal_cdf;
+
+/// Result of a one-tailed signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilcoxonResult {
+    /// Sum of the ranks of positive differences.
+    pub w_plus: f64,
+    /// Effective sample size after dropping zero differences.
+    pub n: usize,
+    /// One-tailed p-value for the alternative "differences are negative".
+    pub p_value: f64,
+    /// True if the exact null distribution was used.
+    pub exact: bool,
+}
+
+/// Test the alternative hypothesis that the paired differences `x − y` are
+/// stochastically **negative** (i.e. `x < y`), one-tailed.
+///
+/// `x` and `y` must have equal length. Returns `None` when every difference
+/// is zero (the test is undefined).
+pub fn wilcoxon_signed_rank_less(x: &[f64], y: &[f64]) -> Option<WilcoxonResult> {
+    assert_eq!(x.len(), y.len(), "paired samples must have equal length");
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    if diffs.is_empty() {
+        return None;
+    }
+    let n = diffs.len();
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let rank_values = ranks(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&rank_values)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| *r)
+        .sum();
+
+    let has_ties = {
+        let mut sorted = abs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.windows(2).any(|w| w[0] == w[1])
+    };
+
+    // Exact distribution is cheap up to n ≈ 30 (DP table n × n(n+1)/2).
+    let (p_value, exact) = if n <= 30 && !has_ties {
+        (exact_p_leq(n, w_plus), true)
+    } else {
+        (normal_p_leq(&rank_values, &diffs, w_plus), false)
+    };
+    Some(WilcoxonResult {
+        w_plus,
+        n,
+        p_value,
+        exact,
+    })
+}
+
+/// Exact P(W⁺ ≤ w) under H0 for untied ranks 1..=n.
+fn exact_p_leq(n: usize, w: f64) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[s] = number of sign assignments with positive-rank sum s.
+    let mut counts = vec![0.0_f64; max_sum + 1];
+    counts[0] = 1.0;
+    for rank in 1..=n {
+        for s in (rank..=max_sum).rev() {
+            counts[s] += counts[s - rank];
+        }
+    }
+    let total = 2.0_f64.powi(n as i32);
+    let w_floor = w.floor() as usize;
+    let cum: f64 = counts[..=w_floor.min(max_sum)].iter().sum();
+    cum / total
+}
+
+/// Normal approximation of P(W⁺ ≤ w) with tie and continuity corrections.
+fn normal_p_leq(rank_values: &[f64], diffs: &[f64], w: f64) -> f64 {
+    let n = diffs.len() as f64;
+    let mean = n * (n + 1.0) / 4.0;
+    // Tie correction: group identical |d| values.
+    let mut abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    abs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut tie_term = 0.0;
+    let mut i = 0;
+    while i < abs.len() {
+        let mut j = i;
+        while j + 1 < abs.len() && abs[j + 1] == abs[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t.powi(3) - t;
+        i = j + 1;
+    }
+    let var = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie_term / 48.0;
+    let _ = rank_values;
+    if var <= 0.0 {
+        return 1.0;
+    }
+    let z = (w - mean + 0.5) / var.sqrt();
+    normal_cdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_negative_differences_give_small_p() {
+        let x = [1.0, 2.0, 1.5, 0.5, 1.2, 0.8, 1.9, 0.1, 1.3, 0.6];
+        // Distinct negative shifts so |differences| carry no ties and the
+        // exact null distribution applies.
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + 5.0 + i as f64 * 0.1)
+            .collect();
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert_eq!(r.w_plus, 0.0);
+        assert!(r.exact);
+        // P(W+ <= 0) = 1/2^10.
+        assert!((r.p_value - 1.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_positive_differences_give_large_p() {
+        let y = [1.0, 2.0, 1.5, 0.5, 1.2];
+        let x: Vec<f64> = y.iter().map(|v| v + 5.0).collect();
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert!(r.p_value > 0.95);
+    }
+
+    #[test]
+    fn symmetric_differences_give_midrange_p() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 1.0, 4.0, 3.0];
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert!(r.p_value > 0.3 && r.p_value < 0.8, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn exact_matches_r_reference() {
+        // R: wilcox.test(c(1,3,2,4,2), c(3,4,5,9,2.5), paired=TRUE,
+        //    alternative="less") → V = 0, p = 0.03125 (2^-5).
+        let x = [1.0, 3.0, 2.0, 4.0, 2.0];
+        let y = [3.0, 4.0, 5.0, 9.0, 2.5];
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert_eq!(r.w_plus, 0.0);
+        assert!((r.p_value - 0.03125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_reference_nonzero_wplus() {
+        // Differences: -2, -1, +3 → |d| ranks: 2, 1, 3; W+ = 3.
+        // Exact: P(W+ <= 3) with n=3: sums {0..6}; counts: 0:1,1:1,2:1,3:2,...
+        // P = (1+1+1+2)/8 = 5/8.
+        let x = [1.0, 2.0, 6.0];
+        let y = [3.0, 3.0, 3.0];
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert_eq!(r.w_plus, 3.0);
+        assert!((r.p_value - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeros_are_dropped() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, 2.0, 5.0, 6.0];
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert_eq!(r.n, 2);
+    }
+
+    #[test]
+    fn all_zeros_is_none() {
+        assert!(wilcoxon_signed_rank_less(&[1.0, 2.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ties_fall_back_to_normal_approximation() {
+        let x = [1.0, 1.0, 1.0, 1.0, 5.0, 5.0];
+        let y = [2.0, 2.0, 2.0, 2.0, 4.0, 4.0];
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert!(!r.exact);
+        assert!(r.p_value > 0.0 && r.p_value < 1.0);
+    }
+
+    #[test]
+    fn large_sample_normal_approx_close_to_exact() {
+        // Compare the two computations on an untied n = 20 sample.
+        let x: Vec<f64> = (0..20).map(|i| i as f64 * 1.01).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| i as f64 * 1.01 + if i % 3 == 0 { 2.0 } else { -1.0 } + i as f64 * 0.001)
+            .collect();
+        let r = wilcoxon_signed_rank_less(&x, &y).unwrap();
+        assert!(r.exact);
+        let approx = normal_p_leq(
+            &ranks(
+                &x.iter()
+                    .zip(&y)
+                    .map(|(a, b)| (a - b).abs())
+                    .collect::<Vec<_>>(),
+            ),
+            &x.iter().zip(&y).map(|(a, b)| a - b).collect::<Vec<_>>(),
+            r.w_plus,
+        );
+        assert!(
+            (r.p_value - approx).abs() < 0.02,
+            "exact {} vs approx {approx}",
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn exact_distribution_total_mass() {
+        // Sanity: P(W+ <= max) = 1 and P(W+ <= 0) = 2^-n.
+        assert!((exact_p_leq(10, 55.0) - 1.0).abs() < 1e-12);
+        assert!((exact_p_leq(10, 0.0) - 1.0 / 1024.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Participant exclusion (Appendix C.4, Fig. 18).
+//!
+//! The paper excluded 38 of 80 workers: a 30-seconds-per-question mean
+//! cutoff caught most, and "upon further examination we also identified 4
+//! more participants ... (2 speeders and 2 cheaters)" whose mean time
+//! exceeded the cutoff. We implement both the cutoff and the "further
+//! examination" as an explicit second rule: a participant with five or
+//! more sub-12-second answers rushed at least a third of the test, which
+//! no legitimate reading process produces.
+
+use crate::model::ParticipantKind;
+use crate::population::StudyData;
+
+/// Mean-time-per-question cutoff in seconds (Appendix C.4).
+pub const MEAN_TIME_CUTOFF: f64 = 30.0;
+/// Second rule: this many answers under [`FAST_ANSWER_SECS`] marks a
+/// participant as illegitimate even above the mean cutoff.
+pub const FAST_ANSWER_COUNT: usize = 5;
+pub const FAST_ANSWER_SECS: f64 = 12.0;
+
+/// The verdict for one participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantClass {
+    Legitimate,
+    /// Mean time per question below the 30 s cutoff.
+    ExcludedByCutoff,
+    /// Escaped the cutoff but flagged by the fast-answer rule.
+    ExcludedManually,
+}
+
+/// Classify every participant of a study.
+pub fn classify_participants(data: &StudyData) -> Vec<(usize, ParticipantClass)> {
+    data.participants
+        .iter()
+        .map(|p| {
+            let records = data.records_of(p.id);
+            let mean_time = data.mean_time_of(p.id);
+            let class = if mean_time < MEAN_TIME_CUTOFF {
+                ParticipantClass::ExcludedByCutoff
+            } else {
+                let fast = records
+                    .iter()
+                    .filter(|r| r.time_secs < FAST_ANSWER_SECS)
+                    .count();
+                if fast >= FAST_ANSWER_COUNT {
+                    ParticipantClass::ExcludedManually
+                } else {
+                    ParticipantClass::Legitimate
+                }
+            };
+            (p.id, class)
+        })
+        .collect()
+}
+
+/// Ids of the participants that survive exclusion.
+pub fn legitimate_ids(data: &StudyData) -> Vec<usize> {
+    classify_participants(data)
+        .into_iter()
+        .filter(|(_, c)| *c == ParticipantClass::Legitimate)
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// One point of the Fig. 18 scatter plot.
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterPoint {
+    pub participant: usize,
+    pub mean_time: f64,
+    pub mistakes: usize,
+    pub class: ParticipantClass,
+    pub true_kind: ParticipantKind,
+}
+
+/// The Fig. 18 scatter data: mean time per question vs mistakes for all
+/// 80 participants, with classification and ground truth.
+pub fn scatter_points(data: &StudyData) -> Vec<ScatterPoint> {
+    let classes = classify_participants(data);
+    data.participants
+        .iter()
+        .zip(classes)
+        .map(|(p, (id, class))| {
+            debug_assert_eq!(p.id, id);
+            ScatterPoint {
+                participant: p.id,
+                mean_time: data.mean_time_of(p.id),
+                mistakes: data.mistakes_of(p.id),
+                class,
+                true_kind: p.kind,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::simulate_study;
+
+    #[test]
+    fn exclusion_recovers_the_paper_funnel() {
+        let data = simulate_study(42);
+        let classes = classify_participants(&data);
+        let count = |c: ParticipantClass| classes.iter().filter(|(_, x)| *x == c).count();
+        assert_eq!(count(ParticipantClass::Legitimate), 42);
+        assert_eq!(count(ParticipantClass::ExcludedByCutoff), 34);
+        assert_eq!(count(ParticipantClass::ExcludedManually), 4);
+    }
+
+    #[test]
+    fn classification_matches_ground_truth() {
+        let data = simulate_study(1234);
+        for point in scatter_points(&data) {
+            let should_be_legit = point.true_kind == ParticipantKind::Legitimate;
+            let classified_legit = point.class == ParticipantClass::Legitimate;
+            assert_eq!(
+                should_be_legit, classified_legit,
+                "participant {} ({:?}) classified {:?}",
+                point.participant, point.true_kind, point.class
+            );
+        }
+    }
+
+    #[test]
+    fn manual_exclusions_are_the_special_kinds() {
+        let data = simulate_study(42);
+        for point in scatter_points(&data) {
+            if point.class == ParticipantClass::ExcludedManually {
+                assert!(
+                    matches!(
+                        point.true_kind,
+                        ParticipantKind::GiveUpSpeeder | ParticipantKind::LateCheater
+                    ),
+                    "{:?}",
+                    point.true_kind
+                );
+                // These escape the mean cutoff by construction.
+                assert!(point.mean_time >= MEAN_TIME_CUTOFF);
+            }
+        }
+    }
+
+    #[test]
+    fn cheaters_cluster_bottom_left() {
+        // Fig. 18: cheaters = low time, low mistakes; speeders = low time,
+        // many mistakes.
+        let data = simulate_study(42);
+        for point in scatter_points(&data) {
+            match point.true_kind {
+                ParticipantKind::Cheater => {
+                    assert!(point.mean_time < 30.0);
+                    assert!(point.mistakes <= 3, "mistakes {}", point.mistakes);
+                }
+                ParticipantKind::Speeder => {
+                    assert!(point.mean_time < 30.0);
+                    assert!(point.mistakes >= 4, "mistakes {}", point.mistakes);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn stable_across_seeds() {
+        // The funnel (42/34/4) is deterministic by construction for any
+        // seed because the archetypes' time ranges never straddle the
+        // rules.
+        for seed in [0, 1, 99, 2020] {
+            let data = simulate_study(seed);
+            let legit = legitimate_ids(&data);
+            assert_eq!(legit.len(), 42, "seed {seed}");
+        }
+    }
+}

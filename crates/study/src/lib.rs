@@ -1,0 +1,40 @@
+//! # queryvis-study
+//!
+//! A generative simulation of the paper's user study (§6, Appendix C) and
+//! its complete preregistered analysis pipeline.
+//!
+//! The paper measured 42 legitimate Amazon Mechanical Turk workers (of 80
+//! starting participants) answering 12 multiple-choice interpretation
+//! questions under three conditions — SQL text only (`SQL`), diagram only
+//! (`QV`), or both (`Both`) — in a Latin-square within-subjects design.
+//! Humans are not available to this reproduction, so (per the substitution
+//! contract in `DESIGN.md`) participants are **simulated**: reading time
+//! and error probability are driven by the *measured complexity of the
+//! actual stimuli* (word counts of the real study SQL; visual-element
+//! counts of the real generated diagrams), with per-participant random
+//! effects, heavy-tailed noise, and injected speeders/cheaters matching
+//! the exclusion funnel of Fig. 18.
+//!
+//! Modules:
+//! * [`stimulus`] — per-question complexity measures from the corpus.
+//! * [`model`] — the participant response model (time + error).
+//! * [`population`] — the 80-worker population and the n = 12 pilot.
+//! * [`exclusion`] — the 30-second rule and manual speeder/cheater flags.
+//! * [`analysis`] — per-participant aggregation, one-tailed Wilcoxon
+//!   tests, Benjamini–Hochberg adjustment, BCa CIs, and the per-
+//!   participant difference summaries of Figs. 20/21.
+
+pub mod analysis;
+pub mod exclusion;
+pub mod model;
+pub mod population;
+pub mod stimulus;
+
+pub use analysis::{analyze, AnalysisScope, ConditionSummary, StudyAnalysis};
+pub use exclusion::{classify_participants, ParticipantClass};
+pub use model::{Condition, ModelParameters, Participant, ParticipantKind, ResponseRecord};
+pub use population::{
+    pilot_power_estimate, simulate_pilot, simulate_qualification, simulate_study,
+    simulate_study_with, PowerEstimate, QualificationFunnel, StudyData,
+};
+pub use stimulus::{stimulus_complexities, StimulusComplexity};

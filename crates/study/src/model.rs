@@ -1,0 +1,337 @@
+//! The simulated-participant response model.
+//!
+//! ## Time model (per question)
+//!
+//! A response time is `(decision + choices + reading) · speedᵖ · noise`:
+//!
+//! * `decision` — fixed overhead for committing to an answer;
+//! * `choices` — reading the four answer choices (identical across
+//!   conditions, proportional to their word count);
+//! * `reading` — the condition-dependent stimulus reading time:
+//!   - `SQL`: seconds-per-word × the real SQL word count,
+//!   - `QV`: seconds-per-element × the real diagram element count,
+//!   - `Both`: mostly the (familiar) SQL reading plus a fraction of the
+//!     diagram — participants cross-check, which is why the paper finds
+//!     `Both` takes the same time as `SQL` (−1 %) yet makes fewer errors;
+//! * `speedᵖ` — a per-participant log-normal speed multiplier;
+//! * `noise` — per-response log-normal noise.
+//!
+//! ## Error model
+//!
+//! The probability of picking a wrong interpretation is a logistic
+//! function of the *semantic* reading load (the stimulus reading time
+//! above, without overheads) plus a per-participant skill effect. In the
+//! `Both` condition the load is the minimum of the two stimuli (the
+//! reader can verify against whichever is clearer) with a small
+//! cross-checking penalty.
+//!
+//! Only two families of constants are calibrated to the paper: the global
+//! time scale (so medians land near AMT-realistic values) and the error
+//! base rate; the *relative* condition effects emerge from the measured
+//! complexities of the real stimuli.
+
+use crate::stimulus::StimulusComplexity;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The three presentation conditions of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Condition {
+    Sql,
+    Qv,
+    Both,
+}
+
+impl Condition {
+    pub const ALL: [Condition; 3] = [Condition::Sql, Condition::Qv, Condition::Both];
+
+    /// Condition index used by the Latin-square sequences (0 = SQL).
+    pub fn index(self) -> usize {
+        match self {
+            Condition::Sql => 0,
+            Condition::Qv => 1,
+            Condition::Both => 2,
+        }
+    }
+
+    pub fn from_index(i: usize) -> Condition {
+        Condition::ALL[i]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Condition::Sql => "SQL",
+            Condition::Qv => "QV",
+            Condition::Both => "Both",
+        }
+    }
+}
+
+/// Ground-truth participant archetypes (Fig. 18 / Appendix C.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParticipantKind {
+    /// Honest worker following the model above.
+    Legitimate,
+    /// Answers near-randomly and very fast (caught by the 30 s rule).
+    Speeder,
+    /// Has the answers; very fast and near-perfect (caught by the rule).
+    Cheater,
+    /// Starts legitimate, then speeds through the second half ("gave up
+    /// mid-test") — escapes the mean cutoff, caught manually.
+    GiveUpSpeeder,
+    /// One long stall then fast near-perfect answers — escapes the mean
+    /// cutoff, caught manually.
+    LateCheater,
+}
+
+/// One simulated worker.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    pub id: usize,
+    pub kind: ParticipantKind,
+    /// Latin-square sequence number 0..6 (S1–S6).
+    pub sequence: usize,
+    /// Log-normal speed multiplier (1.0 = average reader).
+    pub speed: f64,
+    /// Skill offset on the error logit (positive = fewer errors).
+    pub skill: f64,
+}
+
+/// One (participant × question) observation — the raw unit of analysis.
+#[derive(Debug, Clone)]
+pub struct ResponseRecord {
+    pub participant: usize,
+    pub question_number: usize,
+    pub question_id: &'static str,
+    pub condition: Condition,
+    pub time_secs: f64,
+    pub correct: bool,
+    /// True for the 9 non-grouping questions of the main analysis.
+    pub in_core_nine: bool,
+}
+
+/// Calibration constants of the response model.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParameters {
+    /// SQL reading rate (seconds per word of query text).
+    pub seconds_per_word: f64,
+    /// Diagram reading rate (seconds per visual element).
+    pub seconds_per_element: f64,
+    /// Answer-choice reading rate (seconds per word, all conditions).
+    pub choice_seconds_per_word: f64,
+    /// Fixed per-question decision overhead in seconds.
+    pub decision_overhead: f64,
+    /// Weight of the SQL reading time in the `Both` condition.
+    pub both_sql_weight: f64,
+    /// Weight of the diagram reading time in the `Both` condition.
+    pub both_qv_weight: f64,
+    /// Error-logit intercept.
+    pub error_intercept: f64,
+    /// Error-logit slope per minute of semantic reading load.
+    pub error_slope: f64,
+    /// Cross-checking penalty on the `Both` error load (× min load).
+    pub both_error_factor: f64,
+    /// σ of the log-normal per-participant speed effect.
+    pub participant_speed_sigma: f64,
+    /// σ of the per-participant skill effect on the error logit.
+    pub participant_skill_sigma: f64,
+    /// σ of the per-response log-normal noise.
+    pub noise_sigma: f64,
+}
+
+impl Default for ModelParameters {
+    fn default() -> Self {
+        ModelParameters {
+            seconds_per_word: 1.15,
+            seconds_per_element: 1.20,
+            choice_seconds_per_word: 0.45,
+            decision_overhead: 12.0,
+            both_sql_weight: 0.88,
+            both_qv_weight: 0.15,
+            error_intercept: -1.60,
+            error_slope: 1.10,
+            both_error_factor: 1.12,
+            participant_speed_sigma: 0.20,
+            participant_skill_sigma: 0.50,
+            noise_sigma: 0.30,
+        }
+    }
+}
+
+/// Draw a standard normal via Box–Muller (keeps the dependency set to the
+/// plain `rand` crate).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl ModelParameters {
+    /// The condition-dependent stimulus reading time in seconds (without
+    /// overheads) — the "semantic load" driving both time and error.
+    pub fn reading_seconds(&self, stimulus: &StimulusComplexity, condition: Condition) -> f64 {
+        let sql = self.seconds_per_word * stimulus.sql_words as f64;
+        let qv = self.seconds_per_element * stimulus.diagram_elements as f64;
+        match condition {
+            Condition::Sql => sql,
+            Condition::Qv => qv,
+            Condition::Both => self.both_sql_weight * sql + self.both_qv_weight * qv,
+        }
+    }
+
+    /// The load entering the error model (see module docs).
+    pub fn error_load_seconds(&self, stimulus: &StimulusComplexity, condition: Condition) -> f64 {
+        let sql = self.seconds_per_word * stimulus.sql_words as f64;
+        let qv = self.seconds_per_element * stimulus.diagram_elements as f64;
+        match condition {
+            Condition::Sql => sql,
+            Condition::Qv => qv,
+            Condition::Both => self.both_error_factor * sql.min(qv),
+        }
+    }
+
+    /// Expected (noise-free, average-participant) response time.
+    pub fn expected_time(&self, stimulus: &StimulusComplexity, condition: Condition) -> f64 {
+        self.decision_overhead
+            + self.choice_seconds_per_word * stimulus.choice_words as f64
+            + self.reading_seconds(stimulus, condition)
+    }
+
+    /// Error probability for an average participant.
+    pub fn error_probability(&self, stimulus: &StimulusComplexity, condition: Condition) -> f64 {
+        logistic(
+            self.error_intercept
+                + self.error_slope * self.error_load_seconds(stimulus, condition) / 60.0,
+        )
+    }
+}
+
+/// Simulate one legitimate response: `(time in seconds, correct?)`.
+pub fn respond(
+    participant: &Participant,
+    stimulus: &StimulusComplexity,
+    condition: Condition,
+    params: &ModelParameters,
+    rng: &mut StdRng,
+) -> (f64, bool) {
+    let base = params.expected_time(stimulus, condition);
+    let noise = (params.noise_sigma * standard_normal(rng)).exp();
+    let time = base * participant.speed * noise;
+    let logit = params.error_intercept
+        + params.error_slope * params.error_load_seconds(stimulus, condition) / 60.0
+        - participant.skill;
+    let error = rng.gen_range(0.0..1.0) < logistic(logit);
+    (time, !error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::stimulus_complexities;
+    use rand::SeedableRng;
+
+    fn mean_over_stimuli(f: impl Fn(&StimulusComplexity) -> f64) -> f64 {
+        let stimuli = stimulus_complexities();
+        stimuli.iter().map(&f).sum::<f64>() / stimuli.len() as f64
+    }
+
+    #[test]
+    fn expected_qv_time_is_meaningfully_below_sql() {
+        let p = ModelParameters::default();
+        let sql = mean_over_stimuli(|s| p.expected_time(s, Condition::Sql));
+        let qv = mean_over_stimuli(|s| p.expected_time(s, Condition::Qv));
+        let ratio = qv / sql;
+        // The paper finds −20 %; the emergent ratio from the measured
+        // stimuli should land in that neighbourhood.
+        assert!(
+            (0.70..=0.90).contains(&ratio),
+            "QV/SQL expected-time ratio = {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn expected_both_time_is_close_to_sql() {
+        let p = ModelParameters::default();
+        let sql = mean_over_stimuli(|s| p.expected_time(s, Condition::Sql));
+        let both = mean_over_stimuli(|s| p.expected_time(s, Condition::Both));
+        let ratio = both / sql;
+        assert!(
+            (0.93..=1.05).contains(&ratio),
+            "Both/SQL expected-time ratio = {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn error_probabilities_ordered_qv_lt_both_lt_sql() {
+        let p = ModelParameters::default();
+        let sql = mean_over_stimuli(|s| p.error_probability(s, Condition::Sql));
+        let qv = mean_over_stimuli(|s| p.error_probability(s, Condition::Qv));
+        let both = mean_over_stimuli(|s| p.error_probability(s, Condition::Both));
+        assert!(
+            qv < both && both < sql,
+            "qv={qv:.3} both={both:.3} sql={sql:.3}"
+        );
+        // Rough magnitudes from Fig. 7: QV ≈ −21 %, Both ≈ −17 %.
+        assert!((0.70..0.92).contains(&(qv / sql)), "qv/sql = {:.3}", qv / sql);
+        assert!(
+            (0.74..0.95).contains(&(both / sql)),
+            "both/sql = {:.3}",
+            both / sql
+        );
+    }
+
+    #[test]
+    fn respond_is_deterministic_per_seed() {
+        let p = ModelParameters::default();
+        let stimuli = stimulus_complexities();
+        let participant = Participant {
+            id: 0,
+            kind: ParticipantKind::Legitimate,
+            sequence: 0,
+            speed: 1.0,
+            skill: 0.0,
+        };
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(
+            respond(&participant, &stimuli[0], Condition::Qv, &p, &mut a),
+            respond(&participant, &stimuli[0], Condition::Qv, &p, &mut b),
+        );
+    }
+
+    #[test]
+    fn faster_participants_answer_faster() {
+        let p = ModelParameters::default();
+        let stimuli = stimulus_complexities();
+        let mk = |speed: f64| Participant {
+            id: 0,
+            kind: ParticipantKind::Legitimate,
+            sequence: 0,
+            speed,
+            skill: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut slow_total = 0.0;
+        let mut fast_total = 0.0;
+        for s in &stimuli {
+            slow_total += respond(&mk(1.4), s, Condition::Sql, &p, &mut rng).0;
+            fast_total += respond(&mk(0.7), s, Condition::Sql, &p, &mut rng).0;
+        }
+        assert!(fast_total < slow_total);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Render the full study gallery: all 12 study questions and all 6
+//! qualification questions of Appendices D/F as SVG diagrams over the
+//! Chinook schema — the stimuli a participant in the QV condition saw.
+//!
+//! Run with: `cargo run --example chinook_gallery [output-dir]`
+
+use queryvis::corpus::{chinook_schema, qualification_questions, study_questions};
+use queryvis::QueryVis;
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("queryvis_gallery"));
+    std::fs::create_dir_all(&out_dir).unwrap();
+
+    let schema = chinook_schema();
+    let mut written = 0;
+    for q in study_questions() {
+        let qv = QueryVis::with_schema(q.sql, &schema).unwrap();
+        let path = out_dir.join(format!("study_{}.svg", q.id.to_lowercase()));
+        std::fs::write(&path, qv.svg()).unwrap();
+        println!(
+            "{:>4} ({:?}/{:?}): {} visual elements -> {}",
+            q.id,
+            q.category,
+            q.complexity,
+            qv.stats().visual_elements(),
+            path.display()
+        );
+        written += 1;
+    }
+    for q in qualification_questions() {
+        let qv = QueryVis::with_schema(q.sql, &schema).unwrap();
+        let path = out_dir.join(format!("qualification_{}.svg", q.id.to_lowercase()));
+        std::fs::write(&path, qv.svg()).unwrap();
+        println!("{:>4}: {}", q.id, path.display());
+        written += 1;
+    }
+    println!("\n{written} SVGs written to {}", out_dir.display());
+}

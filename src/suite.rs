@@ -1,0 +1,1 @@
+//! Workspace umbrella for integration tests and examples.

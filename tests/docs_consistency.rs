@@ -1,0 +1,77 @@
+//! Documentation consistency: the claims made in README.md, DESIGN.md, and
+//! EXPERIMENTS.md must stay true as the code evolves.
+
+use queryvis::corpus::{
+    pattern_grid, qualification_questions, study_questions, tutorial_examples,
+};
+use queryvis::valid_path_patterns;
+
+#[test]
+fn design_md_lists_every_crate_directory() {
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md"))
+        .expect("DESIGN.md present at the workspace root");
+    for dir in [
+        "crates/sql",
+        "crates/logic",
+        "crates/diagram",
+        "crates/layout",
+        "crates/render",
+        "crates/stats",
+        "crates/corpus",
+        "crates/study",
+        "crates/core",
+        "crates/bench",
+    ] {
+        assert!(design.contains(dir), "DESIGN.md misses {dir}");
+    }
+}
+
+#[test]
+fn design_md_indexes_every_repro_target() {
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md")).unwrap();
+    for target in [
+        "repro fig1",
+        "repro fig2",
+        "repro fig7",
+        "repro fig18",
+        "repro fig19",
+        "repro fig20",
+        "repro fig21",
+        "repro complexity",
+        "repro power",
+        "repro latin",
+        "repro unambiguity",
+        "repro patterns",
+        "repro corpus",
+        "repro funnel",
+        "repro tutorial",
+    ] {
+        assert!(design.contains(target), "DESIGN.md misses `{target}`");
+    }
+}
+
+#[test]
+fn corpus_counts_match_docs() {
+    assert_eq!(study_questions().len(), 12);
+    assert_eq!(qualification_questions().len(), 6);
+    assert_eq!(tutorial_examples().len(), 6);
+    assert_eq!(pattern_grid().len(), 9);
+    assert_eq!(valid_path_patterns().len(), 16);
+}
+
+#[test]
+fn experiments_md_reports_all_figures() {
+    let experiments =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md")).unwrap();
+    for figure in ["Fig. 7", "Fig. 18", "Fig. 19", "Figs. 20/21", "§4.8", "Prop. 5.1", "§6.2"] {
+        assert!(experiments.contains(figure), "EXPERIMENTS.md misses {figure}");
+    }
+}
+
+#[test]
+fn readme_crate_table_is_complete() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md")).unwrap();
+    for name in ["quickstart", "unique_set", "pattern_catalog", "study_replication", "chinook_gallery"] {
+        assert!(readme.contains(name), "README misses example `{name}`");
+    }
+}

@@ -1,0 +1,216 @@
+//! Failure injection: everything outside the supported fragment (or
+//! outside the unambiguity guarantees) must be rejected with a precise,
+//! actionable error — never a panic, never a silently wrong diagram.
+
+use queryvis::corpus::beers_schema;
+use queryvis::{QueryVis, QueryVisError, QueryVisOptions};
+use queryvis_logic::{translate, TranslateError};
+use queryvis_sql::{parse_query, SemanticError};
+
+fn strict(sql: &str) -> Result<QueryVis, QueryVisError> {
+    QueryVis::with_options(
+        sql,
+        QueryVisOptions {
+            strict: true,
+            ..QueryVisOptions::default()
+        },
+    )
+}
+
+// ---------- lexical / syntactic ----------
+
+#[test]
+fn malformed_sql_catalog() {
+    let cases: &[(&str, &str)] = &[
+        ("", "expected `SELECT`"),
+        ("SELECT", "expected"),
+        ("SELECT a", "FROM"),
+        ("SELECT a FROM", "table name"),
+        ("SELECT a FROM t WHERE", "column reference or constant"),
+        ("SELECT a FROM t WHERE a =", "column reference or constant"),
+        ("SELECT a FROM t WHERE a = 1 AND", "column reference or constant"),
+        ("SELECT a FROM t WHERE EXISTS SELECT", "expected `(`"),
+        ("SELECT a FROM t WHERE EXISTS (SELECT * FROM s", "expected `)`"),
+        ("SELECT a FROM t; SELECT b FROM s", "trailing"),
+        ("SELECT a FROM t WHERE a = 'unterminated", "unterminated"),
+        ("SELECT a FROM t WHERE a @ 1", "unexpected character"),
+    ];
+    for (sql, expected) in cases {
+        let err = parse_query(sql).unwrap_err();
+        assert!(
+            err.message.contains(expected),
+            "for `{sql}`: expected message containing `{expected}`, got `{}`",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn out_of_fragment_constructs_have_targeted_messages() {
+    let cases: &[(&str, &str)] = &[
+        ("SELECT a FROM t WHERE a = 1 OR b = 2", "OR"),
+        ("SELECT a FROM t JOIN s ON t.x = s.x", "JOIN"),
+        ("SELECT a FROM t GROUP BY a HAVING COUNT(a) > 1", "HAVING"),
+        ("SELECT a FROM t UNION SELECT b FROM s", "UNION"),
+        ("SELECT DISTINCT a FROM t", "DISTINCT"),
+        ("SELECT a FROM t ORDER BY a", "ORDER"),
+    ];
+    for (sql, token) in cases {
+        let err = parse_query(sql).unwrap_err();
+        assert!(
+            err.message.contains(token),
+            "for `{sql}`: got `{}`",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn parse_errors_carry_positions() {
+    let err = parse_query("SELECT a\nFROM t\nWHERE a = 1 OR b = 2").unwrap_err();
+    assert_eq!(err.line, 3, "error on line 3, got {}", err.line);
+    assert!(err.column > 1);
+}
+
+// ---------- semantic ----------
+
+#[test]
+fn schema_violations() {
+    type Check = fn(&SemanticError) -> bool;
+    let schema = beers_schema();
+    let cases: &[(&str, Check)] = &[
+        ("SELECT X.a FROM Nope X", |e| {
+            matches!(e, SemanticError::UnknownTable { .. })
+        }),
+        ("SELECT Z.bar FROM Frequents F", |e| {
+            matches!(e, SemanticError::UnknownBinding { .. })
+        }),
+        ("SELECT F.wine FROM Frequents F", |e| {
+            matches!(e, SemanticError::UnknownColumn { .. })
+        }),
+        ("SELECT bar FROM Frequents F, Serves S WHERE F.bar = S.bar", |e| {
+            matches!(e, SemanticError::AmbiguousColumn { .. })
+        }),
+        ("SELECT L.beer FROM Likes L, Serves L", |e| {
+            matches!(e, SemanticError::DuplicateAlias { .. })
+        }),
+        ("SELECT L.beer FROM Likes L WHERE 1 = 2", |e| {
+            matches!(e, SemanticError::ConstantComparison)
+        }),
+    ];
+    for (sql, check) in cases {
+        let query = parse_query(sql).unwrap();
+        let err = schema.check_query(&query).unwrap_err();
+        assert!(check(&err), "for `{sql}`: got {err:?}");
+    }
+}
+
+// ---------- translation ----------
+
+#[test]
+fn in_subquery_with_star_rejected() {
+    let q = parse_query("SELECT a FROM t WHERE t.a IN (SELECT * FROM s)").unwrap();
+    assert_eq!(
+        translate(&q, None).unwrap_err(),
+        TranslateError::BadSubquerySelect
+    );
+}
+
+#[test]
+fn nested_group_by_rejected() {
+    let q = parse_query(
+        "SELECT t.a FROM t WHERE EXISTS (SELECT s.x FROM s GROUP BY s.x)",
+    )
+    .unwrap();
+    assert_eq!(
+        translate(&q, None).unwrap_err(),
+        TranslateError::NestedAggregate
+    );
+}
+
+// ---------- degeneracy (strict mode) ----------
+
+#[test]
+fn smuggled_disjunction_rejected_in_strict_mode() {
+    // The paper's §5.1 example: a selection predicate placed below its
+    // natural scope encodes a disjunction.
+    let err = strict(
+        "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+         (SELECT * FROM Serves S WHERE S.bar = F.bar AND F.bar = 'Owl')",
+    )
+    .unwrap_err();
+    assert!(matches!(err, QueryVisError::Degenerate(_)), "{err}");
+}
+
+#[test]
+fn disconnected_subquery_rejected_in_strict_mode() {
+    let err = strict(
+        "SELECT A.x FROM A WHERE NOT EXISTS (SELECT * FROM B WHERE B.y = 'z')",
+    )
+    .unwrap_err();
+    assert!(matches!(err, QueryVisError::Degenerate(_)));
+}
+
+#[test]
+fn depth_four_rejected_in_strict_mode() {
+    let err = strict(
+        "SELECT A.a FROM A WHERE NOT EXISTS( \
+          SELECT * FROM B WHERE B.a = A.a AND NOT EXISTS( \
+           SELECT * FROM C WHERE C.b = B.b AND NOT EXISTS( \
+            SELECT * FROM D WHERE D.c = C.c AND NOT EXISTS( \
+             SELECT * FROM E WHERE E.d = D.d))))",
+    )
+    .unwrap_err();
+    assert!(matches!(err, QueryVisError::Degenerate(_)));
+    // Lenient mode still draws it (depth > 3 just voids the proof).
+    QueryVis::from_sql(
+        "SELECT A.a FROM A WHERE NOT EXISTS( \
+          SELECT * FROM B WHERE B.a = A.a AND NOT EXISTS( \
+           SELECT * FROM C WHERE C.b = B.b AND NOT EXISTS( \
+            SELECT * FROM D WHERE D.c = C.c AND NOT EXISTS( \
+             SELECT * FROM E WHERE E.d = D.d))))",
+    )
+    .unwrap();
+}
+
+// ---------- robustness: no panics on adversarial input ----------
+
+#[test]
+fn no_panics_on_fuzzy_inputs() {
+    let garbage = [
+        "SELECT SELECT SELECT",
+        "((((((((((",
+        "SELECT * FROM",
+        "WHERE WHERE WHERE",
+        "SELECT a FROM t WHERE t.a IN IN (SELECT b FROM s)",
+        "'just a string'",
+        "SELECT \u{1F980} FROM t",
+        "NOT NOT NOT EXISTS",
+    ];
+    for sql in garbage {
+        // Must return an error, not panic.
+        let _ = QueryVis::from_sql(sql).unwrap_err();
+    }
+    // An escaped quote is *valid*: `''''` is the one-character string `'`.
+    QueryVis::from_sql("SELECT a FROM t WHERE a = ''''").unwrap();
+}
+
+#[test]
+fn deeply_nested_input_is_handled() {
+    // 12 levels of nesting: parse + translate fine, strict mode rejects.
+    let mut sql = String::from("SELECT T0.a FROM T0 WHERE NOT EXISTS (");
+    for i in 1..12 {
+        sql.push_str(&format!(
+            "SELECT * FROM T{i} WHERE T{i}.a = T{}.a AND NOT EXISTS (",
+            i - 1
+        ));
+    }
+    sql.push_str("SELECT * FROM T99 WHERE T99.a = T11.a");
+    sql.push_str(&")".repeat(12));
+    let qv = QueryVis::from_sql(&sql).unwrap();
+    assert_eq!(qv.logic_tree.max_depth(), 12);
+    assert!(matches!(
+        strict(&sql).unwrap_err(),
+        QueryVisError::Degenerate(_)
+    ));
+}

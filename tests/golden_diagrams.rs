@@ -1,0 +1,119 @@
+//! Golden structural tests: the exact diagrams of the paper's figures.
+
+use queryvis::corpus::{beers_schema, chinook_schema, study_questions, unique_set_sql};
+use queryvis::logic::Quantifier;
+use queryvis::{QueryVis, QueryVisOptions};
+
+/// Fig. 6 shows study question Q10 in the `Both` condition; its diagram
+/// contains the SELECT table (ArtistId, Name), Artist, and a dashed box
+/// around {Album, Track}.
+#[test]
+fn fig6_q10_diagram_structure() {
+    let q10 = study_questions().into_iter().find(|q| q.id == "Q10").unwrap();
+    let qv = QueryVis::with_schema(q10.sql, &chinook_schema()).unwrap();
+    let d = &qv.diagram;
+
+    // 3 base tables + SELECT.
+    assert_eq!(d.tables.len(), 4);
+    let select = &d.tables[d.select_table];
+    let select_cols: Vec<&str> = select.rows.iter().map(|r| r.column.as_str()).collect();
+    assert_eq!(select_cols, vec!["ArtistId", "Name"]);
+
+    // One dashed box holding Album and Track together.
+    assert_eq!(d.boxes.len(), 1);
+    assert_eq!(d.boxes[0].quantifier, Quantifier::NotExists);
+    let boxed: Vec<&str> = d.boxes[0]
+        .tables
+        .iter()
+        .map(|&t| d.tables[t].name.as_str())
+        .collect();
+    assert_eq!(boxed, vec!["Album", "Track"]);
+
+    // Artist is outside any box.
+    let artist = d.table_by_alias("A").unwrap();
+    assert!(d.box_of(artist.id).is_none());
+
+    // Edges: 2 SELECT edges + 3 join predicates.
+    assert_eq!(d.edges.len(), 5);
+    // The A.ArtistId = AL.ArtistId join is drawn Artist → Album (Δ=1).
+    let album = d.table_by_alias("AL").unwrap();
+    assert!(d
+        .edges
+        .iter()
+        .any(|e| e.directed && e.from.table == artist.id && e.to.table == album.id));
+}
+
+/// Fig. 1b's full structural census.
+#[test]
+fn fig1b_unique_set_census() {
+    let qv = QueryVis::with_options(
+        unique_set_sql(),
+        QueryVisOptions {
+            schema: Some(beers_schema()),
+            no_simplify: true,
+            ..QueryVisOptions::default()
+        },
+    )
+    .unwrap();
+    let d = &qv.diagram;
+    assert_eq!(d.tables.len(), 7); // L1..L6 + SELECT
+    assert_eq!(d.boxes.len(), 5); // L2..L6 each in a ∄ box
+    assert_eq!(d.edges.len(), 8); // 7 joins + 1 select edge
+    assert_eq!(d.edges.iter().filter(|e| e.directed).count(), 7);
+    assert_eq!(d.edges.iter().filter(|e| e.label.is_some()).count(), 1);
+
+    // Row census: L1, L2 show only `drinker`; L3..L6 show drinker + beer.
+    for alias in ["L1", "L2"] {
+        let t = d.table_by_binding(alias).unwrap();
+        let cols: Vec<&str> = t.rows.iter().map(|r| r.column.as_str()).collect();
+        assert_eq!(cols, vec!["drinker"], "{alias}");
+    }
+    for alias in ["L3", "L4", "L5", "L6"] {
+        let t = d.table_by_binding(alias).unwrap();
+        let mut cols: Vec<&str> = t.rows.iter().map(|r| r.column.as_str()).collect();
+        cols.sort_unstable();
+        assert_eq!(cols, vec!["beer", "drinker"], "{alias}");
+    }
+}
+
+/// Fig. 12b: the simplified unique-set diagram — L3/L5 in ∀ boxes, L4/L6
+/// unboxed.
+#[test]
+fn fig12b_simplified_unique_set() {
+    let qv = QueryVis::with_schema(unique_set_sql(), &beers_schema()).unwrap();
+    let d = &qv.diagram;
+    assert_eq!(d.boxes.len(), 3); // L2 ∄; L3 ∀; L5 ∀
+    let quant_of = |alias: &str| {
+        let id = d.table_by_binding(alias).unwrap().id;
+        d.box_of(id).map(|b| b.quantifier)
+    };
+    assert_eq!(quant_of("L2"), Some(Quantifier::NotExists));
+    assert_eq!(quant_of("L3"), Some(Quantifier::ForAll));
+    assert_eq!(quant_of("L5"), Some(Quantifier::ForAll));
+    assert_eq!(quant_of("L4"), None);
+    assert_eq!(quant_of("L6"), None);
+}
+
+/// The ASCII golden for Qsome (Fig. 2a) — small enough to pin exactly.
+#[test]
+fn fig2a_ascii_golden() {
+    let qv = QueryVis::with_schema(
+        "SELECT F.person FROM Frequents F, Likes L, Serves S \
+         WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink",
+        &beers_schema(),
+    )
+    .unwrap();
+    let ascii = qv.ascii();
+    for expected in [
+        "| SELECT",
+        "| Frequents (F)",
+        "| Likes (L)",
+        "| Serves (S)",
+        "F.person --- L.person",
+        "F.bar --- S.bar",
+        "L.drink --- S.drink",
+        "SELECT.person --- F.person",
+    ] {
+        assert!(ascii.contains(expected), "missing `{expected}` in:\n{ascii}");
+    }
+}

@@ -1,0 +1,75 @@
+//! End-to-end study simulation + analysis: the headline numbers of
+//! Figs. 7/18–21 hold in shape for the canonical seed, and the whole
+//! machine is deterministic.
+
+use queryvis_study::{
+    analyze, classify_participants, population::CANONICAL_SEED, simulate_study, AnalysisScope,
+    Condition, ParticipantClass,
+};
+
+#[test]
+fn headline_results_match_paper_shape() {
+    let analysis = analyze(&simulate_study(CANONICAL_SEED), AnalysisScope::CoreNine, 7);
+    // Fig. 7 shape: QV meaningfully faster with strong evidence.
+    assert!(analysis.time_qv_vs_sql.percent_change <= -0.10);
+    assert!(analysis.time_qv_vs_sql.p_adjusted < 0.001);
+    // Both ≈ SQL on time, no evidence.
+    assert!(analysis.time_both_vs_sql.percent_change.abs() < 0.10);
+    assert!(analysis.time_both_vs_sql.p_adjusted > 0.05);
+    // Fewer errors in both visual conditions (weak-evidence regime).
+    assert!(analysis.error_qv_vs_sql.percent_change < 0.0);
+    assert!(analysis.error_both_vs_sql.percent_change < 0.0);
+    // Fig. 20: around 71% of participants faster with QV.
+    assert!((0.55..=0.90).contains(&analysis.qv_deltas.frac_faster));
+}
+
+#[test]
+fn exclusion_funnel_matches_fig18() {
+    let data = simulate_study(CANONICAL_SEED);
+    let classes = classify_participants(&data);
+    let count = |c: ParticipantClass| classes.iter().filter(|(_, x)| *x == c).count();
+    assert_eq!(count(ParticipantClass::Legitimate), 42);
+    assert_eq!(count(ParticipantClass::ExcludedByCutoff), 34);
+    assert_eq!(count(ParticipantClass::ExcludedManually), 4);
+}
+
+#[test]
+fn latin_square_balance_in_records() {
+    let data = simulate_study(CANONICAL_SEED);
+    // Per participant: 4 questions per condition over the 12 questions.
+    for p in &data.participants {
+        let mut counts = [0usize; 3];
+        for r in data.records.iter().filter(|r| r.participant == p.id) {
+            counts[r.condition.index()] += 1;
+        }
+        assert_eq!(counts, [4, 4, 4]);
+    }
+    // Per question: conditions balanced across the legitimate cohort.
+    for q in 1..=12 {
+        let mut counts = [0usize; 3];
+        for r in data
+            .records
+            .iter()
+            .filter(|r| r.question_number == q && r.participant < 42)
+        {
+            counts[r.condition.index()] += 1;
+        }
+        assert_eq!(counts, [14, 14, 14], "question {q}");
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let a = analyze(&simulate_study(123), AnalysisScope::CoreNine, 9);
+    let b = analyze(&simulate_study(123), AnalysisScope::CoreNine, 9);
+    assert_eq!(a.time_qv_vs_sql.p_adjusted, b.time_qv_vs_sql.p_adjusted);
+    assert_eq!(a.sql.time_ci.lower, b.sql.time_ci.lower);
+    assert_eq!(a.qv.median_time, b.qv.median_time);
+}
+
+#[test]
+fn conditions_enumerate_consistently() {
+    assert_eq!(Condition::from_index(0), Condition::Sql);
+    assert_eq!(Condition::from_index(1), Condition::Qv);
+    assert_eq!(Condition::from_index(2), Condition::Both);
+}
