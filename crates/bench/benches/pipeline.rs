@@ -33,7 +33,11 @@ fn bench_stages(c: &mut Criterion) {
     for (name, sql) in workloads() {
         let ast = parse_query(&sql).unwrap();
         let schema = chinook_schema();
-        let schema_opt = if name == "study_q3" { Some(&schema) } else { None };
+        let schema_opt = if name == "study_q3" {
+            Some(&schema)
+        } else {
+            None
+        };
         let lt = translate(&ast, schema_opt).unwrap();
         let simplified = simplify(&lt);
         let diagram = build_diagram(&simplified);
@@ -41,7 +45,9 @@ fn bench_stages(c: &mut Criterion) {
         let _ = layout;
 
         let mut group = c.benchmark_group(format!("pipeline/{name}"));
-        group.bench_function("parse", |b| b.iter(|| parse_query(black_box(&sql)).unwrap()));
+        group.bench_function("parse", |b| {
+            b.iter(|| parse_query(black_box(&sql)).unwrap())
+        });
         group.bench_function("translate", |b| {
             b.iter(|| translate(black_box(&ast), schema_opt).unwrap())
         });

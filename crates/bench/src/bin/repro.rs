@@ -78,7 +78,10 @@ fn fig1() {
     println!("--- SQL (Fig. 1a) ---\n{}", qv.sql);
     println!("\n--- TRC (Fig. 9a) ---\n{}", qv.trc());
     println!("\n--- Logic tree (Fig. 10a) ---\n{}", qv.logic_tree);
-    println!("--- Simplified logic tree (Fig. 10b) ---\n{}", qv.simplified);
+    println!(
+        "--- Simplified logic tree (Fig. 10b) ---\n{}",
+        qv.simplified
+    );
     println!("--- Diagram (Fig. 1b / Fig. 12b) ---\n{}", qv.ascii());
     println!("--- Reading order (footnote 1) ---\n{}", qv.reading());
     qv.check_unambiguous().unwrap();
@@ -100,9 +103,15 @@ fn fig2() {
         },
     )
     .unwrap();
-    println!("--- (b) Qonly with nested NOT-EXISTS ---\n{}", only_raw.ascii());
+    println!(
+        "--- (b) Qonly with nested NOT-EXISTS ---\n{}",
+        only_raw.ascii()
+    );
     let only = QueryVis::with_schema(qonly_sql(), &schema).unwrap();
-    println!("--- (c) Qonly with the FOR-ALL simplification ---\n{}", only.ascii());
+    println!(
+        "--- (c) Qonly with the FOR-ALL simplification ---\n{}",
+        only.ascii()
+    );
 }
 
 /// Fig. 5: logic-tree rendering of the unique-set query.
@@ -146,7 +155,10 @@ fn print_study(analysis: &StudyAnalysis, paper: &[&str]) {
 
 /// Fig. 7: the main study result over the 9 non-grouping questions.
 fn fig7() {
-    println!("{}", banner("Fig. 7: study results, 9 questions (simulated study)"));
+    println!(
+        "{}",
+        banner("Fig. 7: study results, 9 questions (simulated study)")
+    );
     let analysis = analyze(&simulate_study(CANONICAL_SEED), AnalysisScope::CoreNine, 7);
     print_study(
         &analysis,
@@ -168,7 +180,10 @@ fn fig7() {
 
 /// Fig. 18: the exclusion scatter.
 fn fig18() {
-    println!("{}", banner("Fig. 18: speeders & cheaters among all 80 participants"));
+    println!(
+        "{}",
+        banner("Fig. 18: speeders & cheaters among all 80 participants")
+    );
     let data = simulate_study(CANONICAL_SEED);
     let points = scatter_points(&data);
     println!("participant  mean t/q   mistakes  class               ground truth");
@@ -203,8 +218,15 @@ fn fig18() {
 
 /// Fig. 19: study results over all 12 questions.
 fn fig19() {
-    println!("{}", banner("Fig. 19: study results, all 12 questions (incl. GROUP BY)"));
-    let analysis = analyze(&simulate_study(CANONICAL_SEED), AnalysisScope::AllTwelve, 19);
+    println!(
+        "{}",
+        banner("Fig. 19: study results, all 12 questions (incl. GROUP BY)")
+    );
+    let analysis = analyze(
+        &simulate_study(CANONICAL_SEED),
+        AnalysisScope::AllTwelve,
+        19,
+    );
     print_study(
         &analysis,
         &[
@@ -304,7 +326,10 @@ fn complexity() {
 
 /// §6.2: the pilot power analysis.
 fn power() {
-    println!("{}", banner("Section 6.2: power analysis on the n = 12 pilot"));
+    println!(
+        "{}",
+        banner("Section 6.2: power analysis on the n = 12 pilot")
+    );
     let estimate = pilot_power_estimate(&simulate_pilot(CANONICAL_SEED));
     println!(
         "pilot means: SQL = {:.1}s, QV = {:.1}s, pooled sd = {:.1}s",
@@ -319,7 +344,10 @@ fn power() {
 
 /// §6.1: the Latin-square design.
 fn latin() {
-    println!("{}", banner("Section 6.1: Latin-square condition sequences"));
+    println!(
+        "{}",
+        banner("Section 6.1: Latin-square condition sequences")
+    );
     let labels = ["SQL", "QV", "Both"];
     for (i, seq) in queryvis_stats::condition_sequences().iter().enumerate() {
         let names: Vec<&str> = seq.iter().map(|&c| labels[c]).collect();
@@ -331,7 +359,10 @@ fn latin() {
 
 /// §5 / Appendix B: Proposition 5.1.
 fn unambiguity() {
-    println!("{}", banner("Prop. 5.1 / Appendix B: unambiguity verification"));
+    println!(
+        "{}",
+        banner("Prop. 5.1 / Appendix B: unambiguity verification")
+    );
     let results = verify_path_patterns();
     println!("all 16 valid depth-3 path patterns:");
     for v in &results {
@@ -361,7 +392,10 @@ fn unambiguity() {
 
 /// Appendix G: the pattern grid.
 fn patterns() {
-    println!("{}", banner("Appendix G / Figs. 23-26: logical patterns across schemas"));
+    println!(
+        "{}",
+        banner("Appendix G / Figs. 23-26: logical patterns across schemas")
+    );
     let grid = pattern_grid();
     println!("pattern x schema -> canonical form (identical within a row):\n");
     for kind in [
@@ -463,5 +497,9 @@ fn funnel() {
         .iter()
         .filter(|(_, c)| *c == ParticipantClass::Legitimate)
         .count();
-    println!("study: {} started -> {} legitimate after exclusion (paper: 80 -> 42)", data.participants.len(), legit);
+    println!(
+        "study: {} started -> {} legitimate after exclusion (paper: 80 -> 42)",
+        data.participants.len(),
+        legit
+    );
 }

@@ -106,14 +106,26 @@ fn main() {
         "ascii" => qv.ascii(),
         "reading" => format!("{}\n", qv.reading()),
         "trc" => format!("{}\n", qv.trc()),
-        "lt" => format!("{}", if no_simplify { &qv.logic_tree } else { &qv.simplified }),
+        "lt" => format!(
+            "{}",
+            if no_simplify {
+                &qv.logic_tree
+            } else {
+                &qv.simplified
+            }
+        ),
         "pattern" => format!("{}\n", qv.pattern()),
         "stats" => {
             let s = qv.stats();
             format!(
                 "tables={} rows={} edges={} boxes={} arrowheads={} labels={} \
                  visual_elements={}\n",
-                s.tables, s.rows, s.edges, s.boxes, s.arrowheads, s.labels,
+                s.tables,
+                s.rows,
+                s.edges,
+                s.boxes,
+                s.arrowheads,
+                s.labels,
                 s.visual_elements()
             )
         }

@@ -207,9 +207,7 @@ fn identify_depth1(
         }
         // ... or indirectly via all of depth-2's children (B.2.2 case 3):
         // the children of depth-2 point back at depth-1 (Δ = 2 edges).
-        let children: HashSet<usize> = out_targets(depth2, component, edges)
-            .into_iter()
-            .collect();
+        let children: HashSet<usize> = out_targets(depth2, component, edges).into_iter().collect();
         for &x in component {
             if x == depth2 || children.contains(&x) {
                 continue;
@@ -283,7 +281,9 @@ fn solve_path(
         // bridged by its child — exactly the argument B.1 uses to rule
         // out alternative orderings in the ⟨Ā⟩ family.
         let connected = |x: usize, y: usize| {
-            edges.iter().any(|&(a, b)| (a == x && b == y) || (a == y && b == x))
+            edges
+                .iter()
+                .any(|&(a, b)| (a == x && b == y) || (a == y && b == x))
         };
         let node_at = |d: usize| -> Option<usize> {
             if d == 0 {
@@ -294,7 +294,9 @@ fn solve_path(
         let satisfies_52 = ok
             && nodes.iter().all(|&x| {
                 let d = depth_of(x);
-                let Some(parent) = node_at(d - 1) else { return false };
+                let Some(parent) = node_at(d - 1) else {
+                    return false;
+                };
                 if connected(x, parent) {
                     return true;
                 }

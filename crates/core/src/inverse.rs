@@ -271,8 +271,8 @@ fn check_connectivity(edges: &[CrossEdge], parent: &[usize], k: usize) -> bool {
             continue;
         }
         let children: Vec<usize> = (1..k).filter(|&c| parent[c] == g).collect();
-        let bridged = !children.is_empty()
-            && children.iter().all(|&c| connected(c, g) && connected(c, p));
+        let bridged =
+            !children.is_empty() && children.iter().all(|&c| connected(c, g) && connected(c, p));
         if !bridged {
             return false;
         }
@@ -379,16 +379,14 @@ fn rebuild(diagram: &Diagram, gg: &GroupGraph, parents: &[usize]) -> LogicTree {
         for edge in &diagram.edges {
             let (here, there) = (edge.from, edge.to);
             if here.table == diagram.select_table && here.row == row_idx {
-                tree.select
-                    .push(queryvis_logic::SelectAttr::Column(attr_of(
-                        there.table,
-                        there.row,
-                    )));
+                tree.select.push(queryvis_logic::SelectAttr::Column(attr_of(
+                    there.table,
+                    there.row,
+                )));
             } else if there.table == diagram.select_table && there.row == row_idx {
-                tree.select
-                    .push(queryvis_logic::SelectAttr::Column(attr_of(
-                        here.table, here.row,
-                    )));
+                tree.select.push(queryvis_logic::SelectAttr::Column(attr_of(
+                    here.table, here.row,
+                )));
             }
         }
     }
@@ -511,10 +509,8 @@ mod tests {
         // A degenerate query (violates Property 5.2): the subquery block
         // never references the outer block.
         let lt = translate(
-            &parse_query(
-                "SELECT A.x FROM A WHERE NOT EXISTS (SELECT * FROM B WHERE B.y = 'z')",
-            )
-            .unwrap(),
+            &parse_query("SELECT A.x FROM A WHERE NOT EXISTS (SELECT * FROM B WHERE B.y = 'z')")
+                .unwrap(),
             None,
         )
         .unwrap();

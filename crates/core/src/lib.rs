@@ -33,12 +33,22 @@
 //! (TRC / logic trees), `diagram` (the visual model), `layout`, `render`,
 //! and `corpus` (every schema and query of the paper). On top it adds:
 //!
-//! * [`pipeline`] — the [`QueryVis`] one-stop API;
+//! * [`pipeline`] — the [`QueryVis`] one-stop API, split into a cheap
+//!   front half ([`QueryVis::prepare`]) and an expensive back half
+//!   ([`PreparedQuery::complete`]) so caching layers can fingerprint
+//!   without compiling;
 //! * [`pattern`] — canonical logical patterns: two queries share a visual
 //!   pattern iff their canonical forms are equal (paper §1.1, App. G);
 //! * [`inverse`] — diagram → logic-tree recovery (App. B);
 //! * [`unambiguity`] — the Proposition 5.1 verification harness
 //!   (every valid diagram has exactly one interpretation).
+//!
+//! The serving layer lives in the separate `queryvis-service` crate: a
+//! concurrent diagram-compilation service with canonical-pattern
+//! fingerprint caching and a JSON-lines front end. Build instructions,
+//! the full crate map, and protocol examples are in the repository
+//! [README](https://github.com/queryvis/queryvis#readme) —
+//! `README.md` at the workspace root.
 
 pub mod decompose;
 pub mod inverse;
@@ -49,7 +59,7 @@ pub mod unambiguity;
 pub use decompose::{recover_depths_decomposition, recovered_depth_by_binding};
 pub use inverse::{recover_logic_tree, GroupGraph, InverseError};
 pub use pattern::canonical_pattern;
-pub use pipeline::{QueryVis, QueryVisError, QueryVisOptions};
+pub use pipeline::{PreparedQuery, QueryVis, QueryVisError, QueryVisOptions};
 pub use unambiguity::{valid_path_patterns, verify_path_patterns, PathPattern};
 
 // Re-export the component crates under stable names.

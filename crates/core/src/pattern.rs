@@ -30,11 +30,8 @@ pub fn canonical_pattern(tree: &LogicTree) -> String {
     let mut signature: HashMap<NodeId, String> = HashMap::new();
     for &id in tree.preorder().iter().rev() {
         let node = tree.node(id);
-        let mut child_sigs: Vec<String> = node
-            .children
-            .iter()
-            .map(|c| signature[c].clone())
-            .collect();
+        let mut child_sigs: Vec<String> =
+            node.children.iter().map(|c| signature[c].clone()).collect();
         child_sigs.sort();
         // Predicate *shapes* only (join vs selection, operator), no names.
         let mut pred_shapes: Vec<String> = node
@@ -65,10 +62,7 @@ pub fn canonical_pattern(tree: &LogicTree) -> String {
     let mut column_names: HashMap<(String, String), String> = HashMap::new();
     let mut column_counters: HashMap<String, usize> = HashMap::new();
 
-    fn canon_binding(
-        binding: &str,
-        binding_names: &mut HashMap<String, String>,
-    ) -> String {
+    fn canon_binding(binding: &str, binding_names: &mut HashMap<String, String>) -> String {
         let next = format!("b{}", binding_names.len());
         binding_names
             .entry(binding.to_string())
@@ -254,8 +248,20 @@ mod tests {
             assert_eq!(forms[1], forms[2], "{kind:?} differs across schemas");
         }
         let no = pattern(&grid.iter().find(|q| q.kind == PatternKind::No).unwrap().sql);
-        let only = pattern(&grid.iter().find(|q| q.kind == PatternKind::Only).unwrap().sql);
-        let all = pattern(&grid.iter().find(|q| q.kind == PatternKind::All).unwrap().sql);
+        let only = pattern(
+            &grid
+                .iter()
+                .find(|q| q.kind == PatternKind::Only)
+                .unwrap()
+                .sql,
+        );
+        let all = pattern(
+            &grid
+                .iter()
+                .find(|q| q.kind == PatternKind::All)
+                .unwrap()
+                .sql,
+        );
         assert_ne!(no, only);
         assert_ne!(only, all);
         assert_ne!(no, all);

@@ -10,6 +10,7 @@ use queryvis_logic::{
 use queryvis_render::{to_ascii, to_dot, to_svg, SvgTheme};
 use queryvis_sql::{parse_query, ParseError, Query, Schema, SemanticError};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Errors from any pipeline stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,10 +76,68 @@ pub struct QueryVis {
     pub simplified: LogicTree,
     /// The diagram being rendered (from `simplified` unless `no_simplify`).
     pub diagram: Diagram,
-    /// The diagram of the unsimplified tree (Fig. 2b form) — the input to
-    /// the inverse mapping.
-    pub raw_diagram: Diagram,
-    options: QueryVisOptions,
+    /// Lazily built diagram of the unsimplified tree — see
+    /// [`QueryVis::raw_diagram`].
+    raw: OnceLock<Diagram>,
+    options: Arc<QueryVisOptions>,
+}
+
+/// The front half of the pipeline — parsed and translated, but with no
+/// diagram built yet. Produced by [`QueryVis::prepare`].
+///
+/// Splitting the pipeline here is what makes pattern-keyed caching work:
+/// the canonical pattern (and therefore a cache key) is available from the
+/// logic tree alone, while diagram construction, layout, and rendering —
+/// the expensive stages — can be skipped entirely on a cache hit.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// Original SQL text.
+    pub sql: String,
+    /// Parsed AST.
+    pub query: Query,
+    /// Logic tree straight from translation (all ∃/∄).
+    pub logic_tree: LogicTree,
+    options: Arc<QueryVisOptions>,
+}
+
+impl PreparedQuery {
+    /// The canonical logical pattern (App. G): equal strings ⟺ same visual
+    /// pattern. This is the cache key of the serving layer.
+    pub fn pattern(&self) -> String {
+        crate::pattern::canonical_pattern(&self.logic_tree)
+    }
+
+    /// Run the back half of the pipeline: simplification and diagram
+    /// construction. Infallible — every error the fragment can produce is
+    /// already surfaced by [`QueryVis::prepare`].
+    pub fn complete(self) -> QueryVis {
+        let PreparedQuery {
+            sql,
+            query,
+            logic_tree,
+            options,
+        } = self;
+        let simplified = simplify(&logic_tree);
+        let raw = OnceLock::new();
+        let diagram = if options.no_simplify {
+            // The rendered diagram *is* the raw diagram; seed the lazy slot
+            // so `raw_diagram()` never rebuilds it.
+            let raw_diagram = build_diagram(&logic_tree);
+            let _ = raw.set(raw_diagram.clone());
+            raw_diagram
+        } else {
+            build_diagram(&simplified)
+        };
+        QueryVis {
+            sql,
+            query,
+            logic_tree,
+            simplified,
+            diagram,
+            raw,
+            options,
+        }
+    }
 }
 
 impl QueryVis {
@@ -101,38 +160,53 @@ impl QueryVis {
 
     /// Run the pipeline with explicit options.
     pub fn with_options(sql: &str, options: QueryVisOptions) -> Result<QueryVis, QueryVisError> {
+        Ok(QueryVis::prepare(sql, options)?.complete())
+    }
+
+    /// Run only the cheap front half of the pipeline: parse, schema check,
+    /// translation, and (in strict mode) degeneracy validation. The result
+    /// carries everything needed to compute the canonical pattern, so a
+    /// caching layer can decide whether the expensive back half (diagram
+    /// construction, layout, rendering) is needed at all — see
+    /// [`PreparedQuery::complete`].
+    ///
+    /// Accepts either owned options or a shared `Arc<QueryVisOptions>`;
+    /// long-running callers (the service) pass the `Arc` so the per-request
+    /// front half never deep-clones a configured schema.
+    pub fn prepare(
+        sql: &str,
+        options: impl Into<Arc<QueryVisOptions>>,
+    ) -> Result<PreparedQuery, QueryVisError> {
+        let options = options.into();
         let query = parse_query(sql)?;
         if let Some(schema) = &options.schema {
-            schema.check_query(&query).map_err(QueryVisError::Semantic)?;
+            schema
+                .check_query(&query)
+                .map_err(QueryVisError::Semantic)?;
         }
         let logic_tree = translate(&query, options.schema.as_ref())?;
         if options.strict {
             check_valid_diagram_source(&logic_tree).map_err(QueryVisError::Degenerate)?;
         }
-        let simplified = simplify(&logic_tree);
-        let raw_diagram = build_diagram(&logic_tree);
-        let diagram = if options.no_simplify {
-            raw_diagram.clone()
-        } else {
-            build_diagram(&simplified)
-        };
-        Ok(QueryVis {
+        Ok(PreparedQuery {
             sql: sql.to_string(),
             query,
             logic_tree,
-            simplified,
-            diagram,
-            raw_diagram,
             options,
         })
     }
 
+    /// The diagram of the unsimplified tree (Fig. 2b form) — the input to
+    /// the inverse mapping (App. B). Built lazily on first access: the
+    /// serving hot path only renders [`QueryVis::diagram`], so cache-miss
+    /// compiles skip this second diagram construction entirely.
+    pub fn raw_diagram(&self) -> &Diagram {
+        self.raw.get_or_init(|| build_diagram(&self.logic_tree))
+    }
+
     /// Lay out the diagram (deterministic).
     pub fn layout(&self) -> Layout {
-        layout_diagram(
-            &self.diagram,
-            &self.options.layout.unwrap_or_default(),
-        )
+        layout_diagram(&self.diagram, &self.options.layout.unwrap_or_default())
     }
 
     /// Render to a standalone SVG document.
@@ -205,8 +279,8 @@ mod tests {
     fn pipeline_runs_on_every_study_question() {
         let schema = chinook_schema();
         for q in study_questions() {
-            let qv = QueryVis::with_schema(q.sql, &schema)
-                .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            let qv =
+                QueryVis::with_schema(q.sql, &schema).unwrap_or_else(|e| panic!("{}: {e}", q.id));
             assert!(qv.stats().visual_elements() > 0);
             assert!(qv.svg().contains("</svg>"), "{}", q.id);
         }

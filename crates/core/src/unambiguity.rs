@@ -20,7 +20,9 @@
 //! | F    | 0 – 3     | 3 → 0 (Δ = 3)                 |
 
 use crate::inverse::recover_logic_tree;
-use queryvis_diagram::{Diagram, DiagramTable, Edge, EdgeEndpoint, QuantifierBox, RowKind, TableRow};
+use queryvis_diagram::{
+    Diagram, DiagramTable, Edge, EdgeEndpoint, QuantifierBox, RowKind, TableRow,
+};
 use queryvis_logic::Quantifier;
 
 /// The six Fig. 13a edges.
@@ -267,7 +269,9 @@ pub fn verify_path_patterns() -> Vec<PatternVerification> {
 pub fn random_valid_tree(seed: u64) -> queryvis_logic::LogicTree {
     use queryvis_logic::{LogicTree, LtTable};
     // Tiny deterministic PRNG (xorshift) to avoid a rand dependency here.
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = move |bound: usize| -> usize {
         state ^= state << 13;
         state ^= state >> 7;
@@ -281,18 +285,15 @@ pub fn random_valid_tree(seed: u64) -> queryvis_logic::LogicTree {
         alias: "R0".into(),
         table: "Rel0".into(),
     });
-    tree.select.push(queryvis_logic::SelectAttr::Column(
-        AttrRefLocal::new("R0", "a"),
-    ));
+    tree.select
+        .push(queryvis_logic::SelectAttr::Column(AttrRefLocal::new(
+            "R0", "a",
+        )));
 
     let extra_nodes = 1 + next(5); // 2..=6 nodes total
     for i in 0..extra_nodes {
         // Pick a parent with remaining depth budget.
-        let candidates: Vec<usize> = tree
-            .nodes()
-            .filter(|n| n.depth < 3)
-            .map(|n| n.id)
-            .collect();
+        let candidates: Vec<usize> = tree.nodes().filter(|n| n.depth < 3).map(|n| n.id).collect();
         let parent = candidates[next(candidates.len())];
         let node = tree.add_child(parent, Quantifier::NotExists);
         let key = format!("R{}", i + 1);

@@ -19,10 +19,10 @@
 //! simulator, whose analysis depends only on correctness as a bit.
 
 pub mod paper;
-pub mod tutorial;
 pub mod qualification;
 pub mod schemas;
 pub mod study;
+pub mod tutorial;
 
 pub use paper::{
     pattern_grid, qonly_sql, qsome_sql, sailors_only_variants, unique_set_sql, PatternKind,

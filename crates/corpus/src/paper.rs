@@ -101,16 +101,16 @@ pub struct PatternQuery {
 
 struct GridSchema {
     schema: fn() -> Schema,
-    entity: &'static str,       // Sailor
-    entity_attr: &'static str,  // sname
-    entity_key: &'static str,   // sid
-    link: &'static str,         // Reserves
+    entity: &'static str,          // Sailor
+    entity_attr: &'static str,     // sname
+    entity_key: &'static str,      // sid
+    link: &'static str,            // Reserves
     link_entity_key: &'static str, // sid
     link_target_key: &'static str, // bid
-    target: &'static str,       // Boat
-    target_key: &'static str,   // bid
-    filter_attr: &'static str,  // color
-    filter_value: &'static str, // red
+    target: &'static str,          // Boat
+    target_key: &'static str,      // bid
+    filter_attr: &'static str,     // color
+    filter_value: &'static str,    // red
     noun: &'static str,
     verb: &'static str,
     object: &'static str,
@@ -245,8 +245,10 @@ mod tests {
     fn grid_has_nine_cells() {
         let grid = pattern_grid();
         assert_eq!(grid.len(), 9);
-        let only: Vec<&PatternQuery> =
-            grid.iter().filter(|q| q.kind == PatternKind::Only).collect();
+        let only: Vec<&PatternQuery> = grid
+            .iter()
+            .filter(|q| q.kind == PatternKind::Only)
+            .collect();
         assert_eq!(only.len(), 3);
     }
 

@@ -121,7 +121,13 @@ pub fn chinook_schema() -> Schema {
         ))
         .with_table(Table::new(
             "InvoiceLine",
-            &["InvoiceLineId", "InvoiceId", "TrackId", "UnitPrice", "Quantity"],
+            &[
+                "InvoiceLineId",
+                "InvoiceId",
+                "TrackId",
+                "UnitPrice",
+                "Quantity",
+            ],
         ))
         .with_table(Table::new("Playlist", &["PlaylistId", "Name"]))
         .with_table(Table::new("PlaylistTrack", &["PlaylistId", "TrackId"]))

@@ -1,0 +1,249 @@
+//! Vendored stand-in for the slice of `criterion` this workspace's benches
+//! use: `Criterion::bench_function`, `benchmark_group` (with `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`), `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! simple wall-clock harness instead: each benchmark is warmed up, then
+//! timed over enough iterations to fill a measurement window, and the
+//! mean/min per-iteration times are printed one line per benchmark. When the
+//! binary is invoked with `--test` (what `cargo test --benches` passes),
+//! every benchmark runs exactly one iteration so the suite doubles as a
+//! smoke test.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    /// Target wall-clock time to fill with measured iterations.
+    measurement: Duration,
+    /// Smoke mode: run everything exactly once, skip timing entirely.
+    smoke: bool,
+}
+
+impl Settings {
+    fn from_args() -> Settings {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Settings {
+            measurement: Duration::from_millis(200),
+            smoke,
+        }
+    }
+}
+
+/// Entry point struct, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            settings: Settings::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.settings, &mut body);
+        self
+    }
+
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+        }
+    }
+}
+
+/// A named group of related benchmarks (prefixes each benchmark id).
+pub struct BenchmarkGroup {
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the wall-clock harness sizes its
+    /// iteration count from the measurement window instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<D: fmt::Display, F>(&mut self, id: D, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.settings, &mut body);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.0);
+        run_benchmark(&name, self.settings, &mut |b| body(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (only the `from_parameter` form is used in-repo).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<D: fmt::Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new<D: fmt::Display, P: fmt::Display>(function: D, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    settings: Settings,
+    /// Filled in by `iter`: (total elapsed, iterations, fastest single batch).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        if self.settings.smoke {
+            black_box(payload());
+            self.result = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm-up and calibration: time single iterations until we can
+        // estimate how many fit in the measurement window.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_start.elapsed() < self.settings.measurement / 10 {
+            black_box(payload());
+            calibration_iters += 1;
+            if calibration_iters >= 10_000 {
+                break;
+            }
+        }
+        let per_iter = calibration_start.elapsed().as_secs_f64() / calibration_iters as f64;
+        let target = self.settings.measurement.as_secs_f64();
+        let iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(payload());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, body: &mut F) {
+    let mut bencher = Bencher {
+        settings,
+        result: None,
+    };
+    body(&mut bencher);
+    match bencher.result {
+        Some((_, _)) if settings.smoke => println!("{name:<50} ok (smoke)"),
+        Some((elapsed, iters)) => {
+            let per_iter = Duration::from_secs_f64(elapsed.as_secs_f64() / iters.max(1) as f64);
+            println!(
+                "{name:<50} {:>12}/iter ({iters} iters in {})",
+                format_duration(per_iter),
+                format_duration(elapsed),
+            );
+        }
+        None => println!("{name:<50} (no measurement: bencher.iter never called)"),
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (benches set `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_payload() {
+        let mut c = Criterion {
+            settings: Settings {
+                measurement: Duration::from_millis(5),
+                smoke: false,
+            },
+        };
+        let mut hits = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            settings: Settings {
+                measurement: Duration::from_millis(2),
+                smoke: true,
+            },
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+}

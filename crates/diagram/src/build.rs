@@ -75,10 +75,7 @@ impl<'t> Builder<'t> {
                 group.push(id);
             }
             if !node.is_root()
-                && matches!(
-                    node.quantifier,
-                    Quantifier::NotExists | Quantifier::ForAll
-                )
+                && matches!(node.quantifier, Quantifier::NotExists | Quantifier::ForAll)
             {
                 self.boxes.push(QuantifierBox {
                     node: node_id,
@@ -428,9 +425,7 @@ mod tests {
 
     #[test]
     fn group_by_rows_marked() {
-        let d = diagram(
-            "SELECT T.AlbumId, MAX(T.Milliseconds) FROM Track T GROUP BY T.AlbumId",
-        );
+        let d = diagram("SELECT T.AlbumId, MAX(T.Milliseconds) FROM Track T GROUP BY T.AlbumId");
         let track = d.table_by_binding("T").unwrap();
         let album_row = &track.rows[track.attr_row("AlbumId").unwrap()];
         assert_eq!(album_row.kind, RowKind::GroupBy);
@@ -456,8 +451,9 @@ mod tests {
         let select = &d.tables[d.select_table];
         assert_eq!(select.rows[0].display(), "COUNT(*)");
         // Only edges: none for COUNT(*) (no source attribute).
-        assert!(d.edges.iter().all(|e| e.from.table != d.select_table
-            || d.tables[e.to.table].attr_row("a").is_some()));
+        assert!(d.edges.iter().all(
+            |e| e.from.table != d.select_table || d.tables[e.to.table].attr_row("a").is_some()
+        ));
     }
 
     #[test]

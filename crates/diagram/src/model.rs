@@ -128,7 +128,9 @@ impl Diagram {
 
     /// Find a table by its display alias (first match).
     pub fn table_by_alias(&self, alias: &str) -> Option<&DiagramTable> {
-        self.tables.iter().find(|t| t.alias == alias && !t.is_select)
+        self.tables
+            .iter()
+            .find(|t| t.alias == alias && !t.is_select)
     }
 
     /// The quantifier box containing `table`, if any.
@@ -173,10 +175,7 @@ impl fmt::Display for Diagram {
         }
         for edge in &self.edges {
             let arrow = if edge.directed { "->" } else { "--" };
-            let label = edge
-                .label
-                .map(|op| format!(" [{op}]"))
-                .unwrap_or_default();
+            let label = edge.label.map(|op| format!(" [{op}]")).unwrap_or_default();
             writeln!(
                 f,
                 "edge {}.{} {arrow} {}.{}{label}",
@@ -211,9 +210,7 @@ mod tests {
         assert_eq!(sel.display(), "color = 'red'");
         let agg = TableRow {
             column: "Quantity".into(),
-            kind: RowKind::Aggregate {
-                func: AggFunc::Sum,
-            },
+            kind: RowKind::Aggregate { func: AggFunc::Sum },
         };
         assert_eq!(agg.display(), "SUM(Quantity)");
     }

@@ -193,9 +193,7 @@ mod tests {
 
     #[test]
     fn detects_redundant_equality_label() {
-        let mut d = diagram(
-            "SELECT F.person FROM Frequents F, Likes L WHERE F.person = L.person",
-        );
+        let mut d = diagram("SELECT F.person FROM Frequents F, Likes L WHERE F.person = L.person");
         // Force a `=` label onto the first join edge.
         let idx = d.edges.iter().position(|e| !e.directed).unwrap();
         d.edges[idx].label = Some(queryvis_sql::CompareOp::Eq);

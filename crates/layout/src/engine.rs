@@ -348,10 +348,7 @@ pub fn layout_diagram(diagram: &Diagram, options: &LayoutOptions) -> Layout {
     }
 }
 
-fn measure_tables(
-    diagram: &Diagram,
-    options: &LayoutOptions,
-) -> HashMap<TableId, (f64, f64)> {
+fn measure_tables(diagram: &Diagram, options: &LayoutOptions) -> HashMap<TableId, (f64, f64)> {
     diagram
         .tables
         .iter()
@@ -504,9 +501,7 @@ mod tests {
 
     #[test]
     fn barycenter_does_not_increase_crossings_on_reference_diagrams() {
-        let d = build_diagram(
-            &translate(&parse_query(UNIQUE_SET).unwrap(), None).unwrap(),
-        );
+        let d = build_diagram(&translate(&parse_query(UNIQUE_SET).unwrap(), None).unwrap());
         let with = layout_diagram(&d, &LayoutOptions::default());
         let without = layout_diagram(
             &d,

@@ -56,7 +56,12 @@ impl Rect {
 
     /// Grow the rectangle outward by `pad` on every side.
     pub fn inflate(&self, pad: f64) -> Rect {
-        Rect::new(self.x - pad, self.y - pad, self.w + 2.0 * pad, self.h + 2.0 * pad)
+        Rect::new(
+            self.x - pad,
+            self.y - pad,
+            self.w + 2.0 * pad,
+            self.h + 2.0 * pad,
+        )
     }
 
     /// The smallest rectangle containing both.

@@ -284,10 +284,7 @@ impl LogicTree {
 
     /// The node introducing `binding`, if any.
     pub fn owner_of(&self, binding: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .find(|n| n.defines(binding))
-            .map(|n| n.id)
+        self.nodes.iter().find(|n| n.defines(binding)).map(|n| n.id)
     }
 
     /// Look up a table by binding key.
@@ -360,8 +357,7 @@ impl LogicTree {
                 .map(|p| p.normalized().to_string())
                 .collect();
             preds.sort();
-            let mut kids: Vec<String> =
-                node.children.iter().map(|&c| node_fp(tree, c)).collect();
+            let mut kids: Vec<String> = node.children.iter().map(|&c| node_fp(tree, c)).collect();
             kids.sort();
             format!(
                 "{}{{T[{}]P[{}]C[{}]}}",
@@ -403,8 +399,7 @@ impl fmt::Display for LogicTree {
                 .iter()
                 .map(|t| format!("{} {}", t.table, t.alias))
                 .collect();
-            let preds: Vec<String> =
-                node.predicates.iter().map(|p| p.to_string()).collect();
+            let preds: Vec<String> = node.predicates.iter().map(|p| p.to_string()).collect();
             let quant = if node.is_root() {
                 String::new()
             } else {
@@ -420,8 +415,7 @@ impl fmt::Display for LogicTree {
                 let select: Vec<String> = tree.select.iter().map(|s| s.to_string()).collect();
                 writeln!(f, "{prefix}Selection Attributes: {{{}}}", select.join(", "))?;
                 if !tree.group_by.is_empty() {
-                    let group: Vec<String> =
-                        tree.group_by.iter().map(|g| g.to_string()).collect();
+                    let group: Vec<String> = tree.group_by.iter().map(|g| g.to_string()).collect();
                     writeln!(f, "{prefix}Group By: {{{}}}", group.join(", "))?;
                 }
             }

@@ -65,11 +65,9 @@ mod tests {
 
     #[test]
     fn qonly_becomes_forall_exists() {
-        let tree = lt(
-            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+        let tree = lt("SELECT F.person FROM Frequents F WHERE NOT EXISTS \
              (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
-             (SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))",
-        );
+             (SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))");
         let s = simplify(&tree);
         assert_eq!(s.node(1).quantifier, Quantifier::ForAll);
         assert_eq!(s.node(2).quantifier, Quantifier::Exists);
@@ -80,12 +78,10 @@ mod tests {
     fn branching_not_exists_untouched() {
         // A ∄ node with two ∄ children must not be rewritten (paper Fig. 10b:
         // L2 keeps ∄ because it has two children).
-        let tree = lt(
-            "SELECT A.a FROM A WHERE NOT EXISTS( \
+        let tree = lt("SELECT A.a FROM A WHERE NOT EXISTS( \
                SELECT * FROM B WHERE B.a = A.a \
                AND NOT EXISTS(SELECT * FROM C WHERE C.b = B.b) \
-               AND NOT EXISTS(SELECT * FROM D WHERE D.b = B.b))",
-        );
+               AND NOT EXISTS(SELECT * FROM D WHERE D.b = B.b))");
         let s = simplify(&tree);
         assert_eq!(s.node(1).quantifier, Quantifier::NotExists);
         // But the two grandchildren pairs are leaves, so they stay ∄ too.
@@ -95,8 +91,7 @@ mod tests {
 
     #[test]
     fn unique_set_matches_fig10b() {
-        let tree = lt(
-            "SELECT L1.drinker FROM Likes L1 WHERE NOT EXISTS( \
+        let tree = lt("SELECT L1.drinker FROM Likes L1 WHERE NOT EXISTS( \
                SELECT * FROM Likes L2 WHERE L1.drinker <> L2.drinker \
                AND NOT EXISTS( \
                  SELECT * FROM Likes L3 WHERE L3.drinker = L2.drinker \
@@ -107,8 +102,7 @@ mod tests {
                  SELECT * FROM Likes L5 WHERE L5.drinker = L1.drinker \
                  AND NOT EXISTS( \
                    SELECT * FROM Likes L6 WHERE L6.drinker = L2.drinker \
-                   AND L6.beer = L5.beer)))",
-        );
+                   AND L6.beer = L5.beer)))");
         let s = simplify(&tree);
         let quant_of = |alias: &str| {
             let id = s.owner_of(alias).unwrap();
@@ -124,13 +118,11 @@ mod tests {
 
     #[test]
     fn four_chain_alternates() {
-        let tree = lt(
-            "SELECT A.a FROM A WHERE NOT EXISTS( \
+        let tree = lt("SELECT A.a FROM A WHERE NOT EXISTS( \
               SELECT * FROM B WHERE B.a = A.a AND NOT EXISTS( \
                SELECT * FROM C WHERE C.b = B.b AND NOT EXISTS( \
                 SELECT * FROM D WHERE D.c = C.c AND NOT EXISTS( \
-                 SELECT * FROM E WHERE E.d = D.d))))",
-        );
+                 SELECT * FROM E WHERE E.d = D.d))))");
         let s = simplify(&tree);
         let quants: Vec<Quantifier> = (1..=4).map(|i| s.node(i).quantifier).collect();
         assert_eq!(
@@ -146,11 +138,9 @@ mod tests {
 
     #[test]
     fn exists_chain_untouched() {
-        let tree = lt(
-            "SELECT A.a FROM A WHERE EXISTS( \
+        let tree = lt("SELECT A.a FROM A WHERE EXISTS( \
              SELECT * FROM B WHERE B.a = A.a AND EXISTS( \
-             SELECT * FROM C WHERE C.b = B.b))",
-        );
+             SELECT * FROM C WHERE C.b = B.b))");
         let s = simplify(&tree);
         assert_eq!(s.node(1).quantifier, Quantifier::Exists);
         assert_eq!(s.node(2).quantifier, Quantifier::Exists);
@@ -159,11 +149,9 @@ mod tests {
 
     #[test]
     fn simplify_is_idempotent() {
-        let tree = lt(
-            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+        let tree = lt("SELECT F.person FROM Frequents F WHERE NOT EXISTS \
              (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
-             (SELECT L.drink FROM Likes L WHERE L.person = F.person))",
-        );
+             (SELECT L.drink FROM Likes L WHERE L.person = F.person))");
         let once = simplify(&tree);
         let twice = simplify(&once);
         assert_eq!(once, twice);

@@ -67,7 +67,10 @@ impl fmt::Display for TranslateError {
                 write!(f, "predicate compares two constants")
             }
             TranslateError::NestedAggregate => {
-                write!(f, "aggregates/GROUP BY are only supported in the root block")
+                write!(
+                    f,
+                    "aggregates/GROUP BY are only supported in the root block"
+                )
             }
         }
     }
@@ -261,11 +264,9 @@ impl<'a> Translator<'a> {
         rhs: &Operand,
     ) -> Result<LtPredicate, TranslateError> {
         match (lhs, rhs) {
-            (Operand::Column(l), Operand::Column(r)) => Ok(LtPredicate::join(
-                self.resolve(l)?,
-                op,
-                self.resolve(r)?,
-            )),
+            (Operand::Column(l), Operand::Column(r)) => {
+                Ok(LtPredicate::join(self.resolve(l)?, op, self.resolve(r)?))
+            }
             (Operand::Column(l), Operand::Value(v)) => {
                 Ok(LtPredicate::selection(self.resolve(l)?, op, v.clone()))
             }
@@ -285,10 +286,7 @@ impl<'a> Translator<'a> {
         match &column.table {
             Some(alias) => {
                 for scope in self.scopes.iter().rev() {
-                    if let Some(b) = scope
-                        .iter()
-                        .find(|b| b.alias.eq_ignore_ascii_case(alias))
-                    {
+                    if let Some(b) = scope.iter().find(|b| b.alias.eq_ignore_ascii_case(alias)) {
                         return Ok(AttrRef::new(b.key.clone(), column.column.clone()));
                     }
                 }
@@ -359,10 +357,8 @@ mod tests {
 
     #[test]
     fn conjunctive_query_single_node() {
-        let tree = lt(
-            "SELECT F.person FROM Frequents F, Likes L, Serves S \
-             WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink",
-        );
+        let tree = lt("SELECT F.person FROM Frequents F, Likes L, Serves S \
+             WHERE F.person = L.person AND F.bar = S.bar AND L.drink = S.drink");
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.root().tables.len(), 3);
         assert_eq!(tree.root().predicates.len(), 3);
@@ -371,10 +367,8 @@ mod tests {
 
     #[test]
     fn exists_becomes_child() {
-        let tree = lt(
-            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
-             (SELECT * FROM Serves S WHERE S.bar = F.bar)",
-        );
+        let tree = lt("SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar)");
         assert_eq!(tree.node_count(), 2);
         assert_eq!(tree.node(1).quantifier, Quantifier::NotExists);
         assert_eq!(tree.node(1).depth, 1);
@@ -383,10 +377,8 @@ mod tests {
 
     #[test]
     fn in_subquery_desugars_to_exists_with_equality() {
-        let tree = lt(
-            "SELECT S.sname FROM Sailor S WHERE S.sid IN \
-             (SELECT R.sid FROM Reserves R)",
-        );
+        let tree = lt("SELECT S.sname FROM Sailor S WHERE S.sid IN \
+             (SELECT R.sid FROM Reserves R)");
         assert_eq!(tree.node(1).quantifier, Quantifier::Exists);
         let p = &tree.node(1).predicates[0];
         assert_eq!(p.lhs, AttrRef::new("S", "sid"));
@@ -396,19 +388,15 @@ mod tests {
 
     #[test]
     fn not_in_desugars_to_not_exists() {
-        let tree = lt(
-            "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN \
-             (SELECT R.sid FROM Reserves R)",
-        );
+        let tree = lt("SELECT S.sname FROM Sailor S WHERE S.sid NOT IN \
+             (SELECT R.sid FROM Reserves R)");
         assert_eq!(tree.node(1).quantifier, Quantifier::NotExists);
     }
 
     #[test]
     fn all_desugars_to_not_exists_with_negated_op() {
-        let tree = lt(
-            "SELECT T.TrackId FROM Track T WHERE T.ms >= ALL \
-             (SELECT T2.ms FROM Track T2)",
-        );
+        let tree = lt("SELECT T.TrackId FROM Track T WHERE T.ms >= ALL \
+             (SELECT T2.ms FROM Track T2)");
         assert_eq!(tree.node(1).quantifier, Quantifier::NotExists);
         let p = &tree.node(1).predicates[0];
         assert_eq!(p.op, CompareOp::Lt); // ¬(>=) = <
@@ -416,41 +404,31 @@ mod tests {
 
     #[test]
     fn negated_any_desugars_to_not_exists() {
-        let tree = lt(
-            "SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY \
-             (SELECT R.sid FROM Reserves R)",
-        );
+        let tree = lt("SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY \
+             (SELECT R.sid FROM Reserves R)");
         assert_eq!(tree.node(1).quantifier, Quantifier::NotExists);
         assert_eq!(tree.node(1).predicates[0].op, CompareOp::Eq);
     }
 
     #[test]
     fn fig24_variants_share_fingerprint() {
-        let v1 = lt(
-            "SELECT S.sname FROM Sailor S WHERE NOT EXISTS( \
+        let v1 = lt("SELECT S.sname FROM Sailor S WHERE NOT EXISTS( \
              SELECT * FROM Reserves R WHERE R.sid = S.sid AND NOT EXISTS( \
-             SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))",
-        );
-        let v2 = lt(
-            "SELECT S.sname FROM Sailor S WHERE S.sid NOT IN( \
+             SELECT * FROM Boat B WHERE B.color = 'red' AND R.bid = B.bid))");
+        let v2 = lt("SELECT S.sname FROM Sailor S WHERE S.sid NOT IN( \
              SELECT R.sid FROM Reserves R WHERE R.bid NOT IN( \
-             SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
-        );
-        let v3 = lt(
-            "SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY( \
+             SELECT B.bid FROM Boat B WHERE B.color = 'red'))");
+        let v3 = lt("SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY( \
              SELECT R.sid FROM Reserves R WHERE NOT R.bid = ANY( \
-             SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
-        );
+             SELECT B.bid FROM Boat B WHERE B.color = 'red'))");
         assert!(v1.structural_eq(&v2), "\n{v1}\nvs\n{v2}");
         assert!(v2.structural_eq(&v3), "\n{v2}\nvs\n{v3}");
     }
 
     #[test]
     fn shadowed_alias_gets_unique_key() {
-        let tree = lt(
-            "SELECT L.drinker FROM Likes L WHERE NOT EXISTS \
-             (SELECT * FROM Serves L WHERE L.bar = 'Owl')",
-        );
+        let tree = lt("SELECT L.drinker FROM Likes L WHERE NOT EXISTS \
+             (SELECT * FROM Serves L WHERE L.bar = 'Owl')");
         assert_eq!(tree.node(0).tables[0].key, "L");
         assert_eq!(tree.node(1).tables[0].key, "L#2");
         // The inner predicate must reference the inner (shadowing) binding.
@@ -474,10 +452,8 @@ mod tests {
 
     #[test]
     fn unqualified_resolution_with_schema() {
-        let q = parse_query(
-            "SELECT drinker FROM Frequents F, Serves S WHERE F.bar = S.bar",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT drinker FROM Frequents F, Serves S WHERE F.bar = S.bar").unwrap();
         let tree = translate(&q, Some(&beers_schema())).unwrap();
         // `drinker` exists only on Frequents.
         match &tree.select[0] {
@@ -500,23 +476,26 @@ mod tests {
 
     #[test]
     fn nested_aggregate_rejected() {
-        let q = parse_query(
-            "SELECT T.a FROM T WHERE EXISTS (SELECT COUNT(S.x) FROM S GROUP BY S.x)",
-        )
-        .unwrap();
-        assert_eq!(translate(&q, None).unwrap_err(), TranslateError::NestedAggregate);
+        let q =
+            parse_query("SELECT T.a FROM T WHERE EXISTS (SELECT COUNT(S.x) FROM S GROUP BY S.x)")
+                .unwrap();
+        assert_eq!(
+            translate(&q, None).unwrap_err(),
+            TranslateError::NestedAggregate
+        );
     }
 
     #[test]
     fn group_by_recorded_on_tree() {
-        let tree = lt(
-            "SELECT T.AlbumId, MAX(T.ms) FROM Track T GROUP BY T.AlbumId",
-        );
+        let tree = lt("SELECT T.AlbumId, MAX(T.ms) FROM Track T GROUP BY T.AlbumId");
         assert_eq!(tree.group_by.len(), 1);
         assert_eq!(tree.select.len(), 2);
         assert!(matches!(
             tree.select[1],
-            SelectAttr::Aggregate { func: queryvis_sql::AggFunc::Max, .. }
+            SelectAttr::Aggregate {
+                func: queryvis_sql::AggFunc::Max,
+                ..
+            }
         ));
     }
 }

@@ -137,11 +137,9 @@ mod tests {
 
     #[test]
     fn well_formed_query_passes() {
-        let tree = lt(
-            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+        let tree = lt("SELECT F.person FROM Frequents F WHERE NOT EXISTS \
              (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
-             (SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))",
-        );
+             (SELECT L.drink FROM Likes L WHERE L.person = F.person AND S.drink = L.drink))");
         check_non_degenerate(&tree).unwrap();
         check_valid_diagram_source(&tree).unwrap();
     }
@@ -151,10 +149,8 @@ mod tests {
         // §5.1: the predicate F.bar = 'Owl' sits in the Serves block but
         // references only the outer Frequents binding — a smuggled
         // disjunction.
-        let tree = lt(
-            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
-             (SELECT * FROM Serves S WHERE S.bar = F.bar AND F.bar = 'Owl')",
-        );
+        let tree = lt("SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar AND F.bar = 'Owl')");
         let err = check_non_degenerate(&tree).unwrap_err();
         assert!(
             matches!(err, DegeneracyError::NonLocalPredicate { node: 1, .. }),
@@ -165,10 +161,8 @@ mod tests {
     #[test]
     fn non_local_join_predicate_detected() {
         // Both sides of the join live in ancestor blocks.
-        let tree = lt(
-            "SELECT A.x FROM A, B WHERE A.x = B.x AND NOT EXISTS \
-             (SELECT * FROM C WHERE A.y = B.y)",
-        );
+        let tree = lt("SELECT A.x FROM A, B WHERE A.x = B.x AND NOT EXISTS \
+             (SELECT * FROM C WHERE A.y = B.y)");
         let err = check_local_attributes(&tree).unwrap_err();
         assert!(matches!(err, DegeneracyError::NonLocalPredicate { .. }));
     }
@@ -176,10 +170,8 @@ mod tests {
     #[test]
     fn disconnected_block_detected() {
         // The subquery never references the outer block.
-        let tree = lt(
-            "SELECT A.x FROM A WHERE NOT EXISTS \
-             (SELECT * FROM B WHERE B.y = 'z')",
-        );
+        let tree = lt("SELECT A.x FROM A WHERE NOT EXISTS \
+             (SELECT * FROM B WHERE B.y = 'z')");
         let err = check_connected_subqueries(&tree).unwrap_err();
         assert_eq!(err, DegeneracyError::DisconnectedBlock { node: 1 });
     }
@@ -188,36 +180,30 @@ mod tests {
     fn grandchild_bridge_satisfies_property_52() {
         // Block B does not reference A directly, but its only child C
         // references both B and A — the second arm of Property 5.2.
-        let tree = lt(
-            "SELECT A.x FROM A WHERE NOT EXISTS( \
+        let tree = lt("SELECT A.x FROM A WHERE NOT EXISTS( \
                SELECT * FROM B WHERE B.k = 1 AND NOT EXISTS( \
-                 SELECT * FROM C WHERE C.u = B.u AND C.v = A.v))",
-        );
+                 SELECT * FROM C WHERE C.u = B.u AND C.v = A.v))");
         check_connected_subqueries(&tree).unwrap();
     }
 
     #[test]
     fn grandchild_bridge_must_cover_all_children() {
         // Two children; only one bridges to the grandparent.
-        let tree = lt(
-            "SELECT A.x FROM A WHERE NOT EXISTS( \
+        let tree = lt("SELECT A.x FROM A WHERE NOT EXISTS( \
                SELECT * FROM B WHERE B.k = 1 \
                AND NOT EXISTS(SELECT * FROM C WHERE C.u = B.u AND C.v = A.v) \
-               AND NOT EXISTS(SELECT * FROM D WHERE D.u = B.u))",
-        );
+               AND NOT EXISTS(SELECT * FROM D WHERE D.u = B.u))");
         let err = check_connected_subqueries(&tree).unwrap_err();
         assert_eq!(err, DegeneracyError::DisconnectedBlock { node: 1 });
     }
 
     #[test]
     fn depth_bound_enforced() {
-        let tree = lt(
-            "SELECT A.a FROM A WHERE NOT EXISTS( \
+        let tree = lt("SELECT A.a FROM A WHERE NOT EXISTS( \
               SELECT * FROM B WHERE B.a = A.a AND NOT EXISTS( \
                SELECT * FROM C WHERE C.b = B.b AND NOT EXISTS( \
                 SELECT * FROM D WHERE D.c = C.c AND NOT EXISTS( \
-                 SELECT * FROM E WHERE E.d = D.d))))",
-        );
+                 SELECT * FROM E WHERE E.d = D.d))))");
         assert_eq!(
             check_valid_diagram_source(&tree).unwrap_err(),
             DegeneracyError::TooDeep { depth: 4 }

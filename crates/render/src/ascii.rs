@@ -91,16 +91,10 @@ pub fn to_ascii(diagram: &Diagram) -> String {
             let from = &diagram.tables[edge.from.table];
             let to = &diagram.tables[edge.to.table];
             let arrow = if edge.directed { "-->" } else { "---" };
-            let label = edge
-                .label
-                .map(|op| format!(" [{op}]"))
-                .unwrap_or_default();
+            let label = edge.label.map(|op| format!(" [{op}]")).unwrap_or_default();
             out.push_str(&format!(
                 "{}.{} {arrow} {}.{}{label}\n",
-                from.alias,
-                from.rows[edge.from.row].column,
-                to.alias,
-                to.rows[edge.to.row].column,
+                from.alias, from.rows[edge.from.row].column, to.alias, to.rows[edge.to.row].column,
             ));
         }
     }

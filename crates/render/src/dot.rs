@@ -17,9 +17,8 @@ fn html_escape(text: &str) -> String {
 
 fn table_label(diagram: &Diagram, id: TableId) -> String {
     let table = &diagram.tables[id];
-    let mut out = String::from(
-        r#"<<table border="0" cellborder="1" cellspacing="0" cellpadding="4">"#,
-    );
+    let mut out =
+        String::from(r#"<<table border="0" cellborder="1" cellspacing="0" cellpadding="4">"#);
     let (bg, fg) = if table.is_select {
         ("#bdbdbd", "black")
     } else {

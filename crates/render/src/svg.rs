@@ -83,12 +83,7 @@ pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
             }
             Quantifier::ForAll => {
                 // Double line: two nested rounded rects.
-                let inner = queryvis_layout::Rect::new(
-                    r.x + 3.0,
-                    r.y + 3.0,
-                    r.w - 6.0,
-                    r.h - 6.0,
-                );
+                let inner = queryvis_layout::Rect::new(r.x + 3.0, r.y + 3.0, r.w - 6.0, r.h - 6.0);
                 let _ = writeln!(
                     out,
                     r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="8" fill="none" stroke="{}" stroke-width="1.5" class="box for-all"/>"#,
@@ -213,7 +208,10 @@ mod tests {
         assert_eq!(s.matches("<svg").count(), 1);
         // Every mark element is self-closing; nothing is left unterminated.
         for tag in ["<rect", "<line", "<text", "<path"] {
-            assert!(s.matches(tag).count() > 0 || tag == "<path", "{tag} missing");
+            assert!(
+                s.matches(tag).count() > 0 || tag == "<path",
+                "{tag} missing"
+            );
         }
         assert_eq!(s.matches("<text").count(), s.matches("</text>").count());
     }
@@ -241,20 +239,14 @@ mod tests {
 
     #[test]
     fn selection_row_highlighted() {
-        let s = svg(
-            "SELECT B.bid FROM Boat B WHERE B.color = 'red'",
-            false,
-        );
+        let s = svg("SELECT B.bid FROM Boat B WHERE B.color = 'red'", false);
         assert!(s.contains("#ffe9a8"));
         assert!(s.contains("color = &apos;red&apos;"));
     }
 
     #[test]
     fn label_rendered_for_inequality() {
-        let s = svg(
-            "SELECT A.x FROM T A, T B WHERE A.x <> B.x",
-            false,
-        );
+        let s = svg("SELECT A.x FROM T A, T B WHERE A.x <> B.x", false);
         assert!(s.contains("&lt;&gt;"));
     }
 

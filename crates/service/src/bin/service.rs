@@ -1,0 +1,243 @@
+//! `service` — the JSON-lines front end of the diagram-compilation service.
+//!
+//! Reads one request per stdin line, writes one response per stdout line
+//! (in request order, byte-identical for any `--threads` value), and with
+//! `--stats` prints one JSON stats line per pass to **stderr**, so stdout
+//! stays a pure response stream.
+//!
+//! ```text
+//! Usage: service [OPTIONS]
+//!   --threads N        worker threads for batch execution      [default: 1]
+//!   --capacity N       total cache entries across shards       [default: 4096]
+//!   --shards N         cache shard count                       [default: 16]
+//!   --passes N         run the whole input batch N times       [default: 1]
+//!   --format LIST      default formats for requests without a
+//!                      `formats` field, comma-separated        [default: ascii]
+//!   --corpus           serve the built-in paper corpus instead of stdin
+//!   --stats            print per-pass stats JSON to stderr
+//!   --help             this text
+//! ```
+//!
+//! The cache persists across passes, so `--passes 2 --stats` demonstrates
+//! the steady-state hit rate: pass 2 of any fixed batch is 100 % hits.
+
+use queryvis_service::{
+    paper_corpus_requests, CacheConfig, DiagramService, Format, Request, Response, ServiceConfig,
+    ServiceStats,
+};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+struct Cli {
+    threads: usize,
+    capacity: usize,
+    shards: usize,
+    passes: usize,
+    default_formats: Vec<Format>,
+    corpus: bool,
+    stats: bool,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        threads: 1,
+        capacity: 4096,
+        shards: 16,
+        passes: 1,
+        default_formats: vec![Format::Ascii],
+        corpus: false,
+        stats: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut number = |name: &str| -> Result<usize, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|_| format!("{name} needs an unsigned integer"))
+        };
+        match arg.as_str() {
+            "--threads" => cli.threads = number("--threads")?.max(1),
+            "--capacity" => cli.capacity = number("--capacity")?.max(1),
+            "--shards" => cli.shards = number("--shards")?.max(1),
+            "--passes" => cli.passes = number("--passes")?.max(1),
+            "--format" => {
+                let list = args.next().ok_or("--format needs a value")?;
+                cli.default_formats = list
+                    .split(',')
+                    .map(|name| {
+                        Format::parse(name.trim()).ok_or_else(|| format!("unknown format `{name}`"))
+                    })
+                    .collect::<Result<Vec<Format>, String>>()?;
+            }
+            "--corpus" => cli.corpus = true,
+            "--stats" => cli.stats = true,
+            "--help" | "-h" => {
+                println!("{}", USAGE.trim());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(cli)
+}
+
+const USAGE: &str = "
+service — QueryVis diagram-compilation service (JSON lines on stdin/stdout)
+
+  --threads N    worker threads for batch execution      [default: 1]
+  --capacity N   total cache entries across shards       [default: 4096]
+  --shards N     cache shard count                       [default: 16]
+  --passes N     run the whole input batch N times       [default: 1]
+  --format LIST  default formats (comma-separated from
+                 ascii,dot,svg,reading)                  [default: ascii]
+  --corpus       serve the built-in paper corpus instead of stdin
+  --stats        print per-pass stats JSON to stderr
+
+Request lines:  {\"id\": 1, \"sql\": \"SELECT T.a FROM T\", \"formats\": [\"ascii\"]}
+Response lines: {\"id\":1,\"fingerprint\":\"…\",\"sql_words\":4,\"artifacts\":{\"ascii\":\"…\"}}
+";
+
+/// Read the whole input batch. Malformed lines become pre-built error
+/// responses so they still produce exactly one output line at the right
+/// position.
+fn read_requests(corpus: bool, formats: &[Format]) -> (Vec<Request>, Vec<(usize, Response)>) {
+    if corpus {
+        return (paper_corpus_requests(formats), Vec::new());
+    }
+    let stdin = std::io::stdin();
+    let mut requests = Vec::new();
+    let mut bad_lines = Vec::new();
+    let mut position = 0usize;
+    for (line_no, line) in stdin.lock().lines().enumerate() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("service: stdin read error: {e}");
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::from_json_line(&line, line_no as u64) {
+            Ok(request) => requests.push(request),
+            Err(message) => bad_lines.push((
+                position,
+                Response::error(line_no as u64, format!("bad request: {message}")),
+            )),
+        }
+        position += 1;
+    }
+    (requests, bad_lines)
+}
+
+fn stats_line(
+    pass: usize,
+    stats: &ServiceStats,
+    delta_hits: u64,
+    delta_lookups: u64,
+    elapsed_secs: f64,
+    batch_len: usize,
+) -> String {
+    use queryvis_service::json::Json;
+    let pass_hit_rate = if delta_lookups > 0 {
+        delta_hits as f64 / delta_lookups as f64
+    } else {
+        0.0
+    };
+    let qps = if elapsed_secs > 0.0 {
+        batch_len as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    Json::Obj(vec![
+        ("pass".into(), Json::Num(pass as f64)),
+        ("requests".into(), Json::Num(stats.requests as f64)),
+        ("compiles".into(), Json::Num(stats.compiles as f64)),
+        ("coalesced".into(), Json::Num(stats.coalesced as f64)),
+        ("errors".into(), Json::Num(stats.errors as f64)),
+        ("cache_hits".into(), Json::Num(stats.cache.hits as f64)),
+        ("cache_misses".into(), Json::Num(stats.cache.misses as f64)),
+        (
+            "cache_evictions".into(),
+            Json::Num(stats.cache.evictions as f64),
+        ),
+        (
+            "cache_entries".into(),
+            Json::Num(stats.cache.entries as f64),
+        ),
+        (
+            "pass_hit_rate".into(),
+            Json::Num((pass_hit_rate * 1e4).round() / 1e4),
+        ),
+        (
+            "elapsed_ms".into(),
+            Json::Num((elapsed_secs * 1e5).round() / 1e2),
+        ),
+        ("qps".into(), Json::Num(qps.round())),
+    ])
+    .to_string()
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("service: {message}");
+            std::process::exit(2);
+        }
+    };
+    let service = DiagramService::new(ServiceConfig {
+        cache: CacheConfig {
+            capacity: cli.capacity,
+            shards: cli.shards,
+        },
+        options: Default::default(),
+        default_formats: cli.default_formats.clone(),
+    });
+    let (requests, bad_lines) = read_requests(cli.corpus, &cli.default_formats);
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for pass in 1..=cli.passes {
+        let before = service.stats();
+        let start = Instant::now();
+        let responses = service.execute_batch(&requests, cli.threads);
+        let elapsed = start.elapsed().as_secs_f64();
+        let after = service.stats();
+
+        // Interleave computed responses with the pre-built error lines at
+        // their original input positions.
+        let mut bad = bad_lines.iter().peekable();
+        let mut written = 0usize;
+        for (slot, response) in responses.iter().enumerate() {
+            while bad.peek().is_some_and(|(pos, _)| *pos == written + slot) {
+                let (_, error) = bad.next().expect("peeked");
+                writeln!(out, "{}", error.to_json_line()).expect("stdout write");
+                written += 1;
+            }
+            writeln!(out, "{}", response.to_json_line()).expect("stdout write");
+        }
+        for (_, error) in bad {
+            writeln!(out, "{}", error.to_json_line()).expect("stdout write");
+        }
+        out.flush().expect("stdout flush");
+
+        if cli.stats {
+            let delta_hits = after.cache.hits - before.cache.hits;
+            let delta_lookups = delta_hits + (after.cache.misses - before.cache.misses);
+            eprintln!(
+                "{}",
+                stats_line(
+                    pass,
+                    &after,
+                    delta_hits,
+                    delta_lookups,
+                    elapsed,
+                    requests.len()
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! A sharded LRU cache for compiled diagrams.
+//!
+//! Keys are pattern [`Fingerprint`]s; values are [`Arc`]s of immutable
+//! [`CompiledEntry`]s whose rendered artifacts materialize lazily per
+//! format. Sharding (fingerprint high bits → shard) keeps lock hold times
+//! short under concurrent batch execution: each shard is an independent
+//! `Mutex<LruState>` with its own capacity slice and hit/miss/eviction
+//! counters.
+//!
+//! The LRU list is intrusive over a slab (`Vec` of nodes with prev/next
+//! indices and a free list), so `get` and `insert` are O(1) with no
+//! per-operation allocation beyond the entry itself.
+
+use crate::compile::CompiledEntry;
+use crate::fingerprint::Fingerprint;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Total entries across all shards.
+    pub capacity: usize,
+    /// Number of independent shards.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 4096,
+            shards: 16,
+        }
+    }
+}
+
+/// Aggregated counters across all shards (one consistent-ish snapshot;
+/// each shard is read under its own lock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub entries: usize,
+    pub capacity: usize,
+    pub shards: usize,
+}
+
+impl CacheStats {
+    /// Hits over lookups, `None` before the first lookup.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let lookups = self.hits + self.misses;
+        (lookups > 0).then(|| self.hits as f64 / lookups as f64)
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: u128,
+    value: Arc<CompiledEntry>,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an LRU list over a slab plus its counters.
+struct LruState {
+    map: HashMap<u128, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruState {
+    fn new(capacity: usize) -> LruState {
+        LruState {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn get(&mut self, key: u128) -> Option<Arc<CompiledEntry>> {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(Arc::clone(&self.slab[idx].value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u128, value: Arc<CompiledEntry>) -> Arc<CompiledEntry> {
+        if let Some(idx) = self.map.get(&key).copied() {
+            // Racing compilers can insert the same fingerprint twice; keep
+            // the incumbent (first insert wins) and just refresh recency.
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return Arc::clone(&self.slab[idx].value);
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 guaranteed by constructor");
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let resident = Arc::clone(&value);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slab[idx] = Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                idx
+            }
+            None => {
+                self.slab.push(Node {
+                    key,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        resident
+    }
+}
+
+/// The sharded cache.
+pub struct ShardedCache {
+    shards: Vec<Mutex<LruState>>,
+}
+
+impl ShardedCache {
+    pub fn new(config: CacheConfig) -> ShardedCache {
+        let shards = config.shards.max(1);
+        // Distribute capacity across shards, at least one entry each.
+        let per_shard = config.capacity.div_ceil(shards).max(1);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruState::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fingerprint: Fingerprint) -> &Mutex<LruState> {
+        &self.shards[fingerprint.shard(self.shards.len())]
+    }
+
+    /// Look up a fingerprint, refreshing recency. Counts a hit or a miss.
+    pub fn get(&self, fingerprint: Fingerprint) -> Option<Arc<CompiledEntry>> {
+        self.shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(fingerprint.0)
+    }
+
+    /// Insert a compiled entry, evicting the shard's LRU entry if full.
+    /// Returns the entry now resident under the key: if racing compilers
+    /// insert the same fingerprint, the incumbent is kept and returned, so
+    /// every caller ends up serving the same entry.
+    pub fn insert(
+        &self,
+        fingerprint: Fingerprint,
+        value: Arc<CompiledEntry>,
+    ) -> Arc<CompiledEntry> {
+        self.shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(fingerprint.0, value)
+    }
+
+    /// Look up without touching recency or counters. Used where a lookup
+    /// is a consistency re-check rather than request traffic (e.g. the
+    /// owner's post-claim re-check in the in-flight path).
+    pub fn peek(&self, fingerprint: Fingerprint) -> Option<Arc<CompiledEntry>> {
+        let state = self
+            .shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned");
+        state
+            .map
+            .get(&fingerprint.0)
+            .map(|idx| Arc::clone(&state.slab[*idx].value))
+    }
+
+    /// Peek without touching recency or counters (used by tests/stats).
+    pub fn contains(&self, fingerprint: Fingerprint) -> bool {
+        self.shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .map
+            .contains_key(&fingerprint.0)
+    }
+
+    /// Aggregate counters across shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            shards: self.shards.len(),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let state = shard.lock().expect("cache shard poisoned");
+            stats.hits += state.hits;
+            stats.misses += state.misses;
+            stats.evictions += state.evictions;
+            stats.entries += state.map.len();
+            stats.capacity += state.capacity;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_representative;
+    use crate::fingerprint::fingerprint_sql;
+    use queryvis::QueryVisOptions;
+
+    fn entry(sql: &str) -> (Fingerprint, Arc<CompiledEntry>) {
+        let fq = fingerprint_sql(sql, QueryVisOptions::default()).unwrap();
+        let fp = fq.fingerprint;
+        (fp, Arc::new(compile_representative(fq)))
+    }
+
+    fn synthetic_key(i: u64) -> Fingerprint {
+        Fingerprint(u128::from(i) << 64 | u128::from(i))
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = ShardedCache::new(CacheConfig::default());
+        let (fp, value) = entry("SELECT T.a FROM T");
+        assert!(cache.get(fp).is_none());
+        cache.insert(fp, value);
+        assert!(cache.get(fp).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_a_shard() {
+        // Single shard of capacity 2 so recency order is easy to steer.
+        let cache = ShardedCache::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        let (_, value) = entry("SELECT T.a FROM T");
+        let (a, b, c) = (synthetic_key(1), synthetic_key(2), synthetic_key(3));
+        cache.insert(a, Arc::clone(&value));
+        cache.insert(b, Arc::clone(&value));
+        // Touch `a` so `b` is now least recently used.
+        assert!(cache.get(a).is_some());
+        cache.insert(c, Arc::clone(&value));
+        assert!(cache.contains(a));
+        assert!(!cache.contains(b), "b was LRU and must be evicted");
+        assert!(cache.contains(c));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_keeps_incumbent_and_counts_nothing() {
+        let cache = ShardedCache::new(CacheConfig {
+            capacity: 4,
+            shards: 1,
+        });
+        let (fp, value) = entry("SELECT T.a FROM T");
+        cache.insert(fp, Arc::clone(&value));
+        let incumbent = cache.get(fp).unwrap();
+        let (_, other) = entry("SELECT T.a FROM T");
+        let resident = cache.insert(fp, other);
+        assert!(
+            Arc::ptr_eq(&resident, &incumbent),
+            "insert returns incumbent"
+        );
+        assert!(Arc::ptr_eq(&cache.get(fp).unwrap(), &incumbent));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn eviction_reuses_slab_slots() {
+        let cache = ShardedCache::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        let (_, value) = entry("SELECT T.a FROM T");
+        for i in 0..100 {
+            cache.insert(synthetic_key(i), Arc::clone(&value));
+        }
+        let state = cache.shards[0].lock().unwrap();
+        assert!(state.slab.len() <= 3, "slab grew: {}", state.slab.len());
+        assert_eq!(state.map.len(), 2);
+    }
+
+    #[test]
+    fn shards_partition_the_keyspace() {
+        let cache = ShardedCache::new(CacheConfig {
+            capacity: 64,
+            shards: 8,
+        });
+        let (_, value) = entry("SELECT T.a FROM T");
+        for i in 0..64u64 {
+            cache.insert(Fingerprint(u128::from(i) << 64), Arc::clone(&value));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 64);
+        assert_eq!(stats.shards, 8);
+        assert_eq!(stats.evictions, 0);
+    }
+}

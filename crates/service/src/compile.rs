@@ -1,0 +1,130 @@
+//! Compiled cache entries: the diagram plus lazily rendered artifacts.
+//!
+//! An entry is immutable once built; the rendered strings materialize on
+//! first request per format behind [`OnceLock`]s, so a pattern that is only
+//! ever served as ASCII never pays for SVG layout text, while concurrent
+//! renderers of the same entry do the work exactly once.
+//!
+//! **Representative semantics.** Entries are keyed by canonical-pattern
+//! fingerprint, and pattern-equivalent queries (alias renames, predicate
+//! reordering, even schema swaps — paper App. G) share one entry. The
+//! diagram and artifacts are rendered from the *pattern representative*:
+//! the first query of the pattern to be compiled. That is exactly the
+//! deduplication the paper licenses — "the visual diagram remains the same
+//! for queries with identical logical patterns" — traded at the granularity
+//! of whole diagrams, concrete label text included.
+
+use crate::fingerprint::{Fingerprint, FingerprintedQuery};
+use crate::protocol::Format;
+use queryvis::diagram::DiagramStats;
+use queryvis::QueryVis;
+use std::sync::OnceLock;
+
+/// A compiled pattern: the finished pipeline result for the pattern's
+/// representative query, with per-format render caches.
+pub struct CompiledEntry {
+    fingerprint: Fingerprint,
+    pattern: String,
+    qv: QueryVis,
+    ascii: OnceLock<String>,
+    dot: OnceLock<String>,
+    svg: OnceLock<String>,
+    reading: OnceLock<String>,
+}
+
+impl CompiledEntry {
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// The canonical pattern string this entry serves.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The SQL of the representative query the artifacts were rendered from.
+    pub fn representative_sql(&self) -> &str {
+        &self.qv.sql
+    }
+
+    /// Mark/channel statistics of the diagram (§4.8).
+    pub fn stats(&self) -> DiagramStats {
+        self.qv.stats()
+    }
+
+    /// Render (or fetch the memoized) artifact for one format.
+    pub fn render(&self, format: Format) -> &str {
+        match format {
+            Format::Ascii => self.ascii.get_or_init(|| self.qv.ascii()),
+            Format::Dot => self.dot.get_or_init(|| self.qv.dot()),
+            Format::Svg => self.svg.get_or_init(|| self.qv.svg()),
+            Format::Reading => self.reading.get_or_init(|| self.qv.reading()),
+        }
+    }
+
+    /// Which formats have been rendered so far (observability only).
+    pub fn rendered_formats(&self) -> Vec<Format> {
+        let mut formats = Vec::new();
+        for (format, slot) in [
+            (Format::Ascii, &self.ascii),
+            (Format::Dot, &self.dot),
+            (Format::Svg, &self.svg),
+            (Format::Reading, &self.reading),
+        ] {
+            if slot.get().is_some() {
+                formats.push(format);
+            }
+        }
+        formats
+    }
+}
+
+/// Run the expensive back half of the pipeline for a pattern representative.
+pub fn compile_representative(fingerprinted: FingerprintedQuery) -> CompiledEntry {
+    let FingerprintedQuery {
+        prepared,
+        pattern,
+        fingerprint,
+    } = fingerprinted;
+    CompiledEntry {
+        fingerprint,
+        pattern,
+        qv: prepared.complete(),
+        ascii: OnceLock::new(),
+        dot: OnceLock::new(),
+        svg: OnceLock::new(),
+        reading: OnceLock::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint_sql;
+    use queryvis::QueryVisOptions;
+
+    fn compiled(sql: &str) -> CompiledEntry {
+        compile_representative(fingerprint_sql(sql, QueryVisOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn artifacts_render_lazily_and_memoize() {
+        let entry = compiled("SELECT F.person FROM Frequents F WHERE F.bar = 'Owl'");
+        assert!(entry.rendered_formats().is_empty());
+        let first = entry.render(Format::Ascii) as *const str;
+        assert_eq!(entry.rendered_formats(), vec![Format::Ascii]);
+        let second = entry.render(Format::Ascii) as *const str;
+        assert_eq!(first, second, "memoized render must be reused");
+        assert!(entry.render(Format::Svg).starts_with("<svg"));
+        assert!(entry.render(Format::Dot).starts_with("digraph"));
+        assert!(entry.render(Format::Reading).starts_with("Return"));
+    }
+
+    #[test]
+    fn entry_remembers_its_identity() {
+        let entry = compiled("SELECT T.a FROM T");
+        assert_eq!(entry.representative_sql(), "SELECT T.a FROM T");
+        assert!(entry.pattern().starts_with("S["));
+        assert!(entry.stats().visual_elements() > 0);
+    }
+}

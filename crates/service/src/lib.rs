@@ -1,0 +1,105 @@
+//! # queryvis-service
+//!
+//! A high-throughput diagram-compilation service over the `queryvis`
+//! pipeline, built on the paper's observation that *queries sharing a
+//! logical pattern share one diagram* (§1.1, App. G): the serving layer
+//! canonicalizes each query, hashes the pattern into a stable 128-bit
+//! [`Fingerprint`], and deduplicates all compilation work behind it.
+//!
+//! Architecture (front half always runs, back half only on cache misses):
+//!
+//! ```text
+//! SQL text → parse → translate → canonical pattern → fingerprint
+//!                                                     │ sharded LRU cache
+//!                                                     │  miss → simplify →
+//!                                                     │  diagram → layout →
+//!                                                     │  render (lazy/format)
+//!                                                     └→ artifacts
+//! ```
+//!
+//! * [`fingerprint`] — canonical-pattern cache keys;
+//! * [`cache`] — the N-shard mutex-striped LRU with hit/miss/eviction
+//!   counters;
+//! * [`compile`] — immutable compiled entries (pattern representatives)
+//!   with lazily rendered per-format artifacts;
+//! * [`service`] — [`DiagramService`]: single-request serving with
+//!   in-flight deduplication, plus the deterministic batch executor;
+//! * [`executor`] — the fixed thread pool primitive;
+//! * [`protocol`] / [`json`] — the JSON-lines wire format of the
+//!   `service` binary (see the repository `README.md` for examples).
+
+pub mod cache;
+pub mod compile;
+pub mod executor;
+pub mod fingerprint;
+pub mod json;
+pub mod protocol;
+pub mod service;
+
+pub use cache::{CacheConfig, CacheStats, ShardedCache};
+pub use compile::{compile_representative, CompiledEntry};
+pub use fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
+pub use protocol::{Artifacts, Format, Request, Response};
+pub use service::{DiagramService, ServiceConfig, ServiceStats};
+
+/// Every query of the paper corpus as a request batch — the standard
+/// workload of the `service` binary's `--corpus` mode and the throughput
+/// benchmark. Ids are assigned in corpus order.
+pub fn paper_corpus_requests(formats: &[Format]) -> Vec<Request> {
+    let mut sqls: Vec<String> = Vec::new();
+    sqls.push(queryvis_corpus::unique_set_sql().to_string());
+    sqls.push(queryvis_corpus::qsome_sql().to_string());
+    sqls.push(queryvis_corpus::qonly_sql().to_string());
+    sqls.extend(
+        queryvis_corpus::sailors_only_variants()
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    sqls.extend(
+        queryvis_corpus::pattern_grid()
+            .iter()
+            .map(|q| q.sql.clone()),
+    );
+    sqls.extend(
+        queryvis_corpus::study_questions()
+            .iter()
+            .map(|q| q.sql.to_string()),
+    );
+    sqls.extend(
+        queryvis_corpus::qualification_questions()
+            .iter()
+            .map(|q| q.sql.to_string()),
+    );
+    sqls.extend(
+        queryvis_corpus::tutorial_examples()
+            .iter()
+            .map(|e| e.sql.to_string()),
+    );
+    sqls.into_iter()
+        .enumerate()
+        .map(|(i, sql)| Request {
+            id: i as u64,
+            sql,
+            formats: formats.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_batch_is_substantial_and_well_formed() {
+        let requests = paper_corpus_requests(&[Format::Ascii]);
+        assert!(
+            requests.len() >= 36,
+            "corpus has {} queries",
+            requests.len()
+        );
+        for (i, r) in requests.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(!r.sql.is_empty());
+        }
+    }
+}

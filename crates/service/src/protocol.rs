@@ -1,0 +1,258 @@
+//! The JSON-lines request/response protocol of the `service` binary.
+//!
+//! One request per input line, one response per output line, matched by
+//! `id`. Requests:
+//!
+//! ```json
+//! {"id": 7, "sql": "SELECT T.a FROM T", "formats": ["ascii", "svg"]}
+//! ```
+//!
+//! `id` defaults to the (zero-based) input line index and `formats` to the
+//! front end's default format list. Responses carry the pattern
+//! fingerprint, the SQL text-complexity word count (paper §4.8, from
+//! `queryvis_sql::metrics`), and one artifact string per requested format:
+//!
+//! ```json
+//! {"id":7,"fingerprint":"<32 hex>","sql_words":4,"artifacts":{"ascii":"..."}}
+//! {"id":8,"error":"parse error: ..."}
+//! ```
+//!
+//! When a request is served from a *different* query's compiled entry (a
+//! pattern-equivalent representative), the response additionally carries
+//! `"representative_sql"` so the substitution is visible to clients.
+
+use crate::fingerprint::Fingerprint;
+use crate::json::{self, Json};
+
+/// An artifact format the service can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    Ascii,
+    Dot,
+    Svg,
+    /// The natural-language reading of the diagram (§4.6).
+    Reading,
+}
+
+impl Format {
+    pub const ALL: [Format; 4] = [Format::Ascii, Format::Dot, Format::Svg, Format::Reading];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Format::Ascii => "ascii",
+            Format::Dot => "dot",
+            Format::Svg => "svg",
+            Format::Reading => "reading",
+        }
+    }
+
+    pub fn parse(name: &str) -> Option<Format> {
+        Format::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// One unit of work for the service.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: u64,
+    pub sql: String,
+    /// Requested artifact formats; empty means "use the service default".
+    pub formats: Vec<Format>,
+}
+
+impl Request {
+    /// Parse one JSON line. `default_id` is the line index, used when the
+    /// request does not carry an explicit `id`.
+    pub fn from_json_line(line: &str, default_id: u64) -> Result<Request, String> {
+        let value = json::parse(line).map_err(|e| e.to_string())?;
+        let sql = value
+            .get("sql")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request needs a string `sql` field".to_string())?
+            .to_string();
+        let id = match value.get("id") {
+            None => default_id,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| "`id` must be a non-negative integer".to_string())?,
+        };
+        let formats = match value.get("formats") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| "`formats` must be an array".to_string())?
+                .iter()
+                .map(|f| {
+                    f.as_str()
+                        .and_then(Format::parse)
+                        .ok_or_else(|| format!("unknown format {f}"))
+                })
+                .collect::<Result<Vec<Format>, String>>()?,
+        };
+        Ok(Request { id, sql, formats })
+    }
+}
+
+/// The successful payload of a response.
+#[derive(Debug, Clone)]
+pub struct Artifacts {
+    pub fingerprint: Fingerprint,
+    /// Word count of this request's own SQL (not the representative's).
+    pub sql_words: usize,
+    /// The SQL of the pattern representative the artifacts were rendered
+    /// from, when it is *not* this request's own SQL. Pattern-equivalent
+    /// queries deliberately share one diagram (paper App. G), so artifact
+    /// label text (table names, aliases, constants) comes from the
+    /// representative; this field is the disclosure that lets clients
+    /// detect the substitution.
+    pub representative_sql: Option<String>,
+    /// `(format, rendered)` in request order.
+    pub rendered: Vec<(Format, String)>,
+}
+
+/// One response line.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub id: u64,
+    pub outcome: Result<Artifacts, String>,
+}
+
+impl Response {
+    pub fn error(id: u64, message: impl Into<String>) -> Response {
+        Response {
+            id,
+            outcome: Err(message.into()),
+        }
+    }
+
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields = vec![("id".to_string(), Json::Int(self.id))];
+        match &self.outcome {
+            Ok(artifacts) => {
+                fields.push((
+                    "fingerprint".to_string(),
+                    Json::Str(artifacts.fingerprint.to_string()),
+                ));
+                fields.push((
+                    "sql_words".to_string(),
+                    Json::Num(artifacts.sql_words as f64),
+                ));
+                if let Some(representative) = &artifacts.representative_sql {
+                    fields.push((
+                        "representative_sql".to_string(),
+                        Json::Str(representative.clone()),
+                    ));
+                }
+                fields.push((
+                    "artifacts".to_string(),
+                    Json::Obj(
+                        artifacts
+                            .rendered
+                            .iter()
+                            .map(|(format, text)| {
+                                (format.name().to_string(), Json::Str(text.clone()))
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            Err(message) => {
+                fields.push(("error".to_string(), Json::Str(message.clone())));
+            }
+        }
+        Json::Obj(fields).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_defaults() {
+        let r = Request::from_json_line(r#"{"sql": "SELECT T.a FROM T"}"#, 9).unwrap();
+        assert_eq!(r.id, 9);
+        assert_eq!(r.sql, "SELECT T.a FROM T");
+        assert!(r.formats.is_empty());
+    }
+
+    #[test]
+    fn request_explicit_fields() {
+        let r = Request::from_json_line(
+            r#"{"id": 3, "sql": "SELECT T.a FROM T", "formats": ["svg", "dot"]}"#,
+            0,
+        )
+        .unwrap();
+        assert_eq!(r.id, 3);
+        assert_eq!(r.formats, vec![Format::Svg, Format::Dot]);
+    }
+
+    #[test]
+    fn request_rejects_bad_shapes() {
+        assert!(Request::from_json_line("{}", 0).is_err());
+        assert!(Request::from_json_line(r#"{"sql": 7}"#, 0).is_err());
+        assert!(Request::from_json_line(r#"{"sql": "x", "formats": ["png"]}"#, 0).is_err());
+        assert!(Request::from_json_line("not json", 0).is_err());
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let ok = Response {
+            id: 1,
+            outcome: Ok(Artifacts {
+                fingerprint: Fingerprint(0xff),
+                sql_words: 4,
+                representative_sql: None,
+                rendered: vec![(Format::Ascii, "a\nb".to_string())],
+            }),
+        };
+        let line = ok.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = crate::json::parse(&line).unwrap();
+        assert_eq!(parsed.get("id").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            parsed
+                .get("artifacts")
+                .unwrap()
+                .get("ascii")
+                .unwrap()
+                .as_str(),
+            Some("a\nb")
+        );
+
+        assert!(
+            parsed.get("representative_sql").is_none(),
+            "omitted when the artifacts come from the request's own SQL"
+        );
+
+        let err = Response::error(2, "boom").to_json_line();
+        assert!(crate::json::parse(&err).unwrap().get("error").is_some());
+    }
+
+    #[test]
+    fn representative_sql_is_disclosed_when_substituted() {
+        let response = Response {
+            id: 4,
+            outcome: Ok(Artifacts {
+                fingerprint: Fingerprint(1),
+                sql_words: 4,
+                representative_sql: Some("SELECT T.a FROM T".to_string()),
+                rendered: Vec::new(),
+            }),
+        };
+        let parsed = crate::json::parse(&response.to_json_line()).unwrap();
+        assert_eq!(
+            parsed.get("representative_sql").unwrap().as_str(),
+            Some("SELECT T.a FROM T")
+        );
+    }
+
+    #[test]
+    fn format_names_roundtrip() {
+        for f in Format::ALL {
+            assert_eq!(Format::parse(f.name()), Some(f));
+        }
+        assert_eq!(Format::parse("png"), None);
+    }
+}

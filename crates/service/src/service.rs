@@ -1,0 +1,531 @@
+//! The diagram-compilation service: fingerprint → cache → compile → render.
+//!
+//! Two entry points share one cache:
+//!
+//! * [`DiagramService::handle`] serves a single request, deduplicating
+//!   concurrent identical fingerprints through an in-flight table
+//!   (`Mutex<HashMap>` + condvar): the first thread to claim a missing
+//!   fingerprint compiles it, racers park and are handed the finished
+//!   entry — one compile no matter how many concurrent duplicates.
+//! * [`DiagramService::execute_batch`] serves a whole `Vec<Request>`
+//!   across a fixed thread pool with *deterministic* results: requests are
+//!   fingerprinted in parallel, grouped by fingerprint, and each group's
+//!   **first occurrence in request order** is the pattern representative
+//!   that compiles. Output bytes are therefore identical for any worker
+//!   count — the property the `service` binary's acceptance check relies
+//!   on — while duplicate patterns still compile exactly once per batch.
+
+use crate::cache::{CacheConfig, CacheStats, ShardedCache};
+use crate::compile::{compile_representative, CompiledEntry};
+use crate::executor::run_indexed;
+use crate::fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
+use crate::protocol::{Artifacts, Format, Request, Response};
+use queryvis::QueryVisOptions;
+use queryvis_sql::metrics::word_count;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    pub cache: CacheConfig,
+    /// Pipeline options applied to every request (schema, strictness, …).
+    pub options: QueryVisOptions,
+    /// Formats served when a request does not name any.
+    pub default_formats: Vec<Format>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache: CacheConfig::default(),
+            options: QueryVisOptions::default(),
+            default_formats: vec![Format::Ascii],
+        }
+    }
+}
+
+/// A snapshot of every service counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted (including ones that failed to parse).
+    pub requests: u64,
+    /// Full pipeline compilations actually executed.
+    pub compiles: u64,
+    /// Requests served by joining another request's in-flight/in-batch
+    /// compile instead of compiling themselves.
+    pub coalesced: u64,
+    /// Requests that failed (parse/semantic/translation errors).
+    pub errors: u64,
+    pub cache: CacheStats,
+}
+
+/// One in-flight compilation that racing requests can join. The slot is
+/// filled with `Err` if the owning compile unwinds, so joiners get an
+/// error response instead of parking forever.
+struct Flight {
+    slot: Mutex<Option<Result<Arc<CompiledEntry>, String>>>,
+    ready: Condvar,
+}
+
+/// Retires a [`Flight`] even if the owning compile panics: on unwind the
+/// guard fails the slot, wakes every joiner, and removes the in-flight
+/// entry so later requests for the fingerprint retry instead of
+/// deadlocking. Disarmed on the success path.
+struct FlightGuard<'a> {
+    service: &'a DiagramService,
+    fingerprint: Fingerprint,
+    flight: &'a Flight,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Ok(mut slot) = self.flight.slot.lock() {
+            *slot = Some(Err("diagram compilation panicked".to_string()));
+        }
+        self.flight.ready.notify_all();
+        if let Ok(mut inflight) = self.service.inflight.lock() {
+            inflight.remove(&self.fingerprint.0);
+        }
+    }
+}
+
+/// The compilation service.
+pub struct DiagramService {
+    config: ServiceConfig,
+    /// Shared copy of `config.options` so the per-request front half never
+    /// clones a configured schema.
+    options: Arc<QueryVisOptions>,
+    cache: ShardedCache,
+    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
+    requests: AtomicU64,
+    compiles: AtomicU64,
+    coalesced: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl DiagramService {
+    pub fn new(config: ServiceConfig) -> DiagramService {
+        DiagramService {
+            cache: ShardedCache::new(config.cache),
+            options: Arc::new(config.options.clone()),
+            config,
+            inflight: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+        }
+    }
+
+    /// Serve one request, consulting and filling the cache.
+    pub fn handle(&self, request: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let fingerprinted = match fingerprint_sql(&request.sql, Arc::clone(&self.options)) {
+            Ok(fq) => fq,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::error(request.id, e.to_string());
+            }
+        };
+        let words = word_count(&fingerprinted.prepared.query);
+        match self.entry_for(fingerprinted) {
+            Ok(entry) => self.respond(request, words, &entry),
+            Err(message) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Response::error(request.id, message)
+            }
+        }
+    }
+
+    /// Look up or compile the entry for a fingerprinted query, joining an
+    /// in-flight compile of the same fingerprint when one exists. `Err`
+    /// means the owning compile panicked.
+    fn entry_for(&self, fingerprinted: FingerprintedQuery) -> Result<Arc<CompiledEntry>, String> {
+        let fingerprint = fingerprinted.fingerprint;
+        if let Some(entry) = self.cache.get(fingerprint) {
+            return Ok(entry);
+        }
+        let (flight, is_owner) = {
+            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            match inflight.get(&fingerprint.0) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        slot: Mutex::new(None),
+                        ready: Condvar::new(),
+                    });
+                    inflight.insert(fingerprint.0, Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        if !is_owner {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let guard = flight.slot.lock().expect("flight slot poisoned");
+            let guard = flight
+                .ready
+                .wait_while(guard, |slot| slot.is_none())
+                .expect("flight slot poisoned");
+            return guard.as_ref().expect("woken with a filled slot").clone();
+        }
+        let mut guard = FlightGuard {
+            service: self,
+            fingerprint,
+            flight: &flight,
+            armed: true,
+        };
+        // Re-check after winning ownership: a previous owner may have
+        // compiled, published, and retired its flight between our cache
+        // miss and the inflight claim — recompiling would be wasted work.
+        // (Counter-free peek: the miss was already counted above.)
+        let resident = match self.cache.peek(fingerprint) {
+            Some(entry) => entry,
+            None => {
+                let entry = Arc::new(self.compile(fingerprinted));
+                // Publish to the cache before retiring the flight so there
+                // is no window where the entry is reachable through
+                // neither; serve the *resident* entry (the incumbent, if
+                // another compile won a race) so owner and joiners agree.
+                self.cache.insert(fingerprint, entry)
+            }
+        };
+        guard.armed = false;
+        self.retire_flight(&flight, fingerprint, Ok(Arc::clone(&resident)));
+        Ok(resident)
+    }
+
+    /// Fill a flight's slot, wake its joiners, and drop it from the
+    /// in-flight table.
+    fn retire_flight(
+        &self,
+        flight: &Flight,
+        fingerprint: Fingerprint,
+        result: Result<Arc<CompiledEntry>, String>,
+    ) {
+        *flight.slot.lock().expect("flight slot poisoned") = Some(result);
+        flight.ready.notify_all();
+        self.inflight
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(&fingerprint.0);
+    }
+
+    fn compile(&self, fingerprinted: FingerprintedQuery) -> CompiledEntry {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        compile_representative(fingerprinted)
+    }
+
+    fn respond(&self, request: &Request, sql_words: usize, entry: &CompiledEntry) -> Response {
+        let formats: &[Format] = if request.formats.is_empty() {
+            &self.config.default_formats
+        } else {
+            &request.formats
+        };
+        // Disclose when the artifacts were rendered from a different
+        // (pattern-equivalent) query's SQL — labels may differ.
+        let representative_sql = (entry.representative_sql() != request.sql)
+            .then(|| entry.representative_sql().to_string());
+        Response {
+            id: request.id,
+            outcome: Ok(Artifacts {
+                fingerprint: entry.fingerprint(),
+                sql_words,
+                representative_sql,
+                rendered: formats
+                    .iter()
+                    .map(|format| (*format, entry.render(*format).to_string()))
+                    .collect(),
+            }),
+        }
+    }
+
+    /// Serve a whole batch across `threads` workers.
+    ///
+    /// Responses come back in request order with contents independent of
+    /// the worker count: per-pattern compilation is assigned to the
+    /// pattern's first request in batch order, not to whichever thread
+    /// gets there first.
+    pub fn execute_batch(&self, requests: &[Request], threads: usize) -> Vec<Response> {
+        let n = requests.len();
+        let threads = threads.max(1);
+        self.requests.fetch_add(n as u64, Ordering::Relaxed);
+
+        // Phase 1 — fingerprint every request in parallel (pure CPU).
+        let mut fingerprinted: Vec<Result<(usize, FingerprintedQuery), String>> =
+            run_indexed(n, threads, |i| {
+                fingerprint_sql(&requests[i].sql, Arc::clone(&self.options))
+                    .map(|fq| (word_count(&fq.prepared.query), fq))
+                    .map_err(|e| e.to_string())
+            });
+        self.errors.fetch_add(
+            fingerprinted.iter().filter(|r| r.is_err()).count() as u64,
+            Ordering::Relaxed,
+        );
+
+        // Phase 2 — group by fingerprint in request order; the first
+        // occurrence is the representative. One cache lookup per group.
+        struct Group {
+            fingerprint: Fingerprint,
+            representative: usize,
+            entry: Option<Arc<CompiledEntry>>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut group_index: HashMap<u128, usize> = HashMap::new();
+        let mut group_of: Vec<Option<usize>> = vec![None; n];
+        for i in 0..n {
+            if let Ok((_, fq)) = &fingerprinted[i] {
+                let gi = *group_index.entry(fq.fingerprint.0).or_insert_with(|| {
+                    groups.push(Group {
+                        fingerprint: fq.fingerprint,
+                        representative: i,
+                        entry: None,
+                    });
+                    groups.len() - 1
+                });
+                group_of[i] = Some(gi);
+            }
+        }
+        let mut missing: Vec<(usize, Mutex<Option<FingerprintedQuery>>)> = Vec::new();
+        for (gi, group) in groups.iter_mut().enumerate() {
+            match self.cache.get(group.fingerprint) {
+                Some(entry) => group.entry = Some(entry),
+                None => {
+                    let fq = match &mut fingerprinted[group.representative] {
+                        Ok((_, fq_slot)) => fq_slot.clone(),
+                        Err(_) => unreachable!("groups only contain fingerprinted requests"),
+                    };
+                    missing.push((gi, Mutex::new(Some(fq))));
+                }
+            }
+        }
+
+        // Phase 3 — compile the missing representatives in parallel and
+        // publish them. Joins within the batch are the coalesced ones.
+        let compiled: Vec<(usize, Arc<CompiledEntry>)> = run_indexed(missing.len(), threads, |k| {
+            let (gi, slot) = &missing[k];
+            let fq = slot
+                .lock()
+                .expect("missing slot poisoned")
+                .take()
+                .expect("each missing group compiles once");
+            let fingerprint = fq.fingerprint;
+            let entry = Arc::new(self.compile(fq));
+            // Keep whatever is resident after the insert: if a concurrent
+            // batch compiled the same fingerprint first, its incumbent wins
+            // and this whole group serves it, keeping responses consistent
+            // within the batch.
+            (*gi, self.cache.insert(fingerprint, entry))
+        });
+        let mut freshly_compiled = vec![false; groups.len()];
+        for (gi, _) in &missing {
+            freshly_compiled[*gi] = true;
+        }
+        for (gi, entry) in compiled {
+            groups[gi].entry = Some(entry);
+        }
+
+        // Phase 4 — render responses in parallel, in request order. Every
+        // non-representative request performs its own cache lookup (a hit),
+        // so counters reflect per-request traffic deterministically; the
+        // requests that piggybacked on a batch compile count as coalesced.
+        run_indexed(n, threads, |i| {
+            let request = &requests[i];
+            match (&fingerprinted[i], group_of[i]) {
+                (Err(message), _) => Response::error(request.id, message.clone()),
+                (Ok((words, _)), Some(gi)) => {
+                    let group = &groups[gi];
+                    // Every response in the group comes from the *same*
+                    // entry (phase 2/3's resident), so disclosures stay
+                    // consistent within a batch even if a concurrent batch
+                    // touches the cache between phases. Non-representative
+                    // members still perform their own lookup so counters
+                    // reflect per-request traffic.
+                    if group.representative != i {
+                        if freshly_compiled[gi] {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let _ = self.cache.get(group.fingerprint);
+                    }
+                    let entry = Arc::clone(group.entry.as_ref().expect("filled in phase 2/3"));
+                    self.respond(request, *words, &entry)
+                }
+                (Ok(_), None) => unreachable!("fingerprinted requests always have a group"),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, sql: &str) -> Request {
+        Request {
+            id,
+            sql: sql.to_string(),
+            formats: vec![Format::Ascii],
+        }
+    }
+
+    fn service() -> DiagramService {
+        DiagramService::new(ServiceConfig::default())
+    }
+
+    #[test]
+    fn single_request_miss_then_hit() {
+        let service = service();
+        let a = service.handle(&request(0, "SELECT T.a FROM T"));
+        let b = service.handle(&request(1, "SELECT T.a FROM T"));
+        assert!(a.outcome.is_ok() && b.outcome.is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn errors_are_reported_not_cached() {
+        let service = service();
+        let r = service.handle(&request(0, "SELECT FROM"));
+        assert!(r.outcome.is_err());
+        let stats = service.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.compiles, 0);
+        assert_eq!(stats.cache.entries, 0);
+    }
+
+    #[test]
+    fn batch_output_is_identical_for_any_thread_count() {
+        let sqls = [
+            "SELECT T.a FROM T",
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar)",
+            "SELECT U.a FROM T U", // alias-renamed duplicate of the first
+            "SELECT FROM",         // error
+            "SELECT T.a FROM T",   // exact duplicate
+        ];
+        let requests: Vec<Request> = sqls
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| request(i as u64, sql))
+            .collect();
+        let baseline: Vec<String> = service()
+            .execute_batch(&requests, 1)
+            .iter()
+            .map(Response::to_json_line)
+            .collect();
+        for threads in [2, 4, 8] {
+            let lines: Vec<String> = service()
+                .execute_batch(&requests, threads)
+                .iter()
+                .map(Response::to_json_line)
+                .collect();
+            assert_eq!(lines, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_equivalent_queries() {
+        let service = service();
+        let requests = vec![
+            request(0, "SELECT T.a FROM T"),
+            request(1, "SELECT U.a FROM T U"),
+            request(2, "SELECT T.a FROM T"),
+        ];
+        let responses = service.execute_batch(&requests, 4);
+        assert!(responses.iter().all(|r| r.outcome.is_ok()));
+        let stats = service.stats();
+        assert_eq!(stats.compiles, 1, "one compile for three equivalents");
+        assert_eq!(stats.coalesced, 2);
+        // All three share the representative's artifacts and fingerprint.
+        let fingerprints: Vec<String> = responses
+            .iter()
+            .map(|r| r.outcome.as_ref().unwrap().fingerprint.to_string())
+            .collect();
+        assert_eq!(fingerprints[0], fingerprints[1]);
+        assert_eq!(fingerprints[1], fingerprints[2]);
+        // The representative (request 0) serves its own SQL; the
+        // alias-renamed equivalent is told whose artifacts it received.
+        let representative_of = |i: usize| {
+            responses[i]
+                .outcome
+                .as_ref()
+                .unwrap()
+                .representative_sql
+                .clone()
+        };
+        assert_eq!(representative_of(0), None);
+        assert_eq!(representative_of(1), Some("SELECT T.a FROM T".to_string()));
+        assert_eq!(representative_of(2), None, "textually identical");
+    }
+
+    #[test]
+    fn second_batch_is_all_hits() {
+        let service = service();
+        // Six structurally distinct patterns (join chains of growing arity),
+        // so the first batch compiles six entries.
+        let requests: Vec<Request> = (0..6)
+            .map(|i| {
+                let tables: Vec<String> = (0..=i).map(|t| format!("T{t}")).collect();
+                let joins: Vec<String> = (1..=i).map(|t| format!("T0.a = T{t}.a")).collect();
+                let sql = if joins.is_empty() {
+                    format!("SELECT T0.a FROM {}", tables.join(", "))
+                } else {
+                    format!(
+                        "SELECT T0.a FROM {} WHERE {}",
+                        tables.join(", "),
+                        joins.join(" AND ")
+                    )
+                };
+                request(i as u64, &sql)
+            })
+            .collect();
+        service.execute_batch(&requests, 2);
+        let before = service.stats();
+        service.execute_batch(&requests, 2);
+        let after = service.stats();
+        assert_eq!(after.compiles, before.compiles, "no new compiles");
+        assert_eq!(after.cache.misses, before.cache.misses, "no new misses");
+        assert_eq!(after.cache.hits - before.cache.hits, 6);
+    }
+
+    #[test]
+    fn concurrent_handles_compile_once() {
+        let service = Arc::new(service());
+        let sql = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+                   (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+                   (SELECT L.drink FROM Likes L WHERE L.person = F.person \
+                    AND S.drink = L.drink))";
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let r = service.handle(&request(i, sql));
+                    assert!(r.outcome.is_ok());
+                });
+            }
+        });
+        assert_eq!(service.stats().compiles, 1);
+        assert_eq!(service.stats().requests, 8);
+    }
+}

@@ -51,7 +51,10 @@ pub enum SemanticError {
     /// An unqualified column name matches no table in scope.
     UnresolvedColumn { column: String },
     /// An unqualified column name matches more than one table in scope.
-    AmbiguousColumn { column: String, candidates: Vec<String> },
+    AmbiguousColumn {
+        column: String,
+        candidates: Vec<String>,
+    },
     /// The same alias is introduced twice in one FROM clause.
     DuplicateAlias { alias: String },
     /// A predicate compares two constants (degenerate per the paper §4.4:

@@ -204,9 +204,7 @@ mod tests {
         let ks = kinds("a < b <= c = d <> e >= f > g != h");
         let ops: Vec<_> = ks
             .iter()
-            .filter(|k| {
-                matches!(k, T::Lt | T::Le | T::Eq | T::Ne | T::Ge | T::Gt)
-            })
+            .filter(|k| matches!(k, T::Lt | T::Le | T::Eq | T::Ne | T::Ge | T::Gt))
             .cloned()
             .collect();
         assert_eq!(ops, vec![T::Lt, T::Le, T::Eq, T::Ne, T::Ge, T::Gt, T::Ne]);

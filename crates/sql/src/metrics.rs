@@ -217,10 +217,8 @@ mod tests {
 
     #[test]
     fn selection_counting() {
-        let q = parse_query(
-            "SELECT B.bid FROM Boat B WHERE B.color = 'red' AND B.bid > 7",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT B.bid FROM Boat B WHERE B.color = 'red' AND B.bid > 7").unwrap();
         assert_eq!(selection_count(&q), 2);
     }
 }

@@ -130,9 +130,7 @@ impl<'a> Parser<'a> {
             TokenKind::Keyword(Keyword::Having) => {
                 Some("`HAVING` is outside the supported fragment")
             }
-            TokenKind::Keyword(Keyword::Union) => {
-                Some("`UNION` is outside the supported fragment")
-            }
+            TokenKind::Keyword(Keyword::Union) => Some("`UNION` is outside the supported fragment"),
             TokenKind::Keyword(Keyword::Distinct) => {
                 Some("`DISTINCT` is outside the supported fragment (set semantics are implied)")
             }
@@ -333,9 +331,8 @@ impl<'a> Parser<'a> {
             let column = match lhs {
                 Operand::Column(c) => c,
                 Operand::Value(_) => {
-                    return Err(self.err_here(
-                        "the left-hand side of an ANY/ALL comparison must be a column",
-                    ))
+                    return Err(self
+                        .err_here("the left-hand side of an ANY/ALL comparison must be a column"))
                 }
             };
             let query = self.subquery()?;

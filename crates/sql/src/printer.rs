@@ -148,7 +148,9 @@ mod tests {
              (SELECT R.sid FROM Reserves R WHERE R.bid = ANY \
              (SELECT B.bid FROM Boat B WHERE B.color = 'red'))",
         );
-        roundtrip("SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY (SELECT R.sid FROM Reserves R)");
+        roundtrip(
+            "SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY (SELECT R.sid FROM Reserves R)",
+        );
     }
 
     #[test]

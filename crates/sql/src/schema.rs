@@ -51,7 +51,9 @@ impl Schema {
     }
 
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     /// Validate a query against this schema. Checks, in order:
@@ -73,11 +75,11 @@ impl Schema {
         // Register this block's bindings.
         let mut bindings: Vec<(String, &Table)> = Vec::new();
         for table_ref in &query.from {
-            let table = self
-                .table(&table_ref.table)
-                .ok_or_else(|| SemanticError::UnknownTable {
-                    table: table_ref.table.clone(),
-                })?;
+            let table =
+                self.table(&table_ref.table)
+                    .ok_or_else(|| SemanticError::UnknownTable {
+                        table: table_ref.table.clone(),
+                    })?;
             let binding = table_ref.binding().to_string();
             if bindings.iter().any(|(b, _)| b == &binding) {
                 return Err(SemanticError::DuplicateAlias { alias: binding });
@@ -215,10 +217,7 @@ impl Schema {
 pub fn beers_schema() -> Schema {
     Schema::new("beers")
         .with_table(Table::new("Likes", &["drinker", "person", "beer", "drink"]))
-        .with_table(Table::new(
-            "Frequents",
-            &["drinker", "person", "bar"],
-        ))
+        .with_table(Table::new("Frequents", &["drinker", "person", "bar"]))
         .with_table(Table::new("Serves", &["bar", "beer", "drink"]))
 }
 
@@ -274,8 +273,7 @@ mod tests {
 
     #[test]
     fn ambiguous_unqualified_column() {
-        let err =
-            check("SELECT bar FROM Frequents F, Serves S WHERE F.bar = S.bar").unwrap_err();
+        let err = check("SELECT bar FROM Frequents F, Serves S WHERE F.bar = S.bar").unwrap_err();
         assert!(matches!(err, SemanticError::AmbiguousColumn { .. }));
     }
 

@@ -48,7 +48,9 @@ pub fn assign_sequences(n: usize) -> Vec<usize> {
 
 /// A cyclic k × k Latin square: `square[r][c] = (r + c) mod k`.
 pub fn latin_square(k: usize) -> Vec<Vec<usize>> {
-    (0..k).map(|r| (0..k).map(|c| (r + c) % k).collect()).collect()
+    (0..k)
+        .map(|r| (0..k).map(|c| (r + c) % k).collect())
+        .collect()
 }
 
 /// Check the Latin-square property: every symbol exactly once per row and

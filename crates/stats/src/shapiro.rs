@@ -46,7 +46,8 @@ pub fn shapiro_wilk(data: &[f64]) -> Option<ShapiroResult> {
         a[2] = std::f64::consts::FRAC_1_SQRT_2;
     } else {
         let c_n = m[n - 1] / ssq_m.sqrt();
-        let a_n = -2.706056 * rsn.powi(5) + 4.434685 * rsn.powi(4) - 2.071190 * rsn.powi(3)
+        let a_n = -2.706056 * rsn.powi(5) + 4.434685 * rsn.powi(4)
+            - 2.071190 * rsn.powi(3)
             - 0.147981 * rsn.powi(2)
             + 0.221157 * rsn
             + c_n;
@@ -78,14 +79,18 @@ pub fn shapiro_wilk(data: &[f64]) -> Option<ShapiroResult> {
 
     // W statistic.
     let mean = x.iter().sum::<f64>() / n as f64;
-    let numerator: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>().powi(2);
+    let numerator: f64 = a
+        .iter()
+        .zip(&x)
+        .map(|(ai, xi)| ai * xi)
+        .sum::<f64>()
+        .powi(2);
     let denominator: f64 = x.iter().map(|xi| (xi - mean).powi(2)).sum();
     let w = (numerator / denominator).min(1.0);
 
     // p-value (Royston's normalizing transformations).
     let p_value = if n == 3 {
-        let p = 6.0 / std::f64::consts::PI
-            * ((w.sqrt()).asin() - (0.75_f64).sqrt().asin());
+        let p = 6.0 / std::f64::consts::PI * ((w.sqrt()).asin() - (0.75_f64).sqrt().asin());
         p.clamp(0.0, 1.0)
     } else if n <= 11 {
         let nf = n as f64;
@@ -130,9 +135,7 @@ mod tests {
     #[test]
     fn exponential_data_fails() {
         // Heavily skewed data (like response times) must be rejected.
-        let data: Vec<f64> = (1..=50)
-            .map(|i| -((1.0 - i as f64 / 51.0).ln()))
-            .collect();
+        let data: Vec<f64> = (1..=50).map(|i| -((1.0 - i as f64 / 51.0).ln())).collect();
         let r = shapiro_wilk(&data).unwrap();
         assert!(r.p_value < 0.01, "p = {}", r.p_value);
     }

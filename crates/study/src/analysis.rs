@@ -196,22 +196,14 @@ pub fn analyze(data: &StudyData, scope: AnalysisScope, seed: u64) -> StudyAnalys
     StudyAnalysis {
         scope,
         n,
-        time_qv_vs_sql: hypothesis(
-            pct(qv.median_time, sql.median_time),
-            p_time_qv,
-            time_adj[0],
-        ),
+        time_qv_vs_sql: hypothesis(pct(qv.median_time, sql.median_time), p_time_qv, time_adj[0]),
         time_both_vs_sql: hypothesis(
             pct(both.median_time, sql.median_time),
             p_time_both,
             time_adj[1],
         ),
         error_qv_vs_sql: hypothesis(pct(qv.mean_error, sql.mean_error), p_err_qv, err_adj[0]),
-        error_both_vs_sql: hypothesis(
-            pct(both.mean_error, sql.mean_error),
-            p_err_both,
-            err_adj[1],
-        ),
+        error_both_vs_sql: hypothesis(pct(both.mean_error, sql.mean_error), p_err_both, err_adj[1]),
         qv_deltas,
         both_deltas,
         shapiro_time_p,

@@ -276,7 +276,11 @@ mod tests {
             "qv={qv:.3} both={both:.3} sql={sql:.3}"
         );
         // Rough magnitudes from Fig. 7: QV ≈ −21 %, Both ≈ −17 %.
-        assert!((0.70..0.92).contains(&(qv / sql)), "qv/sql = {:.3}", qv / sql);
+        assert!(
+            (0.70..0.92).contains(&(qv / sql)),
+            "qv/sql = {:.3}",
+            qv / sql
+        );
         assert!(
             (0.74..0.95).contains(&(both / sql)),
             "both/sql = {:.3}",

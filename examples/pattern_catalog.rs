@@ -19,7 +19,10 @@ fn main() {
 
     for cell in &grid {
         let qv = QueryVis::with_schema(&cell.sql, &cell.schema).unwrap();
-        println!("---- {} ({:?} over {}) ----", cell.description, cell.kind, cell.schema.name);
+        println!(
+            "---- {} ({:?} over {}) ----",
+            cell.description, cell.kind, cell.schema.name
+        );
         println!("{}", qv.ascii());
         by_pattern
             .entry(canonical_pattern(&qv.logic_tree))

@@ -24,7 +24,10 @@ WHERE NOT EXISTS
 
     println!("== SQL ==\n{sql}\n");
     println!("== Tuple relational calculus ==\n{}\n", qv.trc());
-    println!("== Logic tree (after the FOR-ALL simplification) ==\n{}", qv.simplified);
+    println!(
+        "== Logic tree (after the FOR-ALL simplification) ==\n{}",
+        qv.simplified
+    );
     println!("== Diagram ==\n{}", qv.ascii());
     println!("== Reading ==\n{}\n", qv.reading());
 

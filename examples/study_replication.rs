@@ -7,9 +7,7 @@
 //!
 //! Run with: `cargo run --release --example study_replication [seed]`
 
-use queryvis_study::{
-    analyze, population::CANONICAL_SEED, simulate_study, AnalysisScope,
-};
+use queryvis_study::{analyze, population::CANONICAL_SEED, simulate_study, AnalysisScope};
 
 fn main() {
     let seed = std::env::args()
@@ -25,7 +23,10 @@ fn main() {
     );
 
     let analysis = analyze(&data, AnalysisScope::CoreNine, seed);
-    println!("\n== Main analysis (9 non-grouping questions, n = {}) ==", analysis.n);
+    println!(
+        "\n== Main analysis (9 non-grouping questions, n = {}) ==",
+        analysis.n
+    );
     for summary in [&analysis.sql, &analysis.qv, &analysis.both] {
         println!(
             "  {:<5} median time {:6.1}s [{:5.1}, {:5.1}]   mean error {:.3} [{:.3}, {:.3}]",
@@ -38,14 +39,26 @@ fn main() {
             summary.error_ci.upper,
         );
     }
-    println!("\n  time  QV   vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper: -20%, p < 0.001]",
-        analysis.time_qv_vs_sql.percent_change * 100.0, analysis.time_qv_vs_sql.p_adjusted);
-    println!("  time  Both vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper:  -1%, p = 0.30]",
-        analysis.time_both_vs_sql.percent_change * 100.0, analysis.time_both_vs_sql.p_adjusted);
-    println!("  error QV   vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper: -21%, p = 0.15]",
-        analysis.error_qv_vs_sql.percent_change * 100.0, analysis.error_qv_vs_sql.p_adjusted);
-    println!("  error Both vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper: -17%, p = 0.16]",
-        analysis.error_both_vs_sql.percent_change * 100.0, analysis.error_both_vs_sql.p_adjusted);
+    println!(
+        "\n  time  QV   vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper: -20%, p < 0.001]",
+        analysis.time_qv_vs_sql.percent_change * 100.0,
+        analysis.time_qv_vs_sql.p_adjusted
+    );
+    println!(
+        "  time  Both vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper:  -1%, p = 0.30]",
+        analysis.time_both_vs_sql.percent_change * 100.0,
+        analysis.time_both_vs_sql.p_adjusted
+    );
+    println!(
+        "  error QV   vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper: -21%, p = 0.15]",
+        analysis.error_qv_vs_sql.percent_change * 100.0,
+        analysis.error_qv_vs_sql.p_adjusted
+    );
+    println!(
+        "  error Both vs SQL: {:+.1}%  (adjusted p = {:.4})   [paper: -17%, p = 0.16]",
+        analysis.error_both_vs_sql.percent_change * 100.0,
+        analysis.error_both_vs_sql.p_adjusted
+    );
     println!(
         "\n  {:.0}% of participants were faster with QV than with SQL [paper: 71%]",
         analysis.qv_deltas.frac_faster * 100.0

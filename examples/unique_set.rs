@@ -46,7 +46,7 @@ fn main() {
     );
 
     // And the inverse: the diagram alone determines the logic tree (§5).
-    let recovered = queryvis::recover_logic_tree(&qv.raw_diagram).unwrap();
+    let recovered = queryvis::recover_logic_tree(qv.raw_diagram()).unwrap();
     assert!(qv.logic_tree.structural_eq(&recovered));
     println!("\nInverse check: the diagram maps back to exactly one logic tree ✓");
 }

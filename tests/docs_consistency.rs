@@ -1,9 +1,7 @@
 //! Documentation consistency: the claims made in README.md, DESIGN.md, and
 //! EXPERIMENTS.md must stay true as the code evolves.
 
-use queryvis::corpus::{
-    pattern_grid, qualification_questions, study_questions, tutorial_examples,
-};
+use queryvis::corpus::{pattern_grid, qualification_questions, study_questions, tutorial_examples};
 use queryvis::valid_path_patterns;
 
 #[test]
@@ -28,7 +26,8 @@ fn design_md_lists_every_crate_directory() {
 
 #[test]
 fn design_md_indexes_every_repro_target() {
-    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md")).unwrap();
+    let design =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md")).unwrap();
     for target in [
         "repro fig1",
         "repro fig2",
@@ -63,15 +62,33 @@ fn corpus_counts_match_docs() {
 fn experiments_md_reports_all_figures() {
     let experiments =
         std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/EXPERIMENTS.md")).unwrap();
-    for figure in ["Fig. 7", "Fig. 18", "Fig. 19", "Figs. 20/21", "§4.8", "Prop. 5.1", "§6.2"] {
-        assert!(experiments.contains(figure), "EXPERIMENTS.md misses {figure}");
+    for figure in [
+        "Fig. 7",
+        "Fig. 18",
+        "Fig. 19",
+        "Figs. 20/21",
+        "§4.8",
+        "Prop. 5.1",
+        "§6.2",
+    ] {
+        assert!(
+            experiments.contains(figure),
+            "EXPERIMENTS.md misses {figure}"
+        );
     }
 }
 
 #[test]
 fn readme_crate_table_is_complete() {
-    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md")).unwrap();
-    for name in ["quickstart", "unique_set", "pattern_catalog", "study_replication", "chinook_gallery"] {
+    let readme =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md")).unwrap();
+    for name in [
+        "quickstart",
+        "unique_set",
+        "pattern_catalog",
+        "study_replication",
+        "chinook_gallery",
+    ] {
         assert!(readme.contains(name), "README misses example `{name}`");
     }
 }

@@ -28,9 +28,15 @@ fn malformed_sql_catalog() {
         ("SELECT a FROM", "table name"),
         ("SELECT a FROM t WHERE", "column reference or constant"),
         ("SELECT a FROM t WHERE a =", "column reference or constant"),
-        ("SELECT a FROM t WHERE a = 1 AND", "column reference or constant"),
+        (
+            "SELECT a FROM t WHERE a = 1 AND",
+            "column reference or constant",
+        ),
         ("SELECT a FROM t WHERE EXISTS SELECT", "expected `(`"),
-        ("SELECT a FROM t WHERE EXISTS (SELECT * FROM s", "expected `)`"),
+        (
+            "SELECT a FROM t WHERE EXISTS (SELECT * FROM s",
+            "expected `)`",
+        ),
         ("SELECT a FROM t; SELECT b FROM s", "trailing"),
         ("SELECT a FROM t WHERE a = 'unterminated", "unterminated"),
         ("SELECT a FROM t WHERE a @ 1", "unexpected character"),
@@ -88,9 +94,10 @@ fn schema_violations() {
         ("SELECT F.wine FROM Frequents F", |e| {
             matches!(e, SemanticError::UnknownColumn { .. })
         }),
-        ("SELECT bar FROM Frequents F, Serves S WHERE F.bar = S.bar", |e| {
-            matches!(e, SemanticError::AmbiguousColumn { .. })
-        }),
+        (
+            "SELECT bar FROM Frequents F, Serves S WHERE F.bar = S.bar",
+            |e| matches!(e, SemanticError::AmbiguousColumn { .. }),
+        ),
         ("SELECT L.beer FROM Likes L, Serves L", |e| {
             matches!(e, SemanticError::DuplicateAlias { .. })
         }),
@@ -118,10 +125,7 @@ fn in_subquery_with_star_rejected() {
 
 #[test]
 fn nested_group_by_rejected() {
-    let q = parse_query(
-        "SELECT t.a FROM t WHERE EXISTS (SELECT s.x FROM s GROUP BY s.x)",
-    )
-    .unwrap();
+    let q = parse_query("SELECT t.a FROM t WHERE EXISTS (SELECT s.x FROM s GROUP BY s.x)").unwrap();
     assert_eq!(
         translate(&q, None).unwrap_err(),
         TranslateError::NestedAggregate
@@ -144,10 +148,8 @@ fn smuggled_disjunction_rejected_in_strict_mode() {
 
 #[test]
 fn disconnected_subquery_rejected_in_strict_mode() {
-    let err = strict(
-        "SELECT A.x FROM A WHERE NOT EXISTS (SELECT * FROM B WHERE B.y = 'z')",
-    )
-    .unwrap_err();
+    let err =
+        strict("SELECT A.x FROM A WHERE NOT EXISTS (SELECT * FROM B WHERE B.y = 'z')").unwrap_err();
     assert!(matches!(err, QueryVisError::Degenerate(_)));
 }
 

@@ -9,7 +9,10 @@ use queryvis::{QueryVis, QueryVisOptions};
 /// around {Album, Track}.
 #[test]
 fn fig6_q10_diagram_structure() {
-    let q10 = study_questions().into_iter().find(|q| q.id == "Q10").unwrap();
+    let q10 = study_questions()
+        .into_iter()
+        .find(|q| q.id == "Q10")
+        .unwrap();
     let qv = QueryVis::with_schema(q10.sql, &chinook_schema()).unwrap();
     let d = &qv.diagram;
 
@@ -114,6 +117,9 @@ fn fig2a_ascii_golden() {
         "L.drink --- S.drink",
         "SELECT.person --- F.person",
     ] {
-        assert!(ascii.contains(expected), "missing `{expected}` in:\n{ascii}");
+        assert!(
+            ascii.contains(expected),
+            "missing `{expected}` in:\n{ascii}"
+        );
     }
 }

@@ -37,7 +37,11 @@ fn full_corpus() -> Vec<(String, Schema)> {
 #[test]
 fn full_corpus_runs_end_to_end() {
     let corpus = full_corpus();
-    assert!(corpus.len() >= 30, "expected a rich corpus, got {}", corpus.len());
+    assert!(
+        corpus.len() >= 30,
+        "expected a rich corpus, got {}",
+        corpus.len()
+    );
     for (sql, schema) in &corpus {
         let qv = QueryVis::with_schema(sql, schema)
             .unwrap_or_else(|e| panic!("pipeline failed on:\n{sql}\n{e}"));
@@ -59,7 +63,7 @@ fn diagram_invariants_hold_for_full_corpus() {
             "defects in:\n{sql}"
         );
         assert!(
-            queryvis::diagram::verify_diagram(&qv.raw_diagram).is_empty(),
+            queryvis::diagram::verify_diagram(qv.raw_diagram()).is_empty(),
             "defects in raw diagram of:\n{sql}"
         );
         // Table ids are their indices.
@@ -111,7 +115,10 @@ fn layout_invariants_hold_for_full_corpus() {
             for &tid in &qv.diagram.boxes[bl.box_index].tables {
                 let tr = layout.table(tid).rect;
                 assert!(bl.rect.x <= tr.x && bl.rect.right() >= tr.right(), "{sql}");
-                assert!(bl.rect.y <= tr.y && bl.rect.bottom() >= tr.bottom(), "{sql}");
+                assert!(
+                    bl.rect.y <= tr.y && bl.rect.bottom() >= tr.bottom(),
+                    "{sql}"
+                );
             }
         }
     }
@@ -125,7 +132,10 @@ fn reading_orders_cover_all_tables() {
         // Every non-select table appears exactly once.
         let mut seen = std::collections::HashSet::new();
         for step in &steps {
-            assert!(seen.insert(step.table), "duplicate table in reading:\n{sql}");
+            assert!(
+                seen.insert(step.table),
+                "duplicate table in reading:\n{sql}"
+            );
         }
         assert_eq!(
             seen.len(),

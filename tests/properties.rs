@@ -36,8 +36,8 @@ fn compare_op() -> impl Strategy<Value = CompareOp> {
 
 /// A random flat (conjunctive) query block over aliases T0..Tk.
 fn conjunctive_query(max_tables: usize) -> impl Strategy<Value = Query> {
-    (1..=max_tables, proptest::collection::vec(ident(), 1..=4))
-        .prop_flat_map(move |(n_tables, columns)| {
+    (1..=max_tables, proptest::collection::vec(ident(), 1..=4)).prop_flat_map(
+        move |(n_tables, columns)| {
             let aliases: Vec<String> = (0..n_tables).map(|i| format!("T{i}")).collect();
             let tables: Vec<TableRef> = aliases
                 .iter()
@@ -47,9 +47,8 @@ fn conjunctive_query(max_tables: usize) -> impl Strategy<Value = Query> {
             let col = {
                 let aliases = aliases.clone();
                 let columns = columns.clone();
-                (0..aliases.len(), 0..columns.len()).prop_map(move |(t, c)| {
-                    ColumnRef::new(aliases[t].clone(), columns[c].clone())
-                })
+                (0..aliases.len(), 0..columns.len())
+                    .prop_map(move |(t, c)| ColumnRef::new(aliases[t].clone(), columns[c].clone()))
             };
             let predicate = prop_oneof![
                 (col.clone(), compare_op(), col.clone()).prop_map(|(l, op, r)| {
@@ -67,19 +66,18 @@ fn conjunctive_query(max_tables: usize) -> impl Strategy<Value = Query> {
                     }
                 }),
             ];
-            (
-                col.clone(),
-                proptest::collection::vec(predicate, 0..5),
-            )
-                .prop_map(move |(select_col, preds)| {
+            (col.clone(), proptest::collection::vec(predicate, 0..5)).prop_map(
+                move |(select_col, preds)| {
                     let mut q = Query::new(
                         SelectList::Items(vec![SelectItem::Column(select_col)]),
                         tables.clone(),
                     );
                     q.where_clause = preds;
                     q
-                })
-        })
+                },
+            )
+        },
+    )
 }
 
 // ---------- parser / printer ----------

@@ -25,8 +25,8 @@ fn nested_corpus_queries_roundtrip() {
             continue;
         }
         let lt = translate(&parse_query(q.sql).unwrap(), Some(&schema)).unwrap();
-        let recovered = recover_logic_tree(&build_diagram(&lt))
-            .unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        let recovered =
+            recover_logic_tree(&build_diagram(&lt)).unwrap_or_else(|e| panic!("{}: {e}", q.id));
         assert!(lt.structural_eq(&recovered), "{} round trip differs", q.id);
     }
 }
@@ -34,7 +34,7 @@ fn nested_corpus_queries_roundtrip() {
 #[test]
 fn unique_set_roundtrips_through_raw_diagram() {
     let qv = QueryVis::from_sql(unique_set_sql()).unwrap();
-    let recovered = recover_logic_tree(&qv.raw_diagram).unwrap();
+    let recovered = recover_logic_tree(qv.raw_diagram()).unwrap();
     assert!(qv.logic_tree.structural_eq(&recovered));
 }
 
