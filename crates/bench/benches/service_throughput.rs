@@ -7,10 +7,21 @@
 //!   service (every request is a fingerprint + cache hit), isolating the
 //!   front-half cost the cache can never remove;
 //! * **1 vs 4 worker threads** — the deterministic batch executor's
-//!   scaling on compile-bound (cold) and lookup-bound (warm) workloads.
+//!   scaling on compile-bound (cold) and lookup-bound (warm) workloads;
 //!
-//! Per-iteration work is one full batch, so comparing group entries gives
-//! batches/sec; multiply by the corpus size for queries/sec.
+//! plus a **fingerprint-only** row (parse → translate → canonical token
+//! stream → 128-bit hash, no service) that tracks the always-executed
+//! front half in isolation — the path the interned-symbol IR refactor
+//! targets.
+//!
+//! Besides the console report, the bench writes machine-readable results
+//! to `BENCH_service.json` at the repository root so the perf trajectory
+//! is tracked across PRs. Modes:
+//!
+//! * default — full measurement windows;
+//! * `QUERYVIS_BENCH_QUICK=1` — shrunken windows (CI bench-smoke);
+//! * `--test` (what `cargo test --benches` passes) — one iteration per
+//!   row, timings reported as mode `smoke`.
 //!
 //! Caveat: on a single-CPU host (like the container this repo is
 //! developed in) the 4-thread rows can only show pool overhead, never
@@ -18,10 +29,13 @@
 //! stay byte-identical to the 1-thread rows, which the service tests
 //! assert.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::black_box;
+use queryvis::QueryVisOptions;
 use queryvis_service::{
-    paper_corpus_requests, CacheConfig, DiagramService, Format, Request, ServiceConfig,
+    fingerprint_sql, paper_corpus_requests, CacheConfig, DiagramService, Format, Request,
+    ServiceConfig,
 };
+use std::time::{Duration, Instant};
 
 fn corpus() -> Vec<Request> {
     paper_corpus_requests(&[Format::Ascii, Format::Svg])
@@ -35,22 +49,6 @@ fn fresh_service() -> DiagramService {
         },
         ..ServiceConfig::default()
     })
-}
-
-fn bench_cold(c: &mut Criterion) {
-    let requests = corpus();
-    let mut group = c.benchmark_group("service/cold_batch");
-    group.sample_size(10);
-    for threads in [1usize, 4] {
-        group.bench_function(format!("{threads}_threads"), |b| {
-            b.iter(|| {
-                // A fresh service per iteration: every pattern compiles.
-                let service = fresh_service();
-                black_box(service.execute_batch(black_box(&requests), threads))
-            })
-        });
-    }
-    group.finish();
 }
 
 /// A batch of `n` requests spanning ~120 structurally distinct patterns:
@@ -122,65 +120,279 @@ fn synthetic_requests(n: usize) -> Vec<Request> {
         .collect()
 }
 
-fn bench_cold_synthetic(c: &mut Criterion) {
-    let requests = synthetic_requests(512);
-    let mut group = c.benchmark_group("service/cold_synthetic_512");
-    group.sample_size(10);
-    for threads in [1usize, 4] {
-        group.bench_function(format!("{threads}_threads"), |b| {
-            b.iter(|| {
-                let service = fresh_service();
-                black_box(service.execute_batch(black_box(&requests), threads))
-            })
-        });
-    }
-    group.finish();
+// ---------------------------------------------------------------------
+// Measurement harness + machine-readable report
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Full,
+    Quick,
+    Smoke,
 }
 
-fn bench_warm(c: &mut Criterion) {
+impl Mode {
+    fn detect() -> Mode {
+        if std::env::args().any(|a| a == "--test") {
+            Mode::Smoke
+        } else if std::env::var("QUERYVIS_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty()) {
+            Mode::Quick
+        } else {
+            Mode::Full
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Quick => "quick",
+            Mode::Smoke => "smoke",
+        }
+    }
+
+    fn window(self) -> Duration {
+        match self {
+            Mode::Full => Duration::from_millis(200),
+            Mode::Quick => Duration::from_millis(25),
+            Mode::Smoke => Duration::ZERO,
+        }
+    }
+}
+
+struct BenchRow {
+    name: &'static str,
+    /// `cold` | `warm` | `fingerprint`.
+    kind: &'static str,
+    /// Worker threads (1 for the single-request / fingerprint rows).
+    threads: usize,
+    /// Requests processed per iteration.
+    queries_per_iter: usize,
+    iters: u64,
+    per_iter_ns: f64,
+}
+
+impl BenchRow {
+    fn queries_per_sec(&self) -> f64 {
+        if self.per_iter_ns <= 0.0 {
+            return 0.0;
+        }
+        self.queries_per_iter as f64 * 1e9 / self.per_iter_ns
+    }
+}
+
+/// Calibrate-then-measure (mirrors the vendored criterion shim): time
+/// single iterations until ~window/10 elapses, size the measured run to
+/// fill the window, report mean ns/iter.
+fn measure<O>(
+    mode: Mode,
+    name: &'static str,
+    kind: &'static str,
+    threads: usize,
+    queries_per_iter: usize,
+    mut payload: impl FnMut() -> O,
+) -> BenchRow {
+    if mode == Mode::Smoke {
+        let start = Instant::now();
+        black_box(payload());
+        let elapsed = start.elapsed();
+        println!("{name:<50} ok (smoke)");
+        return BenchRow {
+            name,
+            kind,
+            threads,
+            queries_per_iter,
+            iters: 1,
+            per_iter_ns: elapsed.as_nanos() as f64,
+        };
+    }
+    let window = mode.window();
+    let calibration_start = Instant::now();
+    let mut calibration_iters = 0u64;
+    while calibration_start.elapsed() < window / 10 {
+        black_box(payload());
+        calibration_iters += 1;
+        if calibration_iters >= 10_000 {
+            break;
+        }
+    }
+    let per_iter = calibration_start.elapsed().as_secs_f64() / calibration_iters as f64;
+    let iters = ((window.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(payload());
+    }
+    let elapsed = start.elapsed();
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!(
+        "{name:<50} {:>12.3} ms/iter ({iters} iters in {:.3} ms)",
+        per_iter_ns / 1e6,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    BenchRow {
+        name,
+        kind,
+        threads,
+        queries_per_iter,
+        iters,
+        per_iter_ns,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write `BENCH_service.json` at the repository root (two levels above
+/// this crate's manifest), hand-rolled like the service's JSON layer — no
+/// serde in the image.
+fn write_report(mode: Mode, rows: &[BenchRow]) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json");
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"service_throughput\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", mode.as_str()));
+    out.push_str(&format!(
+        "  \"profile\": \"{}\",\n",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    ));
+    out.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"threads\": {}, \
+             \"queries_per_iter\": {}, \"iters\": {}, \"per_iter_ns\": {:.0}, \
+             \"queries_per_sec\": {:.1}}}{}\n",
+            json_escape(row.name),
+            row.kind,
+            row.threads,
+            row.queries_per_iter,
+            row.iters,
+            row.per_iter_ns,
+            row.queries_per_sec(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+fn main() {
+    let mode = Mode::detect();
     let requests = corpus();
-    let mut group = c.benchmark_group("service/warm_batch");
+    let synthetic = synthetic_requests(512);
+    let n_corpus = requests.len();
+    let mut rows = Vec::new();
+
     for threads in [1usize, 4] {
+        let name: &'static str = match threads {
+            1 => "service/cold_batch/1_threads",
+            _ => "service/cold_batch/4_threads",
+        };
+        rows.push(measure(mode, name, "cold", threads, n_corpus, || {
+            // A fresh service per iteration: every pattern compiles.
+            let service = fresh_service();
+            service.execute_batch(black_box(&requests), threads)
+        }));
+    }
+
+    for threads in [1usize, 4] {
+        let name: &'static str = match threads {
+            1 => "service/cold_synthetic_512/1_threads",
+            _ => "service/cold_synthetic_512/4_threads",
+        };
+        rows.push(measure(
+            mode,
+            name,
+            "cold",
+            threads,
+            synthetic.len(),
+            || {
+                let service = fresh_service();
+                service.execute_batch(black_box(&synthetic), threads)
+            },
+        ));
+    }
+
+    for threads in [1usize, 4] {
+        let name: &'static str = match threads {
+            1 => "service/warm_batch/1_threads",
+            _ => "service/warm_batch/4_threads",
+        };
         let service = fresh_service();
         // Pre-warm: all patterns compiled and all artifacts rendered.
         service.execute_batch(&requests, threads);
-        group.bench_function(format!("{threads}_threads"), |b| {
-            b.iter(|| black_box(service.execute_batch(black_box(&requests), threads)))
-        });
+        rows.push(measure(mode, name, "warm", threads, n_corpus, || {
+            service.execute_batch(black_box(&requests), threads)
+        }));
     }
-    group.finish();
-}
 
-fn bench_single_request_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("service/single");
-    let sql = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
-               (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
-               (SELECT L.drink FROM Likes L WHERE L.person = F.person \
-                AND S.drink = L.drink))";
-    let request = Request {
-        id: 0,
-        sql: sql.to_string(),
-        formats: vec![Format::Ascii],
-    };
-    group.bench_function("cold_compile", |b| {
-        b.iter(|| {
-            let service = fresh_service();
-            black_box(service.handle(black_box(&request)))
-        })
-    });
-    let service = fresh_service();
-    service.handle(&request);
-    group.bench_function("warm_hit", |b| {
-        b.iter(|| black_box(service.handle(black_box(&request))))
-    });
-    group.finish();
-}
+    {
+        let sql = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+                   (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+                   (SELECT L.drink FROM Likes L WHERE L.person = F.person \
+                    AND S.drink = L.drink))";
+        let request = Request {
+            id: 0,
+            sql: sql.to_string(),
+            formats: vec![Format::Ascii],
+        };
+        rows.push(measure(
+            mode,
+            "service/single/cold_compile",
+            "cold",
+            1,
+            1,
+            || {
+                let service = fresh_service();
+                service.handle(black_box(&request))
+            },
+        ));
+        let service = fresh_service();
+        service.handle(&request);
+        rows.push(measure(
+            mode,
+            "service/single/warm_hit",
+            "warm",
+            1,
+            1,
+            || service.handle(black_box(&request)),
+        ));
+    }
 
-criterion_group!(
-    benches,
-    bench_cold,
-    bench_cold_synthetic,
-    bench_warm,
-    bench_single_request_paths
-);
-criterion_main!(benches);
+    // Fingerprint-only: the always-executed front half (parse → translate
+    // → canonical tokens → hash) over the whole corpus, no cache, no
+    // diagrams. This is the row the interned-symbol IR directly targets.
+    {
+        let options = std::sync::Arc::new(QueryVisOptions::default());
+        rows.push(measure(
+            mode,
+            "service/fingerprint_only/corpus",
+            "fingerprint",
+            1,
+            n_corpus,
+            || {
+                let mut last = None;
+                for request in &requests {
+                    last = Some(
+                        fingerprint_sql(black_box(&request.sql), std::sync::Arc::clone(&options))
+                            .expect("corpus queries fingerprint")
+                            .fingerprint,
+                    );
+                }
+                last
+            },
+        ));
+    }
+
+    match write_report(mode, &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_service.json: {e}"),
+    }
+}

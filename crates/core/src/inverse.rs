@@ -323,9 +323,9 @@ fn rebuild(diagram: &Diagram, gg: &GroupGraph, parents: &[usize]) -> LogicTree {
         for &tid in &group.tables {
             let t = &diagram.tables[tid];
             tree.node_mut(node_of_group[g]).tables.push(LtTable {
-                key: t.binding.clone(),
-                alias: t.alias.clone(),
-                table: t.name.clone(),
+                key: t.binding,
+                alias: t.alias,
+                table: t.name,
             });
         }
     }
@@ -341,9 +341,9 @@ fn rebuild(diagram: &Diagram, gg: &GroupGraph, parents: &[usize]) -> LogicTree {
                 tree.node_mut(node_of_group[g])
                     .predicates
                     .push(LtPredicate::selection(
-                        AttrRef::new(table.binding.clone(), row.column.clone()),
+                        AttrRef::new(table.binding, row.column),
                         *op,
-                        value.clone(),
+                        *value,
                     ));
             }
         }
@@ -354,7 +354,7 @@ fn rebuild(diagram: &Diagram, gg: &GroupGraph, parents: &[usize]) -> LogicTree {
     // reading `from op to` with `=` for unlabeled edges.
     let attr_of = |tid: TableId, row: usize| -> AttrRef {
         let t = &diagram.tables[tid];
-        AttrRef::new(t.binding.clone(), t.rows[row].column.clone())
+        AttrRef::new(t.binding, t.rows[row].column)
     };
     for edge in &diagram.edges {
         let ga = gg.group_of[edge.from.table];

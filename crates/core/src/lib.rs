@@ -56,10 +56,14 @@ pub mod pattern;
 pub mod pipeline;
 pub mod unambiguity;
 
-pub use decompose::{recover_depths_decomposition, recovered_depth_by_binding};
+pub use decompose::{recover_depths_decomposition, recovered_depth_by_binding, DepthRecoveryPass};
 pub use inverse::{recover_logic_tree, GroupGraph, InverseError};
-pub use pattern::canonical_pattern;
-pub use pipeline::{PreparedQuery, QueryVis, QueryVisError, QueryVisOptions};
+pub use pattern::{canonical_pattern, PatternKey};
+pub use pipeline::{
+    rewrite_passes, strict_validation_passes, PreparedQuery, QueryVis, QueryVisError,
+    QueryVisOptions,
+};
+pub use queryvis_ir as ir;
 pub use unambiguity::{valid_path_patterns, verify_path_patterns, PathPattern};
 
 // Re-export the component crates under stable names.

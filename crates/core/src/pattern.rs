@@ -4,14 +4,23 @@
 //! query, and the visual diagram remains the same for queries with
 //! identical logical patterns ... even across schemas."
 //!
-//! [`canonical_pattern`] erases all schema-specific names from a logic
+//! [`PatternKey::of_tree`] erases all schema-specific names from a logic
 //! tree — binding keys, base-table names, attribute names, and constant
-//! values — and serializes the remaining structure deterministically:
-//! children are ordered by their recursive structural signature, bindings
-//! are renamed `b0, b1, …` in canonical traversal order, attributes
-//! `c0, c1, …` per binding in order of first use, and constants become a
-//! placeholder. Two queries obtain the same string iff they share the
-//! paper's notion of a visual pattern.
+//! values — and serializes the remaining structure deterministically as a
+//! compact `u32` **token stream**: children are ordered by their recursive
+//! structural signature, bindings are renamed `b0, b1, …` in canonical
+//! traversal order, attributes `c0, c1, …` per binding in order of first
+//! use, and constants become a placeholder. Two queries obtain the same
+//! token stream iff they share the paper's notion of a visual pattern.
+//!
+//! The token stream is the serving layer's **hot path**: with interned
+//! [`Symbol`] names the whole canonicalization is id arithmetic (symbol →
+//! dense canonical index via integer-keyed maps), and the 128-bit cache
+//! fingerprint is an FNV-1a hash of the `u32` tokens — no canonical
+//! *string* is ever built on a cache hit. [`canonical_pattern`] renders
+//! the stream into the human-readable `S[…]…{…}` form for debugging,
+//! protocol disclosure, and tests; string equality and token equality
+//! coincide by construction (the renderer is injective on streams).
 //!
 //! (As with any practical tree canonicalization over decorated nodes,
 //! pathological queries with *structurally identical but differently
@@ -20,205 +29,375 @@
 //! hits that case, and the property-based tests include randomized
 //! sanity checks.)
 
-use queryvis_logic::{LogicTree, LtOperand, NodeId, SelectAttr};
+use queryvis_logic::{LogicTree, LtOperand, LtPredicate, NodeId, SelectAttr};
+use queryvis_sql::{AggFunc, CompareOp, Symbol};
 use std::collections::HashMap;
 
-/// Compute the canonical pattern string of a logic tree.
-pub fn canonical_pattern(tree: &LogicTree) -> String {
-    // Phase 1: structural signatures, bottom-up, name-free. Used to order
-    // children deterministically before assigning canonical names.
-    let mut signature: HashMap<NodeId, String> = HashMap::new();
-    for &id in tree.preorder().iter().rev() {
-        let node = tree.node(id);
-        let mut child_sigs: Vec<String> =
-            node.children.iter().map(|c| signature[c].clone()).collect();
-        child_sigs.sort();
-        // Predicate *shapes* only (join vs selection, operator), no names.
-        let mut pred_shapes: Vec<String> = node
-            .predicates
-            .iter()
-            .map(|p| match &p.rhs {
-                LtOperand::Attr(_) => format!("j{}", p.op.as_str()),
-                LtOperand::Const(_) => format!("s{}", p.op.as_str()),
-            })
-            .collect();
-        pred_shapes.sort();
-        signature.insert(
-            id,
-            format!(
-                "{}#{}t{}p[{}]c[{}]",
-                node.quantifier,
-                node.tables.len(),
-                pred_shapes.len(),
-                pred_shapes.join(","),
-                child_sigs.join(",")
-            ),
-        );
+// Token tags. Kept well clear of the dense payload ranges so a tag can
+// never be confused with a canonical index in a stream comparison.
+const T_SELECT: u32 = 0xF000_0001;
+const T_SEL_COL: u32 = 0xF000_0002;
+const T_SEL_AGG: u32 = 0xF000_0003;
+const T_GROUP: u32 = 0xF000_0004;
+const T_GROUP_ATTR: u32 = 0xF000_0005;
+const T_OPEN: u32 = 0xF000_0006;
+const T_BINDING: u32 = 0xF000_0007;
+const T_PRED_JOIN: u32 = 0xF000_0008;
+const T_PRED_SEL: u32 = 0xF000_0009;
+const T_CLOSE: u32 = 0xF000_000A;
+const T_NO_ARG: u32 = 0xF000_000B;
+const T_HAS_ARG: u32 = 0xF000_000C;
+
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// The canonical pattern of a query as a compact token stream.
+///
+/// Equality of [`PatternKey`]s is the paper's pattern equivalence; the
+/// [`PatternKey::fingerprint128`] is the serving layer's cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternKey {
+    tokens: Vec<u32>,
+}
+
+/// Canonical-name erasure state: symbol → dense index maps, integer-keyed.
+#[derive(Default)]
+struct Eraser {
+    bindings: HashMap<Symbol, u32>,
+    columns: HashMap<(u32, Symbol), u32>,
+    /// Next column index per binding, indexed by binding code.
+    column_counters: Vec<u32>,
+}
+
+impl Eraser {
+    fn binding(&mut self, key: Symbol) -> u32 {
+        let next = self.bindings.len() as u32;
+        let code = *self.bindings.entry(key).or_insert(next);
+        if code as usize >= self.column_counters.len() {
+            self.column_counters.resize(code as usize + 1, 0);
+        }
+        code
     }
 
-    // Phase 2: canonical traversal (children ordered by signature), with
-    // name erasure.
-    let mut binding_names: HashMap<String, String> = HashMap::new();
-    let mut column_names: HashMap<(String, String), String> = HashMap::new();
-    let mut column_counters: HashMap<String, usize> = HashMap::new();
-
-    fn canon_binding(binding: &str, binding_names: &mut HashMap<String, String>) -> String {
-        let next = format!("b{}", binding_names.len());
-        binding_names
-            .entry(binding.to_string())
-            .or_insert(next)
-            .clone()
-    }
-
-    fn canon_attr(
-        binding: &str,
-        column: &str,
-        binding_names: &mut HashMap<String, String>,
-        column_names: &mut HashMap<(String, String), String>,
-        column_counters: &mut HashMap<String, usize>,
-    ) -> String {
-        let b = canon_binding(binding, binding_names);
-        let key = (b.clone(), column.to_string());
-        let c = column_names
-            .entry(key)
-            .or_insert_with(|| {
-                let counter = column_counters.entry(b.clone()).or_insert(0);
-                let name = format!("c{counter}");
+    fn attr(&mut self, binding: Symbol, column: Symbol) -> (u32, u32) {
+        let b = self.binding(binding);
+        let counter = &mut self.column_counters[b as usize];
+        let c = match self.columns.entry((b, column)) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let c = *counter;
                 *counter += 1;
-                name
-            })
-            .clone();
-        format!("{b}.{c}")
+                *e.insert(c)
+            }
+        };
+        (b, c)
     }
+}
 
-    fn walk(
-        tree: &LogicTree,
-        id: NodeId,
-        signature: &HashMap<NodeId, String>,
-        binding_names: &mut HashMap<String, String>,
-        column_names: &mut HashMap<(String, String), String>,
-        column_counters: &mut HashMap<String, usize>,
-        out: &mut String,
-    ) {
-        let node = tree.node(id);
-        out.push_str(node.quantifier.symbol());
-        out.push('{');
-        // Bindings in FROM order get canonical names on first visit.
-        for table in &node.tables {
-            let b = canon_binding(&table.key, binding_names);
-            out.push_str(&b);
-            out.push(';');
+/// Orient a join predicate so the lexicographically smaller attribute (by
+/// resolved name) leads. This is deliberately *name*-based, not id-based:
+/// pattern-equal queries over different alias/attribute names (the paper's
+/// cross-schema patterns) must orient corresponding predicates the same
+/// way, and interner id order depends on process history.
+fn orient(p: &LtPredicate) -> LtPredicate {
+    match p.rhs {
+        LtOperand::Attr(rhs) => {
+            let lhs_name = (p.lhs.binding.as_str(), p.lhs.column.as_str());
+            let rhs_name = (rhs.binding.as_str(), rhs.column.as_str());
+            if rhs_name < lhs_name {
+                LtPredicate {
+                    lhs: rhs,
+                    op: p.op.flip(),
+                    rhs: LtOperand::Attr(p.lhs),
+                }
+            } else {
+                *p
+            }
         }
-        // Predicates: normalized, then sorted by their *erased* form after
-        // a first naming pass — to keep this deterministic we sort by the
-        // structural shape first and erased text second.
-        let mut rendered: Vec<String> = node
-            .predicates
-            .iter()
-            .map(|p| {
-                let p = p.normalized();
-                let lhs = canon_attr(
-                    &p.lhs.binding,
-                    &p.lhs.column,
-                    binding_names,
-                    column_names,
-                    column_counters,
-                );
-                match &p.rhs {
-                    LtOperand::Attr(a) => {
-                        let rhs = canon_attr(
-                            &a.binding,
-                            &a.column,
-                            binding_names,
-                            column_names,
-                            column_counters,
-                        );
-                        format!("({lhs}{}{rhs})", p.op)
+        LtOperand::Const(_) => *p,
+    }
+}
+
+impl PatternKey {
+    /// Canonicalize a logic tree into its pattern token stream.
+    pub fn of_tree(tree: &LogicTree) -> PatternKey {
+        // Phase 1: structural signatures, bottom-up, name-free. Used to
+        // order children deterministically before assigning canonical
+        // names. Signatures are token streams themselves (compared
+        // lexicographically), so sibling ordering never hinges on a hash.
+        let mut signature: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for &id in tree.preorder().iter().rev() {
+            let node = tree.node(id);
+            let mut child_sigs: Vec<&[u32]> = node
+                .children
+                .iter()
+                .map(|c| signature[c].as_slice())
+                .collect();
+            child_sigs.sort();
+            // Predicate *shapes* only (join vs selection, operator), no
+            // names.
+            let mut pred_shapes: Vec<(u32, u32)> = node
+                .predicates
+                .iter()
+                .map(|p| match p.rhs {
+                    LtOperand::Attr(_) => (0, p.op.code()),
+                    LtOperand::Const(_) => (1, p.op.code()),
+                })
+                .collect();
+            pred_shapes.sort_unstable();
+            let mut sig = Vec::with_capacity(8 + 2 * pred_shapes.len());
+            sig.push(T_OPEN);
+            sig.push(node.quantifier.code());
+            sig.push(node.tables.len() as u32);
+            for (kind, op) in &pred_shapes {
+                sig.push(*kind);
+                sig.push(*op);
+            }
+            for child in child_sigs {
+                sig.extend_from_slice(child);
+            }
+            sig.push(T_CLOSE);
+            signature.insert(id, sig);
+        }
+
+        // Phase 2: canonical traversal (children ordered by signature),
+        // with name erasure into dense indices.
+        let mut eraser = Eraser::default();
+        let mut tokens = Vec::with_capacity(16 * tree.node_count());
+
+        // Select list first (arity and attribute identity matter for the
+        // pattern: "find drinkers" vs "find beers" differ in which binding
+        // is projected).
+        tokens.push(T_SELECT);
+        for attr in &tree.select {
+            match attr {
+                SelectAttr::Column(a) => {
+                    let (b, c) = eraser.attr(a.binding, a.column);
+                    tokens.extend_from_slice(&[T_SEL_COL, b, c]);
+                }
+                SelectAttr::Aggregate { func, arg } => {
+                    tokens.extend_from_slice(&[T_SEL_AGG, func.code()]);
+                    match arg {
+                        Some(a) => {
+                            let (b, c) = eraser.attr(a.binding, a.column);
+                            tokens.extend_from_slice(&[T_HAS_ARG, b, c]);
+                        }
+                        None => tokens.push(T_NO_ARG),
                     }
-                    LtOperand::Const(_) => format!("({lhs}{}K)", p.op),
                 }
-            })
-            .collect();
-        rendered.sort();
-        out.push_str(&rendered.join(""));
-        // Children in canonical (signature) order.
-        let mut children = node.children.clone();
-        children.sort_by(|a, b| signature[a].cmp(&signature[b]).then(a.cmp(b)));
-        for child in children {
-            walk(
-                tree,
-                child,
-                signature,
-                binding_names,
-                column_names,
-                column_counters,
-                out,
-            );
+            }
         }
-        out.push('}');
+        if !tree.group_by.is_empty() {
+            tokens.push(T_GROUP);
+            for attr in &tree.group_by {
+                let (b, c) = eraser.attr(attr.binding, attr.column);
+                tokens.extend_from_slice(&[T_GROUP_ATTR, b, c]);
+            }
+        }
+
+        fn walk(
+            tree: &LogicTree,
+            id: NodeId,
+            signature: &HashMap<NodeId, Vec<u32>>,
+            eraser: &mut Eraser,
+            tokens: &mut Vec<u32>,
+        ) {
+            let node = tree.node(id);
+            tokens.push(T_OPEN);
+            tokens.push(node.quantifier.code());
+            // Bindings in FROM order get canonical names on first visit.
+            for table in &node.tables {
+                let b = eraser.binding(table.key);
+                tokens.extend_from_slice(&[T_BINDING, b]);
+            }
+            // Predicates: oriented, named in conjunct order (mirroring the
+            // original string canonicalization), then sorted by erased
+            // token tuple for order insensitivity.
+            let mut rendered: Vec<[u32; 6]> = node
+                .predicates
+                .iter()
+                .map(|p| {
+                    let p = orient(p);
+                    let (lb, lc) = eraser.attr(p.lhs.binding, p.lhs.column);
+                    match p.rhs {
+                        LtOperand::Attr(a) => {
+                            let (rb, rc) = eraser.attr(a.binding, a.column);
+                            [T_PRED_JOIN, p.op.code(), lb, lc, rb, rc]
+                        }
+                        LtOperand::Const(_) => [T_PRED_SEL, p.op.code(), lb, lc, 0, 0],
+                    }
+                })
+                .collect();
+            rendered.sort_unstable();
+            for pred in &rendered {
+                let len = if pred[0] == T_PRED_JOIN { 6 } else { 4 };
+                tokens.extend_from_slice(&pred[..len]);
+            }
+            // Children in canonical (signature) order.
+            let mut children = node.children.clone();
+            children.sort_by(|a, b| signature[a].cmp(&signature[b]).then(a.cmp(b)));
+            for child in children {
+                walk(tree, child, signature, eraser, tokens);
+            }
+            tokens.push(T_CLOSE);
+        }
+        walk(tree, 0, &signature, &mut eraser, &mut tokens);
+
+        PatternKey { tokens }
     }
 
-    let mut out = String::new();
-    // Select list first (arity and attribute identity matter for the
-    // pattern: "find drinkers" vs "find beers" differ in which binding is
-    // projected).
-    out.push_str("S[");
-    for attr in &tree.select {
-        match attr {
-            SelectAttr::Column(a) => {
-                let erased = canon_attr(
-                    &a.binding,
-                    &a.column,
-                    &mut binding_names,
-                    &mut column_names,
-                    &mut column_counters,
-                );
-                out.push_str(&erased);
+    /// The raw token stream (exposed for benches and tests).
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// 128-bit FNV-1a over the token stream (little-endian `u32`s) — the
+    /// serving layer's cache key. Hashes `4 * tokens.len()` bytes of ids
+    /// instead of a re-built canonical string.
+    pub fn fingerprint128(&self) -> u128 {
+        let mut hash = FNV128_OFFSET;
+        for token in &self.tokens {
+            for byte in token.to_le_bytes() {
+                hash ^= u128::from(byte);
+                hash = hash.wrapping_mul(FNV128_PRIME);
             }
-            SelectAttr::Aggregate { func, arg } => {
-                out.push_str(func.as_str());
-                out.push('(');
-                if let Some(a) = arg {
-                    let erased = canon_attr(
-                        &a.binding,
-                        &a.column,
-                        &mut binding_names,
-                        &mut column_names,
-                        &mut column_counters,
-                    );
-                    out.push_str(&erased);
+        }
+        hash
+    }
+
+    /// Render the human-readable canonical form (`S[b0.c0;]∃{b0;(…)}`).
+    /// Injective on token streams: two keys render equal strings iff they
+    /// are equal.
+    pub fn render(&self) -> String {
+        fn op_str(code: u32) -> &'static str {
+            for op in [
+                CompareOp::Lt,
+                CompareOp::Le,
+                CompareOp::Eq,
+                CompareOp::Ne,
+                CompareOp::Ge,
+                CompareOp::Gt,
+            ] {
+                if op.code() == code {
+                    return op.as_str();
                 }
-                out.push(')');
+            }
+            "?"
+        }
+        fn agg_str(code: u32) -> &'static str {
+            for func in [
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+            ] {
+                if func.code() == code {
+                    return func.as_str();
+                }
+            }
+            "?"
+        }
+        fn quant_str(code: u32) -> &'static str {
+            match code {
+                0 => "\u{2203}",
+                1 => "\u{2204}",
+                _ => "\u{2200}",
             }
         }
-        out.push(';');
-    }
-    out.push(']');
-    if !tree.group_by.is_empty() {
-        out.push_str("G[");
-        for attr in &tree.group_by {
-            let erased = canon_attr(
-                &attr.binding,
-                &attr.column,
-                &mut binding_names,
-                &mut column_names,
-                &mut column_counters,
-            );
-            out.push_str(&erased);
-            out.push(';');
+
+        let mut out = String::with_capacity(4 * self.tokens.len());
+        let t = &self.tokens;
+        let mut i = 0;
+        let mut select_open = false;
+        while i < t.len() {
+            match t[i] {
+                T_SELECT => {
+                    out.push_str("S[");
+                    select_open = true;
+                    i += 1;
+                }
+                T_SEL_COL => {
+                    out.push_str(&format!("b{}.c{};", t[i + 1], t[i + 2]));
+                    i += 3;
+                }
+                T_SEL_AGG => {
+                    out.push_str(agg_str(t[i + 1]));
+                    out.push('(');
+                    i += 2;
+                    if t[i] == T_HAS_ARG {
+                        out.push_str(&format!("b{}.c{}", t[i + 1], t[i + 2]));
+                        i += 3;
+                    } else {
+                        i += 1; // T_NO_ARG
+                    }
+                    out.push_str(");");
+                }
+                T_GROUP => {
+                    if select_open {
+                        out.push(']');
+                        select_open = false;
+                    }
+                    out.push_str("G[");
+                    i += 1;
+                    while i < t.len() && t[i] == T_GROUP_ATTR {
+                        out.push_str(&format!("b{}.c{};", t[i + 1], t[i + 2]));
+                        i += 3;
+                    }
+                    out.push(']');
+                }
+                T_OPEN => {
+                    if select_open {
+                        out.push(']');
+                        select_open = false;
+                    }
+                    out.push_str(quant_str(t[i + 1]));
+                    out.push('{');
+                    i += 2;
+                }
+                T_BINDING => {
+                    out.push_str(&format!("b{};", t[i + 1]));
+                    i += 2;
+                }
+                T_PRED_JOIN => {
+                    out.push_str(&format!(
+                        "(b{}.c{}{}b{}.c{})",
+                        t[i + 2],
+                        t[i + 3],
+                        op_str(t[i + 1]),
+                        t[i + 4],
+                        t[i + 5],
+                    ));
+                    i += 6;
+                }
+                T_PRED_SEL => {
+                    out.push_str(&format!(
+                        "(b{}.c{}{}K)",
+                        t[i + 2],
+                        t[i + 3],
+                        op_str(t[i + 1]),
+                    ));
+                    i += 4;
+                }
+                T_CLOSE => {
+                    out.push('}');
+                    i += 1;
+                }
+                other => {
+                    // Unreachable by construction; keep rendering total.
+                    out.push_str(&format!("<{other:#x}>"));
+                    i += 1;
+                }
+            }
         }
-        out.push(']');
+        out
     }
-    walk(
-        tree,
-        0,
-        &signature,
-        &mut binding_names,
-        &mut column_names,
-        &mut column_counters,
-        &mut out,
-    );
-    out
+}
+
+/// Compute the canonical pattern string of a logic tree (the rendered form
+/// of [`PatternKey::of_tree`]).
+pub fn canonical_pattern(tree: &LogicTree) -> String {
+    PatternKey::of_tree(tree).render()
 }
 
 #[cfg(test)]
@@ -227,6 +406,10 @@ mod tests {
     use queryvis_corpus::{pattern_grid, sailors_only_variants, PatternKind};
     use queryvis_logic::translate;
     use queryvis_sql::parse_query;
+
+    fn key(sql: &str) -> PatternKey {
+        PatternKey::of_tree(&translate(&parse_query(sql).unwrap(), None).unwrap())
+    }
 
     fn pattern(sql: &str) -> String {
         canonical_pattern(&translate(&parse_query(sql).unwrap(), None).unwrap())
@@ -338,5 +521,53 @@ mod tests {
              AND NOT EXISTS(SELECT * FROM B WHERE B.x = A.x AND B.y = 'k')",
         );
         assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn key_equality_matches_rendered_equality() {
+        let sqls = [
+            "SELECT T.a FROM T",
+            "SELECT U.a FROM T U",
+            "SELECT A.x FROM T A, T B WHERE A.x = B.x",
+            "SELECT A.x FROM T A, T B WHERE A.x <> B.x",
+            "SELECT B.bid FROM Boat B WHERE B.color = 'red'",
+            "SELECT T.AlbumId, MAX(T.ms) FROM Track T GROUP BY T.AlbumId",
+            "SELECT COUNT(*) FROM T GROUP BY T.a",
+        ];
+        for a in &sqls {
+            for b in &sqls {
+                let (ka, kb) = (key(a), key(b));
+                assert_eq!(
+                    ka == kb,
+                    ka.render() == kb.render(),
+                    "token/string equality diverged for {a} vs {b}"
+                );
+                assert_eq!(
+                    ka == kb,
+                    ka.fingerprint128() == kb.fingerprint128(),
+                    "token/fingerprint equality diverged for {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rendered_form_keeps_the_legacy_shape() {
+        let p = pattern("SELECT B.bid FROM Boat B WHERE B.color = 'red'");
+        assert!(p.starts_with("S[b0.c0;]"), "{p}");
+        assert!(p.contains("(b0.c1=K)"), "{p}");
+        let g = pattern("SELECT T.a, COUNT(T.b) FROM T GROUP BY T.a");
+        assert!(g.starts_with("S[b0.c0;COUNT(b0.c1);]G[b0.c0;]"), "{g}");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_for_a_fixed_stream() {
+        // FNV-1a sanity: empty stream hashes to the offset basis, and the
+        // hash depends on token order.
+        let empty = PatternKey { tokens: vec![] };
+        assert_eq!(empty.fingerprint128(), super::FNV128_OFFSET);
+        let ab = PatternKey { tokens: vec![1, 2] };
+        let ba = PatternKey { tokens: vec![2, 1] };
+        assert_ne!(ab.fingerprint128(), ba.fingerprint128());
     }
 }

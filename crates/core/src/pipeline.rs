@@ -1,16 +1,31 @@
 //! The one-stop [`QueryVis`] pipeline: SQL → logic tree → simplification →
 //! diagram → layout → rendering (the Fig. 8 flowchart).
 
+use crate::pattern::PatternKey;
 use queryvis_diagram::{build_diagram, diagram_stats, render_reading, Diagram, DiagramStats};
+use queryvis_ir::{PassContext, PassManager};
 use queryvis_layout::{layout_diagram, Layout, LayoutOptions};
 use queryvis_logic::{
-    check_non_degenerate, check_valid_diagram_source, simplify, to_trc, translate, DegeneracyError,
-    LogicTree, TranslateError,
+    check_non_degenerate, check_valid_diagram_source, to_trc, translate, DegeneracyError,
+    LogicTree, SimplifyPass, TranslateError, ValidatePass,
 };
 use queryvis_render::{to_ascii, to_dot, to_svg, SvgTheme};
 use queryvis_sql::{parse_query, ParseError, Query, Schema, SemanticError};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+
+/// The logic-IR rewrite pipeline run by [`PreparedQuery::complete`]:
+/// today the single ∄·∄ → ∀·∃ simplification pass. New rewrites join the
+/// pipeline here, uniformly named and timed by the pass framework.
+pub fn rewrite_passes() -> PassManager<LogicTree> {
+    PassManager::new().with_pass(SimplifyPass)
+}
+
+/// The strict-mode validation pipeline run by [`QueryVis::prepare`]:
+/// non-degeneracy (Properties 5.1/5.2) plus the depth ≤ 3 bound.
+pub fn strict_validation_passes() -> PassManager<LogicTree> {
+    PassManager::new().with_pass(ValidatePass { strict_depth: true })
+}
 
 /// Errors from any pipeline stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,10 +116,17 @@ pub struct PreparedQuery {
 }
 
 impl PreparedQuery {
-    /// The canonical logical pattern (App. G): equal strings ⟺ same visual
-    /// pattern. This is the cache key of the serving layer.
+    /// The canonical pattern key (App. G): equal keys ⟺ same visual
+    /// pattern. This id-based token stream is what the serving layer
+    /// fingerprints — no canonical string is built on the hot path.
+    pub fn pattern_key(&self) -> PatternKey {
+        PatternKey::of_tree(&self.logic_tree)
+    }
+
+    /// The canonical logical pattern (App. G) rendered as a string: equal
+    /// strings ⟺ same visual pattern.
     pub fn pattern(&self) -> String {
-        crate::pattern::canonical_pattern(&self.logic_tree)
+        self.pattern_key().render()
     }
 
     /// Run the back half of the pipeline: simplification and diagram
@@ -117,7 +139,10 @@ impl PreparedQuery {
             logic_tree,
             options,
         } = self;
-        let simplified = simplify(&logic_tree);
+        let mut simplified = logic_tree.clone();
+        rewrite_passes()
+            .run(&mut simplified)
+            .expect("rewrite passes are infallible");
         let raw = OnceLock::new();
         let diagram = if options.no_simplify {
             // The rendered diagram *is* the raw diagram; seed the lazy slot
@@ -184,9 +209,18 @@ impl QueryVis {
                 .check_query(&query)
                 .map_err(QueryVisError::Semantic)?;
         }
-        let logic_tree = translate(&query, options.schema.as_ref())?;
+        let mut logic_tree = translate(&query, options.schema.as_ref())?;
         if options.strict {
-            check_valid_diagram_source(&logic_tree).map_err(QueryVisError::Degenerate)?;
+            let mut cx = PassContext::new();
+            if strict_validation_passes()
+                .run_with(&mut logic_tree, &mut cx)
+                .is_err()
+            {
+                let degeneracy = cx
+                    .take_fact::<DegeneracyError>(ValidatePass::ERROR_FACT)
+                    .expect("ValidatePass publishes its structured error");
+                return Err(QueryVisError::Degenerate(degeneracy));
+            }
         }
         Ok(PreparedQuery {
             sql: sql.to_string(),

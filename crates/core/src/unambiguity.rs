@@ -131,9 +131,9 @@ pub fn pattern_diagram(pattern: &PathPattern) -> Diagram {
     for depth in 0..4 {
         tables.push(DiagramTable {
             id: depth,
-            binding: format!("T{depth}"),
-            alias: format!("T{depth}"),
-            name: format!("T{depth}"),
+            binding: format!("T{depth}").into(),
+            alias: format!("T{depth}").into(),
+            name: format!("T{depth}").into(),
             rows: Vec::new(),
             node: Some(depth),
             depth,
@@ -157,20 +157,21 @@ pub fn pattern_diagram(pattern: &PathPattern) -> Diagram {
 
     let mut edges = Vec::new();
     // One attribute row per edge endpoint, named after the edge.
-    let row_of = |tables: &mut Vec<DiagramTable>, table: usize, col: String| -> usize {
-        if let Some(idx) = tables[table].rows.iter().position(|r| r.column == col) {
-            return idx;
-        }
-        tables[table].rows.push(TableRow {
-            column: col,
-            kind: RowKind::Attribute,
-        });
-        tables[table].rows.len() - 1
-    };
+    let row_of =
+        |tables: &mut Vec<DiagramTable>, table: usize, col: queryvis_ir::Symbol| -> usize {
+            if let Some(idx) = tables[table].rows.iter().position(|r| r.column == col) {
+                return idx;
+            }
+            tables[table].rows.push(TableRow {
+                column: col,
+                kind: RowKind::Attribute,
+            });
+            tables[table].rows.len() - 1
+        };
     for edge in &pattern.edges {
         let (from, to) = edge.drawn();
-        let col = format!("{edge:?}").to_lowercase();
-        let from_row = row_of(&mut tables, from, col.clone());
+        let col = queryvis_ir::Symbol::intern(&format!("{edge:?}").to_lowercase());
+        let from_row = row_of(&mut tables, from, col);
         let to_row = row_of(&mut tables, to, col);
         edges.push(Edge {
             from: EdgeEndpoint {
@@ -237,7 +238,7 @@ pub fn verify_path_patterns() -> Vec<PatternVerification> {
                     // Depth of each group's table must match its label.
                     let ok = (0..4).all(|i| {
                         let binding = format!("T{i}");
-                        tree.owner_of(&binding)
+                        tree.owner_of(binding.as_str())
                             .map(|node| tree.node(node).depth == i)
                             .unwrap_or(false)
                     });
@@ -296,18 +297,18 @@ pub fn random_valid_tree(seed: u64) -> queryvis_logic::LogicTree {
         let candidates: Vec<usize> = tree.nodes().filter(|n| n.depth < 3).map(|n| n.id).collect();
         let parent = candidates[next(candidates.len())];
         let node = tree.add_child(parent, Quantifier::NotExists);
-        let key = format!("R{}", i + 1);
+        let key = queryvis_ir::Symbol::intern(&format!("R{}", i + 1));
         tree.node_mut(node).tables.push(LtTable {
-            key: key.clone(),
-            alias: key.clone(),
-            table: format!("Rel{}", i + 1),
+            key,
+            alias: key,
+            table: format!("Rel{}", i + 1).into(),
         });
         // Mandatory join to the parent block (Property 5.2).
-        let parent_key = tree.node(parent).tables[0].key.clone();
+        let parent_key = tree.node(parent).tables[0].key;
         let pred = queryvis_logic::LtPredicate::join(
-            AttrRefLocal::new(&key, "a"),
+            AttrRefLocal::new(key, "a"),
             queryvis_sql::CompareOp::Eq,
-            AttrRefLocal::new(&parent_key, "a"),
+            AttrRefLocal::new(parent_key, "a"),
         );
         tree.node_mut(node).predicates.push(pred);
         // Optional extra join to a random strict ancestor.
@@ -319,11 +320,11 @@ pub fn random_valid_tree(seed: u64) -> queryvis_logic::LogicTree {
                 cur = tree.node(a).parent;
             }
             let anc = ancestors[next(ancestors.len())];
-            let anc_key = tree.node(anc).tables[0].key.clone();
+            let anc_key = tree.node(anc).tables[0].key;
             let pred = queryvis_logic::LtPredicate::join(
-                AttrRefLocal::new(&key, "b"),
+                AttrRefLocal::new(key, "b"),
                 queryvis_sql::CompareOp::Eq,
-                AttrRefLocal::new(&anc_key, "b"),
+                AttrRefLocal::new(anc_key, "b"),
             );
             tree.node_mut(node).predicates.push(pred);
         }

@@ -23,6 +23,7 @@
 use crate::model::{
     Diagram, DiagramTable, Edge, EdgeEndpoint, QuantifierBox, RowKind, TableId, TableRow,
 };
+use queryvis_ir::Symbol;
 use queryvis_logic::{AttrRef, LogicTree, LtOperand, Quantifier, SelectAttr};
 use std::collections::HashMap;
 
@@ -40,7 +41,7 @@ struct Builder<'t> {
     tables: Vec<DiagramTable>,
     boxes: Vec<QuantifierBox>,
     edges: Vec<Edge>,
-    by_binding: HashMap<String, TableId>,
+    by_binding: HashMap<Symbol, TableId>,
 }
 
 impl<'t> Builder<'t> {
@@ -63,15 +64,15 @@ impl<'t> Builder<'t> {
                 let id = self.tables.len();
                 self.tables.push(DiagramTable {
                     id,
-                    binding: lt_table.key.clone(),
-                    alias: lt_table.alias.clone(),
-                    name: lt_table.table.clone(),
+                    binding: lt_table.key,
+                    alias: lt_table.alias,
+                    name: lt_table.table,
                     rows: Vec::new(),
                     node: Some(node_id),
                     depth: node.depth,
                     is_select: false,
                 });
-                self.by_binding.insert(lt_table.key.clone(), id);
+                self.by_binding.insert(lt_table.key, id);
                 group.push(id);
             }
             if !node.is_root()
@@ -90,19 +91,16 @@ impl<'t> Builder<'t> {
         for node_id in self.tree.bfs() {
             let node = self.tree.node(node_id);
             for pred in &node.predicates {
-                match &pred.rhs {
+                match pred.rhs {
                     LtOperand::Const(value) => {
                         let table = self.by_binding[&pred.lhs.binding];
                         self.tables[table].rows.push(TableRow {
-                            column: pred.lhs.column.clone(),
-                            kind: RowKind::Selection {
-                                op: pred.op,
-                                value: value.clone(),
-                            },
+                            column: pred.lhs.column,
+                            kind: RowKind::Selection { op: pred.op, value },
                         });
                     }
                     LtOperand::Attr(rhs) => {
-                        self.join_edge(&pred.lhs, pred.op, rhs);
+                        self.join_edge(pred.lhs, pred.op, rhs);
                     }
                 }
             }
@@ -115,7 +113,7 @@ impl<'t> Builder<'t> {
         // gray in their source tables.
         for attr in &self.tree.group_by {
             let table = self.by_binding[&attr.binding];
-            let row = self.ensure_attr_row(table, &attr.column);
+            let row = self.ensure_attr_row(table, attr.column);
             self.tables[table].rows[row].kind = RowKind::GroupBy;
         }
 
@@ -129,12 +127,12 @@ impl<'t> Builder<'t> {
 
     /// Row index of `column` in `table`, creating a plain attribute row on
     /// first reference (rows appear in order of first use).
-    fn ensure_attr_row(&mut self, table: TableId, column: &str) -> usize {
+    fn ensure_attr_row(&mut self, table: TableId, column: Symbol) -> usize {
         if let Some(idx) = self.tables[table].attr_row(column) {
             return idx;
         }
         self.tables[table].rows.push(TableRow {
-            column: column.to_string(),
+            column,
             kind: RowKind::Attribute,
         });
         self.tables[table].rows.len() - 1
@@ -142,11 +140,11 @@ impl<'t> Builder<'t> {
 
     /// Create the edge for a join predicate `lhs op rhs`, applying the
     /// arrow rules.
-    fn join_edge(&mut self, lhs: &AttrRef, op: queryvis_sql::CompareOp, rhs: &AttrRef) {
+    fn join_edge(&mut self, lhs: AttrRef, op: queryvis_sql::CompareOp, rhs: AttrRef) {
         let lhs_table = self.by_binding[&lhs.binding];
         let rhs_table = self.by_binding[&rhs.binding];
-        let lhs_row = self.ensure_attr_row(lhs_table, &lhs.column);
-        let rhs_row = self.ensure_attr_row(rhs_table, &rhs.column);
+        let lhs_row = self.ensure_attr_row(lhs_table, lhs.column);
+        let rhs_row = self.ensure_attr_row(rhs_table, rhs.column);
         let d1 = self.tables[lhs_table].depth;
         let d2 = self.tables[rhs_table].depth;
 
@@ -219,12 +217,12 @@ impl<'t> Builder<'t> {
                         RowKind::Attribute
                     };
                     self.tables[select_id].rows.push(TableRow {
-                        column: a.column.clone(),
+                        column: a.column,
                         kind,
                     });
                     let select_row = self.tables[select_id].rows.len() - 1;
                     let source = self.by_binding[&a.binding];
-                    let source_row = self.ensure_attr_row(source, &a.column);
+                    let source_row = self.ensure_attr_row(source, a.column);
                     self.edges.push(Edge {
                         from: EdgeEndpoint {
                             table: select_id,
@@ -241,10 +239,10 @@ impl<'t> Builder<'t> {
                 SelectAttr::Aggregate { func, arg } => {
                     let column = arg
                         .as_ref()
-                        .map(|a| a.column.clone())
-                        .unwrap_or_else(|| "*".to_string());
+                        .map(|a| a.column)
+                        .unwrap_or_else(|| Symbol::intern("*"));
                     self.tables[select_id].rows.push(TableRow {
-                        column: column.clone(),
+                        column,
                         kind: RowKind::Aggregate { func: *func },
                     });
                     let select_row = self.tables[select_id].rows.len() - 1;
@@ -253,7 +251,7 @@ impl<'t> Builder<'t> {
                     if let Some(a) = arg {
                         let source = self.by_binding[&a.binding];
                         self.tables[source].rows.push(TableRow {
-                            column: a.column.clone(),
+                            column: a.column,
                             kind: RowKind::Aggregate { func: *func },
                         });
                         let source_row = self.tables[source].rows.len() - 1;

@@ -5,6 +5,7 @@
 //! from `queryvis-layout`) and of pixels (colors/strokes come from
 //! `queryvis-render`).
 
+use queryvis_ir::{Symbol, SymbolQuery};
 use queryvis_logic::{NodeId, Quantifier};
 use queryvis_sql::{AggFunc, CompareOp, Value};
 use std::fmt;
@@ -30,16 +31,17 @@ pub enum RowKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableRow {
     /// The attribute name (for aggregates, the argument attribute name, or
-    /// `*` for `COUNT(*)`).
-    pub column: String,
+    /// `*` for `COUNT(*)`), interned.
+    pub column: Symbol,
     pub kind: RowKind,
 }
 
 impl TableRow {
-    /// The text displayed in the row.
+    /// The text displayed in the row (render-boundary resolution: this is
+    /// where the interned name becomes a string again).
     pub fn display(&self) -> String {
         match &self.kind {
-            RowKind::Attribute | RowKind::GroupBy => self.column.clone(),
+            RowKind::Attribute | RowKind::GroupBy => self.column.to_string(),
             RowKind::Selection { op, value } => format!("{} {op} {value}", self.column),
             RowKind::Aggregate { func } => format!("{func}({})", self.column),
         }
@@ -51,12 +53,12 @@ impl TableRow {
 pub struct DiagramTable {
     pub id: TableId,
     /// Unique binding key within the diagram (`SELECT` for the select table).
-    pub binding: String,
+    pub binding: Symbol,
     /// Alias as written in the query (display; equals `binding` unless the
     /// alias was shadowed).
-    pub alias: String,
+    pub alias: Symbol,
     /// Header text: the base table name, or `SELECT`.
-    pub name: String,
+    pub name: Symbol,
     pub rows: Vec<TableRow>,
     /// The logic-tree node that introduced this table; `None` for SELECT.
     pub node: Option<NodeId>,
@@ -67,7 +69,9 @@ pub struct DiagramTable {
 
 impl DiagramTable {
     /// Index of the first attribute/group-by row for `column`, if present.
-    pub fn attr_row(&self, column: &str) -> Option<usize> {
+    /// String probes never intern (see [`SymbolQuery`]).
+    pub fn attr_row(&self, column: impl SymbolQuery) -> Option<usize> {
+        let column = column.find()?;
         self.rows.iter().position(|r| {
             r.column == column && matches!(r.kind, RowKind::Attribute | RowKind::GroupBy)
         })
@@ -121,13 +125,16 @@ impl Diagram {
         &self.tables[id]
     }
 
-    /// Find a table by its binding key.
-    pub fn table_by_binding(&self, binding: &str) -> Option<&DiagramTable> {
+    /// Find a table by its binding key. String probes never intern.
+    pub fn table_by_binding(&self, binding: impl SymbolQuery) -> Option<&DiagramTable> {
+        let binding = binding.find()?;
         self.tables.iter().find(|t| t.binding == binding)
     }
 
-    /// Find a table by its display alias (first match).
-    pub fn table_by_alias(&self, alias: &str) -> Option<&DiagramTable> {
+    /// Find a table by its display alias (first match). String probes
+    /// never intern.
+    pub fn table_by_alias(&self, alias: impl SymbolQuery) -> Option<&DiagramTable> {
+        let alias = alias.find()?;
         self.tables
             .iter()
             .find(|t| t.alias == alias && !t.is_select)

@@ -1,0 +1,98 @@
+//! Typed flat arenas: `NodeId`-indexed vecs with no pointer graphs.
+//!
+//! The pattern tree (and anything else shaped like one) is stored as a
+//! single contiguous [`Arena`] indexed by dense ids. Nodes refer to each
+//! other by id, never by `Box`/`Rc`, so clones are `memcpy`-shaped, there
+//! is no per-node allocation, and traversal is cache-friendly random
+//! access. The arena derefs to a slice, so all slice iteration/indexing
+//! idioms apply unchanged.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A dense, append-only, id-indexed store.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Arena<T> {
+    items: Vec<T>,
+}
+
+impl<T> Arena<T> {
+    pub fn new() -> Arena<T> {
+        Arena { items: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Arena<T> {
+        Arena {
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append an item, returning its dense id.
+    pub fn alloc(&mut self, item: T) -> usize {
+        self.items.push(item);
+        self.items.len() - 1
+    }
+
+    /// Append an item (id is `len() - 1` afterwards; prefer [`Arena::alloc`]
+    /// when the id is needed).
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+}
+
+impl<T> Deref for Arena<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T> DerefMut for Arena<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.items
+    }
+}
+
+impl<T> From<Vec<T>> for Arena<T> {
+    fn from(items: Vec<T>) -> Arena<T> {
+        Arena { items }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.items.fmt(f)
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Arena<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_dense_ids() {
+        let mut arena = Arena::new();
+        assert_eq!(arena.alloc("a"), 0);
+        assert_eq!(arena.alloc("b"), 1);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena[1], "b");
+    }
+
+    #[test]
+    fn slice_idioms_apply() {
+        let mut arena: Arena<usize> = vec![3, 1, 2].into();
+        arena[0] = 7;
+        assert_eq!(arena.iter().copied().max(), Some(7));
+        assert_eq!((&arena).into_iter().count(), 3);
+    }
+}

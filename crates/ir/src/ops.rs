@@ -1,0 +1,189 @@
+//! The shared operator/constant vocabulary of the fragment.
+//!
+//! These types are used verbatim by the SQL AST (`queryvis-sql`), the
+//! pattern IR ([`crate::pattern`]), and the diagram model — they live here,
+//! at the bottom of the crate graph, so no layer has to translate between
+//! per-crate copies. `queryvis-sql` re-exports them under its old paths.
+
+use crate::intern::Symbol;
+use std::fmt;
+
+/// The six comparison operators of the fragment: `< <= = <> >= >`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    Lt,
+    Le,
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+}
+
+impl CompareOp {
+    /// Logical negation: `¬(a < b) ≡ a >= b`, etc. Used when de-sugaring
+    /// `x op ALL (Q)` into `∄ t ∈ Q : x ¬op t` (§4.7).
+    pub fn negate(self) -> CompareOp {
+        match self {
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Eq => CompareOp::Ne,
+            CompareOp::Ne => CompareOp::Eq,
+            CompareOp::Ge => CompareOp::Lt,
+            CompareOp::Gt => CompareOp::Le,
+        }
+    }
+
+    /// Operand swap: `a < b ≡ b > a`. Used by the arrow rules when the drawn
+    /// edge direction disagrees with the operand order (§4.5.1).
+    pub fn flip(self) -> CompareOp {
+        match self {
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Ge => CompareOp::Le,
+            CompareOp::Gt => CompareOp::Lt,
+        }
+    }
+
+    /// True for the symmetric operators `=` and `<>` whose operand order is
+    /// irrelevant (no arrowhead needed per §4.3.1).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, CompareOp::Eq | CompareOp::Ne)
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "<>",
+            CompareOp::Ge => ">=",
+            CompareOp::Gt => ">",
+        }
+    }
+
+    /// Small dense code for canonical-pattern token streams.
+    pub fn code(self) -> u32 {
+        match self {
+            CompareOp::Lt => 0,
+            CompareOp::Le => 1,
+            CompareOp::Eq => 2,
+            CompareOp::Ne => 3,
+            CompareOp::Ge => 4,
+            CompareOp::Gt => 5,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Aggregate functions of the GROUP BY extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// Small dense code for canonical-pattern token streams.
+    pub fn code(self) -> u32 {
+        match self {
+            AggFunc::Count => 0,
+            AggFunc::Sum => 1,
+            AggFunc::Avg => 2,
+            AggFunc::Min => 3,
+            AggFunc::Max => 4,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A constant value (`V` in the grammar): number or string, interned.
+///
+/// Numeric literals keep their *source text* (`270000`, `3.5`) so printing
+/// is lossless and equality is textual — exactly the old `String` semantics
+/// at 4 bytes per operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    Number(Symbol),
+    Str(Symbol),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Number(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_op_involutions() {
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Ge,
+            CompareOp::Gt,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn codes_are_dense_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Ge,
+            CompareOp::Gt,
+        ] {
+            assert!(seen.insert(op.code()));
+            assert!(op.code() < 6);
+        }
+    }
+
+    #[test]
+    fn value_display_quotes_strings() {
+        assert_eq!(Value::Str("Rock".into()).to_string(), "'Rock'");
+        assert_eq!(Value::Number("3.5".into()).to_string(), "3.5");
+    }
+
+    #[test]
+    fn value_is_copy_sized() {
+        assert_eq!(std::mem::size_of::<Value>(), 8);
+    }
+}

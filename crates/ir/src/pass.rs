@@ -1,0 +1,237 @@
+//! A minimal pass framework over IR values.
+//!
+//! The pipeline's rewrite/validate/analyze steps used to be free functions
+//! wired ad hoc into `QueryVis::prepare`/`complete`. They are now [`Pass`]
+//! implementations composed by a [`PassManager`]: each pass has a name,
+//! reports whether it changed the IR, can fail with a structured
+//! [`PassError`], and can publish *facts* (analysis results) into the
+//! shared [`PassContext`] for later passes or the caller to consume. The
+//! manager records per-pass wall-clock timings, which the `repro` harness
+//! and benches surface.
+//!
+//! The framework is deliberately tiny — no scheduling, no invalidation —
+//! because the pipeline is a straight line; what it buys is uniform
+//! naming, timing, error plumbing, and a single place to add passes.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Whether a pass mutated the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassEffect {
+    Unchanged,
+    Changed,
+}
+
+/// A pass failure, tagged with the pass that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    pub pass: &'static str,
+    pub message: String,
+}
+
+impl PassError {
+    pub fn new(pass: &'static str, message: impl Into<String>) -> PassError {
+        PassError {
+            pass,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pass `{}` failed: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Timing/effect record for one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassMetric {
+    pub pass: &'static str,
+    pub duration: Duration,
+    pub effect: PassEffect,
+}
+
+/// Shared state threaded through a pass pipeline: analysis facts keyed by
+/// name, plus the per-pass metrics the manager records.
+#[derive(Default)]
+pub struct PassContext {
+    facts: HashMap<&'static str, Box<dyn Any + Send>>,
+    pub metrics: Vec<PassMetric>,
+}
+
+impl PassContext {
+    pub fn new() -> PassContext {
+        PassContext::default()
+    }
+
+    /// Publish an analysis fact under `key` (replacing any previous value).
+    pub fn put_fact<T: Any + Send>(&mut self, key: &'static str, value: T) {
+        self.facts.insert(key, Box::new(value));
+    }
+
+    /// Fetch a previously published fact.
+    pub fn fact<T: Any + Send>(&self, key: &str) -> Option<&T> {
+        self.facts.get(key).and_then(|v| v.downcast_ref::<T>())
+    }
+
+    /// Remove and return a fact (for callers that want ownership).
+    pub fn take_fact<T: Any + Send>(&mut self, key: &str) -> Option<T> {
+        let boxed = self.facts.remove(key)?;
+        match boxed.downcast::<T>() {
+            Ok(value) => Some(*value),
+            Err(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for PassContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassContext")
+            .field("facts", &self.facts.keys().collect::<Vec<_>>())
+            .field("metrics", &self.metrics)
+            .finish()
+    }
+}
+
+/// One composable step over an IR of type `Ir`: a rewrite (mutates),
+/// a validation (errors), or an analysis (publishes facts).
+pub trait Pass<Ir> {
+    fn name(&self) -> &'static str;
+
+    fn run(&self, ir: &mut Ir, cx: &mut PassContext) -> Result<PassEffect, PassError>;
+}
+
+/// Runs a fixed sequence of passes, recording a [`PassMetric`] per pass.
+/// Stops at the first failing pass.
+#[derive(Default)]
+pub struct PassManager<Ir> {
+    passes: Vec<Box<dyn Pass<Ir> + Send + Sync>>,
+}
+
+impl<Ir> PassManager<Ir> {
+    pub fn new() -> PassManager<Ir> {
+        PassManager { passes: Vec::new() }
+    }
+
+    /// Builder-style pass registration.
+    pub fn with_pass(mut self, pass: impl Pass<Ir> + Send + Sync + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    pub fn add_pass(&mut self, pass: impl Pass<Ir> + Send + Sync + 'static) {
+        self.passes.push(Box::new(pass));
+    }
+
+    /// Registered pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every pass in order over `ir`. On success the returned context
+    /// holds all published facts and one metric per executed pass.
+    pub fn run(&self, ir: &mut Ir) -> Result<PassContext, PassError> {
+        let mut cx = PassContext::new();
+        self.run_with(ir, &mut cx)?;
+        Ok(cx)
+    }
+
+    /// Like [`PassManager::run`] but with a caller-provided context (so
+    /// facts can be pre-seeded or accumulated across managers).
+    pub fn run_with(&self, ir: &mut Ir, cx: &mut PassContext) -> Result<(), PassError> {
+        for pass in &self.passes {
+            let start = Instant::now();
+            let effect = pass.run(ir, cx)?;
+            cx.metrics.push(PassMetric {
+                pass: pass.name(),
+                duration: start.elapsed(),
+                effect,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<Ir> fmt::Debug for PassManager<Ir> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Double;
+
+    impl Pass<i64> for Double {
+        fn name(&self) -> &'static str {
+            "double"
+        }
+
+        fn run(&self, ir: &mut i64, _cx: &mut PassContext) -> Result<PassEffect, PassError> {
+            *ir *= 2;
+            Ok(PassEffect::Changed)
+        }
+    }
+
+    struct RejectNegative;
+
+    impl Pass<i64> for RejectNegative {
+        fn name(&self) -> &'static str {
+            "reject-negative"
+        }
+
+        fn run(&self, ir: &mut i64, cx: &mut PassContext) -> Result<PassEffect, PassError> {
+            if *ir < 0 {
+                return Err(PassError::new(self.name(), format!("{ir} is negative")));
+            }
+            cx.put_fact("sign", 1i32);
+            Ok(PassEffect::Unchanged)
+        }
+    }
+
+    #[test]
+    fn passes_run_in_order_and_record_metrics() {
+        let pm = PassManager::new()
+            .with_pass(Double)
+            .with_pass(RejectNegative);
+        assert_eq!(pm.pass_names(), vec!["double", "reject-negative"]);
+        let mut ir = 21i64;
+        let cx = pm.run(&mut ir).unwrap();
+        assert_eq!(ir, 42);
+        assert_eq!(cx.metrics.len(), 2);
+        assert_eq!(cx.metrics[0].effect, PassEffect::Changed);
+        assert_eq!(cx.metrics[1].effect, PassEffect::Unchanged);
+        assert_eq!(cx.fact::<i32>("sign"), Some(&1));
+    }
+
+    #[test]
+    fn first_failure_stops_the_pipeline() {
+        let pm = PassManager::new()
+            .with_pass(RejectNegative)
+            .with_pass(Double);
+        let mut ir = -5i64;
+        let err = pm.run(&mut ir).unwrap_err();
+        assert_eq!(err.pass, "reject-negative");
+        assert_eq!(ir, -5, "later passes must not run");
+    }
+
+    #[test]
+    fn facts_can_be_taken_by_type() {
+        let mut cx = PassContext::new();
+        cx.put_fact("depths", vec![0usize, 1, 2]);
+        assert_eq!(cx.fact::<Vec<usize>>("depths").unwrap().len(), 3);
+        let owned: Vec<usize> = cx.take_fact("depths").unwrap();
+        assert_eq!(owned, vec![0, 1, 2]);
+        assert!(cx.fact::<Vec<usize>>("depths").is_none());
+    }
+}

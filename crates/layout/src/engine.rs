@@ -353,7 +353,7 @@ fn measure_tables(diagram: &Diagram, options: &LayoutOptions) -> HashMap<TableId
         .tables
         .iter()
         .map(|table| {
-            let mut text_width = table.name.len() as f64 * options.char_width;
+            let mut text_width = table.name.as_str().len() as f64 * options.char_width;
             for row in &table.rows {
                 text_width = text_width.max(row.display().len() as f64 * options.char_width);
             }

@@ -23,11 +23,12 @@ pub mod validate;
 pub use lt::{
     AttrRef, LogicTree, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr,
 };
-pub use simplify::simplify;
+pub use simplify::{simplify, simplify_in_place, SimplifyPass};
 pub use translate::{translate, TranslateError};
 pub use trc::to_trc;
 pub use validate::{
-    check_non_degenerate, check_valid_diagram_source, DegeneracyError, MAX_DIAGRAM_DEPTH,
+    check_non_degenerate, check_valid_diagram_source, DegeneracyError, ValidatePass,
+    MAX_DIAGRAM_DEPTH,
 };
 
 #[cfg(test)]

@@ -1,550 +1,15 @@
-//! The Logic Tree (LT) representation (paper §4.7, Fig. 5).
+//! The Logic Tree (LT) representation — re-exported from the shared
+//! pattern IR.
 //!
-//! An LT is a rooted tree in which every node represents one *query block*:
-//! the set of tables (aliases) the block introduces, the conjunctive
-//! predicates it states, and the quantifier applied to it (∃, ∄, or — after
-//! simplification — ∀). The tree structure encodes the nesting hierarchy:
-//! tables of a node may be referenced anywhere in its subtree.
-//!
-//! The tree is stored as a flat arena (`Vec<LtNode>` indexed by [`NodeId`])
-//! because the diagram builder, the inverse mapping, and the unambiguity
-//! checker all need random access by id and parent/child navigation.
+//! The pattern node types ([`LogicTree`], [`LtNode`], [`LtTable`],
+//! [`LtPredicate`], [`AttrRef`], …) moved to `queryvis-ir`: they are the
+//! load-bearing data structure of the whole pipeline (the sql front end
+//! lowers into them, this crate rewrites them, the diagram builder and the
+//! serving layer's fingerprints consume them), so they live at the bottom
+//! of the crate graph with interned [`queryvis_ir::Symbol`] names and
+//! arena storage. This module keeps the historical `queryvis_logic::lt`
+//! paths working.
 
-use queryvis_sql::{AggFunc, CompareOp, Value};
-use std::collections::HashMap;
-use std::fmt;
-
-/// Index of a node within [`LogicTree::nodes`]. The root is always id 0.
-pub type NodeId = usize;
-
-/// The quantifier applied to a query block.
-///
-/// The root block conceptually carries ∃ (its tables are the query's free
-/// range variables); [`LtNode::is_root`] distinguishes it where needed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Quantifier {
-    Exists,
-    NotExists,
-    ForAll,
-}
-
-impl Quantifier {
-    pub fn symbol(self) -> &'static str {
-        match self {
-            Quantifier::Exists => "\u{2203}",    // ∃
-            Quantifier::NotExists => "\u{2204}", // ∄
-            Quantifier::ForAll => "\u{2200}",    // ∀
-        }
-    }
-}
-
-impl fmt::Display for Quantifier {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.symbol())
-    }
-}
-
-/// A table bound in a query block.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct LtTable {
-    /// Globally unique binding key within the tree (aliases may shadow
-    /// across blocks in SQL; keys never collide).
-    pub key: String,
-    /// The alias as written in the query (display name).
-    pub alias: String,
-    /// The base table name.
-    pub table: String,
-}
-
-/// A fully resolved attribute reference: binding key + column name.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct AttrRef {
-    pub binding: String,
-    pub column: String,
-}
-
-impl AttrRef {
-    pub fn new(binding: impl Into<String>, column: impl Into<String>) -> Self {
-        AttrRef {
-            binding: binding.into(),
-            column: column.into(),
-        }
-    }
-}
-
-impl fmt::Display for AttrRef {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{}", self.binding, self.column)
-    }
-}
-
-/// Right-hand side of an LT predicate.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum LtOperand {
-    Attr(AttrRef),
-    Const(Value),
-}
-
-impl fmt::Display for LtOperand {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LtOperand::Attr(a) => write!(f, "{a}"),
-            LtOperand::Const(v) => write!(f, "{v}"),
-        }
-    }
-}
-
-/// A conjunct of a query block: `lhs op rhs` with `lhs` always an attribute
-/// (the translator flips constant-first comparisons).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct LtPredicate {
-    pub lhs: AttrRef,
-    pub op: CompareOp,
-    pub rhs: LtOperand,
-}
-
-impl LtPredicate {
-    pub fn join(lhs: AttrRef, op: CompareOp, rhs: AttrRef) -> Self {
-        LtPredicate {
-            lhs,
-            op,
-            rhs: LtOperand::Attr(rhs),
-        }
-    }
-
-    pub fn selection(lhs: AttrRef, op: CompareOp, value: Value) -> Self {
-        LtPredicate {
-            lhs,
-            op,
-            rhs: LtOperand::Const(value),
-        }
-    }
-
-    /// True for column-to-column (join) predicates.
-    pub fn is_join(&self) -> bool {
-        matches!(self.rhs, LtOperand::Attr(_))
-    }
-
-    /// Canonical form used for order-insensitive comparison: symmetric
-    /// operators get lexicographically ordered operands; ordered operators
-    /// are flipped so the lexicographically smaller attribute is on the left.
-    pub fn normalized(&self) -> LtPredicate {
-        match &self.rhs {
-            LtOperand::Attr(rhs) if *rhs < self.lhs => LtPredicate {
-                lhs: rhs.clone(),
-                op: self.op.flip(),
-                rhs: LtOperand::Attr(self.lhs.clone()),
-            },
-            _ => self.clone(),
-        }
-    }
-}
-
-impl fmt::Display for LtPredicate {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({} {} {})", self.lhs, self.op, self.rhs)
-    }
-}
-
-/// An item of the root block's select list.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum SelectAttr {
-    Column(AttrRef),
-    Aggregate {
-        func: AggFunc,
-        /// `None` encodes `COUNT(*)`.
-        arg: Option<AttrRef>,
-    },
-}
-
-impl fmt::Display for SelectAttr {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SelectAttr::Column(a) => write!(f, "{a}"),
-            SelectAttr::Aggregate { func, arg: Some(a) } => write!(f, "{func}({a})"),
-            SelectAttr::Aggregate { func, arg: None } => write!(f, "{func}(*)"),
-        }
-    }
-}
-
-/// One query block of the logic tree.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LtNode {
-    pub id: NodeId,
-    pub parent: Option<NodeId>,
-    pub children: Vec<NodeId>,
-    /// Nesting depth: 0 for the root block.
-    pub depth: usize,
-    pub quantifier: Quantifier,
-    pub tables: Vec<LtTable>,
-    pub predicates: Vec<LtPredicate>,
-}
-
-impl LtNode {
-    pub fn is_root(&self) -> bool {
-        self.parent.is_none()
-    }
-
-    /// True if `binding` is introduced by this block.
-    pub fn defines(&self, binding: &str) -> bool {
-        self.tables.iter().any(|t| t.key == binding)
-    }
-
-    /// Join predicates of this block (column-to-column).
-    pub fn joins(&self) -> impl Iterator<Item = &LtPredicate> {
-        self.predicates.iter().filter(|p| p.is_join())
-    }
-
-    /// Selection predicates of this block (column-to-constant).
-    pub fn selections(&self) -> impl Iterator<Item = &LtPredicate> {
-        self.predicates.iter().filter(|p| !p.is_join())
-    }
-}
-
-/// A complete logic tree: arena of nodes plus the root's select list and
-/// (for the GROUP BY extension) grouping attributes.
-#[derive(Debug, Clone, PartialEq)]
-pub struct LogicTree {
-    pub nodes: Vec<LtNode>,
-    pub select: Vec<SelectAttr>,
-    pub group_by: Vec<AttrRef>,
-}
-
-impl LogicTree {
-    /// Create a tree containing only an (empty) root node.
-    pub fn with_root() -> Self {
-        LogicTree {
-            nodes: vec![LtNode {
-                id: 0,
-                parent: None,
-                children: Vec::new(),
-                depth: 0,
-                quantifier: Quantifier::Exists,
-                tables: Vec::new(),
-                predicates: Vec::new(),
-            }],
-            select: Vec::new(),
-            group_by: Vec::new(),
-        }
-    }
-
-    pub fn root(&self) -> &LtNode {
-        &self.nodes[0]
-    }
-
-    pub fn node(&self, id: NodeId) -> &LtNode {
-        &self.nodes[id]
-    }
-
-    pub fn node_mut(&mut self, id: NodeId) -> &mut LtNode {
-        &mut self.nodes[id]
-    }
-
-    /// Append a fresh child node under `parent` and return its id.
-    pub fn add_child(&mut self, parent: NodeId, quantifier: Quantifier) -> NodeId {
-        let id = self.nodes.len();
-        let depth = self.nodes[parent].depth + 1;
-        self.nodes.push(LtNode {
-            id,
-            parent: Some(parent),
-            children: Vec::new(),
-            depth,
-            quantifier,
-            tables: Vec::new(),
-            predicates: Vec::new(),
-        });
-        self.nodes[parent].children.push(id);
-        id
-    }
-
-    pub fn node_count(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// Iterate nodes in id (preorder-of-construction) order.
-    pub fn nodes(&self) -> impl Iterator<Item = &LtNode> {
-        self.nodes.iter()
-    }
-
-    /// Maximum nesting depth in the tree.
-    pub fn max_depth(&self) -> usize {
-        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
-    }
-
-    /// Map from binding key to the node that introduces it.
-    pub fn binding_owners(&self) -> HashMap<&str, NodeId> {
-        let mut map = HashMap::new();
-        for node in &self.nodes {
-            for table in &node.tables {
-                map.insert(table.key.as_str(), node.id);
-            }
-        }
-        map
-    }
-
-    /// The node introducing `binding`, if any.
-    pub fn owner_of(&self, binding: &str) -> Option<NodeId> {
-        self.nodes.iter().find(|n| n.defines(binding)).map(|n| n.id)
-    }
-
-    /// Look up a table by binding key.
-    pub fn table(&self, binding: &str) -> Option<&LtTable> {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.tables.iter())
-            .find(|t| t.key == binding)
-    }
-
-    /// All binding keys in the tree, in node/table order.
-    pub fn bindings(&self) -> impl Iterator<Item = &LtTable> {
-        self.nodes.iter().flat_map(|n| n.tables.iter())
-    }
-
-    /// True if `ancestor` is a strict ancestor of `descendant`.
-    pub fn is_ancestor(&self, ancestor: NodeId, descendant: NodeId) -> bool {
-        let mut cur = self.nodes[descendant].parent;
-        while let Some(id) = cur {
-            if id == ancestor {
-                return true;
-            }
-            cur = self.nodes[id].parent;
-        }
-        false
-    }
-
-    /// Node ids in preorder (root first, children in insertion order).
-    pub fn preorder(&self) -> Vec<NodeId> {
-        let mut order = Vec::with_capacity(self.nodes.len());
-        let mut stack = vec![0];
-        while let Some(id) = stack.pop() {
-            order.push(id);
-            // Push children reversed so the leftmost child is visited first.
-            for &child in self.nodes[id].children.iter().rev() {
-                stack.push(child);
-            }
-        }
-        order
-    }
-
-    /// Node ids in breadth-first order (used by diagram construction,
-    /// Appendix A.3 step 1).
-    pub fn bfs(&self) -> Vec<NodeId> {
-        let mut order = Vec::with_capacity(self.nodes.len());
-        let mut queue = std::collections::VecDeque::from([0]);
-        while let Some(id) = queue.pop_front() {
-            order.push(id);
-            queue.extend(self.nodes[id].children.iter().copied());
-        }
-        order
-    }
-
-    /// An order-insensitive structural fingerprint of the tree, keeping
-    /// alias and table names but normalizing predicate operand order and
-    /// sorting conjuncts and subtrees. Two syntactic variants of the same
-    /// logical query (paper Fig. 24) share a fingerprint.
-    pub fn fingerprint(&self) -> String {
-        fn node_fp(tree: &LogicTree, id: NodeId) -> String {
-            let node = tree.node(id);
-            let mut tables: Vec<String> = node
-                .tables
-                .iter()
-                .map(|t| format!("{}:{}", t.alias, t.table))
-                .collect();
-            tables.sort();
-            let mut preds: Vec<String> = node
-                .predicates
-                .iter()
-                .map(|p| p.normalized().to_string())
-                .collect();
-            preds.sort();
-            let mut kids: Vec<String> = node.children.iter().map(|&c| node_fp(tree, c)).collect();
-            kids.sort();
-            format!(
-                "{}{{T[{}]P[{}]C[{}]}}",
-                node.quantifier,
-                tables.join(","),
-                preds.join(","),
-                kids.join(",")
-            )
-        }
-        let select: Vec<String> = self.select.iter().map(|s| s.to_string()).collect();
-        let group: Vec<String> = self.group_by.iter().map(|g| g.to_string()).collect();
-        format!(
-            "S[{}]G[{}]{}",
-            select.join(","),
-            group.join(","),
-            node_fp(self, 0)
-        )
-    }
-
-    /// True if two trees are structurally equal up to conjunct and subtree
-    /// ordering and predicate operand orientation.
-    pub fn structural_eq(&self, other: &LogicTree) -> bool {
-        self.fingerprint() == other.fingerprint()
-    }
-}
-
-impl fmt::Display for LogicTree {
-    /// Renders the tree in the style of the paper's Fig. 5.
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn write_node(
-            tree: &LogicTree,
-            id: NodeId,
-            prefix: &str,
-            f: &mut fmt::Formatter<'_>,
-        ) -> fmt::Result {
-            let node = tree.node(id);
-            let tables: Vec<String> = node
-                .tables
-                .iter()
-                .map(|t| format!("{} {}", t.table, t.alias))
-                .collect();
-            let preds: Vec<String> = node.predicates.iter().map(|p| p.to_string()).collect();
-            let quant = if node.is_root() {
-                String::new()
-            } else {
-                format!("Q: {}  ", node.quantifier)
-            };
-            writeln!(
-                f,
-                "{prefix}{quant}T: {{{}}}  P: {{{}}}",
-                tables.join(", "),
-                preds.join(", ")
-            )?;
-            if node.is_root() {
-                let select: Vec<String> = tree.select.iter().map(|s| s.to_string()).collect();
-                writeln!(f, "{prefix}Selection Attributes: {{{}}}", select.join(", "))?;
-                if !tree.group_by.is_empty() {
-                    let group: Vec<String> = tree.group_by.iter().map(|g| g.to_string()).collect();
-                    writeln!(f, "{prefix}Group By: {{{}}}", group.join(", "))?;
-                }
-            }
-            let child_prefix = format!("{prefix}    ");
-            for &child in &node.children {
-                write_node(tree, child, &child_prefix, f)?;
-            }
-            Ok(())
-        }
-        write_node(self, 0, "", f)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample_tree() -> LogicTree {
-        let mut lt = LogicTree::with_root();
-        lt.nodes[0].tables.push(LtTable {
-            key: "L1".into(),
-            alias: "L1".into(),
-            table: "Likes".into(),
-        });
-        lt.select
-            .push(SelectAttr::Column(AttrRef::new("L1", "drinker")));
-        let c = lt.add_child(0, Quantifier::NotExists);
-        lt.node_mut(c).tables.push(LtTable {
-            key: "L2".into(),
-            alias: "L2".into(),
-            table: "Likes".into(),
-        });
-        lt.node_mut(c).predicates.push(LtPredicate::join(
-            AttrRef::new("L1", "drinker"),
-            CompareOp::Ne,
-            AttrRef::new("L2", "drinker"),
-        ));
-        lt
-    }
-
-    #[test]
-    fn arena_structure() {
-        let lt = sample_tree();
-        assert_eq!(lt.node_count(), 2);
-        assert_eq!(lt.root().children, vec![1]);
-        assert_eq!(lt.node(1).parent, Some(0));
-        assert_eq!(lt.node(1).depth, 1);
-        assert_eq!(lt.max_depth(), 1);
-        assert_eq!(lt.owner_of("L2"), Some(1));
-        assert!(lt.is_ancestor(0, 1));
-        assert!(!lt.is_ancestor(1, 0));
-    }
-
-    #[test]
-    fn traversal_orders() {
-        let mut lt = sample_tree();
-        let c1 = 1;
-        let g1 = lt.add_child(c1, Quantifier::NotExists);
-        let g2 = lt.add_child(c1, Quantifier::NotExists);
-        assert_eq!(lt.preorder(), vec![0, c1, g1, g2]);
-        assert_eq!(lt.bfs(), vec![0, c1, g1, g2]);
-    }
-
-    #[test]
-    fn fingerprint_ignores_operand_and_child_order() {
-        let mut a = sample_tree();
-        let mut b = sample_tree();
-        // Flip the predicate in b: L2.drinker <> L1.drinker.
-        b.node_mut(1).predicates[0] = LtPredicate::join(
-            AttrRef::new("L2", "drinker"),
-            CompareOp::Ne,
-            AttrRef::new("L1", "drinker"),
-        );
-        assert!(a.structural_eq(&b));
-        // Add two children in opposite orders.
-        let x = a.add_child(1, Quantifier::Exists);
-        a.node_mut(x).tables.push(LtTable {
-            key: "X".into(),
-            alias: "X".into(),
-            table: "T1".into(),
-        });
-        let y = a.add_child(1, Quantifier::NotExists);
-        a.node_mut(y).tables.push(LtTable {
-            key: "Y".into(),
-            alias: "Y".into(),
-            table: "T2".into(),
-        });
-        let y2 = b.add_child(1, Quantifier::NotExists);
-        b.node_mut(y2).tables.push(LtTable {
-            key: "Y".into(),
-            alias: "Y".into(),
-            table: "T2".into(),
-        });
-        let x2 = b.add_child(1, Quantifier::Exists);
-        b.node_mut(x2).tables.push(LtTable {
-            key: "X".into(),
-            alias: "X".into(),
-            table: "T1".into(),
-        });
-        assert!(a.structural_eq(&b));
-    }
-
-    #[test]
-    fn fingerprint_distinguishes_quantifiers() {
-        let a = sample_tree();
-        let mut b = sample_tree();
-        b.node_mut(1).quantifier = Quantifier::ForAll;
-        assert!(!a.structural_eq(&b));
-    }
-
-    #[test]
-    fn ordered_predicate_normalization_flips_op() {
-        let p = LtPredicate::join(
-            AttrRef::new("B", "x"),
-            CompareOp::Lt,
-            AttrRef::new("A", "y"),
-        );
-        let n = p.normalized();
-        assert_eq!(n.lhs, AttrRef::new("A", "y"));
-        assert_eq!(n.op, CompareOp::Gt);
-    }
-
-    #[test]
-    fn display_matches_fig5_style() {
-        let lt = sample_tree();
-        let text = lt.to_string();
-        assert!(text.contains("T: {Likes L1}"));
-        assert!(text.contains("Selection Attributes: {L1.drinker}"));
-        assert!(text.contains("Q: \u{2204}"));
-        assert!(text.contains("(L1.drinker <> L2.drinker)"));
-    }
-}
+pub use queryvis_ir::pattern::{
+    AttrRef, LogicTree, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr,
+};

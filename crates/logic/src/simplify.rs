@@ -14,43 +14,66 @@
 //! ψ′ is also ∄: ψ becomes ∀ and ψ′ becomes ∃.
 
 use crate::lt::{LogicTree, Quantifier};
+use queryvis_ir::{Pass, PassContext, PassEffect, PassError};
 
 /// Return a simplified copy of the tree with all applicable ∄·∄ pairs
 /// rewritten to ∀·∃. The rewrite is applied top-down, so chains of four ∄
 /// nodes become ∀∃∀∃.
 pub fn simplify(tree: &LogicTree) -> LogicTree {
     let mut out = tree.clone();
-    for id in out.preorder() {
-        let node = &out.nodes[id];
+    simplify_in_place(&mut out);
+    out
+}
+
+/// The in-place rewrite behind [`simplify`] and [`SimplifyPass`]; returns
+/// the number of ∄·∄ pairs rewritten.
+pub fn simplify_in_place(tree: &mut LogicTree) -> usize {
+    let mut rewritten = 0;
+    for id in tree.preorder() {
+        let node = &tree.nodes[id];
         if node.quantifier != Quantifier::NotExists || node.children.len() != 1 {
             continue;
         }
         let child = node.children[0];
-        if out.nodes[child].quantifier == Quantifier::NotExists {
-            out.nodes[id].quantifier = Quantifier::ForAll;
-            out.nodes[child].quantifier = Quantifier::Exists;
+        if tree.nodes[child].quantifier == Quantifier::NotExists {
+            tree.nodes[id].quantifier = Quantifier::ForAll;
+            tree.nodes[child].quantifier = Quantifier::Exists;
+            rewritten += 1;
         }
     }
-    out
+    rewritten
+}
+
+/// The ∄·∄ → ∀·∃ rewrite as a composable IR pass. Publishes the number of
+/// rewritten pairs under the [`SimplifyPass::PAIRS_FACT`] key.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimplifyPass;
+
+impl SimplifyPass {
+    /// [`PassContext`] fact key: `usize` count of rewritten ∄·∄ pairs.
+    pub const PAIRS_FACT: &'static str = "simplify.rewritten_pairs";
+}
+
+impl Pass<LogicTree> for SimplifyPass {
+    fn name(&self) -> &'static str {
+        "simplify-forall"
+    }
+
+    fn run(&self, ir: &mut LogicTree, cx: &mut PassContext) -> Result<PassEffect, PassError> {
+        let rewritten = simplify_in_place(ir);
+        cx.put_fact(Self::PAIRS_FACT, rewritten);
+        Ok(if rewritten == 0 {
+            PassEffect::Unchanged
+        } else {
+            PassEffect::Changed
+        })
+    }
 }
 
 /// Count how many ∄·∄ pairs the simplifier would rewrite — used by the
 /// ablation bench to quantify the §4.8 visual-complexity reduction.
 pub fn rewritable_pairs(tree: &LogicTree) -> usize {
-    let mut count = 0;
-    let mut tmp = tree.clone();
-    for id in tmp.preorder() {
-        let node = &tmp.nodes[id];
-        if node.quantifier == Quantifier::NotExists && node.children.len() == 1 {
-            let child = node.children[0];
-            if tmp.nodes[child].quantifier == Quantifier::NotExists {
-                tmp.nodes[id].quantifier = Quantifier::ForAll;
-                tmp.nodes[child].quantifier = Quantifier::Exists;
-                count += 1;
-            }
-        }
-    }
-    count
+    simplify_in_place(&mut tree.clone())
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! logical negation of `op` (`x op ALL Q ≡ ∄ t ∈ Q : x ¬op t`).
 
 use crate::lt::{AttrRef, LogicTree, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr};
+use queryvis_ir::Symbol;
 use queryvis_sql::{
     ColumnRef, CompareOp, Operand, Predicate, Query, Schema, SelectItem, SelectList,
 };
@@ -95,10 +96,11 @@ pub fn translate(query: &Query, schema: Option<&Schema>) -> Result<LogicTree, Tr
 }
 
 /// One in-scope binding: (alias as written, unique key, base table name).
+#[derive(Clone, Copy)]
 struct Binding {
-    alias: String,
-    key: String,
-    table: String,
+    alias: Symbol,
+    key: Symbol,
+    table: Symbol,
 }
 
 struct Translator<'a> {
@@ -107,7 +109,7 @@ struct Translator<'a> {
     scopes: Vec<Vec<Binding>>,
     schema: Option<&'a Schema>,
     /// Disambiguation counters for shadowed aliases.
-    used_keys: HashMap<String, usize>,
+    used_keys: HashMap<Symbol, usize>,
 }
 
 impl<'a> Translator<'a> {
@@ -127,17 +129,17 @@ impl<'a> Translator<'a> {
         // Bind the FROM tables.
         let mut bindings = Vec::new();
         for table_ref in &query.from {
-            let alias = table_ref.binding().to_string();
-            let key = self.unique_key(&alias);
+            let alias = table_ref.binding();
+            let key = self.unique_key(alias);
             self.tree.node_mut(node_id).tables.push(LtTable {
-                key: key.clone(),
-                alias: alias.clone(),
-                table: table_ref.table.clone(),
+                key,
+                alias,
+                table: table_ref.table,
             });
             bindings.push(Binding {
                 alias,
                 key,
-                table: table_ref.table.clone(),
+                table: table_ref.table,
             });
         }
         self.scopes.push(bindings);
@@ -268,14 +270,12 @@ impl<'a> Translator<'a> {
                 Ok(LtPredicate::join(self.resolve(l)?, op, self.resolve(r)?))
             }
             (Operand::Column(l), Operand::Value(v)) => {
-                Ok(LtPredicate::selection(self.resolve(l)?, op, v.clone()))
+                Ok(LtPredicate::selection(self.resolve(l)?, op, *v))
             }
             // Constant-first comparisons are flipped so the attribute leads.
-            (Operand::Value(v), Operand::Column(r)) => Ok(LtPredicate::selection(
-                self.resolve(r)?,
-                op.flip(),
-                v.clone(),
-            )),
+            (Operand::Value(v), Operand::Column(r)) => {
+                Ok(LtPredicate::selection(self.resolve(r)?, op.flip(), *v))
+            }
             (Operand::Value(_), Operand::Value(_)) => Err(TranslateError::ConstantComparison),
         }
     }
@@ -283,15 +283,19 @@ impl<'a> Translator<'a> {
     /// Resolve a column reference to a unique binding key, honoring SQL
     /// scope rules (innermost block first; inner aliases shadow outer ones).
     fn resolve(&self, column: &ColumnRef) -> Result<AttrRef, TranslateError> {
-        match &column.table {
+        match column.table {
             Some(alias) => {
                 for scope in self.scopes.iter().rev() {
-                    if let Some(b) = scope.iter().find(|b| b.alias.eq_ignore_ascii_case(alias)) {
-                        return Ok(AttrRef::new(b.key.clone(), column.column.clone()));
+                    // Fast path: exact symbol match (the common case, since
+                    // queries almost always spell an alias consistently).
+                    if let Some(b) = scope.iter().find(|b| {
+                        b.alias == alias || b.alias.as_str().eq_ignore_ascii_case(alias.as_str())
+                    }) {
+                        return Ok(AttrRef::new(b.key, column.column));
                     }
                 }
                 Err(TranslateError::UnknownBinding {
-                    binding: alias.clone(),
+                    binding: alias.to_string(),
                 })
             }
             None => {
@@ -303,29 +307,24 @@ impl<'a> Translator<'a> {
                             .iter()
                             .filter(|b| {
                                 schema
-                                    .table(&b.table)
-                                    .is_some_and(|t| t.has_column(&column.column))
+                                    .table(b.table.as_str())
+                                    .is_some_and(|t| t.has_column(column.column.as_str()))
                             })
                             .collect(),
                         None => scope.iter().collect(),
                     };
                     match candidates.len() {
                         0 => continue,
-                        1 => {
-                            return Ok(AttrRef::new(
-                                candidates[0].key.clone(),
-                                column.column.clone(),
-                            ))
-                        }
+                        1 => return Ok(AttrRef::new(candidates[0].key, column.column)),
                         _ => {
                             return Err(TranslateError::AmbiguousColumn {
-                                column: column.column.clone(),
+                                column: column.column.to_string(),
                             })
                         }
                     }
                 }
                 Err(TranslateError::UnresolvedColumn {
-                    column: column.column.clone(),
+                    column: column.column.to_string(),
                 })
             }
         }
@@ -333,13 +332,13 @@ impl<'a> Translator<'a> {
 
     /// Produce a globally unique binding key for an alias (shadowed aliases
     /// get a numeric suffix: `L`, `L#2`, `L#3`, ...).
-    fn unique_key(&mut self, alias: &str) -> String {
-        let count = self.used_keys.entry(alias.to_string()).or_insert(0);
+    fn unique_key(&mut self, alias: Symbol) -> Symbol {
+        let count = self.used_keys.entry(alias).or_insert(0);
         *count += 1;
         if *count == 1 {
-            alias.to_string()
+            alias
         } else {
-            format!("{alias}#{count}")
+            Symbol::intern(&format!("{alias}#{count}"))
         }
     }
 }

@@ -27,7 +27,7 @@ fn table_label(diagram: &Diagram, id: TableId) -> String {
     let _ = write!(
         out,
         r#"<tr><td bgcolor="{bg}"><font color="{fg}"><b>{}</b></font></td></tr>"#,
-        html_escape(&table.name)
+        html_escape(table.name.as_str())
     );
     for (i, row) in table.rows.iter().enumerate() {
         let bg = match row.kind {

@@ -149,7 +149,7 @@ pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
             theme.font_family,
             theme.font_size,
             header_text,
-            escape(&table.name)
+            escape(table.name.as_str())
         );
         // Rows.
         for (i, row) in table.rows.iter().enumerate() {

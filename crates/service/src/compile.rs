@@ -83,12 +83,13 @@ impl CompiledEntry {
 pub fn compile_representative(fingerprinted: FingerprintedQuery) -> CompiledEntry {
     let FingerprintedQuery {
         prepared,
-        pattern,
+        key,
         fingerprint,
     } = fingerprinted;
     CompiledEntry {
         fingerprint,
-        pattern,
+        // Cache misses are the only place the canonical string is built.
+        pattern: key.render(),
         qv: prepared.complete(),
         ascii: OnceLock::new(),
         dot: OnceLock::new(),

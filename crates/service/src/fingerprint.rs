@@ -10,14 +10,20 @@
 //! textually-distinct query that shares a pattern.
 //!
 //! The fingerprint is a 128-bit FNV-1a hash of the canonical pattern
-//! string from [`queryvis::pattern`]. FNV-1a is fully specified (no
-//! per-process seeding, unlike `DefaultHasher`), so fingerprints are
-//! stable across runs, platforms, and releases of this workspace — safe to
-//! persist or shard on. At 128 bits, accidental collisions are out of
-//! reach for any realistic corpus; the adversarial-collision caveats of
-//! the canonicalization itself are documented in `queryvis::pattern`.
+//! **token stream** from [`queryvis::PatternKey`]: with interned names the
+//! canonicalization is id arithmetic, and the hash covers 4-byte `u32`
+//! symbol-erased tokens instead of a re-built canonical string — the
+//! always-executed half of every request got cheaper with the IR refactor.
+//! FNV-1a is fully specified (no per-process seeding, unlike
+//! `DefaultHasher`), and the token stream is independent of interner id
+//! assignment order (names are erased to dense first-use indices), so
+//! fingerprints are stable across runs, platforms, and releases of this
+//! workspace — safe to persist or shard on. At 128 bits, accidental
+//! collisions are out of reach for any realistic corpus; the
+//! adversarial-collision caveats of the canonicalization itself are
+//! documented in `queryvis::pattern`.
 
-use queryvis::{PreparedQuery, QueryVisError, QueryVisOptions};
+use queryvis::{PatternKey, PreparedQuery, QueryVisError, QueryVisOptions};
 use std::fmt;
 use std::sync::Arc;
 
@@ -29,7 +35,9 @@ const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 
 impl Fingerprint {
-    /// Hash a canonical pattern string (FNV-1a, 128-bit).
+    /// Hash a canonical pattern string (FNV-1a, 128-bit). Retained for
+    /// diagnostics and tests; the serving path hashes the id-based token
+    /// stream via [`Fingerprint::of_key`].
     pub fn of_pattern(pattern: &str) -> Fingerprint {
         let mut hash = FNV128_OFFSET;
         for byte in pattern.as_bytes() {
@@ -37,6 +45,11 @@ impl Fingerprint {
             hash = hash.wrapping_mul(FNV128_PRIME);
         }
         Fingerprint(hash)
+    }
+
+    /// Hash a canonical pattern key (FNV-1a over the `u32` token stream).
+    pub fn of_key(key: &PatternKey) -> Fingerprint {
+        Fingerprint(key.fingerprint128())
     }
 
     /// The shard index for this fingerprint given a shard count.
@@ -63,8 +76,10 @@ impl fmt::Display for Fingerprint {
 #[derive(Debug, Clone)]
 pub struct FingerprintedQuery {
     pub prepared: PreparedQuery,
-    /// The canonical pattern the fingerprint was computed from.
-    pub pattern: String,
+    /// The canonical pattern key the fingerprint was computed from. The
+    /// human-readable pattern string is rendered lazily (cache misses
+    /// only) via [`PatternKey::render`].
+    pub key: PatternKey,
     pub fingerprint: Fingerprint,
 }
 
@@ -72,16 +87,18 @@ pub struct FingerprintedQuery {
 ///
 /// This is the always-executed part of serving a request; the expensive
 /// back half (diagram build, layout, rendering) only runs on cache misses.
+/// No canonical pattern *string* is built here — the fingerprint hashes
+/// the interned-id token stream directly.
 pub fn fingerprint_sql(
     sql: &str,
     options: impl Into<Arc<QueryVisOptions>>,
 ) -> Result<FingerprintedQuery, QueryVisError> {
     let prepared = queryvis::QueryVis::prepare(sql, options)?;
-    let pattern = prepared.pattern();
-    let fingerprint = Fingerprint::of_pattern(&pattern);
+    let key = prepared.pattern_key();
+    let fingerprint = Fingerprint::of_key(&key);
     Ok(FingerprintedQuery {
         prepared,
-        pattern,
+        key,
         fingerprint,
     })
 }

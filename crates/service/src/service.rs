@@ -20,6 +20,7 @@ use crate::compile::{compile_representative, CompiledEntry};
 use crate::executor::run_indexed;
 use crate::fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
 use crate::protocol::{Artifacts, Format, Request, Response};
+use queryvis::ir::Interner;
 use queryvis::QueryVisOptions;
 use queryvis_sql::metrics::word_count;
 use std::collections::HashMap;
@@ -58,6 +59,10 @@ pub struct ServiceStats {
     pub coalesced: u64,
     /// Requests that failed (parse/semantic/translation errors).
     pub errors: u64,
+    /// Distinct names resident in the shared interner (process-wide; grows
+    /// monotonically with the vocabulary of table/column/alias/constant
+    /// names the service has seen).
+    pub interned_symbols: u64,
     pub cache: CacheStats,
 }
 
@@ -101,6 +106,13 @@ pub struct DiagramService {
     /// Shared copy of `config.options` so the per-request front half never
     /// clones a configured schema.
     options: Arc<QueryVisOptions>,
+    /// The shared string interner behind every request's names. One
+    /// sharded, mutex-striped interner serves the whole process (all
+    /// services, all cache shards): symbols are 4-byte ids, so cache keys,
+    /// pattern tokens, and diagram models never re-hash or re-allocate
+    /// name strings, and artifacts resolve ids back to text only at the
+    /// render boundary.
+    interner: &'static Interner,
     cache: ShardedCache,
     inflight: Mutex<HashMap<u128, Arc<Flight>>>,
     requests: AtomicU64,
@@ -114,6 +126,7 @@ impl DiagramService {
         DiagramService {
             cache: ShardedCache::new(config.cache),
             options: Arc::new(config.options.clone()),
+            interner: Interner::global(),
             config,
             inflight: Mutex::new(HashMap::new()),
             requests: AtomicU64::new(0),
@@ -127,12 +140,18 @@ impl DiagramService {
         &self.config
     }
 
+    /// The shared interner this service resolves symbols against.
+    pub fn interner(&self) -> &'static Interner {
+        self.interner
+    }
+
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            interned_symbols: self.interner.len() as u64,
             cache: self.cache.stats(),
         }
     }

@@ -5,89 +5,35 @@
 //! block (`SELECT`–`FROM`–`WHERE`[–`GROUP BY`]) whose `WHERE` clause is a
 //! *conjunction* of [`Predicate`]s; subqueries appear only inside predicates
 //! (`EXISTS`, `IN`, `ANY`/`ALL`), exactly as in the paper.
+//!
+//! All names — table names, aliases, column names, and constant literals —
+//! are interned [`Symbol`]s emitted by the lexer; the operator vocabulary
+//! ([`CompareOp`], [`AggFunc`], [`Value`]) is shared with the pattern IR
+//! and re-exported from `queryvis-ir`.
 
+use queryvis_ir::Symbol;
 use std::fmt;
 
-/// The six comparison operators of the fragment: `< <= = <> >= >`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CompareOp {
-    Lt,
-    Le,
-    Eq,
-    Ne,
-    Ge,
-    Gt,
-}
-
-impl CompareOp {
-    /// Logical negation: `¬(a < b) ≡ a >= b`, etc. Used when de-sugaring
-    /// `x op ALL (Q)` into `∄ t ∈ Q : x ¬op t` (§4.7).
-    pub fn negate(self) -> CompareOp {
-        match self {
-            CompareOp::Lt => CompareOp::Ge,
-            CompareOp::Le => CompareOp::Gt,
-            CompareOp::Eq => CompareOp::Ne,
-            CompareOp::Ne => CompareOp::Eq,
-            CompareOp::Ge => CompareOp::Lt,
-            CompareOp::Gt => CompareOp::Le,
-        }
-    }
-
-    /// Operand swap: `a < b ≡ b > a`. Used by the arrow rules when the drawn
-    /// edge direction disagrees with the operand order (§4.5.1).
-    pub fn flip(self) -> CompareOp {
-        match self {
-            CompareOp::Lt => CompareOp::Gt,
-            CompareOp::Le => CompareOp::Ge,
-            CompareOp::Eq => CompareOp::Eq,
-            CompareOp::Ne => CompareOp::Ne,
-            CompareOp::Ge => CompareOp::Le,
-            CompareOp::Gt => CompareOp::Lt,
-        }
-    }
-
-    /// True for the symmetric operators `=` and `<>` whose operand order is
-    /// irrelevant (no arrowhead needed per §4.3.1).
-    pub fn is_symmetric(self) -> bool {
-        matches!(self, CompareOp::Eq | CompareOp::Ne)
-    }
-
-    pub fn as_str(self) -> &'static str {
-        match self {
-            CompareOp::Lt => "<",
-            CompareOp::Le => "<=",
-            CompareOp::Eq => "=",
-            CompareOp::Ne => "<>",
-            CompareOp::Ge => ">=",
-            CompareOp::Gt => ">",
-        }
-    }
-}
-
-impl fmt::Display for CompareOp {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
+pub use queryvis_ir::{AggFunc, CompareOp, Value};
 
 /// A (possibly qualified) column reference: `[T.]A`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ColumnRef {
     /// Table alias qualifier; `None` for unqualified references that are
     /// resolved against the FROM clause during semantic analysis.
-    pub table: Option<String>,
-    pub column: String,
+    pub table: Option<Symbol>,
+    pub column: Symbol,
 }
 
 impl ColumnRef {
-    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+    pub fn new(table: impl Into<Symbol>, column: impl Into<Symbol>) -> Self {
         ColumnRef {
             table: Some(table.into()),
             column: column.into(),
         }
     }
 
-    pub fn unqualified(column: impl Into<String>) -> Self {
+    pub fn unqualified(column: impl Into<Symbol>) -> Self {
         ColumnRef {
             table: None,
             column: column.into(),
@@ -104,26 +50,8 @@ impl fmt::Display for ColumnRef {
     }
 }
 
-/// A constant value (`V` in the grammar): number or string.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub enum Value {
-    /// Numeric literal kept as its source text (`270000`, `3.5`) so that
-    /// printing is lossless and equality is textual.
-    Number(String),
-    Str(String),
-}
-
-impl fmt::Display for Value {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Value::Number(n) => write!(f, "{n}"),
-            Value::Str(s) => write!(f, "'{s}'"),
-        }
-    }
-}
-
 /// One side of a comparison predicate: a column or a constant.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     Column(ColumnRef),
     Value(Value),
@@ -151,36 +79,8 @@ impl fmt::Display for Operand {
     }
 }
 
-/// Aggregate functions of the GROUP BY extension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AggFunc {
-    Count,
-    Sum,
-    Avg,
-    Min,
-    Max,
-}
-
-impl AggFunc {
-    pub fn as_str(self) -> &'static str {
-        match self {
-            AggFunc::Count => "COUNT",
-            AggFunc::Sum => "SUM",
-            AggFunc::Avg => "AVG",
-            AggFunc::Min => "MIN",
-            AggFunc::Max => "MAX",
-        }
-    }
-}
-
-impl fmt::Display for AggFunc {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
 /// An aggregate call `AGG(T.A)` or `COUNT(*)`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AggCall {
     pub func: AggFunc,
     /// `None` encodes `COUNT(*)`.
@@ -197,7 +97,7 @@ impl fmt::Display for AggCall {
 }
 
 /// A SELECT-list item: plain column or aggregate.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectItem {
     Column(ColumnRef),
     Aggregate(AggCall),
@@ -237,21 +137,21 @@ impl SelectList {
 }
 
 /// A FROM-clause entry: `Table [AS] Alias`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TableRef {
-    pub table: String,
-    pub alias: Option<String>,
+    pub table: Symbol,
+    pub alias: Option<Symbol>,
 }
 
 impl TableRef {
-    pub fn new(table: impl Into<String>) -> Self {
+    pub fn new(table: impl Into<Symbol>) -> Self {
         TableRef {
             table: table.into(),
             alias: None,
         }
     }
 
-    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+    pub fn aliased(table: impl Into<Symbol>, alias: impl Into<Symbol>) -> Self {
         TableRef {
             table: table.into(),
             alias: Some(alias.into()),
@@ -260,8 +160,8 @@ impl TableRef {
 
     /// The name this table is referenced by in predicates: the alias if
     /// present, otherwise the table name itself.
-    pub fn binding(&self) -> &str {
-        self.alias.as_deref().unwrap_or(&self.table)
+    pub fn binding(&self) -> Symbol {
+        self.alias.unwrap_or(self.table)
     }
 }
 
@@ -320,10 +220,10 @@ pub enum Predicate {
 impl Predicate {
     /// Convenience constructor for an equijoin predicate.
     pub fn equi(
-        lt: impl Into<String>,
-        lc: impl Into<String>,
-        rt: impl Into<String>,
-        rc: impl Into<String>,
+        lt: impl Into<Symbol>,
+        lc: impl Into<Symbol>,
+        rt: impl Into<Symbol>,
+        rc: impl Into<Symbol>,
     ) -> Predicate {
         Predicate::Compare {
             lhs: Operand::Column(ColumnRef::new(lt, lc)),

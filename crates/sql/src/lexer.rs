@@ -1,11 +1,30 @@
 //! Hand-written lexer for the QueryVis SQL fragment.
+//!
+//! The lexer is the string→[`Symbol`] boundary of the pipeline: every
+//! identifier and literal is interned exactly once here, and all later
+//! layers (parser, logic tree, diagram, fingerprints) carry ids.
+//!
+//! Comments: `-- ...` line comments and `/* ... */` block comments are
+//! skipped; block comments nest (`/* outer /* inner */ still out */`),
+//! matching the SQL standard's bracketed-comment rule, and an unterminated
+//! block comment is a spanned error.
 
 use crate::error::ParseError;
 use crate::token::{Keyword, Span, Token, TokenKind};
+use queryvis_ir::{Interner, Symbol};
 
 /// Tokenize `source` into a vector of tokens ending with a single
-/// [`TokenKind::Eof`] token.
+/// [`TokenKind::Eof`] token, interning names in the global interner.
 pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    tokenize_in(source, Interner::global())
+}
+
+/// [`tokenize`] with an explicit interner. Symbols in the returned tokens
+/// are only meaningful to `interner` (resolve them on the same instance —
+/// never through global-resolving Display/as_str paths); the property
+/// tests use this to prove that resolution is a function of the text, not
+/// of id assignment order.
+pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, ParseError> {
     let bytes = source.as_bytes();
     let mut tokens = Vec::new();
     let mut i = 0;
@@ -20,6 +39,31 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                 // Line comment: skip to end of line.
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment; nests per the SQL standard.
+                let mut depth = 1usize;
+                i += 2;
+                while depth > 0 {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new(
+                            "unterminated block comment",
+                            Span::new(start, bytes.len()),
+                            source,
+                        ));
+                    }
+                    match (bytes[i], bytes[i + 1]) {
+                        (b'/', b'*') => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        (b'*', b'/') => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        _ => i += 1,
+                    }
                 }
             }
             b'(' => {
@@ -111,7 +155,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                         i += ch.len_utf8();
                     }
                 }
-                tokens.push(tok(TokenKind::Str(value), start, i));
+                tokens.push(tok(TokenKind::Str(interner.intern(&value)), start, i));
             }
             b'0'..=b'9' => {
                 let mut j = i + 1;
@@ -129,7 +173,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                         _ => break,
                     }
                 }
-                tokens.push(tok(TokenKind::Number(source[i..j].to_string()), start, j));
+                tokens.push(tok(
+                    TokenKind::Number(interner.intern(&source[i..j])),
+                    start,
+                    j,
+                ));
                 i = j;
             }
             _ if is_ident_start(b) => {
@@ -140,7 +188,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                 let text = &source[i..j];
                 let kind = match Keyword::lookup(text) {
                     Some(kw) => TokenKind::Keyword(kw),
-                    None => TokenKind::Ident(text.to_string()),
+                    None => TokenKind::Ident(interner.intern(text)),
                 };
                 tokens.push(tok(kind, start, j));
                 i = j;
@@ -172,6 +220,11 @@ fn is_ident_start(b: u8) -> bool {
 
 fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Convenience for tests and diagnostics: intern in the global interner.
+pub fn sym(text: &str) -> Symbol {
+    Symbol::intern(text)
 }
 
 #[cfg(test)]
@@ -231,6 +284,53 @@ mod tests {
     }
 
     #[test]
+    fn lex_block_comment() {
+        let ks = kinds("SELECT a /* the select\n   list */ FROM t");
+        assert_eq!(ks.len(), 5); // SELECT a FROM t EOF
+    }
+
+    #[test]
+    fn lex_block_comment_between_tokens_is_a_separator() {
+        let ks = kinds("SELECT a/*x*/b FROM t");
+        assert_eq!(
+            ks[..3],
+            [
+                T::Keyword(Keyword::Select),
+                T::Ident("a".into()),
+                T::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_nested_block_comment() {
+        let ks = kinds("SELECT a /* outer /* inner */ still outer */ FROM t");
+        assert_eq!(ks.len(), 5); // SELECT a FROM t EOF
+    }
+
+    #[test]
+    fn lex_unterminated_block_comment() {
+        let err = tokenize("SELECT a /* never closed").unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+        assert_eq!(err.column, 10);
+    }
+
+    #[test]
+    fn lex_unterminated_nested_block_comment() {
+        // The inner comment closes; the outer one does not.
+        let err = tokenize("SELECT a /* outer /* inner */ oops").unwrap_err();
+        assert!(err.message.contains("unterminated block comment"));
+    }
+
+    #[test]
+    fn block_comment_close_without_open_is_an_error() {
+        // `*/` outside a comment hits the generic unexpected-character path
+        // on `*` being legal (Star) but `/` not: the `/` is rejected.
+        let err = tokenize("SELECT a */ FROM t").unwrap_err();
+        assert!(err.message.contains('/'), "{}", err.message);
+    }
+
+    #[test]
     fn lex_unterminated_string() {
         let err = tokenize("x = 'oops").unwrap_err();
         assert!(err.message.contains("unterminated"));
@@ -275,5 +375,34 @@ mod tests {
             ks[..3],
             [T::Ident("L1".into()), T::Dot, T::Ident("drinker".into())]
         );
+    }
+
+    #[test]
+    fn idents_intern_to_the_same_symbol() {
+        let toks = tokenize("SELECT a FROM t WHERE a = a").unwrap();
+        let ids: Vec<Symbol> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                T::Ident(s) if s == "a" => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 3);
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn explicit_interner_receives_the_names() {
+        let local = Interner::new();
+        let toks = tokenize_in("SELECT abc FROM xyz", &local).unwrap();
+        let names: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                T::Ident(s) => Some(local.resolve(s)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["abc", "xyz"]);
+        assert_eq!(local.len(), 2);
     }
 }

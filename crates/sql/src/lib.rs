@@ -40,8 +40,9 @@ pub use ast::{
     TableRef, Value,
 };
 pub use error::{ParseError, SemanticError};
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_query_in};
 pub use printer::to_sql;
+pub use queryvis_ir::{Interner, Symbol, SymbolQuery};
 pub use schema::{Schema, Table};
 
 /// Parse a query and semantically validate it against a schema in one call.

@@ -95,22 +95,20 @@ pub fn selection_count(query: &Query) -> usize {
 /// join between the two (the paper's "self-join" category includes both,
 /// e.g. study Q5 joins `Invoice` twice in one block).
 pub fn has_self_join(query: &Query) -> bool {
-    fn walk(query: &Query, ancestors: &mut Vec<String>) -> bool {
-        let mut names: Vec<&str> = query.from.iter().map(|t| t.table.as_str()).collect();
+    fn walk(query: &Query, ancestors: &mut Vec<queryvis_ir::Symbol>) -> bool {
+        // Interned names: duplicate detection is integer sort + compare.
+        let mut names: Vec<queryvis_ir::Symbol> = query.from.iter().map(|t| t.table).collect();
         names.sort_unstable();
         let dup_in_block = names.windows(2).any(|w| w[0] == w[1]);
         if dup_in_block {
             return true;
         }
-        let dup_with_ancestor = query
-            .from
-            .iter()
-            .any(|t| ancestors.iter().any(|a| a == &t.table));
+        let dup_with_ancestor = query.from.iter().any(|t| ancestors.contains(&t.table));
         if dup_with_ancestor {
             return true;
         }
         for t in &query.from {
-            ancestors.push(t.table.clone());
+            ancestors.push(t.table);
         }
         let nested = query
             .where_clause

@@ -9,12 +9,28 @@
 
 use crate::ast::*;
 use crate::error::ParseError;
-use crate::lexer::tokenize;
+use crate::lexer::tokenize_in;
 use crate::token::{Keyword, Span, Token, TokenKind};
+use queryvis_ir::{Interner, Symbol};
 
-/// Parse a single query (optionally terminated by `;`) into an AST.
+/// Parse a single query (optionally terminated by `;`) into an AST, with
+/// all names interned in the global interner.
 pub fn parse_query(source: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(source)?;
+    parse_query_in(source, Interner::global())
+}
+
+/// [`parse_query`] with an explicit interner, for tests that prove symbol
+/// resolution is a property of the source text rather than of interner
+/// history.
+///
+/// The returned AST's symbols are only meaningful to `interner`: resolve
+/// them with [`Interner::resolve`] on the same instance, and do **not**
+/// feed the AST to downstream stages (`translate`, `Schema::check_query`,
+/// the diagram pipeline) — those resolve through [`Interner::global`] and
+/// would panic on out-of-range ids or silently alias in-range ones. The
+/// pipeline proper always parses via [`parse_query`].
+pub fn parse_query_in(source: &str, interner: &Interner) -> Result<Query, ParseError> {
+    let tokens = tokenize_in(source, interner)?;
     let mut parser = Parser {
         tokens,
         pos: 0,
@@ -47,7 +63,7 @@ impl<'a> Parser<'a> {
     }
 
     fn advance(&mut self) -> Token {
-        let tok = self.tokens[self.pos].clone();
+        let tok = self.tokens[self.pos];
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -107,8 +123,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
-        match self.peek_kind().clone() {
+    fn expect_ident(&mut self, what: &str) -> Result<Symbol, ParseError> {
+        match *self.peek_kind() {
             TokenKind::Ident(name) => {
                 self.advance();
                 Ok(name)
@@ -212,7 +228,7 @@ impl<'a> Parser<'a> {
             let table = self.expect_ident("a table name")?;
             let alias = if self.eat_keyword(Keyword::As) {
                 Some(self.expect_ident("an alias after AS")?)
-            } else if let TokenKind::Ident(name) = self.peek_kind().clone() {
+            } else if let TokenKind::Ident(name) = *self.peek_kind() {
                 self.advance();
                 Some(name)
             } else {
@@ -304,7 +320,7 @@ impl<'a> Parser<'a> {
                 self.advance();
                 let query = self.subquery()?;
                 return Ok(Predicate::InSubquery {
-                    column: col.clone(),
+                    column: *col,
                     negated: true,
                     query,
                 });
@@ -312,7 +328,7 @@ impl<'a> Parser<'a> {
             if self.eat_keyword(Keyword::In) {
                 let query = self.subquery()?;
                 return Ok(Predicate::InSubquery {
-                    column: col.clone(),
+                    column: *col,
                     negated: false,
                     query,
                 });
@@ -374,7 +390,7 @@ impl<'a> Parser<'a> {
     }
 
     fn operand(&mut self) -> Result<Operand, ParseError> {
-        match self.peek_kind().clone() {
+        match *self.peek_kind() {
             TokenKind::Number(n) => {
                 self.advance();
                 Ok(Operand::Value(Value::Number(n)))

@@ -9,6 +9,7 @@
 
 use crate::ast::{ColumnRef, Operand, Predicate, Query, SelectItem, SelectList};
 use crate::error::SemanticError;
+use queryvis_ir::Symbol;
 
 /// A table definition: name plus ordered column names.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,27 +63,29 @@ impl Schema {
     /// comparisons, and single-column SELECT lists for `IN`/`ANY`/`ALL`
     /// subqueries.
     pub fn check_query(&self, query: &Query) -> Result<(), SemanticError> {
-        let mut scopes: Vec<Vec<(String, &Table)>> = Vec::new();
+        let mut scopes: Vec<Vec<(Symbol, &Table)>> = Vec::new();
         self.check_block(query, &mut scopes, false)
     }
 
     fn check_block<'s>(
         &'s self,
         query: &Query,
-        scopes: &mut Vec<Vec<(String, &'s Table)>>,
+        scopes: &mut Vec<Vec<(Symbol, &'s Table)>>,
         needs_single_column: bool,
     ) -> Result<(), SemanticError> {
         // Register this block's bindings.
-        let mut bindings: Vec<(String, &Table)> = Vec::new();
+        let mut bindings: Vec<(Symbol, &Table)> = Vec::new();
         for table_ref in &query.from {
-            let table =
-                self.table(&table_ref.table)
-                    .ok_or_else(|| SemanticError::UnknownTable {
-                        table: table_ref.table.clone(),
-                    })?;
-            let binding = table_ref.binding().to_string();
-            if bindings.iter().any(|(b, _)| b == &binding) {
-                return Err(SemanticError::DuplicateAlias { alias: binding });
+            let table = self.table(table_ref.table.as_str()).ok_or_else(|| {
+                SemanticError::UnknownTable {
+                    table: table_ref.table.to_string(),
+                }
+            })?;
+            let binding = table_ref.binding();
+            if bindings.iter().any(|(b, _)| *b == binding) {
+                return Err(SemanticError::DuplicateAlias {
+                    alias: binding.to_string(),
+                });
             }
             bindings.push((binding, table));
         }
@@ -159,25 +162,26 @@ impl Schema {
     fn resolve<'s>(
         &'s self,
         column: &ColumnRef,
-        scopes: &[Vec<(String, &'s Table)>],
+        scopes: &[Vec<(Symbol, &'s Table)>],
     ) -> Result<&'s Table, SemanticError> {
         match &column.table {
             Some(binding) => {
                 for scope in scopes.iter().rev() {
-                    if let Some((_, table)) =
-                        scope.iter().find(|(b, _)| b.eq_ignore_ascii_case(binding))
+                    if let Some((_, table)) = scope
+                        .iter()
+                        .find(|(b, _)| b.as_str().eq_ignore_ascii_case(binding.as_str()))
                     {
-                        if table.has_column(&column.column) {
+                        if table.has_column(column.column.as_str()) {
                             return Ok(table);
                         }
                         return Err(SemanticError::UnknownColumn {
-                            binding: binding.clone(),
-                            column: column.column.clone(),
+                            binding: binding.to_string(),
+                            column: column.column.to_string(),
                         });
                     }
                 }
                 Err(SemanticError::UnknownBinding {
-                    binding: binding.clone(),
+                    binding: binding.to_string(),
                 })
             }
             None => {
@@ -185,23 +189,23 @@ impl Schema {
                 // innermost scope outward, stopping at the first scope with
                 // any match (standard SQL shadowing).
                 for scope in scopes.iter().rev() {
-                    let matches: Vec<&(String, &Table)> = scope
+                    let matches: Vec<&(Symbol, &Table)> = scope
                         .iter()
-                        .filter(|(_, t)| t.has_column(&column.column))
+                        .filter(|(_, t)| t.has_column(column.column.as_str()))
                         .collect();
                     match matches.len() {
                         0 => continue,
                         1 => return Ok(matches[0].1),
                         _ => {
                             return Err(SemanticError::AmbiguousColumn {
-                                column: column.column.clone(),
-                                candidates: matches.iter().map(|(b, _)| b.clone()).collect(),
+                                column: column.column.to_string(),
+                                candidates: matches.iter().map(|(b, _)| b.to_string()).collect(),
                             })
                         }
                     }
                 }
                 Err(SemanticError::UnresolvedColumn {
-                    column: column.column.clone(),
+                    column: column.column.to_string(),
                 })
             }
         }

@@ -1,5 +1,6 @@
 //! Token definitions for the SQL lexer.
 
+use queryvis_ir::Symbol;
 use std::fmt;
 
 /// A half-open byte range into the original source text.
@@ -134,15 +135,19 @@ impl Keyword {
 }
 
 /// Lexical token kinds.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Identifiers and literals are interned [`Symbol`]s: the lexer is the one
+/// place in the pipeline where name text is copied; every later layer
+/// moves 4-byte ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TokenKind {
     Keyword(Keyword),
     /// Unquoted identifier (table, alias, or attribute name).
-    Ident(String),
+    Ident(Symbol),
     /// Numeric literal, kept as source text to print back verbatim.
-    Number(String),
-    /// Single-quoted string literal (contents, quotes stripped).
-    Str(String),
+    Number(Symbol),
+    /// Single-quoted string literal (contents interned, quotes stripped).
+    Str(Symbol),
     LParen,
     RParen,
     Comma,
@@ -183,7 +188,7 @@ impl fmt::Display for TokenKind {
 }
 
 /// A token together with its source span.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Token {
     pub kind: TokenKind,
     pub span: Span,

@@ -18,8 +18,8 @@ fn ident() -> impl Strategy<Value = String> {
 
 fn value() -> impl Strategy<Value = Value> {
     prop_oneof![
-        (0u32..100000).prop_map(|n| Value::Number(n.to_string())),
-        "[a-zA-Z0-9 /]{1,10}".prop_map(Value::Str),
+        (0u32..100000).prop_map(|n| Value::Number(n.to_string().into())),
+        "[a-zA-Z0-9 /]{1,10}".prop_map(|s| Value::Str(s.into())),
     ]
 }
 
@@ -82,6 +82,105 @@ fn conjunctive_query(max_tables: usize) -> impl Strategy<Value = Query> {
 
 // ---------- parser / printer ----------
 
+/// Every name symbol of a query, resolved through `resolve`, in a fixed
+/// traversal order (select list, FROM, WHERE recursive, GROUP BY).
+fn resolved_names(query: &Query, resolve: &dyn Fn(queryvis_sql::Symbol) -> String) -> Vec<String> {
+    fn column(
+        c: &ColumnRef,
+        resolve: &dyn Fn(queryvis_sql::Symbol) -> String,
+        out: &mut Vec<String>,
+    ) {
+        if let Some(t) = c.table {
+            out.push(resolve(t));
+        }
+        out.push(resolve(c.column));
+    }
+    fn operand(
+        o: &Operand,
+        resolve: &dyn Fn(queryvis_sql::Symbol) -> String,
+        out: &mut Vec<String>,
+    ) {
+        match o {
+            Operand::Column(c) => column(c, resolve, out),
+            Operand::Value(Value::Number(s)) | Operand::Value(Value::Str(s)) => {
+                out.push(resolve(*s))
+            }
+        }
+    }
+    fn walk(
+        query: &Query,
+        resolve: &dyn Fn(queryvis_sql::Symbol) -> String,
+        out: &mut Vec<String>,
+    ) {
+        for item in query.select.items() {
+            match item {
+                SelectItem::Column(c) => column(c, resolve, out),
+                SelectItem::Aggregate(agg) => {
+                    if let Some(c) = &agg.arg {
+                        column(c, resolve, out);
+                    }
+                }
+            }
+        }
+        for table in &query.from {
+            out.push(resolve(table.table));
+            if let Some(alias) = table.alias {
+                out.push(resolve(alias));
+            }
+        }
+        for pred in &query.where_clause {
+            match pred {
+                Predicate::Compare { lhs, rhs, .. } => {
+                    operand(lhs, resolve, out);
+                    operand(rhs, resolve, out);
+                }
+                Predicate::Exists { query, .. } => walk(query, resolve, out),
+                Predicate::InSubquery {
+                    column: c, query, ..
+                }
+                | Predicate::Quantified {
+                    column: c, query, ..
+                } => {
+                    column(c, resolve, out);
+                    walk(query, resolve, out);
+                }
+            }
+        }
+        for c in &query.group_by {
+            column(c, resolve, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(query, resolve, &mut out);
+    out
+}
+
+/// Assert that parsing `printed` through two *fresh* interners (one of
+/// them pre-polluted so id assignment orders diverge) resolves every name
+/// to the same text as the global-interner parse: symbol resolution is a
+/// function of the source text, never of interner history.
+fn assert_symbol_resolution_stable(printed: &str) {
+    let global_ast = parse_query(printed).unwrap();
+    let fresh = queryvis_sql::Interner::new();
+    let polluted = queryvis_sql::Interner::new();
+    for i in 0..17 {
+        polluted.intern(&format!("unrelated_name_{i}"));
+    }
+    let fresh_ast = queryvis_sql::parse_query_in(printed, &fresh).unwrap();
+    let polluted_ast = queryvis_sql::parse_query_in(printed, &polluted).unwrap();
+    let global_names = resolved_names(&global_ast, &|s| s.as_str().to_string());
+    let fresh_names = resolved_names(&fresh_ast, &|s| fresh.resolve(s).to_string());
+    let polluted_names = resolved_names(&polluted_ast, &|s| polluted.resolve(s).to_string());
+    assert_eq!(
+        global_names, fresh_names,
+        "fresh interner diverged:\n{printed}"
+    );
+    assert_eq!(
+        global_names, polluted_names,
+        "polluted interner diverged:\n{printed}"
+    );
+}
+
 proptest! {
     #[test]
     fn printer_parser_roundtrip(query in conjunctive_query(4)) {
@@ -89,6 +188,24 @@ proptest! {
         let reparsed = parse_query(&printed)
             .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         prop_assert_eq!(query, reparsed);
+    }
+
+    #[test]
+    fn symbol_resolution_stable_across_fresh_interners(query in conjunctive_query(4)) {
+        // parse(print(ast)) round-trips through interners with entirely
+        // different id assignments; the resolved names must be identical.
+        assert_symbol_resolution_stable(&to_sql(&query));
+    }
+
+    #[test]
+    fn nested_corpus_symbol_resolution_stable(index in 0usize..39) {
+        // The proptest generator is conjunctive-only; run the same
+        // stability check over the (nested, grouped, quantified) paper
+        // corpus so every predicate shape crosses a fresh interner.
+        let corpus = queryvis_service::paper_corpus_requests(&[]);
+        let request = &corpus[index % corpus.len()];
+        let canonical = to_sql(&parse_query(&request.sql).unwrap());
+        assert_symbol_resolution_stable(&canonical);
     }
 
     #[test]
