@@ -10,9 +10,11 @@
 //!   scaling on compile-bound (cold) and lookup-bound (warm) workloads;
 //!
 //! plus a **fingerprint-only** row (parse → translate → canonical token
-//! stream → 128-bit hash, no service) that tracks the always-executed
-//! front half in isolation — the path the interned-symbol IR refactor
-//! targets.
+//! stream → 128-bit hash, no service) that tracks the frontend in
+//! isolation — the path the L1 text memo short-circuits for repeat
+//! texts — and a **warm_l1_hit** row serving a normalization-equivalent
+//! *variant* text of a warmed query, isolating the memo's effect. Every
+//! row also reports sampled p50/p99 per-request latency.
 //!
 //! Besides the console report, the bench writes machine-readable results
 //! to `BENCH_service.json` at the repository root so the perf trajectory
@@ -169,6 +171,10 @@ struct BenchRow {
     queries_per_iter: usize,
     iters: u64,
     per_iter_ns: f64,
+    /// Median per-*request* latency (sampled pass; ns).
+    p50_ns: f64,
+    /// 99th-percentile per-request latency (sampled pass; ns).
+    p99_ns: f64,
 }
 
 impl BenchRow {
@@ -180,9 +186,20 @@ impl BenchRow {
     }
 }
 
+/// Percentile (nearest-rank) of a sorted sample vector.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Calibrate-then-measure (mirrors the vendored criterion shim): time
 /// single iterations until ~window/10 elapses, size the measured run to
-/// fill the window, report mean ns/iter.
+/// fill the window, report mean ns/iter. A second, individually-timed
+/// sampling pass (up to 1000 iterations) yields p50/p99 per-request
+/// latency without polluting the mean with per-iteration clock reads.
 fn measure<O>(
     mode: Mode,
     name: &'static str,
@@ -196,13 +213,17 @@ fn measure<O>(
         black_box(payload());
         let elapsed = start.elapsed();
         println!("{name:<50} ok (smoke)");
+        let per_iter_ns = elapsed.as_nanos() as f64;
+        let per_request_ns = per_iter_ns / queries_per_iter.max(1) as f64;
         return BenchRow {
             name,
             kind,
             threads,
             queries_per_iter,
             iters: 1,
-            per_iter_ns: elapsed.as_nanos() as f64,
+            per_iter_ns,
+            p50_ns: per_request_ns,
+            p99_ns: per_request_ns,
         };
     }
     let window = mode.window();
@@ -223,10 +244,24 @@ fn measure<O>(
     }
     let elapsed = start.elapsed();
     let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+    // Sampling pass: per-iteration timings for the latency distribution.
+    let samples_n = iters.min(1000);
+    let mut samples: Vec<f64> = Vec::with_capacity(samples_n as usize);
+    for _ in 0..samples_n {
+        let t = Instant::now();
+        black_box(payload());
+        samples.push(t.elapsed().as_nanos() as f64 / queries_per_iter.max(1) as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let p50_ns = percentile(&samples, 50.0);
+    let p99_ns = percentile(&samples, 99.0);
     println!(
-        "{name:<50} {:>12.3} ms/iter ({iters} iters in {:.3} ms)",
+        "{name:<50} {:>12.3} ms/iter ({iters} iters in {:.3} ms; \
+         p50 {:.2} µs/q, p99 {:.2} µs/q)",
         per_iter_ns / 1e6,
         elapsed.as_secs_f64() * 1e3,
+        p50_ns / 1e3,
+        p99_ns / 1e3,
     );
     BenchRow {
         name,
@@ -235,6 +270,8 @@ fn measure<O>(
         queries_per_iter,
         iters,
         per_iter_ns,
+        p50_ns,
+        p99_ns,
     }
 }
 
@@ -267,7 +304,7 @@ fn write_report(mode: Mode, rows: &[BenchRow]) -> std::io::Result<std::path::Pat
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"kind\": \"{}\", \"threads\": {}, \
              \"queries_per_iter\": {}, \"iters\": {}, \"per_iter_ns\": {:.0}, \
-             \"queries_per_sec\": {:.1}}}{}\n",
+             \"queries_per_sec\": {:.1}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}}}{}\n",
             json_escape(row.name),
             row.kind,
             row.threads,
@@ -275,6 +312,8 @@ fn write_report(mode: Mode, rows: &[BenchRow]) -> std::io::Result<std::path::Pat
             row.iters,
             row.per_iter_ns,
             row.queries_per_sec(),
+            row.p50_ns,
+            row.p99_ns,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -363,6 +402,28 @@ fn main() {
             1,
             1,
             || service.handle(black_box(&request)),
+        ));
+        // L1 memo row: a *different text* of the warmed query (lowercase
+        // keywords, reshaped whitespace, a comment, trailing `;`) that
+        // normalizes to the same L1 key — the warm path for resubmitted
+        // queries that are not byte-identical. Tracks the memo's effect
+        // separately from the exact-text warm_hit row.
+        let variant = "select F.person  /* resubmitted */\n from Frequents F WHERE not exists \
+                   (SELECT * FROM Serves S WHERE S.bar = F.bar and NOT EXISTS \
+                   (SELECT L.drink FROM Likes L WHERE L.person = F.person \
+                    AND S.drink = L.drink));";
+        let variant_request = Request {
+            id: 1,
+            sql: variant.to_string(),
+            formats: vec![Format::Ascii],
+        };
+        rows.push(measure(
+            mode,
+            "service/single/warm_l1_hit",
+            "warm",
+            1,
+            1,
+            || service.handle(black_box(&variant_request)),
         ));
     }
 

@@ -1,0 +1,155 @@
+//! `bench_guard` — the CI bench-regression gate.
+//!
+//! Compares a freshly generated `BENCH_service.json` against a committed
+//! baseline and fails (exit 1) if any guarded row's `per_iter_ns` regressed
+//! by more than the allowed fraction. Guarded rows are the warm-path
+//! contract of the serving layer (`warm_hit`, `warm_batch`); cold rows are
+//! reported but not gated — they are compile-bound and noisy on shared CI
+//! hardware.
+//!
+//! ```text
+//! Usage: bench_guard <current.json> <baseline.json> [--max-regression 0.30]
+//! ```
+//!
+//! Caveats, by design:
+//!
+//! * the committed baseline is quick-mode numbers from the development
+//!   host; CI hardware differs, so the threshold is deliberately loose
+//!   (30%) and gates *relative* regressions of the same binary shape, not
+//!   absolute latency;
+//! * an intentional perf trade (or a baseline refresh after a hardware
+//!   change) ships by updating `.github/bench-baseline.json` in the same
+//!   PR, or by labeling the PR `bench-baseline-reset`, which skips this
+//!   gate (see `.github/workflows/ci.yml`).
+
+use queryvis_service::json::{self, Json};
+use std::process::ExitCode;
+
+/// Row-name substrings that are gated. Everything else is informational.
+const GUARDED: [&str; 3] = ["warm_hit", "warm_batch", "warm_l1_hit"];
+
+struct Row {
+    name: String,
+    per_iter_ns: f64,
+}
+
+fn load_rows(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let value = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let rows = value
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing `rows` array"))?;
+    rows.iter()
+        .map(|row| {
+            let name = row
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: row without a `name`"))?
+                .to_string();
+            let per_iter_ns = match row.get("per_iter_ns") {
+                Some(Json::Num(n)) => *n,
+                Some(Json::Int(n)) => *n as f64,
+                _ => return Err(format!("{path}: row {name} without `per_iter_ns`")),
+            };
+            Ok(Row { name, per_iter_ns })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regression = 0.30f64;
+    let mut files: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                max_regression = match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) if v > 0.0 => v,
+                    _ => {
+                        eprintln!("bench_guard: --max-regression needs a positive number");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => files.push(other),
+        }
+        i += 1;
+    }
+    let [current_path, baseline_path] = files.as_slice() else {
+        eprintln!("Usage: bench_guard <current.json> <baseline.json> [--max-regression 0.30]");
+        return ExitCode::from(2);
+    };
+    let (current, baseline) = match (load_rows(current_path), load_rows(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut guarded_seen = 0usize;
+    println!(
+        "{:<45} {:>12} {:>12} {:>8}  gate",
+        "row", "baseline ns", "current ns", "delta"
+    );
+    for base in &baseline {
+        let Some(cur) = current.iter().find(|r| r.name == base.name) else {
+            // A *guarded* row disappearing is a failure: the gate must not
+            // silently pass because the bench stopped measuring it.
+            if GUARDED.iter().any(|g| base.name.contains(g)) {
+                println!("{:<45} guarded row missing from current results", base.name);
+                failures += 1;
+            }
+            continue;
+        };
+        let delta = if base.per_iter_ns > 0.0 {
+            cur.per_iter_ns / base.per_iter_ns - 1.0
+        } else {
+            0.0
+        };
+        let guarded = GUARDED.iter().any(|g| base.name.contains(g));
+        let failed = guarded && delta > max_regression;
+        if guarded {
+            guarded_seen += 1;
+        }
+        if failed {
+            failures += 1;
+        }
+        println!(
+            "{:<45} {:>12.0} {:>12.0} {:>+7.1}%  {}",
+            base.name,
+            base.per_iter_ns,
+            cur.per_iter_ns,
+            delta * 100.0,
+            if failed {
+                "FAIL"
+            } else if guarded {
+                "ok"
+            } else {
+                "info"
+            }
+        );
+    }
+    if guarded_seen == 0 {
+        eprintln!("bench_guard: baseline contains no guarded rows (warm_hit/warm_batch)");
+        return ExitCode::from(2);
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_guard: {failures} guarded row(s) regressed more than {:.0}% \
+             (refresh .github/bench-baseline.json or label the PR \
+             `bench-baseline-reset` if intentional)",
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_guard: all guarded rows within {:.0}% of baseline",
+        max_regression * 100.0
+    );
+    ExitCode::SUCCESS
+}

@@ -121,6 +121,17 @@ fn orient(p: &LtPredicate) -> LtPredicate {
 impl PatternKey {
     /// Canonicalize a logic tree into its pattern token stream.
     pub fn of_tree(tree: &LogicTree) -> PatternKey {
+        let mut tokens = Vec::new();
+        PatternKey::of_tree_into(tree, &mut tokens);
+        PatternKey { tokens }
+    }
+
+    /// [`PatternKey::of_tree`] into a caller-owned token buffer (cleared
+    /// first), so the serving layer's per-request fingerprinting reuses
+    /// one `Vec<u32>` across a whole batch instead of allocating a stream
+    /// per query. Combine with [`PatternKey::fingerprint128_of`] to hash
+    /// without ever materializing a `PatternKey`.
+    pub fn of_tree_into(tree: &LogicTree, tokens: &mut Vec<u32>) {
         // Phase 1: structural signatures, bottom-up, name-free. Used to
         // order children deterministically before assigning canonical
         // names. Signatures are token streams themselves (compared
@@ -163,7 +174,8 @@ impl PatternKey {
         // Phase 2: canonical traversal (children ordered by signature),
         // with name erasure into dense indices.
         let mut eraser = Eraser::default();
-        let mut tokens = Vec::with_capacity(16 * tree.node_count());
+        tokens.clear();
+        tokens.reserve(16 * tree.node_count());
 
         // Select list first (arity and attribute identity matter for the
         // pattern: "find drinkers" vs "find beers" differ in which binding
@@ -241,9 +253,7 @@ impl PatternKey {
             }
             tokens.push(T_CLOSE);
         }
-        walk(tree, 0, &signature, &mut eraser, &mut tokens);
-
-        PatternKey { tokens }
+        walk(tree, 0, &signature, &mut eraser, tokens);
     }
 
     /// The raw token stream (exposed for benches and tests).
@@ -255,8 +265,15 @@ impl PatternKey {
     /// serving layer's cache key. Hashes `4 * tokens.len()` bytes of ids
     /// instead of a re-built canonical string.
     pub fn fingerprint128(&self) -> u128 {
+        PatternKey::fingerprint128_of(&self.tokens)
+    }
+
+    /// [`PatternKey::fingerprint128`] over a raw token slice, for callers
+    /// that canonicalized into a reusable buffer via
+    /// [`PatternKey::of_tree_into`] and never build a `PatternKey`.
+    pub fn fingerprint128_of(tokens: &[u32]) -> u128 {
         let mut hash = FNV128_OFFSET;
-        for token in &self.tokens {
+        for token in tokens {
             for byte in token.to_le_bytes() {
                 hash ^= u128::from(byte);
                 hash = hash.wrapping_mul(FNV128_PRIME);

@@ -22,8 +22,8 @@
 //! the steady-state hit rate: pass 2 of any fixed batch is 100 % hits.
 
 use queryvis_service::{
-    paper_corpus_requests, CacheConfig, DiagramService, Format, Request, Response, ServiceConfig,
-    ServiceStats,
+    paper_corpus_requests, CacheConfig, DiagramService, Format, MemoConfig, Request, Response,
+    ServiceConfig, ServiceStats,
 };
 use std::io::{BufRead, Write};
 use std::time::Instant;
@@ -157,6 +157,12 @@ fn stats_line(
         ("compiles".into(), Json::Num(stats.compiles as f64)),
         ("coalesced".into(), Json::Num(stats.coalesced as f64)),
         ("errors".into(), Json::Num(stats.errors as f64)),
+        ("l1_hits".into(), Json::Num(stats.l1_hits as f64)),
+        ("l1_entries".into(), Json::Num(stats.l1_entries as f64)),
+        (
+            "l1_invalidations".into(),
+            Json::Num(stats.memo.invalidations as f64),
+        ),
         ("cache_hits".into(), Json::Num(stats.cache.hits as f64)),
         ("cache_misses".into(), Json::Num(stats.cache.misses as f64)),
         (
@@ -193,6 +199,13 @@ fn main() {
             capacity: cli.capacity,
             shards: cli.shards,
         },
+        // L1 holds *texts* (many per pattern), so it gets 4× the entry
+        // budget of the diagram cache; its entries are tiny (normalized
+        // bytes + 20B) next to compiled diagrams.
+        memo: MemoConfig {
+            capacity: cli.capacity.saturating_mul(4),
+            shards: cli.shards,
+        },
         options: Default::default(),
         default_formats: cli.default_formats.clone(),
     });
@@ -200,6 +213,16 @@ fn main() {
 
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
+    // One reusable serialization buffer for the whole output stream: each
+    // line escapes directly from the cache entry's shared artifacts into
+    // this buffer — no per-response JSON tree or artifact clone.
+    let mut line = String::with_capacity(4096);
+    let mut write_line = |out: &mut dyn Write, response: &Response| {
+        line.clear();
+        response.write_json_line(&mut line);
+        line.push('\n');
+        out.write_all(line.as_bytes()).expect("stdout write");
+    };
     for pass in 1..=cli.passes {
         let before = service.stats();
         let start = Instant::now();
@@ -214,13 +237,13 @@ fn main() {
         for (slot, response) in responses.iter().enumerate() {
             while bad.peek().is_some_and(|(pos, _)| *pos == written + slot) {
                 let (_, error) = bad.next().expect("peeked");
-                writeln!(out, "{}", error.to_json_line()).expect("stdout write");
+                write_line(&mut out, error);
                 written += 1;
             }
-            writeln!(out, "{}", response.to_json_line()).expect("stdout write");
+            write_line(&mut out, response);
         }
         for (_, error) in bad {
-            writeln!(out, "{}", error.to_json_line()).expect("stdout write");
+            write_line(&mut out, error);
         }
         out.flush().expect("stdout flush");
 

@@ -134,7 +134,11 @@ impl LruState {
         }
     }
 
-    fn insert(&mut self, key: u128, value: Arc<CompiledEntry>) -> Arc<CompiledEntry> {
+    fn insert(
+        &mut self,
+        key: u128,
+        value: Arc<CompiledEntry>,
+    ) -> (Arc<CompiledEntry>, Option<u128>) {
         if let Some(idx) = self.map.get(&key).copied() {
             // Racing compilers can insert the same fingerprint twice; keep
             // the incumbent (first insert wins) and just refresh recency.
@@ -142,15 +146,18 @@ impl LruState {
                 self.unlink(idx);
                 self.push_front(idx);
             }
-            return Arc::clone(&self.slab[idx].value);
+            return (Arc::clone(&self.slab[idx].value), None);
         }
+        let mut evicted = None;
         if self.map.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "capacity > 0 guaranteed by constructor");
             self.unlink(victim);
-            self.map.remove(&self.slab[victim].key);
+            let victim_key = self.slab[victim].key;
+            self.map.remove(&victim_key);
             self.free.push(victim);
             self.evictions += 1;
+            evicted = Some(victim_key);
         }
         let resident = Arc::clone(&value);
         let idx = match self.free.pop() {
@@ -175,7 +182,7 @@ impl LruState {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
-        resident
+        (resident, evicted)
     }
 }
 
@@ -217,10 +224,23 @@ impl ShardedCache {
         fingerprint: Fingerprint,
         value: Arc<CompiledEntry>,
     ) -> Arc<CompiledEntry> {
-        self.shard(fingerprint)
+        self.insert_reporting(fingerprint, value).0
+    }
+
+    /// [`ShardedCache::insert`] that also reports the fingerprint this
+    /// insert evicted, if any — the hook the service uses to invalidate L1
+    /// memo entries the moment their L2 entry disappears.
+    pub fn insert_reporting(
+        &self,
+        fingerprint: Fingerprint,
+        value: Arc<CompiledEntry>,
+    ) -> (Arc<CompiledEntry>, Option<Fingerprint>) {
+        let (resident, evicted) = self
+            .shard(fingerprint)
             .lock()
             .expect("cache shard poisoned")
-            .insert(fingerprint.0, value)
+            .insert(fingerprint.0, value);
+        (resident, evicted.map(Fingerprint))
     }
 
     /// Look up without touching recency or counters. Used where a lookup

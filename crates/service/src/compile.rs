@@ -1,9 +1,13 @@
 //! Compiled cache entries: the diagram plus lazily rendered artifacts.
 //!
-//! An entry is immutable once built; the rendered strings materialize on
+//! An entry is immutable once built; the rendered artifacts materialize on
 //! first request per format behind [`OnceLock`]s, so a pattern that is only
 //! ever served as ASCII never pays for SVG layout text, while concurrent
-//! renderers of the same entry do the work exactly once.
+//! renderers of the same entry do the work exactly once. Artifacts are
+//! stored as `Arc<str>`: responses share the entry's rendering instead of
+//! cloning whole artifact strings per request, so a warm hit copies
+//! pointers, not text. The 32-hex-character fingerprint string and the
+//! representative's SQL are likewise rendered/shared once per entry.
 //!
 //! **Representative semantics.** Entries are keyed by canonical-pattern
 //! fingerprint, and pattern-equivalent queries (alias renames, predicate
@@ -18,23 +22,34 @@ use crate::fingerprint::{Fingerprint, FingerprintedQuery};
 use crate::protocol::Format;
 use queryvis::diagram::DiagramStats;
 use queryvis::QueryVis;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A compiled pattern: the finished pipeline result for the pattern's
 /// representative query, with per-format render caches.
 pub struct CompiledEntry {
     fingerprint: Fingerprint,
+    /// The fingerprint as 32 lowercase hex characters, rendered once at
+    /// entry construction and shared by every response.
+    hex: Arc<str>,
     pattern: String,
+    /// The representative's SQL, shared (not cloned) into disclosing
+    /// responses.
+    representative: Arc<str>,
     qv: QueryVis,
-    ascii: OnceLock<String>,
-    dot: OnceLock<String>,
-    svg: OnceLock<String>,
-    reading: OnceLock<String>,
+    ascii: OnceLock<Arc<str>>,
+    dot: OnceLock<Arc<str>>,
+    svg: OnceLock<Arc<str>>,
+    reading: OnceLock<Arc<str>>,
 }
 
 impl CompiledEntry {
     pub fn fingerprint(&self) -> Fingerprint {
         self.fingerprint
+    }
+
+    /// The fingerprint's fixed-width hex rendering, shared per entry.
+    pub fn fingerprint_hex(&self) -> &Arc<str> {
+        &self.hex
     }
 
     /// The canonical pattern string this entry serves.
@@ -44,7 +59,13 @@ impl CompiledEntry {
 
     /// The SQL of the representative query the artifacts were rendered from.
     pub fn representative_sql(&self) -> &str {
-        &self.qv.sql
+        &self.representative
+    }
+
+    /// The representative SQL as a shareable `Arc<str>` (for responses
+    /// that disclose it without copying).
+    pub fn representative_shared(&self) -> &Arc<str> {
+        &self.representative
     }
 
     /// Mark/channel statistics of the diagram (§4.8).
@@ -52,13 +73,15 @@ impl CompiledEntry {
         self.qv.stats()
     }
 
-    /// Render (or fetch the memoized) artifact for one format.
-    pub fn render(&self, format: Format) -> &str {
+    /// Render (or fetch the memoized) artifact for one format. The
+    /// returned `Arc` is shared: responses clone the pointer, never the
+    /// text.
+    pub fn render(&self, format: Format) -> &Arc<str> {
         match format {
-            Format::Ascii => self.ascii.get_or_init(|| self.qv.ascii()),
-            Format::Dot => self.dot.get_or_init(|| self.qv.dot()),
-            Format::Svg => self.svg.get_or_init(|| self.qv.svg()),
-            Format::Reading => self.reading.get_or_init(|| self.qv.reading()),
+            Format::Ascii => self.ascii.get_or_init(|| self.qv.ascii().into()),
+            Format::Dot => self.dot.get_or_init(|| self.qv.dot().into()),
+            Format::Svg => self.svg.get_or_init(|| self.qv.svg().into()),
+            Format::Reading => self.reading.get_or_init(|| self.qv.reading().into()),
         }
     }
 
@@ -81,16 +104,20 @@ impl CompiledEntry {
 
 /// Run the expensive back half of the pipeline for a pattern representative.
 pub fn compile_representative(fingerprinted: FingerprintedQuery) -> CompiledEntry {
+    // Cache misses are the only place the canonical pattern key is
+    // materialized and rendered — the hit path hashes a reused buffer.
+    let pattern = fingerprinted.pattern_key().render();
     let FingerprintedQuery {
         prepared,
-        key,
         fingerprint,
     } = fingerprinted;
+    let qv = prepared.complete();
     CompiledEntry {
         fingerprint,
-        // Cache misses are the only place the canonical string is built.
-        pattern: key.render(),
-        qv: prepared.complete(),
+        hex: fingerprint.to_string().into(),
+        pattern,
+        representative: qv.sql.as_str().into(),
+        qv,
         ascii: OnceLock::new(),
         dot: OnceLock::new(),
         svg: OnceLock::new(),
@@ -112,9 +139,9 @@ mod tests {
     fn artifacts_render_lazily_and_memoize() {
         let entry = compiled("SELECT F.person FROM Frequents F WHERE F.bar = 'Owl'");
         assert!(entry.rendered_formats().is_empty());
-        let first = entry.render(Format::Ascii) as *const str;
+        let first = Arc::as_ptr(entry.render(Format::Ascii));
         assert_eq!(entry.rendered_formats(), vec![Format::Ascii]);
-        let second = entry.render(Format::Ascii) as *const str;
+        let second = Arc::as_ptr(entry.render(Format::Ascii));
         assert_eq!(first, second, "memoized render must be reused");
         assert!(entry.render(Format::Svg).starts_with("<svg"));
         assert!(entry.render(Format::Dot).starts_with("digraph"));
@@ -127,5 +154,10 @@ mod tests {
         assert_eq!(entry.representative_sql(), "SELECT T.a FROM T");
         assert!(entry.pattern().starts_with("S["));
         assert!(entry.stats().visual_elements() > 0);
+        assert_eq!(
+            entry.fingerprint_hex().as_ref(),
+            entry.fingerprint().to_string()
+        );
+        assert_eq!(entry.fingerprint_hex().len(), 32);
     }
 }

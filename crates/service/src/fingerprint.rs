@@ -24,8 +24,15 @@
 //! documented in `queryvis::pattern`.
 
 use queryvis::{PatternKey, PreparedQuery, QueryVisError, QueryVisOptions};
+use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
+
+thread_local! {
+    /// Per-thread canonical token-stream scratch: fingerprinting a batch
+    /// reuses one `Vec<u32>` instead of allocating a stream per query.
+    static PATTERN_TOKENS: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A stable 128-bit cache key identifying a canonical query pattern.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -76,29 +83,43 @@ impl fmt::Display for Fingerprint {
 #[derive(Debug, Clone)]
 pub struct FingerprintedQuery {
     pub prepared: PreparedQuery,
-    /// The canonical pattern key the fingerprint was computed from. The
-    /// human-readable pattern string is rendered lazily (cache misses
-    /// only) via [`PatternKey::render`].
-    pub key: PatternKey,
     pub fingerprint: Fingerprint,
+}
+
+impl FingerprintedQuery {
+    /// The canonical pattern key behind the fingerprint, recomputed from
+    /// the prepared logic tree. The hot path never materializes the key —
+    /// [`fingerprint_sql`] hashes the token stream out of a reused buffer —
+    /// so callers that want the key itself (cache-miss pattern rendering,
+    /// tests) rebuild it here, off the hit path.
+    pub fn pattern_key(&self) -> PatternKey {
+        self.prepared.pattern_key()
+    }
 }
 
 /// Parse + translate + canonicalize + hash one SQL string.
 ///
-/// This is the always-executed part of serving a request; the expensive
-/// back half (diagram build, layout, rendering) only runs on cache misses.
-/// No canonical pattern *string* is built here — the fingerprint hashes
-/// the interned-id token stream directly.
+/// This is the always-executed part of serving a request that the L1 text
+/// memo cannot short-circuit; the expensive back half (diagram build,
+/// layout, rendering) only runs on cache misses. No canonical pattern
+/// *string* — and no canonical token `Vec` — is built here: the tokens go
+/// into a per-thread scratch buffer and only their 128-bit hash survives.
 pub fn fingerprint_sql(
     sql: &str,
     options: impl Into<Arc<QueryVisOptions>>,
 ) -> Result<FingerprintedQuery, QueryVisError> {
     let prepared = queryvis::QueryVis::prepare(sql, options)?;
-    let key = prepared.pattern_key();
-    let fingerprint = Fingerprint::of_key(&key);
+    let fingerprint = PATTERN_TOKENS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut tokens) => {
+            PatternKey::of_tree_into(&prepared.logic_tree, &mut tokens);
+            Fingerprint(PatternKey::fingerprint128_of(&tokens))
+        }
+        // Re-entrant fingerprinting on this thread (not a pipeline path):
+        // fall back to a one-off key.
+        Err(_) => Fingerprint::of_key(&prepared.pattern_key()),
+    });
     Ok(FingerprintedQuery {
         prepared,
-        key,
         fingerprint,
     })
 }

@@ -307,23 +307,58 @@ fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Jso
     }
 }
 
-/// Write a string with JSON escaping into `out`.
-fn write_escaped(out: &mut String, s: &str) {
+/// Write a string as a quoted JSON value into `out`, escaping as needed.
+///
+/// Works in unescaped *runs*: the scan finds the next byte needing an
+/// escape (all such bytes are ASCII, so run boundaries are always UTF-8
+/// character boundaries) and copies everything before it in one
+/// `push_str`. Rendered artifacts are kilobytes of mostly clean text, so
+/// this is the serializer's inner loop. Public (`escape_into`) because
+/// `Response::write_json_line` serializes directly into a caller buffer
+/// without building a [`Json`] tree.
+pub fn escape_into(out: &mut String, s: &str) {
     out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    let bytes = s.as_bytes();
+    let mut run_start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[run_start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                c => {
+                    const HEX: &[u8; 16] = b"0123456789abcdef";
+                    out.push_str("\\u00");
+                    out.push(HEX[(c >> 4) as usize] as char);
+                    out.push(HEX[(c & 0xf) as usize] as char);
+                }
             }
-            c => out.push(c),
+            run_start = i + 1;
+        }
+        i += 1;
+    }
+    out.push_str(&s[run_start..]);
+    out.push('"');
+}
+
+/// Write a decimal `u64` into `out` without allocating.
+pub fn write_u64(out: &mut String, mut n: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
         }
     }
-    out.push('"');
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
 }
 
 impl fmt::Display for Json {
@@ -341,7 +376,7 @@ impl Json {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(n) => out.push_str(&format!("{n}")),
+            Json::Int(n) => write_u64(out, *n),
             Json::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     out.push_str(&format!("{}", *n as i64));
@@ -349,7 +384,7 @@ impl Json {
                     out.push_str(&format!("{n}"));
                 }
             }
-            Json::Str(s) => write_escaped(out, s),
+            Json::Str(s) => escape_into(out, s),
             Json::Arr(items) => {
                 out.push('[');
                 for (i, item) in items.iter().enumerate() {
@@ -366,7 +401,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    write_escaped(out, key);
+                    escape_into(out, key);
                     out.push(':');
                     value.write(out);
                 }

@@ -6,39 +6,48 @@
 //! canonicalizes each query, hashes the pattern into a stable 128-bit
 //! [`Fingerprint`], and deduplicates all compilation work behind it.
 //!
-//! Architecture (front half always runs, back half only on cache misses):
+//! Architecture (two cache levels; a request descends only as far as it
+//! must — repeat texts skip the frontend, repeat patterns skip the
+//! compile):
 //!
 //! ```text
-//! SQL text → parse → translate → canonical pattern → fingerprint
-//!                                                     │ sharded LRU cache
-//!                                                     │  miss → simplify →
-//!                                                     │  diagram → layout →
-//!                                                     │  render (lazy/format)
-//!                                                     └→ artifacts
+//! SQL text → L1 memo (normalized bytes → fingerprint)
+//!              │ miss: parse → translate → canonical pattern → fingerprint
+//!              ▼
+//!            L2 sharded LRU (fingerprint → compiled entry)
+//!              │  miss → simplify → diagram → layout →
+//!              │         render (lazy per format)
+//!              └→ artifacts (Arc<str>, shared into responses)
 //! ```
 //!
+//! * [`memo`] — the L1 text→fingerprint memo (byte-level normalization,
+//!   exact match, invalidated on L2 eviction);
 //! * [`fingerprint`] — canonical-pattern cache keys;
 //! * [`cache`] — the N-shard mutex-striped LRU with hit/miss/eviction
 //!   counters;
 //! * [`compile`] — immutable compiled entries (pattern representatives)
-//!   with lazily rendered per-format artifacts;
+//!   with lazily rendered, `Arc`-shared per-format artifacts;
 //! * [`service`] — [`DiagramService`]: single-request serving with
 //!   in-flight deduplication, plus the deterministic batch executor;
 //! * [`executor`] — the fixed thread pool primitive;
 //! * [`protocol`] / [`json`] — the JSON-lines wire format of the
-//!   `service` binary (see the repository `README.md` for examples).
+//!   `service` binary (see the repository `README.md` for examples),
+//!   serialized without intermediate trees by
+//!   [`Response::write_json_line`].
 
 pub mod cache;
 pub mod compile;
 pub mod executor;
 pub mod fingerprint;
 pub mod json;
+pub mod memo;
 pub mod protocol;
 pub mod service;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use compile::{compile_representative, CompiledEntry};
 pub use fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
+pub use memo::{L1Memo, MemoConfig, MemoStats};
 pub use protocol::{Artifacts, Format, Request, Response};
 pub use service::{DiagramService, ServiceConfig, ServiceStats};
 

@@ -23,6 +23,7 @@
 
 use crate::fingerprint::Fingerprint;
 use crate::json::{self, Json};
+use std::sync::Arc;
 
 /// An artifact format the service can serve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -94,9 +95,17 @@ impl Request {
 }
 
 /// The successful payload of a response.
+///
+/// Every string in here is an `Arc<str>` **shared with the cache entry**
+/// that served the request — building a response copies pointers, never
+/// artifact text. The bytes on the wire are produced straight from these
+/// shared strings by [`Response::write_json_line`].
 #[derive(Debug, Clone)]
 pub struct Artifacts {
     pub fingerprint: Fingerprint,
+    /// The fingerprint's 32-character hex form, rendered once per cache
+    /// entry and shared by every response it serves.
+    pub fingerprint_hex: Arc<str>,
     /// Word count of this request's own SQL (not the representative's).
     pub sql_words: usize,
     /// The SQL of the pattern representative the artifacts were rendered
@@ -105,9 +114,9 @@ pub struct Artifacts {
     /// label text (table names, aliases, constants) comes from the
     /// representative; this field is the disclosure that lets clients
     /// detect the substitution.
-    pub representative_sql: Option<String>,
+    pub representative_sql: Option<Arc<str>>,
     /// `(format, rendered)` in request order.
-    pub rendered: Vec<(Format, String)>,
+    pub rendered: Vec<(Format, Arc<str>)>,
 }
 
 /// One response line.
@@ -125,43 +134,49 @@ impl Response {
         }
     }
 
-    /// Serialize as one JSON line (no trailing newline).
-    pub fn to_json_line(&self) -> String {
-        let mut fields = vec![("id".to_string(), Json::Int(self.id))];
+    /// Serialize as one JSON line (no trailing newline) into `out`,
+    /// escaping artifact text directly from the shared `Arc<str>`s — no
+    /// intermediate [`Json`] tree, no per-field `String`s. Callers on the
+    /// output hot path keep one reusable buffer per worker and `clear()`
+    /// it between lines.
+    pub fn write_json_line(&self, out: &mut String) {
+        out.push_str("{\"id\":");
+        json::write_u64(out, self.id);
         match &self.outcome {
             Ok(artifacts) => {
-                fields.push((
-                    "fingerprint".to_string(),
-                    Json::Str(artifacts.fingerprint.to_string()),
-                ));
-                fields.push((
-                    "sql_words".to_string(),
-                    Json::Num(artifacts.sql_words as f64),
-                ));
+                out.push_str(",\"fingerprint\":");
+                json::escape_into(out, &artifacts.fingerprint_hex);
+                out.push_str(",\"sql_words\":");
+                json::write_u64(out, artifacts.sql_words as u64);
                 if let Some(representative) = &artifacts.representative_sql {
-                    fields.push((
-                        "representative_sql".to_string(),
-                        Json::Str(representative.clone()),
-                    ));
+                    out.push_str(",\"representative_sql\":");
+                    json::escape_into(out, representative);
                 }
-                fields.push((
-                    "artifacts".to_string(),
-                    Json::Obj(
-                        artifacts
-                            .rendered
-                            .iter()
-                            .map(|(format, text)| {
-                                (format.name().to_string(), Json::Str(text.clone()))
-                            })
-                            .collect(),
-                    ),
-                ));
+                out.push_str(",\"artifacts\":{");
+                for (i, (format, text)) in artifacts.rendered.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::escape_into(out, format.name());
+                    out.push(':');
+                    json::escape_into(out, text);
+                }
+                out.push_str("}}");
             }
             Err(message) => {
-                fields.push(("error".to_string(), Json::Str(message.clone())));
+                out.push_str(",\"error\":");
+                json::escape_into(out, message);
+                out.push('}');
             }
         }
-        Json::Obj(fields).to_string()
+    }
+
+    /// [`Response::write_json_line`] into a fresh `String` (tests and
+    /// one-off callers; the service binary reuses a buffer instead).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.write_json_line(&mut out);
+        out
     }
 }
 
@@ -196,15 +211,20 @@ mod tests {
         assert!(Request::from_json_line("not json", 0).is_err());
     }
 
+    fn hex(fingerprint: Fingerprint) -> Arc<str> {
+        fingerprint.to_string().into()
+    }
+
     #[test]
     fn response_lines_are_single_line_json() {
         let ok = Response {
             id: 1,
             outcome: Ok(Artifacts {
                 fingerprint: Fingerprint(0xff),
+                fingerprint_hex: hex(Fingerprint(0xff)),
                 sql_words: 4,
                 representative_sql: None,
-                rendered: vec![(Format::Ascii, "a\nb".to_string())],
+                rendered: vec![(Format::Ascii, "a\nb".into())],
             }),
         };
         let line = ok.to_json_line();
@@ -236,8 +256,9 @@ mod tests {
             id: 4,
             outcome: Ok(Artifacts {
                 fingerprint: Fingerprint(1),
+                fingerprint_hex: hex(Fingerprint(1)),
                 sql_words: 4,
-                representative_sql: Some("SELECT T.a FROM T".to_string()),
+                representative_sql: Some("SELECT T.a FROM T".into()),
                 rendered: Vec::new(),
             }),
         };

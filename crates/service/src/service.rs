@@ -1,6 +1,7 @@
-//! The diagram-compilation service: fingerprint → cache → compile → render.
+//! The diagram-compilation service: L1 memo → fingerprint → L2 cache →
+//! compile → render.
 //!
-//! Two entry points share one cache:
+//! Two entry points share one two-level cache:
 //!
 //! * [`DiagramService::handle`] serves a single request, deduplicating
 //!   concurrent identical fingerprints through an in-flight table
@@ -14,11 +15,23 @@
 //!   that compiles. Output bytes are therefore identical for any worker
 //!   count — the property the `service` binary's acceptance check relies
 //!   on — while duplicate patterns still compile exactly once per batch.
+//!
+//! **The warm path.** Before any lexing happens, the request text is
+//! probed in the [`L1Memo`](crate::memo::L1Memo): a repeat text (modulo
+//! whitespace, comments, and keyword case) resolves straight to its
+//! pattern fingerprint and word count, skipping parse, translation, and
+//! canonicalization entirely, and proceeds to the L2 entry whose
+//! `Arc<str>` artifacts are shared — not copied — into the response. L1
+//! and L2 stay coherent: an L2 eviction eagerly invalidates every L1 text
+//! pointing at the evicted fingerprint, and the rare lost race (evicted
+//! between L1 probe and L2 get) falls back to the full frontend. The memo
+//! never changes response bytes — it only skips recomputing them.
 
 use crate::cache::{CacheConfig, CacheStats, ShardedCache};
 use crate::compile::{compile_representative, CompiledEntry};
 use crate::executor::run_indexed;
 use crate::fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
+use crate::memo::{L1Memo, MemoConfig, MemoStats};
 use crate::protocol::{Artifacts, Format, Request, Response};
 use queryvis::ir::Interner;
 use queryvis::QueryVisOptions;
@@ -31,6 +44,8 @@ use std::sync::{Arc, Condvar, Mutex};
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     pub cache: CacheConfig,
+    /// Geometry of the L1 text→fingerprint memo.
+    pub memo: MemoConfig,
     /// Pipeline options applied to every request (schema, strictness, …).
     pub options: QueryVisOptions,
     /// Formats served when a request does not name any.
@@ -41,6 +56,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             cache: CacheConfig::default(),
+            memo: MemoConfig::default(),
             options: QueryVisOptions::default(),
             default_formats: vec![Format::Ascii],
         }
@@ -59,11 +75,17 @@ pub struct ServiceStats {
     pub coalesced: u64,
     /// Requests that failed (parse/semantic/translation errors).
     pub errors: u64,
+    /// Requests whose frontend (lex→parse→translate→canonicalize) was
+    /// skipped because the L1 memo recognized the text.
+    pub l1_hits: u64,
+    /// Texts currently memoized in L1.
+    pub l1_entries: usize,
     /// Distinct names resident in the shared interner (process-wide; grows
     /// monotonically with the vocabulary of table/column/alias/constant
     /// names the service has seen).
     pub interned_symbols: u64,
     pub cache: CacheStats,
+    pub memo: MemoStats,
 }
 
 /// One in-flight compilation that racing requests can join. The slot is
@@ -113,18 +135,23 @@ pub struct DiagramService {
     /// name strings, and artifacts resolve ids back to text only at the
     /// render boundary.
     interner: &'static Interner,
+    /// L1: normalized request text → fingerprint (+ word count).
+    memo: L1Memo,
+    /// L2: fingerprint → compiled entry.
     cache: ShardedCache,
     inflight: Mutex<HashMap<u128, Arc<Flight>>>,
     requests: AtomicU64,
     compiles: AtomicU64,
     coalesced: AtomicU64,
     errors: AtomicU64,
+    l1_hits: AtomicU64,
 }
 
 impl DiagramService {
     pub fn new(config: ServiceConfig) -> DiagramService {
         DiagramService {
             cache: ShardedCache::new(config.cache),
+            memo: L1Memo::new(config.memo),
             options: Arc::new(config.options.clone()),
             interner: Interner::global(),
             config,
@@ -133,6 +160,7 @@ impl DiagramService {
             compiles: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            l1_hits: AtomicU64::new(0),
         }
     }
 
@@ -145,20 +173,39 @@ impl DiagramService {
         self.interner
     }
 
+    /// The L1 text memo (exposed for tests and diagnostics).
+    pub fn memo(&self) -> &L1Memo {
+        &self.memo
+    }
+
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            l1_hits: self.l1_hits.load(Ordering::Relaxed),
+            l1_entries: self.memo.entries(),
             interned_symbols: self.interner.len() as u64,
             cache: self.cache.stats(),
+            memo: self.memo.stats(),
         }
     }
 
-    /// Serve one request, consulting and filling the cache.
+    /// Serve one request, consulting and filling both cache levels.
     pub fn handle(&self, request: &Request) -> Response {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        // L1: a repeat text resolves to its fingerprint without touching
+        // the frontend at all.
+        if let Some((fingerprint, words)) = self.memo.lookup(&request.sql) {
+            if let Some(entry) = self.cache.get(fingerprint) {
+                self.l1_hits.fetch_add(1, Ordering::Relaxed);
+                return self.respond(request, words as usize, &entry);
+            }
+            // L2 evicted this fingerprint between the eager invalidation
+            // and our probe (or we raced it): fall through to the full
+            // path, which recompiles and re-publishes both levels.
+        }
         let fingerprinted = match fingerprint_sql(&request.sql, Arc::clone(&self.options)) {
             Ok(fq) => fq,
             Err(e) => {
@@ -167,8 +214,14 @@ impl DiagramService {
             }
         };
         let words = word_count(&fingerprinted.prepared.query);
+        let fingerprint = fingerprinted.fingerprint;
         match self.entry_for(fingerprinted) {
-            Ok(entry) => self.respond(request, words, &entry),
+            Ok(entry) => {
+                // Memoize only after the entry is resident in L2, so an L1
+                // hit almost always finds its L2 entry.
+                self.memo.insert(&request.sql, fingerprint, words as u32);
+                self.respond(request, words, &entry)
+            }
             Err(message) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 Response::error(request.id, message)
@@ -225,7 +278,7 @@ impl DiagramService {
                 // is no window where the entry is reachable through
                 // neither; serve the *resident* entry (the incumbent, if
                 // another compile won a race) so owner and joiners agree.
-                self.cache.insert(fingerprint, entry)
+                self.publish(fingerprint, entry)
             }
         };
         guard.armed = false;
@@ -254,6 +307,17 @@ impl DiagramService {
         compile_representative(fingerprinted)
     }
 
+    /// Publish a compiled entry into L2, invalidating whatever L1 texts
+    /// pointed at the fingerprint the insert evicted. Returns the entry
+    /// resident after the insert (the incumbent, if a race was lost).
+    fn publish(&self, fingerprint: Fingerprint, entry: Arc<CompiledEntry>) -> Arc<CompiledEntry> {
+        let (resident, evicted) = self.cache.insert_reporting(fingerprint, entry);
+        if let Some(evicted) = evicted {
+            self.memo.invalidate(evicted);
+        }
+        resident
+    }
+
     fn respond(&self, request: &Request, sql_words: usize, entry: &CompiledEntry) -> Response {
         let formats: &[Format] = if request.formats.is_empty() {
             &self.config.default_formats
@@ -261,18 +325,20 @@ impl DiagramService {
             &request.formats
         };
         // Disclose when the artifacts were rendered from a different
-        // (pattern-equivalent) query's SQL — labels may differ.
+        // (pattern-equivalent) query's SQL — labels may differ. The
+        // disclosure shares the entry's Arc, like every artifact string.
         let representative_sql = (entry.representative_sql() != request.sql)
-            .then(|| entry.representative_sql().to_string());
+            .then(|| Arc::clone(entry.representative_shared()));
         Response {
             id: request.id,
             outcome: Ok(Artifacts {
                 fingerprint: entry.fingerprint(),
+                fingerprint_hex: Arc::clone(entry.fingerprint_hex()),
                 sql_words,
                 representative_sql,
                 rendered: formats
                     .iter()
-                    .map(|format| (*format, entry.render(*format).to_string()))
+                    .map(|format| (*format, Arc::clone(entry.render(*format))))
                     .collect(),
             }),
         }
@@ -289,15 +355,76 @@ impl DiagramService {
         let threads = threads.max(1);
         self.requests.fetch_add(n as u64, Ordering::Relaxed);
 
-        // Phase 1 — fingerprint every request in parallel (pure CPU).
-        let mut fingerprinted: Vec<Result<(usize, FingerprintedQuery), String>> =
-            run_indexed(n, threads, |i| {
-                fingerprint_sql(&requests[i].sql, Arc::clone(&self.options))
-                    .map(|fq| (word_count(&fq.prepared.query), fq))
-                    .map_err(|e| e.to_string())
-            });
+        /// Result of the per-request front half: either the L1 memo
+        /// recognized the text (no frontend ran), or the full frontend
+        /// produced a prepared query, or the text is malformed. The
+        /// prepared query is boxed so the per-request vector stays dense
+        /// on warm batches, where almost every slot is the small `Memo`
+        /// variant.
+        enum Front {
+            Memo {
+                fingerprint: Fingerprint,
+                words: usize,
+            },
+            Full {
+                words: usize,
+                fq: Box<FingerprintedQuery>,
+            },
+            Failed(String),
+        }
+
+        // Phase 1 — resolve every request's fingerprint in parallel: L1
+        // memo probe first, full frontend on memo misses. The memo cannot
+        // change any response byte — it returns exactly the fingerprint
+        // and word count the frontend would recompute.
+        let fronts: Vec<Front> = run_indexed(n, threads, |i| {
+            let sql = &requests[i].sql;
+            // (l1_hits is counted in phase 4, once it is known whether the
+            // representative had to re-run the frontend after all.)
+            if let Some((fingerprint, words)) = self.memo.lookup(sql) {
+                return Front::Memo {
+                    fingerprint,
+                    words: words as usize,
+                };
+            }
+            match fingerprint_sql(sql, Arc::clone(&self.options)) {
+                Ok(fq) => Front::Full {
+                    words: word_count(&fq.prepared.query),
+                    fq: Box::new(fq),
+                },
+                Err(e) => Front::Failed(e.to_string()),
+            }
+        });
+        let mut outcome: Vec<Result<usize, String>> = Vec::with_capacity(n);
+        let mut fingerprints: Vec<Option<Fingerprint>> = Vec::with_capacity(n);
+        let mut fqs: Vec<Option<Box<FingerprintedQuery>>> = Vec::with_capacity(n);
+        // Which requests ran the full frontend (and should be memoized
+        // once their entry is resident).
+        let mut memoize: Vec<bool> = Vec::with_capacity(n);
+        for front in fronts {
+            match front {
+                Front::Memo { fingerprint, words } => {
+                    outcome.push(Ok(words));
+                    fingerprints.push(Some(fingerprint));
+                    fqs.push(None);
+                    memoize.push(false);
+                }
+                Front::Full { words, fq } => {
+                    outcome.push(Ok(words));
+                    fingerprints.push(Some(fq.fingerprint));
+                    fqs.push(Some(fq));
+                    memoize.push(true);
+                }
+                Front::Failed(message) => {
+                    outcome.push(Err(message));
+                    fingerprints.push(None);
+                    fqs.push(None);
+                    memoize.push(false);
+                }
+            }
+        }
         self.errors.fetch_add(
-            fingerprinted.iter().filter(|r| r.is_err()).count() as u64,
+            outcome.iter().filter(|r| r.is_err()).count() as u64,
             Ordering::Relaxed,
         );
 
@@ -307,72 +434,123 @@ impl DiagramService {
             fingerprint: Fingerprint,
             representative: usize,
             entry: Option<Arc<CompiledEntry>>,
+            /// Set only if the representative's frontend re-run failed —
+            /// unreachable when L1 normalization is sound, but a wrong
+            /// answer must degrade to an error response, not a panic.
+            failed: Option<String>,
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut group_index: HashMap<u128, usize> = HashMap::new();
         let mut group_of: Vec<Option<usize>> = vec![None; n];
-        for i in 0..n {
-            if let Ok((_, fq)) = &fingerprinted[i] {
-                let gi = *group_index.entry(fq.fingerprint.0).or_insert_with(|| {
+        for (i, fingerprint) in fingerprints.iter().enumerate() {
+            if let Some(fingerprint) = fingerprint {
+                let gi = *group_index.entry(fingerprint.0).or_insert_with(|| {
                     groups.push(Group {
-                        fingerprint: fq.fingerprint,
+                        fingerprint: *fingerprint,
                         representative: i,
                         entry: None,
+                        failed: None,
                     });
                     groups.len() - 1
                 });
                 group_of[i] = Some(gi);
             }
         }
-        let mut missing: Vec<(usize, Mutex<Option<FingerprintedQuery>>)> = Vec::new();
+        // Missing groups carry the representative's prepared query, or
+        // `None` when the representative was an L1 hit whose L2 entry has
+        // been evicted since — those re-run the frontend in phase 3.
+        struct MissingGroup {
+            group: usize,
+            representative: usize,
+            fq: Mutex<Option<Box<FingerprintedQuery>>>,
+        }
+        let mut missing: Vec<MissingGroup> = Vec::new();
         for (gi, group) in groups.iter_mut().enumerate() {
             match self.cache.get(group.fingerprint) {
                 Some(entry) => group.entry = Some(entry),
-                None => {
-                    let fq = match &mut fingerprinted[group.representative] {
-                        Ok((_, fq_slot)) => fq_slot.clone(),
-                        Err(_) => unreachable!("groups only contain fingerprinted requests"),
-                    };
-                    missing.push((gi, Mutex::new(Some(fq))));
-                }
+                None => missing.push(MissingGroup {
+                    group: gi,
+                    representative: group.representative,
+                    fq: Mutex::new(fqs[group.representative].take()),
+                }),
             }
         }
 
         // Phase 3 — compile the missing representatives in parallel and
         // publish them. Joins within the batch are the coalesced ones.
-        let compiled: Vec<(usize, Arc<CompiledEntry>)> = run_indexed(missing.len(), threads, |k| {
-            let (gi, slot) = &missing[k];
-            let fq = slot
-                .lock()
-                .expect("missing slot poisoned")
-                .take()
-                .expect("each missing group compiles once");
-            let fingerprint = fq.fingerprint;
-            let entry = Arc::new(self.compile(fq));
-            // Keep whatever is resident after the insert: if a concurrent
-            // batch compiled the same fingerprint first, its incumbent wins
-            // and this whole group serves it, keeping responses consistent
-            // within the batch.
-            (*gi, self.cache.insert(fingerprint, entry))
-        });
+        let compiled: Vec<(usize, bool, Result<Arc<CompiledEntry>, String>)> =
+            run_indexed(missing.len(), threads, |k| {
+                let job = &missing[k];
+                let (refingerprinted, fq) =
+                    match job.fq.lock().expect("missing slot poisoned").take() {
+                        Some(fq) => (false, Ok(*fq)),
+                        None => (
+                            true,
+                            fingerprint_sql(
+                                &requests[job.representative].sql,
+                                Arc::clone(&self.options),
+                            )
+                            .map_err(|e| e.to_string()),
+                        ),
+                    };
+                match fq {
+                    Ok(fq) => {
+                        let fingerprint = fq.fingerprint;
+                        let entry = Arc::new(self.compile(fq));
+                        // Keep whatever is resident after the insert: if a
+                        // concurrent batch compiled the same fingerprint
+                        // first, its incumbent wins and this whole group
+                        // serves it, keeping responses consistent within
+                        // the batch.
+                        (
+                            job.group,
+                            refingerprinted,
+                            Ok(self.publish(fingerprint, entry)),
+                        )
+                    }
+                    Err(message) => (job.group, refingerprinted, Err(message)),
+                }
+            });
         let mut freshly_compiled = vec![false; groups.len()];
-        for (gi, _) in &missing {
-            freshly_compiled[*gi] = true;
+        for job in &missing {
+            freshly_compiled[job.group] = true;
         }
-        for (gi, entry) in compiled {
-            groups[gi].entry = Some(entry);
+        // Groups whose representative was an L1 hit but had to re-run the
+        // frontend anyway (its L2 entry was evicted in between): that one
+        // request's frontend was not skipped, so it must not count as an
+        // L1 hit in phase 4.
+        let mut rep_refingerprinted = vec![false; groups.len()];
+        for (gi, refingerprinted, result) in compiled {
+            rep_refingerprinted[gi] = refingerprinted;
+            match result {
+                Ok(entry) => groups[gi].entry = Some(entry),
+                Err(message) => groups[gi].failed = Some(message),
+            }
         }
 
         // Phase 4 — render responses in parallel, in request order. Every
         // non-representative request performs its own cache lookup (a hit),
         // so counters reflect per-request traffic deterministically; the
         // requests that piggybacked on a batch compile count as coalesced.
+        // Requests that ran the full frontend memoize their text here, now
+        // that the entry is resident.
         run_indexed(n, threads, |i| {
             let request = &requests[i];
-            match (&fingerprinted[i], group_of[i]) {
+            match (&outcome[i], group_of[i]) {
                 (Err(message), _) => Response::error(request.id, message.clone()),
-                (Ok((words, _)), Some(gi)) => {
+                (Ok(words), Some(gi)) => {
                     let group = &groups[gi];
+                    // Count the L1 hit exactly: a memo-resolved request
+                    // skipped the frontend unless it was the representative
+                    // that had to re-fingerprint after an L2 eviction.
+                    let memo_resolved = !memoize[i];
+                    if memo_resolved && !(group.representative == i && rep_refingerprinted[gi]) {
+                        self.l1_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(message) = &group.failed {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        return Response::error(request.id, message.clone());
+                    }
                     // Every response in the group comes from the *same*
                     // entry (phase 2/3's resident), so disclosures stay
                     // consistent within a batch even if a concurrent batch
@@ -386,6 +564,10 @@ impl DiagramService {
                         let _ = self.cache.get(group.fingerprint);
                     }
                     let entry = Arc::clone(group.entry.as_ref().expect("filled in phase 2/3"));
+                    if memoize[i] {
+                        self.memo
+                            .insert(&request.sql, group.fingerprint, *words as u32);
+                    }
                     self.respond(request, *words, &entry)
                 }
                 (Ok(_), None) => unreachable!("fingerprinted requests always have a group"),
@@ -491,7 +673,8 @@ mod tests {
                 .as_ref()
                 .unwrap()
                 .representative_sql
-                .clone()
+                .as_deref()
+                .map(str::to_string)
         };
         assert_eq!(representative_of(0), None);
         assert_eq!(representative_of(1), Some("SELECT T.a FROM T".to_string()));

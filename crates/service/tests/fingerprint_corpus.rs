@@ -114,13 +114,13 @@ fn no_fingerprint_collisions_across_the_full_paper_corpus() {
     for a in &fingerprinted {
         for b in &fingerprinted {
             assert_eq!(
-                a.key == b.key,
+                a.pattern_key() == b.pattern_key(),
                 a.fingerprint == b.fingerprint,
                 "fingerprint equality must mirror pattern equality:\n{}\nvs\n{}",
                 a.prepared.sql,
                 b.prepared.sql
             );
-            if !std::ptr::eq(a, b) && a.key == b.key {
+            if !std::ptr::eq(a, b) && a.pattern_key() == b.pattern_key() {
                 equivalent_pairs += 1;
             }
         }
@@ -141,7 +141,7 @@ fn corpus_served_twice_compiles_each_pattern_once() {
             .map(|r| {
                 fingerprint_sql(&r.sql, QueryVisOptions::default())
                     .unwrap()
-                    .key
+                    .pattern_key()
                     .render()
             })
             .collect();

@@ -1,0 +1,271 @@
+//! End-to-end semantics of the L1 text→fingerprint memo: normalization
+//! equivalence, coherence with L2 eviction, and the property that a
+//! memoized fingerprint always equals the recomputed one.
+
+use queryvis::QueryVisOptions;
+use queryvis_service::{
+    fingerprint_sql, paper_corpus_requests, CacheConfig, DiagramService, Format, MemoConfig,
+    Request, ServiceConfig,
+};
+
+fn request(id: u64, sql: &str) -> Request {
+    Request {
+        id,
+        sql: sql.to_string(),
+        formats: vec![Format::Ascii],
+    }
+}
+
+fn service() -> DiagramService {
+    DiagramService::new(ServiceConfig::default())
+}
+
+#[test]
+fn normalization_equivalent_texts_share_one_l1_entry() {
+    let service = service();
+    let canonical = "SELECT T.a FROM T";
+    let variants = [
+        "select T.a from T",
+        "  SELECT\n\tT.a\r\n FROM   T  ",
+        "SELECT /* projection */ T.a FROM T -- trailing",
+        "SELECT T.a FROM T;",
+    ];
+    let first = service.handle(&request(0, canonical));
+    let fp = first.outcome.as_ref().unwrap().fingerprint;
+    assert_eq!(
+        service.stats().l1_hits,
+        0,
+        "first sighting runs the frontend"
+    );
+    for (i, variant) in variants.iter().enumerate() {
+        let response = service.handle(&request(1 + i as u64, variant));
+        assert_eq!(response.outcome.as_ref().unwrap().fingerprint, fp);
+    }
+    let stats = service.stats();
+    assert_eq!(
+        stats.l1_hits,
+        variants.len() as u64,
+        "every variant must resolve through the memo"
+    );
+    assert_eq!(stats.l1_entries, 1, "all variants share one normalized key");
+    assert_eq!(stats.compiles, 1);
+}
+
+#[test]
+fn malformed_texts_error_identically_warm_and_cold() {
+    // A warm memo must never rescue a malformed text: `/* oops` swallowed
+    // by normalization would otherwise make this text byte-equal to the
+    // memoized valid one and serve artifacts for an unlexable request.
+    let malformed = [
+        "SELECT T.a FROM T /* oops",
+        "SELECT T.a FROM T /* a /* b */",
+        "SELECT T.a FROM T WHERE T.a = 'oops",
+    ];
+    let cold = service();
+    let cold_lines: Vec<String> = malformed
+        .iter()
+        .enumerate()
+        .map(|(i, sql)| cold.handle(&request(i as u64, sql)).to_json_line())
+        .collect();
+    let warm = service();
+    warm.handle(&request(99, "SELECT T.a FROM T"));
+    warm.handle(&request(98, "SELECT T.a FROM T WHERE T.a = 'oops'"));
+    let warm_lines: Vec<String> = malformed
+        .iter()
+        .enumerate()
+        .map(|(i, sql)| warm.handle(&request(i as u64, sql)).to_json_line())
+        .collect();
+    assert_eq!(cold_lines, warm_lines, "cache state must not change bytes");
+    for line in &warm_lines {
+        assert!(line.contains("error"), "malformed text must error: {line}");
+    }
+    assert_eq!(warm.stats().l1_hits, 0);
+}
+
+#[test]
+fn distinct_literals_do_not_share_an_l1_key() {
+    let service = service();
+    // Same *pattern* (constants are erased), different literal text: the
+    // pattern cache may share the entry, but the L1 memo must not guess —
+    // each text runs the frontend once.
+    let red = "SELECT B.bid FROM Boat B WHERE B.color = 'red'";
+    let green = "SELECT B.bid FROM Boat B WHERE B.color = 'green'";
+    service.handle(&request(0, red));
+    let response = service.handle(&request(1, green));
+    assert!(response.outcome.is_ok());
+    let stats = service.stats();
+    assert_eq!(stats.l1_hits, 0, "distinct literals are distinct texts");
+    assert_eq!(stats.l1_entries, 2);
+    // And likewise for distinct numeric literals.
+    service.handle(&request(2, "SELECT T.a FROM T WHERE T.a = 1"));
+    service.handle(&request(3, "SELECT T.a FROM T WHERE T.a = 2"));
+    assert_eq!(service.stats().l1_hits, 0);
+    assert_eq!(service.stats().l1_entries, 4);
+}
+
+#[test]
+fn identifier_case_is_not_folded() {
+    let service = service();
+    service.handle(&request(0, "SELECT T.a FROM T"));
+    // Table/alias case differs: a different text (and a different query).
+    service.handle(&request(1, "SELECT t.a FROM t"));
+    assert_eq!(service.stats().l1_hits, 0);
+    assert_eq!(service.stats().l1_entries, 2);
+}
+
+#[test]
+fn l2_eviction_invalidates_l1_and_the_service_recovers() {
+    // One-entry, one-shard L2: every new pattern evicts the previous one.
+    let service = DiagramService::new(ServiceConfig {
+        cache: CacheConfig {
+            capacity: 1,
+            shards: 1,
+        },
+        memo: MemoConfig::default(),
+        options: QueryVisOptions::default(),
+        default_formats: vec![Format::Ascii],
+    });
+    let a = "SELECT T.a FROM T";
+    let b = "SELECT T.a FROM T, T u WHERE T.a = u.a";
+    let fp_a = service.handle(&request(0, a)).outcome.unwrap().fingerprint;
+    assert!(service.memo().lookup(a).is_some(), "A memoized");
+    // Serving B evicts A's entry from L2 — the memo entry for A's text
+    // must be invalidated eagerly, not left dangling.
+    service.handle(&request(1, b));
+    assert!(
+        service.memo().lookup(a).is_none(),
+        "L2 eviction must invalidate the L1 text entry"
+    );
+    assert_eq!(service.stats().memo.invalidations, 1);
+    assert!(service.memo().lookup(b).is_some(), "B memoized");
+    // Serving A again recompiles (full frontend) and re-publishes both
+    // levels, with the same fingerprint as before.
+    let compiles_before = service.stats().compiles;
+    let again = service.handle(&request(2, a)).outcome.unwrap();
+    assert_eq!(again.fingerprint, fp_a);
+    assert_eq!(service.stats().compiles, compiles_before + 1);
+    assert!(service.memo().lookup(a).is_some(), "A re-memoized");
+    // No spurious L1 hits were recorded along the way.
+    assert_eq!(service.stats().l1_hits, 0);
+}
+
+#[test]
+fn memoized_fingerprints_equal_recomputed_ones_across_the_corpus() {
+    // Property over the whole paper corpus: after serving, every memoized
+    // (normalized-text → fingerprint) pair must agree exactly with a fresh
+    // run of the full frontend — the memo may only ever skip work, never
+    // change an answer.
+    let service = service();
+    let requests = paper_corpus_requests(&[Format::Ascii]);
+    let responses = service.execute_batch(&requests, 2);
+    for (request, response) in requests.iter().zip(&responses) {
+        let artifacts = response.outcome.as_ref().expect("corpus queries serve");
+        let memoized = service
+            .memo()
+            .lookup(&request.sql)
+            .expect("served texts are memoized");
+        let recomputed = fingerprint_sql(&request.sql, QueryVisOptions::default())
+            .expect("corpus queries fingerprint");
+        assert_eq!(memoized.0, recomputed.fingerprint, "{}", request.sql);
+        assert_eq!(memoized.0, artifacts.fingerprint, "{}", request.sql);
+    }
+    // Second pass is served entirely through the memo, byte-identically.
+    let warm = service.execute_batch(&requests, 2);
+    let stats = service.stats();
+    assert_eq!(stats.l1_hits, requests.len() as u64);
+    let cold_lines: Vec<String> = responses.iter().map(|r| r.to_json_line()).collect();
+    let warm_lines: Vec<String> = warm.iter().map(|r| r.to_json_line()).collect();
+    assert_eq!(cold_lines, warm_lines, "the memo must not change bytes");
+}
+
+#[test]
+fn corpus_variants_hit_the_memo_after_one_sighting() {
+    // Deterministic text mutations that normalization must erase: keyword
+    // case, whitespace shape, an injected comment, a trailing semicolon.
+    // Identifier spelling and string-literal contents are left untouched —
+    // those are significant.
+    fn mutate(sql: &str, salt: usize) -> String {
+        let mut out = String::with_capacity(sql.len() + 32);
+        out.push_str("/* warm-path variant */  ");
+        let mut in_string = false;
+        let mut word = String::new();
+        let flush = |word: &mut String, out: &mut String, salt: usize| {
+            if word.is_empty() {
+                return;
+            }
+            let is_keyword = [
+                "SELECT", "FROM", "WHERE", "AND", "NOT", "EXISTS", "IN", "ANY", "SOME", "ALL",
+                "GROUP", "BY", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+            ]
+            .iter()
+            .any(|kw| kw.eq_ignore_ascii_case(word));
+            if is_keyword {
+                if salt.is_multiple_of(2) {
+                    out.push_str(&word.to_ascii_lowercase());
+                } else {
+                    out.push_str(&word.to_ascii_uppercase());
+                }
+            } else {
+                out.push_str(word);
+            }
+            word.clear();
+        };
+        for (i, ch) in sql.chars().enumerate() {
+            if in_string {
+                out.push(ch);
+                if ch == '\'' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match ch {
+                '\'' => {
+                    flush(&mut word, &mut out, salt);
+                    in_string = true;
+                    out.push(ch);
+                }
+                c if c.is_ascii_alphanumeric() || c == '_' => word.push(c),
+                ' ' | '\n' | '\t' | '\r' => {
+                    flush(&mut word, &mut out, salt);
+                    if (i + salt).is_multiple_of(3) {
+                        out.push_str("\n\t  ");
+                    } else {
+                        out.push(' ');
+                    }
+                }
+                other => {
+                    flush(&mut word, &mut out, salt);
+                    out.push(other);
+                }
+            }
+        }
+        flush(&mut word, &mut out, salt);
+        out.push_str(" ;");
+        out
+    }
+    let service = service();
+    let requests = paper_corpus_requests(&[Format::Ascii]);
+    let baseline = service.execute_batch(&requests, 1);
+    let mut checked = 0;
+    for (i, (request, response)) in requests.iter().zip(&baseline).enumerate() {
+        let Ok(artifacts) = &response.outcome else {
+            continue;
+        };
+        let mutated = mutate(&request.sql, i);
+        let hits_before = service.stats().l1_hits;
+        let varied = service.handle(&Request {
+            id: 10_000 + i as u64,
+            sql: mutated.clone(),
+            formats: vec![Format::Ascii],
+        });
+        let varied = varied.outcome.expect("mutated corpus text still serves");
+        assert_eq!(varied.fingerprint, artifacts.fingerprint, "{mutated}");
+        assert_eq!(
+            service.stats().l1_hits,
+            hits_before + 1,
+            "variant must be served through the memo: {mutated}"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 30, "corpus coverage: {checked}");
+}

@@ -4,6 +4,15 @@
 //! identifier and literal is interned exactly once here, and all later
 //! layers (parser, logic tree, diagram, fingerprints) carry ids.
 //!
+//! The main loop dispatches on a 256-entry byte-class table ([`CLASS`]) —
+//! one indexed load per input byte decides the whole token shape, and no
+//! UTF-8 decoding happens outside the cold error path (multi-byte
+//! characters can only appear inside string literals, which are scanned
+//! bytewise, or as lex errors). String literals without the `''` escape
+//! are interned straight from the source slice; only escaped literals
+//! allocate an unescaping buffer. [`tokenize_into`] lexes into a
+//! caller-owned buffer so batch callers reuse one token vector.
+//!
 //! Comments: `-- ...` line comments and `/* ... */` block comments are
 //! skipped; block comments nest (`/* outer /* inner */ still out */`),
 //! matching the SQL standard's bracketed-comment rule, and an unterminated
@@ -12,6 +21,70 @@
 use crate::error::ParseError;
 use crate::token::{Keyword, Span, Token, TokenKind};
 use queryvis_ir::{Interner, Symbol};
+
+/// Byte classes of the dispatch table: every input byte maps to exactly
+/// one class, and the class decides which scanning routine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Class {
+    /// Space, tab, CR, LF.
+    Ws,
+    /// `[A-Za-z_]` — identifier or keyword start.
+    Ident,
+    /// `[0-9]` — number start.
+    Digit,
+    /// `'` — string literal start.
+    Quote,
+    /// Single-byte tokens: `( ) , . * ; =`.
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Semi,
+    Eq,
+    /// Possibly two-byte tokens / comment openers.
+    Lt,
+    Gt,
+    Bang,
+    Minus,
+    Slash,
+    /// Anything else — a lex error (decoded to a char only then).
+    Other,
+}
+
+const fn classify(b: u8) -> Class {
+    match b {
+        b' ' | b'\t' | b'\r' | b'\n' => Class::Ws,
+        b'A'..=b'Z' | b'a'..=b'z' | b'_' => Class::Ident,
+        b'0'..=b'9' => Class::Digit,
+        b'\'' => Class::Quote,
+        b'(' => Class::LParen,
+        b')' => Class::RParen,
+        b',' => Class::Comma,
+        b'.' => Class::Dot,
+        b'*' => Class::Star,
+        b';' => Class::Semi,
+        b'=' => Class::Eq,
+        b'<' => Class::Lt,
+        b'>' => Class::Gt,
+        b'!' => Class::Bang,
+        b'-' => Class::Minus,
+        b'/' => Class::Slash,
+        _ => Class::Other,
+    }
+}
+
+/// The 256-entry byte-class dispatch table.
+static CLASS: [Class; 256] = {
+    let mut table = [Class::Other; 256];
+    let mut i = 0;
+    while i < 256 {
+        table[i] = classify(i as u8);
+        i += 1;
+    }
+    table
+};
 
 /// Tokenize `source` into a vector of tokens ending with a single
 /// [`TokenKind::Eof`] token, interning names in the global interner.
@@ -25,76 +98,97 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
 /// tests use this to prove that resolution is a function of the text, not
 /// of id assignment order.
 pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, ParseError> {
-    let bytes = source.as_bytes();
     let mut tokens = Vec::new();
+    tokenize_into(source, interner, &mut tokens)?;
+    Ok(tokens)
+}
+
+/// [`tokenize_in`] into a caller-owned buffer (cleared first), so a batch
+/// of queries reuses one token allocation. The buffer is left holding the
+/// token stream on success and cleared state-unspecified on error.
+pub fn tokenize_into(
+    source: &str,
+    interner: &Interner,
+    tokens: &mut Vec<Token>,
+) -> Result<(), ParseError> {
+    tokens.clear();
+    let bytes = source.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         let start = i;
         let b = bytes[i];
-        match b {
-            b' ' | b'\t' | b'\r' | b'\n' => {
+        match CLASS[b as usize] {
+            Class::Ws => {
                 i += 1;
             }
-            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
-                // Line comment: skip to end of line.
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
+            Class::Minus => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    // Line comment: skip to end of line.
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    return Err(unexpected_char(source, start));
                 }
             }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                // Block comment; nests per the SQL standard.
-                let mut depth = 1usize;
-                i += 2;
-                while depth > 0 {
-                    if i + 1 >= bytes.len() {
-                        return Err(ParseError::new(
-                            "unterminated block comment",
-                            Span::new(start, bytes.len()),
-                            source,
-                        ));
-                    }
-                    match (bytes[i], bytes[i + 1]) {
-                        (b'/', b'*') => {
-                            depth += 1;
-                            i += 2;
+            Class::Slash => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    // Block comment; nests per the SQL standard.
+                    let mut depth = 1usize;
+                    i += 2;
+                    while depth > 0 {
+                        if i + 1 >= bytes.len() {
+                            return Err(ParseError::new(
+                                "unterminated block comment",
+                                Span::new(start, bytes.len()),
+                                source,
+                            ));
                         }
-                        (b'*', b'/') => {
-                            depth -= 1;
-                            i += 2;
+                        match (bytes[i], bytes[i + 1]) {
+                            (b'/', b'*') => {
+                                depth += 1;
+                                i += 2;
+                            }
+                            (b'*', b'/') => {
+                                depth -= 1;
+                                i += 2;
+                            }
+                            _ => i += 1,
                         }
-                        _ => i += 1,
                     }
+                } else {
+                    return Err(unexpected_char(source, start));
                 }
             }
-            b'(' => {
+            Class::LParen => {
                 tokens.push(tok(TokenKind::LParen, start, i + 1));
                 i += 1;
             }
-            b')' => {
+            Class::RParen => {
                 tokens.push(tok(TokenKind::RParen, start, i + 1));
                 i += 1;
             }
-            b',' => {
+            Class::Comma => {
                 tokens.push(tok(TokenKind::Comma, start, i + 1));
                 i += 1;
             }
-            b'.' => {
+            Class::Dot => {
                 tokens.push(tok(TokenKind::Dot, start, i + 1));
                 i += 1;
             }
-            b'*' => {
+            Class::Star => {
                 tokens.push(tok(TokenKind::Star, start, i + 1));
                 i += 1;
             }
-            b';' => {
+            Class::Semi => {
                 tokens.push(tok(TokenKind::Semicolon, start, i + 1));
                 i += 1;
             }
-            b'=' => {
+            Class::Eq => {
                 tokens.push(tok(TokenKind::Eq, start, i + 1));
                 i += 1;
             }
-            b'<' => {
+            Class::Lt => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
                     tokens.push(tok(TokenKind::Ne, start, i + 2));
                     i += 2;
@@ -106,7 +200,7 @@ pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, Pars
                     i += 1;
                 }
             }
-            b'>' => {
+            Class::Gt => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
                     tokens.push(tok(TokenKind::Ge, start, i + 2));
                     i += 2;
@@ -115,7 +209,7 @@ pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, Pars
                     i += 1;
                 }
             }
-            b'!' => {
+            Class::Bang => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
                     // Accept the common `!=` spelling, normalized to `<>`.
                     tokens.push(tok(TokenKind::Ne, start, i + 2));
@@ -128,10 +222,14 @@ pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, Pars
                     ));
                 }
             }
-            b'\'' => {
-                // String literal; doubled quote ('') escapes a quote.
-                let mut value = String::new();
+            Class::Quote => {
+                // String literal; doubled quote ('') escapes a quote. The
+                // scan is bytewise: `'` is ASCII, so it can never be a
+                // continuation byte of a multi-byte UTF-8 character, and
+                // the source is already valid UTF-8.
                 i += 1;
+                let body_start = i;
+                let mut escaped: Option<String> = None;
                 loop {
                     if i >= bytes.len() {
                         return Err(ParseError::new(
@@ -142,22 +240,56 @@ pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, Pars
                     }
                     if bytes[i] == b'\'' {
                         if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
-                            value.push('\'');
+                            // First escape: switch to the unescaping buffer.
+                            let value = escaped.get_or_insert_with(String::new);
+                            value.push_str(&source[body_start..i]);
+                            // From here on, re-slice per segment.
+                            let segment_start = i + 2;
                             i += 2;
+                            value.push('\'');
+                            // Continue scanning segments until the closing
+                            // quote, copying each unescaped run whole.
+                            let mut seg = segment_start;
+                            loop {
+                                if i >= bytes.len() {
+                                    return Err(ParseError::new(
+                                        "unterminated string literal",
+                                        Span::new(start, bytes.len()),
+                                        source,
+                                    ));
+                                }
+                                if bytes[i] == b'\'' {
+                                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                                        value.push_str(&source[seg..i]);
+                                        value.push('\'');
+                                        i += 2;
+                                        seg = i;
+                                    } else {
+                                        value.push_str(&source[seg..i]);
+                                        i += 1;
+                                        break;
+                                    }
+                                } else {
+                                    i += 1;
+                                }
+                            }
+                            break;
                         } else {
                             i += 1;
                             break;
                         }
                     } else {
-                        // Strings may contain arbitrary UTF-8; walk chars.
-                        let ch = source[i..].chars().next().unwrap();
-                        value.push(ch);
-                        i += ch.len_utf8();
+                        i += 1;
                     }
                 }
-                tokens.push(tok(TokenKind::Str(interner.intern(&value)), start, i));
+                let symbol = match &escaped {
+                    // Escape-free literal: intern straight from the source.
+                    None => interner.intern(&source[body_start..i - 1]),
+                    Some(value) => interner.intern(value),
+                };
+                tokens.push(tok(TokenKind::Str(symbol), start, i));
             }
-            b'0'..=b'9' => {
+            Class::Digit => {
                 let mut j = i + 1;
                 let mut seen_dot = false;
                 while j < bytes.len() {
@@ -180,7 +312,7 @@ pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, Pars
                 ));
                 i = j;
             }
-            _ if is_ident_start(b) => {
+            Class::Ident => {
                 let mut j = i + 1;
                 while j < bytes.len() && is_ident_continue(bytes[j]) {
                     j += 1;
@@ -193,18 +325,24 @@ pub fn tokenize_in(source: &str, interner: &Interner) -> Result<Vec<Token>, Pars
                 tokens.push(tok(kind, start, j));
                 i = j;
             }
-            _ => {
-                let ch = source[i..].chars().next().unwrap();
-                return Err(ParseError::new(
-                    format!("unexpected character `{ch}`"),
-                    Span::new(start, start + ch.len_utf8()),
-                    source,
-                ));
+            Class::Other => {
+                return Err(unexpected_char(source, start));
             }
         }
     }
     tokens.push(tok(TokenKind::Eof, bytes.len(), bytes.len()));
-    Ok(tokens)
+    Ok(())
+}
+
+/// Cold path: decode the offending character for the error message only.
+#[cold]
+fn unexpected_char(source: &str, at: usize) -> ParseError {
+    let ch = source[at..].chars().next().unwrap();
+    ParseError::new(
+        format!("unexpected character `{ch}`"),
+        Span::new(at, at + ch.len_utf8()),
+        source,
+    )
 }
 
 fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
@@ -214,11 +352,16 @@ fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
     }
 }
 
-fn is_ident_start(b: u8) -> bool {
+/// Whether `b` can start an identifier (`[A-Za-z_]`). Public so byte-level
+/// scanners outside the lexer (the service's L1 text normalizer) classify
+/// word boundaries exactly the way the lexer does.
+pub fn is_ident_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_'
 }
 
-fn is_ident_continue(b: u8) -> bool {
+/// Whether `b` can continue an identifier (`[A-Za-z0-9_]`). See
+/// [`is_ident_start`] for why this is public.
+pub fn is_ident_continue(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 

@@ -40,7 +40,8 @@ pub use ast::{
     TableRef, Value,
 };
 pub use error::{ParseError, SemanticError};
-pub use parser::{parse_query, parse_query_in};
+pub use lexer::{tokenize, tokenize_in, tokenize_into};
+pub use parser::{parse_query, parse_query_in, parse_query_with};
 pub use printer::to_sql;
 pub use queryvis_ir::{Interner, Symbol, SymbolQuery};
 pub use schema::{Schema, Table};

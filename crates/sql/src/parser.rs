@@ -9,9 +9,19 @@
 
 use crate::ast::*;
 use crate::error::ParseError;
-use crate::lexer::tokenize_in;
+use crate::lexer::tokenize_into;
 use crate::token::{Keyword, Span, Token, TokenKind};
 use queryvis_ir::{Interner, Symbol};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread token scratch: the parser borrows the token stream, so
+    /// every `parse_query` call on a thread reuses one buffer instead of
+    /// allocating a fresh `Vec<Token>` per query. Sized by the largest
+    /// query the thread has seen, which plateaus immediately on serving
+    /// workloads.
+    static TOKEN_SCRATCH: RefCell<Vec<Token>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Parse a single query (optionally terminated by `;`) into an AST, with
 /// all names interned in the global interner.
@@ -30,9 +40,25 @@ pub fn parse_query(source: &str) -> Result<Query, ParseError> {
 /// would panic on out-of-range ids or silently alias in-range ones. The
 /// pipeline proper always parses via [`parse_query`].
 pub fn parse_query_in(source: &str, interner: &Interner) -> Result<Query, ParseError> {
-    let tokens = tokenize_in(source, interner)?;
+    TOKEN_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => parse_query_with(source, interner, &mut scratch),
+        // Re-entrant parse on this thread (doesn't happen in the pipeline,
+        // but stay correct if a caller nests): fall back to a fresh buffer.
+        Err(_) => parse_query_with(source, interner, &mut Vec::new()),
+    })
+}
+
+/// [`parse_query_in`] with an explicit token scratch buffer, for batch
+/// callers that want to control reuse directly. The buffer is cleared and
+/// refilled; its capacity is the only state carried across calls.
+pub fn parse_query_with(
+    source: &str,
+    interner: &Interner,
+    scratch: &mut Vec<Token>,
+) -> Result<Query, ParseError> {
+    tokenize_into(source, interner, scratch)?;
     let mut parser = Parser {
-        tokens,
+        tokens: scratch,
         pos: 0,
         source,
     };
@@ -43,7 +69,7 @@ pub fn parse_query_in(source: &str, interner: &Interner) -> Result<Query, ParseE
 }
 
 struct Parser<'a> {
-    tokens: Vec<Token>,
+    tokens: &'a [Token],
     pos: usize,
     source: &'a str,
 }

@@ -74,35 +74,57 @@ pub enum Keyword {
     OrderKw,
 }
 
+/// Keyword spellings grouped by length, so lookup is an allocation-free
+/// case-insensitive scan over a handful of same-length candidates instead
+/// of an uppercased copy of every identifier (the lexer calls this for
+/// every word in every query).
+const KEYWORDS_BY_LEN: [&[(&str, Keyword)]; 9] = [
+    &[], // 0
+    &[], // 1
+    &[
+        ("IN", Keyword::In),
+        ("BY", Keyword::By),
+        ("OR", Keyword::Or),
+        ("AS", Keyword::As),
+    ], // 2
+    &[
+        ("AND", Keyword::And),
+        ("NOT", Keyword::Not),
+        ("ANY", Keyword::Any),
+        ("ALL", Keyword::All),
+        ("SUM", Keyword::Sum),
+        ("AVG", Keyword::Avg),
+        ("MIN", Keyword::Min),
+        ("MAX", Keyword::Max),
+    ], // 3
+    &[
+        ("FROM", Keyword::From),
+        ("SOME", Keyword::Any),
+        ("JOIN", Keyword::Join),
+    ], // 4
+    &[
+        ("WHERE", Keyword::Where),
+        ("GROUP", Keyword::Group),
+        ("COUNT", Keyword::Count),
+        ("UNION", Keyword::Union),
+        ("ORDER", Keyword::OrderKw),
+    ], // 5
+    &[
+        ("SELECT", Keyword::Select),
+        ("EXISTS", Keyword::Exists),
+        ("HAVING", Keyword::Having),
+    ], // 6
+    &[], // 7
+    &[("DISTINCT", Keyword::Distinct)], // 8
+];
+
 impl Keyword {
     pub fn lookup(ident: &str) -> Option<Keyword> {
-        let upper = ident.to_ascii_uppercase();
-        Some(match upper.as_str() {
-            "SELECT" => Keyword::Select,
-            "FROM" => Keyword::From,
-            "WHERE" => Keyword::Where,
-            "AND" => Keyword::And,
-            "AS" => Keyword::As,
-            "NOT" => Keyword::Not,
-            "EXISTS" => Keyword::Exists,
-            "IN" => Keyword::In,
-            "ANY" | "SOME" => Keyword::Any,
-            "ALL" => Keyword::All,
-            "GROUP" => Keyword::Group,
-            "BY" => Keyword::By,
-            "COUNT" => Keyword::Count,
-            "SUM" => Keyword::Sum,
-            "AVG" => Keyword::Avg,
-            "MIN" => Keyword::Min,
-            "MAX" => Keyword::Max,
-            "OR" => Keyword::Or,
-            "HAVING" => Keyword::Having,
-            "JOIN" => Keyword::Join,
-            "UNION" => Keyword::Union,
-            "DISTINCT" => Keyword::Distinct,
-            "ORDER" => Keyword::OrderKw,
-            _ => return None,
-        })
+        let candidates = KEYWORDS_BY_LEN.get(ident.len())?;
+        candidates
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(ident))
+            .map(|(_, kw)| *kw)
     }
 
     pub fn as_str(&self) -> &'static str {
