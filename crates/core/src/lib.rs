@@ -58,10 +58,10 @@ pub mod unambiguity;
 
 pub use decompose::{recover_depths_decomposition, recovered_depth_by_binding, DepthRecoveryPass};
 pub use inverse::{recover_logic_tree, GroupGraph, InverseError};
-pub use pattern::{canonical_pattern, PatternKey};
+pub use pattern::{canonical_pattern, canonical_pattern_branches, PatternKey};
 pub use pipeline::{
     rewrite_passes, strict_validation_passes, PreparedQuery, QueryVis, QueryVisError,
-    QueryVisOptions,
+    QueryVisOptions, UnionBranch, MAX_QUERY_BRANCHES,
 };
 pub use queryvis_ir as ir;
 pub use unambiguity::{valid_path_patterns, verify_path_patterns, PathPattern};

@@ -47,6 +47,10 @@ const T_PRED_SEL: u32 = 0xF000_0009;
 const T_CLOSE: u32 = 0xF000_000A;
 const T_NO_ARG: u32 = 0xF000_000B;
 const T_HAS_ARG: u32 = 0xF000_000C;
+const T_HAVING: u32 = 0xF000_000D;
+const T_HAV_PRED: u32 = 0xF000_000E;
+const T_UNION: u32 = 0xF000_000F;
+const T_BRANCH: u32 = 0xF000_0010;
 
 const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
 const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
@@ -104,7 +108,12 @@ fn orient(p: &LtPredicate) -> LtPredicate {
         LtOperand::Attr(rhs) => {
             let lhs_name = (p.lhs.binding.as_str(), p.lhs.column.as_str());
             let rhs_name = (rhs.binding.as_str(), rhs.column.as_str());
-            if rhs_name < lhs_name {
+            // Equal names (a self-comparison `x op x`): names cannot break
+            // the tie, so orient by operator code — `x <= x` and its
+            // flipped spelling `x >= x` are the same predicate.
+            let flip =
+                rhs_name < lhs_name || (rhs_name == lhs_name && p.op.flip().code() < p.op.code());
+            if flip {
                 LtPredicate {
                     lhs: rhs,
                     op: p.op.flip(),
@@ -146,13 +155,19 @@ impl PatternKey {
                 .collect();
             child_sigs.sort();
             // Predicate *shapes* only (join vs selection, operator), no
-            // names.
+            // names. Shapes come from the *oriented* predicate: the
+            // written `A.x > B.y` and its flipped spelling `B.y < A.x`
+            // must contribute the same shape, or operand-flipped variants
+            // could sort siblings differently and diverge in erasure.
             let mut pred_shapes: Vec<(u32, u32)> = node
                 .predicates
                 .iter()
-                .map(|p| match p.rhs {
-                    LtOperand::Attr(_) => (0, p.op.code()),
-                    LtOperand::Const(_) => (1, p.op.code()),
+                .map(|p| {
+                    let p = orient(p);
+                    match p.rhs {
+                        LtOperand::Attr(_) => (0, p.op.code()),
+                        LtOperand::Const(_) => (1, p.op.code()),
+                    }
                 })
                 .collect();
             pred_shapes.sort_unstable();
@@ -206,6 +221,27 @@ impl PatternKey {
                 tokens.extend_from_slice(&[T_GROUP_ATTR, b, c]);
             }
         }
+        if !tree.having.is_empty() {
+            // HAVING conjuncts: erased like selections (the constant is a
+            // placeholder), order-canonicalized by erased token tuple.
+            tokens.push(T_HAVING);
+            let mut rendered: Vec<[u32; 6]> = tree
+                .having
+                .iter()
+                .map(|h| match h.arg {
+                    Some(a) => {
+                        let (b, c) = eraser.attr(a.binding, a.column);
+                        [T_HAV_PRED, h.func.code(), h.op.code(), T_HAS_ARG, b, c]
+                    }
+                    None => [T_HAV_PRED, h.func.code(), h.op.code(), T_NO_ARG, 0, 0],
+                })
+                .collect();
+            rendered.sort_unstable();
+            for pred in &rendered {
+                let len = if pred[3] == T_HAS_ARG { 6 } else { 4 };
+                tokens.extend_from_slice(&pred[..len]);
+            }
+        }
 
         fn walk(
             tree: &LogicTree,
@@ -254,6 +290,45 @@ impl PatternKey {
             tokens.push(T_CLOSE);
         }
         walk(tree, 0, &signature, &mut eraser, tokens);
+    }
+
+    /// Canonicalize a multi-branch (UNION / OR-split) query. A single
+    /// branch yields exactly [`PatternKey::of_tree`]'s stream — the entire
+    /// pre-widening fingerprint domain is unchanged. Multiple branches are
+    /// canonicalized independently (each with its own name erasure — the
+    /// diagrams are separate), **order-canonicalized** by sorting the
+    /// branch token streams, and framed with union tokens carrying the
+    /// `UNION` vs `UNION ALL` distinction.
+    pub fn of_branches(trees: &[&LogicTree], all: bool) -> PatternKey {
+        let mut tokens = Vec::new();
+        PatternKey::of_branches_into(trees, all, &mut tokens);
+        PatternKey { tokens }
+    }
+
+    /// [`PatternKey::of_branches`] into a caller-owned buffer (cleared
+    /// first) — the serving layer's fingerprinting path.
+    pub fn of_branches_into(trees: &[&LogicTree], all: bool, tokens: &mut Vec<u32>) {
+        if let [single] = trees {
+            PatternKey::of_tree_into(single, tokens);
+            return;
+        }
+        let mut branch_streams: Vec<Vec<u32>> = trees
+            .iter()
+            .map(|tree| {
+                let mut stream = Vec::new();
+                PatternKey::of_tree_into(tree, &mut stream);
+                stream
+            })
+            .collect();
+        branch_streams.sort();
+        tokens.clear();
+        tokens.push(T_UNION);
+        tokens.push(u32::from(all));
+        tokens.push(branch_streams.len() as u32);
+        for stream in &branch_streams {
+            tokens.push(T_BRANCH);
+            tokens.extend_from_slice(stream);
+        }
     }
 
     /// The raw token stream (exposed for benches and tests).
@@ -363,6 +438,37 @@ impl PatternKey {
                     }
                     out.push(']');
                 }
+                T_HAVING => {
+                    if select_open {
+                        out.push(']');
+                        select_open = false;
+                    }
+                    out.push_str("H[");
+                    i += 1;
+                    while i < t.len() && t[i] == T_HAV_PRED {
+                        let (func, op) = (t[i + 1], t[i + 2]);
+                        out.push_str(agg_str(func));
+                        out.push('(');
+                        if t[i + 3] == T_HAS_ARG {
+                            out.push_str(&format!("b{}.c{}", t[i + 4], t[i + 5]));
+                            i += 6;
+                        } else {
+                            out.push('*');
+                            i += 4;
+                        }
+                        out.push_str(&format!("){}K;", op_str(op)));
+                    }
+                    out.push(']');
+                }
+                T_UNION => {
+                    out.push_str(if t[i + 1] == 1 { "UNION-ALL" } else { "UNION" });
+                    out.push_str(&format!("({})", t[i + 2]));
+                    i += 3;
+                }
+                T_BRANCH => {
+                    out.push('\u{27E8}'); // ⟨ — branch delimiter
+                    i += 1;
+                }
                 T_OPEN => {
                     if select_open {
                         out.push(']');
@@ -415,6 +521,12 @@ impl PatternKey {
 /// of [`PatternKey::of_tree`]).
 pub fn canonical_pattern(tree: &LogicTree) -> String {
     PatternKey::of_tree(tree).render()
+}
+
+/// [`canonical_pattern`] over the branches of a multi-root (UNION /
+/// OR-split) query.
+pub fn canonical_pattern_branches(trees: &[&LogicTree], all: bool) -> String {
+    PatternKey::of_branches(trees, all).render()
 }
 
 #[cfg(test)]
@@ -525,6 +637,19 @@ mod tests {
         let a = pattern("SELECT L.drinker FROM Likes L WHERE L.beer = 'X'");
         let b = pattern("SELECT L.beer FROM Likes L WHERE L.beer = 'X'");
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn self_comparison_orientation_is_canonical() {
+        // `x <= x` and `x >= x` are operand-swapped spellings of one
+        // predicate; names tie, so the operator must break the tie.
+        let a = pattern("SELECT T.a FROM T WHERE T.a <= T.a");
+        let b = pattern("SELECT T.a FROM T WHERE T.a >= T.a");
+        assert_eq!(a, b);
+        // Symmetric self-comparisons are trivially stable.
+        let c = pattern("SELECT T.a FROM T WHERE T.a <> T.a");
+        let d = pattern("SELECT T.a FROM T WHERE T.a <> T.a");
+        assert_eq!(c, d);
     }
 
     #[test]

@@ -6,13 +6,21 @@ use queryvis_diagram::{build_diagram, diagram_stats, render_reading, Diagram, Di
 use queryvis_ir::{PassContext, PassManager};
 use queryvis_layout::{layout_diagram, Layout, LayoutOptions};
 use queryvis_logic::{
-    check_non_degenerate, check_valid_diagram_source, to_trc, translate, DegeneracyError,
-    LogicTree, SimplifyPass, TranslateError, ValidatePass,
+    check_non_degenerate, check_valid_diagram_source, to_trc, DegeneracyError, LogicTree,
+    SimplifyPass, TranslateError, ValidatePass,
 };
-use queryvis_render::{to_ascii, to_dot, to_svg, SvgTheme};
-use queryvis_sql::{parse_query, ParseError, Query, Schema, SemanticError};
+use queryvis_render::{to_ascii_union, to_dot_union, to_svg_union, SvgTheme};
+use queryvis_sql::{
+    metrics::word_count_expr, parse_query_expr, ParseError, Query, QueryExpr, Schema, SemanticError,
+};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+
+/// Hard cap on lowered branches per request (`UNION` branches times each
+/// branch's OR expansion) — the same bound the disjunction lowering
+/// enforces per block, applied to the whole expression so a request can
+/// never fan out into an unbounded number of diagrams.
+pub const MAX_QUERY_BRANCHES: usize = queryvis_logic::MAX_DISJUNCTION_BRANCHES;
 
 /// The logic-IR rewrite pipeline run by [`PreparedQuery::complete`]:
 /// today the single ∄·∄ → ∀·∃ simplification pass. New rewrites join the
@@ -78,49 +86,98 @@ pub struct QueryVisOptions {
     pub layout: Option<LayoutOptions>,
 }
 
-/// The result of running the full QueryVis pipeline over one query.
+/// One lowered branch of a multi-root query, fully compiled. Branches
+/// beyond the first (written `UNION` branches and positive-polarity
+/// OR splits) live in [`QueryVis::rest`]; the first branch occupies the
+/// struct's primary fields so single-block queries — the entire
+/// pre-widening fragment — read exactly as before.
 #[derive(Debug, Clone)]
-pub struct QueryVis {
-    /// Original SQL text.
-    pub sql: String,
-    /// Parsed AST.
+pub struct UnionBranch {
+    /// The branch's (lowered, OR-free) AST.
     pub query: Query,
     /// Logic tree straight from translation (all ∃/∄).
     pub logic_tree: LogicTree,
     /// Logic tree after the ∀ simplification.
     pub simplified: LogicTree,
-    /// The diagram being rendered (from `simplified` unless `no_simplify`).
+    /// The branch's rendered diagram.
     pub diagram: Diagram,
-    /// Lazily built diagram of the unsimplified tree — see
+}
+
+/// The result of running the full QueryVis pipeline over one query.
+#[derive(Debug, Clone)]
+pub struct QueryVis {
+    /// Original SQL text.
+    pub sql: String,
+    /// The parsed top-level expression (original, before OR lowering).
+    pub expr: QueryExpr,
+    /// First lowered branch's AST (the whole query when single-block).
+    pub query: Query,
+    /// First branch's logic tree straight from translation (all ∃/∄).
+    pub logic_tree: LogicTree,
+    /// First branch's logic tree after the ∀ simplification.
+    pub simplified: LogicTree,
+    /// First branch's diagram (from `simplified` unless `no_simplify`).
+    pub diagram: Diagram,
+    /// Branches beyond the first, in written/lowering order; empty for
+    /// single-block queries.
+    pub rest: Vec<UnionBranch>,
+    /// True when the branches combine under `UNION ALL`.
+    pub union_all: bool,
+    /// Lazily built diagram of the first branch's unsimplified tree — see
     /// [`QueryVis::raw_diagram`].
     raw: OnceLock<Diagram>,
     options: Arc<QueryVisOptions>,
 }
 
-/// The front half of the pipeline — parsed and translated, but with no
-/// diagram built yet. Produced by [`QueryVis::prepare`].
+/// The front half of the pipeline — parsed, lowered, and translated, but
+/// with no diagram built yet. Produced by [`QueryVis::prepare`].
 ///
 /// Splitting the pipeline here is what makes pattern-keyed caching work:
 /// the canonical pattern (and therefore a cache key) is available from the
-/// logic tree alone, while diagram construction, layout, and rendering —
+/// logic trees alone, while diagram construction, layout, and rendering —
 /// the expensive stages — can be skipped entirely on a cache hit.
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     /// Original SQL text.
     pub sql: String,
-    /// Parsed AST.
+    /// The parsed top-level expression (original, before OR lowering).
+    pub expr: QueryExpr,
+    /// First lowered branch's AST (the whole query when single-block).
     pub query: Query,
-    /// Logic tree straight from translation (all ∃/∄).
+    /// First branch's logic tree straight from translation (all ∃/∄).
     pub logic_tree: LogicTree,
+    /// Lowered branches beyond the first: (OR-free AST, logic tree).
+    pub rest: Vec<(Query, LogicTree)>,
+    /// True when the branches combine under `UNION ALL`.
+    pub union_all: bool,
     options: Arc<QueryVisOptions>,
 }
 
 impl PreparedQuery {
+    /// All branch logic trees, first branch first.
+    pub fn trees(&self) -> Vec<&LogicTree> {
+        std::iter::once(&self.logic_tree)
+            .chain(self.rest.iter().map(|(_, tree)| tree))
+            .collect()
+    }
+
+    /// Number of lowered branches (1 for every single-block query).
+    pub fn branch_count(&self) -> usize {
+        1 + self.rest.len()
+    }
+
     /// The canonical pattern key (App. G): equal keys ⟺ same visual
     /// pattern. This id-based token stream is what the serving layer
     /// fingerprints — no canonical string is built on the hot path.
+    /// Union/OR branches are order-canonicalized inside the key.
     pub fn pattern_key(&self) -> PatternKey {
-        PatternKey::of_tree(&self.logic_tree)
+        PatternKey::of_branches(&self.trees(), self.union_all)
+    }
+
+    /// Canonicalize into a caller-owned token buffer (cleared first) — the
+    /// serving layer's per-request fingerprinting path.
+    pub fn pattern_tokens_into(&self, tokens: &mut Vec<u32>) {
+        PatternKey::of_branches_into(&self.trees(), self.union_all, tokens);
     }
 
     /// The canonical logical pattern (App. G) rendered as a string: equal
@@ -129,36 +186,65 @@ impl PreparedQuery {
         self.pattern_key().render()
     }
 
+    /// The §4.8 word count of the canonical rendering of the *original*
+    /// expression (OR lowering does not inflate it).
+    pub fn sql_word_count(&self) -> usize {
+        word_count_expr(&self.expr)
+    }
+
     /// Run the back half of the pipeline: simplification and diagram
-    /// construction. Infallible — every error the fragment can produce is
-    /// already surfaced by [`QueryVis::prepare`].
+    /// construction, per branch. Infallible — every error the fragment can
+    /// produce is already surfaced by [`QueryVis::prepare`].
     pub fn complete(self) -> QueryVis {
         let PreparedQuery {
             sql,
+            expr,
             query,
             logic_tree,
+            rest,
+            union_all,
             options,
         } = self;
-        let mut simplified = logic_tree.clone();
-        rewrite_passes()
-            .run(&mut simplified)
-            .expect("rewrite passes are infallible");
+        let compile_branch = |logic_tree: &LogicTree| {
+            let mut simplified = logic_tree.clone();
+            rewrite_passes()
+                .run(&mut simplified)
+                .expect("rewrite passes are infallible");
+            let diagram = if options.no_simplify {
+                build_diagram(logic_tree)
+            } else {
+                build_diagram(&simplified)
+            };
+            (simplified, diagram)
+        };
+        let (simplified, diagram) = compile_branch(&logic_tree);
         let raw = OnceLock::new();
-        let diagram = if options.no_simplify {
+        if options.no_simplify {
             // The rendered diagram *is* the raw diagram; seed the lazy slot
             // so `raw_diagram()` never rebuilds it.
-            let raw_diagram = build_diagram(&logic_tree);
-            let _ = raw.set(raw_diagram.clone());
-            raw_diagram
-        } else {
-            build_diagram(&simplified)
-        };
+            let _ = raw.set(diagram.clone());
+        }
+        let rest = rest
+            .into_iter()
+            .map(|(query, logic_tree)| {
+                let (simplified, diagram) = compile_branch(&logic_tree);
+                UnionBranch {
+                    query,
+                    logic_tree,
+                    simplified,
+                    diagram,
+                }
+            })
+            .collect();
         QueryVis {
             sql,
+            expr,
             query,
             logic_tree,
             simplified,
             diagram,
+            rest,
+            union_all,
             raw,
             options,
         }
@@ -203,91 +289,169 @@ impl QueryVis {
         options: impl Into<Arc<QueryVisOptions>>,
     ) -> Result<PreparedQuery, QueryVisError> {
         let options = options.into();
-        let query = parse_query(sql)?;
+        let expr = parse_query_expr(sql)?;
         if let Some(schema) = &options.schema {
             schema
-                .check_query(&query)
+                .check_query_expr(&expr)
                 .map_err(QueryVisError::Semantic)?;
         }
-        let mut logic_tree = translate(&query, options.schema.as_ref())?;
-        if options.strict {
-            let mut cx = PassContext::new();
-            if strict_validation_passes()
-                .run_with(&mut logic_tree, &mut cx)
-                .is_err()
-            {
-                let degeneracy = cx
-                    .take_fact::<DegeneracyError>(ValidatePass::ERROR_FACT)
-                    .expect("ValidatePass publishes its structured error");
-                return Err(QueryVisError::Degenerate(degeneracy));
+        // Lower each written UNION branch (negative-polarity ORs become
+        // sibling ∄-groups in place; positive-polarity ORs split into
+        // further branches) and translate every resulting conjunctive
+        // query into its own logic tree, keeping AST and tree paired.
+        let mut branches: Vec<(Query, LogicTree)> = Vec::with_capacity(expr.branches.len());
+        for written in &expr.branches {
+            if queryvis_logic::has_disjunction(written) {
+                for lowered in queryvis_logic::lower_disjunctions(written)? {
+                    let tree = queryvis_logic::translate(&lowered, options.schema.as_ref())?;
+                    branches.push((lowered, tree));
+                }
+            } else {
+                let tree = queryvis_logic::translate(written, options.schema.as_ref())?;
+                branches.push((written.clone(), tree));
             }
         }
+        if branches.len() > MAX_QUERY_BRANCHES {
+            return Err(QueryVisError::Translate(
+                TranslateError::DisjunctionTooWide {
+                    branches: branches.len(),
+                },
+            ));
+        }
+        if options.strict {
+            for (_, tree) in &mut branches {
+                let mut cx = PassContext::new();
+                if strict_validation_passes().run_with(tree, &mut cx).is_err() {
+                    let degeneracy = cx
+                        .take_fact::<DegeneracyError>(ValidatePass::ERROR_FACT)
+                        .expect("ValidatePass publishes its structured error");
+                    return Err(QueryVisError::Degenerate(degeneracy));
+                }
+            }
+        }
+        let union_all = expr.all;
+        let mut iter = branches.into_iter();
+        let (query, logic_tree) = iter.next().expect("at least one branch");
         Ok(PreparedQuery {
             sql: sql.to_string(),
+            expr,
             query,
             logic_tree,
+            rest: iter.collect(),
+            union_all,
             options,
         })
     }
 
-    /// The diagram of the unsimplified tree (Fig. 2b form) — the input to
-    /// the inverse mapping (App. B). Built lazily on first access: the
-    /// serving hot path only renders [`QueryVis::diagram`], so cache-miss
-    /// compiles skip this second diagram construction entirely.
+    /// True when the query compiled to more than one diagram (a written
+    /// `UNION` or a positive-polarity OR split).
+    pub fn is_union(&self) -> bool {
+        !self.rest.is_empty()
+    }
+
+    /// All branch diagrams, first branch first.
+    pub fn diagrams(&self) -> Vec<&Diagram> {
+        std::iter::once(&self.diagram)
+            .chain(self.rest.iter().map(|b| &b.diagram))
+            .collect()
+    }
+
+    /// All branch logic trees (unsimplified), first branch first.
+    pub fn trees(&self) -> Vec<&LogicTree> {
+        std::iter::once(&self.logic_tree)
+            .chain(self.rest.iter().map(|b| &b.logic_tree))
+            .collect()
+    }
+
+    /// The diagram of the first branch's unsimplified tree (Fig. 2b form)
+    /// — the input to the inverse mapping (App. B). Built lazily on first
+    /// access: the serving hot path only renders [`QueryVis::diagram`], so
+    /// cache-miss compiles skip this second diagram construction entirely.
     pub fn raw_diagram(&self) -> &Diagram {
         self.raw.get_or_init(|| build_diagram(&self.logic_tree))
     }
 
-    /// Lay out the diagram (deterministic).
+    /// Lay out the first branch's diagram (deterministic).
     pub fn layout(&self) -> Layout {
         layout_diagram(&self.diagram, &self.options.layout.unwrap_or_default())
     }
 
-    /// Render to a standalone SVG document.
+    /// Render to a standalone SVG document (union branches stack
+    /// vertically under a union badge).
     pub fn svg(&self) -> String {
-        to_svg(&self.diagram, &self.layout(), &SvgTheme::default())
+        let layout_options = self.options.layout.unwrap_or_default();
+        let layouts: Vec<Layout> = self
+            .diagrams()
+            .iter()
+            .map(|d| layout_diagram(d, &layout_options))
+            .collect();
+        let pairs: Vec<(&Diagram, &Layout)> =
+            self.diagrams().into_iter().zip(layouts.iter()).collect();
+        to_svg_union(&pairs, self.union_all, &SvgTheme::default())
     }
 
-    /// Export to GraphViz DOT.
+    /// Export to GraphViz DOT (union branches become labeled clusters).
     pub fn dot(&self) -> String {
-        to_dot(&self.diagram)
+        to_dot_union(&self.diagrams(), self.union_all)
     }
 
-    /// Render to plain text.
+    /// Render to plain text (union branches separated by a badge line).
     pub fn ascii(&self) -> String {
-        to_ascii(&self.diagram)
+        to_ascii_union(&self.diagrams(), self.union_all)
     }
 
-    /// The natural-language reading along the default reading order (§4.6).
+    /// The natural-language reading along the default reading order (§4.6);
+    /// union branches read in sequence, joined by the connective.
     pub fn reading(&self) -> String {
-        render_reading(&self.diagram)
+        let readings: Vec<String> = self.diagrams().iter().map(|d| render_reading(d)).collect();
+        let connective = if self.union_all {
+            "\nUNION ALL\n"
+        } else {
+            "\nUNION\n"
+        };
+        readings.join(connective)
     }
 
-    /// The tuple-relational-calculus form (Fig. 9).
+    /// The tuple-relational-calculus form (Fig. 9); union branches join
+    /// with `∪`.
     pub fn trc(&self) -> String {
-        to_trc(&self.logic_tree)
+        let forms: Vec<String> = self.trees().iter().map(|t| to_trc(t)).collect();
+        forms.join(" \u{222A} ")
     }
 
-    /// Mark/channel statistics of the rendered diagram (§4.8).
+    /// Mark/channel statistics of the rendered diagram(s) (§4.8) — summed
+    /// across union branches.
     pub fn stats(&self) -> DiagramStats {
-        diagram_stats(&self.diagram)
+        self.diagrams()
+            .iter()
+            .map(|d| diagram_stats(d))
+            .reduce(|a, b| a.combine(&b))
+            .expect("at least one diagram")
     }
 
     /// The canonical logical pattern of this query (App. G): equal strings
-    /// ⟺ same visual pattern, across schemas.
+    /// ⟺ same visual pattern, across schemas (union branches
+    /// order-canonicalized).
     pub fn pattern(&self) -> String {
-        crate::pattern::canonical_pattern(&self.logic_tree)
+        crate::pattern::canonical_pattern_branches(&self.trees(), self.union_all)
     }
 
-    /// Whether the query is non-degenerate (Properties 5.1/5.2).
+    /// Whether the query is non-degenerate (Properties 5.1/5.2) — every
+    /// branch must pass.
     pub fn check_non_degenerate(&self) -> Result<(), DegeneracyError> {
-        check_non_degenerate(&self.logic_tree)
+        for tree in self.trees() {
+            check_non_degenerate(tree)?;
+        }
+        Ok(())
     }
 
     /// Whether the diagram is *provably unambiguous* (non-degenerate and
-    /// nesting depth ≤ 3, §5.2).
+    /// nesting depth ≤ 3, §5.2) — every branch must pass.
     pub fn check_unambiguous(&self) -> Result<(), DegeneracyError> {
-        check_valid_diagram_source(&self.logic_tree)
+        for tree in self.trees() {
+            check_valid_diagram_source(tree)?;
+        }
+        Ok(())
     }
 }
 

@@ -117,6 +117,41 @@ impl<'t> Builder<'t> {
             self.tables[table].rows[row].kind = RowKind::GroupBy;
         }
 
+        // HAVING conjuncts: highlighted rows on the SELECT (grouping)
+        // table, wired to the aggregated attribute's source table like
+        // select-list aggregates.
+        for h in &self.tree.having.clone() {
+            let column = h
+                .arg
+                .map(|a| a.column)
+                .unwrap_or_else(|| Symbol::intern("*"));
+            self.tables[select_table].rows.push(TableRow {
+                column,
+                kind: RowKind::Having {
+                    func: h.func,
+                    op: h.op,
+                    value: h.value,
+                },
+            });
+            let having_row = self.tables[select_table].rows.len() - 1;
+            if let Some(a) = h.arg {
+                let source = self.by_binding[&a.binding];
+                let source_row = self.ensure_attr_row(source, a.column);
+                self.edges.push(Edge {
+                    from: EdgeEndpoint {
+                        table: select_table,
+                        row: having_row,
+                    },
+                    to: EdgeEndpoint {
+                        table: source,
+                        row: source_row,
+                    },
+                    directed: false,
+                    label: None,
+                });
+            }
+        }
+
         Diagram {
             tables: self.tables,
             boxes: self.boxes,

@@ -25,6 +25,13 @@ pub enum RowKind {
     /// An aggregate row (`SUM(Quantity)`), in the SELECT table and the
     /// source table of the aggregated attribute.
     Aggregate { func: AggFunc },
+    /// A HAVING predicate row, rendered highlighted like a selection:
+    /// `AGG(attr) op value` on the SELECT (grouping) table.
+    Having {
+        func: AggFunc,
+        op: CompareOp,
+        value: Value,
+    },
 }
 
 /// One row of a table composite mark.
@@ -44,6 +51,9 @@ impl TableRow {
             RowKind::Attribute | RowKind::GroupBy => self.column.to_string(),
             RowKind::Selection { op, value } => format!("{} {op} {value}", self.column),
             RowKind::Aggregate { func } => format!("{func}({})", self.column),
+            RowKind::Having { func, op, value } => {
+                format!("{func}({}) {op} {value}", self.column)
+            }
         }
     }
 }

@@ -106,9 +106,15 @@ pub fn render_reading(diagram: &Diagram) -> String {
     let steps = reading_order(diagram);
     let mut out = String::new();
 
-    // Head: the SELECT clause.
+    // Head: the SELECT clause (HAVING rows are conditions, not outputs —
+    // they read at the end).
     let select = &diagram.tables[diagram.select_table];
-    let cols: Vec<String> = select.rows.iter().map(|r| r.display()).collect();
+    let cols: Vec<String> = select
+        .rows
+        .iter()
+        .filter(|r| !matches!(r.kind, crate::model::RowKind::Having { .. }))
+        .map(|r| r.display())
+        .collect();
     out.push_str(&format!("Return {}", cols.join(", ")));
 
     for step in &steps {
@@ -177,6 +183,19 @@ pub fn render_reading(diagram: &Diagram) -> String {
         if !conds.is_empty() {
             out.push_str(&format!(" with {}", conds.join(" and ")));
         }
+    }
+    // HAVING rows read as group-level conditions after the traversal.
+    let having: Vec<String> = select
+        .rows
+        .iter()
+        .filter(|r| matches!(r.kind, crate::model::RowKind::Having { .. }))
+        .map(|r| r.display())
+        .collect();
+    if !having.is_empty() {
+        out.push_str(&format!(
+            "; keeping only groups where {}",
+            having.join(" and ")
+        ));
     }
     out.push('.');
     out

@@ -34,6 +34,8 @@ pub struct DiagramStats {
     pub selection_rows: usize,
     /// Highlighted group-by rows (subset of `rows`).
     pub group_rows: usize,
+    /// Highlighted HAVING rows (subset of `rows`).
+    pub having_rows: usize,
 }
 
 impl DiagramStats {
@@ -47,6 +49,22 @@ impl DiagramStats {
         let a = self.visual_elements() as f64;
         let b = base.visual_elements() as f64;
         (a - b) / b
+    }
+
+    /// Field-wise sum — used to aggregate the stats of a multi-branch
+    /// (UNION) rendering.
+    pub fn combine(&self, other: &DiagramStats) -> DiagramStats {
+        DiagramStats {
+            tables: self.tables + other.tables,
+            rows: self.rows + other.rows,
+            edges: self.edges + other.edges,
+            boxes: self.boxes + other.boxes,
+            arrowheads: self.arrowheads + other.arrowheads,
+            labels: self.labels + other.labels,
+            selection_rows: self.selection_rows + other.selection_rows,
+            group_rows: self.group_rows + other.group_rows,
+            having_rows: self.having_rows + other.having_rows,
+        }
     }
 }
 
@@ -70,6 +88,12 @@ pub fn diagram_stats(diagram: &Diagram) -> DiagramStats {
         .flat_map(|t| t.rows.iter())
         .filter(|r| matches!(r.kind, RowKind::GroupBy))
         .count();
+    let having_rows = diagram
+        .tables
+        .iter()
+        .flat_map(|t| t.rows.iter())
+        .filter(|r| matches!(r.kind, RowKind::Having { .. }))
+        .count();
     DiagramStats {
         tables,
         rows,
@@ -79,6 +103,7 @@ pub fn diagram_stats(diagram: &Diagram) -> DiagramStats {
         labels,
         selection_rows,
         group_rows,
+        having_rows,
     }
 }
 

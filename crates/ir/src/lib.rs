@@ -42,5 +42,6 @@ pub use intern::{Interner, Symbol, SymbolQuery};
 pub use ops::{AggFunc, CompareOp, Value};
 pub use pass::{Pass, PassContext, PassEffect, PassError, PassManager, PassMetric};
 pub use pattern::{
-    AttrRef, LogicTree, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr,
+    AttrRef, LogicTree, LtHaving, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier,
+    SelectAttr,
 };

@@ -172,6 +172,26 @@ impl fmt::Display for LtPredicate {
     }
 }
 
+/// A post-grouping (HAVING) conjunct on the root block: an aggregate
+/// compared against a constant, e.g. `COUNT(T.b) > 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LtHaving {
+    pub func: AggFunc,
+    /// `None` encodes `COUNT(*)`.
+    pub arg: Option<AttrRef>,
+    pub op: CompareOp,
+    pub value: Value,
+}
+
+impl fmt::Display for LtHaving {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            Some(a) => write!(f, "{}({a}) {} {}", self.func, self.op, self.value),
+            None => write!(f, "{}(*) {} {}", self.func, self.op, self.value),
+        }
+    }
+}
+
 /// An item of the root block's select list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectAttr {
@@ -228,12 +248,15 @@ impl LtNode {
 }
 
 /// A complete logic tree: arena of nodes plus the root's select list and
-/// (for the GROUP BY extension) grouping attributes.
+/// (for the GROUP BY / HAVING extension) grouping attributes and
+/// post-grouping predicates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogicTree {
     pub nodes: Arena<LtNode>,
     pub select: Vec<SelectAttr>,
     pub group_by: Vec<AttrRef>,
+    /// HAVING conjuncts attached to the grouping (root) block.
+    pub having: Vec<LtHaving>,
 }
 
 impl LogicTree {
@@ -252,6 +275,7 @@ impl LogicTree {
             .into(),
             select: Vec::new(),
             group_by: Vec::new(),
+            having: Vec::new(),
         }
     }
 
@@ -403,10 +427,13 @@ impl LogicTree {
         }
         let select: Vec<String> = self.select.iter().map(|s| s.to_string()).collect();
         let group: Vec<String> = self.group_by.iter().map(|g| g.to_string()).collect();
+        let mut having: Vec<String> = self.having.iter().map(|h| h.to_string()).collect();
+        having.sort();
         format!(
-            "S[{}]G[{}]{}",
+            "S[{}]G[{}]H[{}]{}",
             select.join(","),
             group.join(","),
+            having.join(","),
             node_fp(self, 0)
         )
     }
@@ -451,6 +478,10 @@ impl fmt::Display for LogicTree {
                 if !tree.group_by.is_empty() {
                     let group: Vec<String> = tree.group_by.iter().map(|g| g.to_string()).collect();
                     writeln!(f, "{prefix}Group By: {{{}}}", group.join(", "))?;
+                }
+                if !tree.having.is_empty() {
+                    let having: Vec<String> = tree.having.iter().map(|h| h.to_string()).collect();
+                    writeln!(f, "{prefix}Having: {{{}}}", having.join(", "))?;
                 }
             }
             let child_prefix = format!("{prefix}    ");

@@ -5,7 +5,11 @@
 //! * [`lt`] — the **Logic Tree (LT)**: a rooted tree of query blocks, each
 //!   holding its tables, conjunctive predicates, and quantifier (∃, ∄, ∀).
 //! * [`translate`] — SQL AST → LT, de-sugaring `IN` / `NOT IN` /
-//!   `ANY` / `ALL` into the corresponding quantifiers.
+//!   `ANY` / `ALL` into the corresponding quantifiers (and `HAVING` into
+//!   post-grouping predicates on the root block).
+//! * [`disjunction`] — polarity-aware `OR` lowering: negative-polarity
+//!   disjunctions become sibling ∄-groups, positive-polarity ones split
+//!   the query into union branches (`translate_branches`).
 //! * [`simplify`] — the De Morgan rewrite ∄·∄ → ∀·∃ that introduces the
 //!   universal quantifier (a construct SQL itself lacks).
 //! * [`validate`] — the *non-degeneracy* properties 5.1 (local attributes)
@@ -14,17 +18,20 @@
 //! * [`trc`] — rendering of an LT as a tuple-relational-calculus expression
 //!   (paper Fig. 9).
 
+pub mod disjunction;
 pub mod lt;
 pub mod simplify;
 pub mod translate;
 pub mod trc;
 pub mod validate;
 
+pub use disjunction::{has_disjunction, lower_disjunctions, MAX_DISJUNCTION_BRANCHES};
 pub use lt::{
-    AttrRef, LogicTree, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr,
+    AttrRef, LogicTree, LtHaving, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier,
+    SelectAttr,
 };
 pub use simplify::{simplify, simplify_in_place, SimplifyPass};
-pub use translate::{translate, TranslateError};
+pub use translate::{translate, translate_branches, TranslateError};
 pub use trc::to_trc;
 pub use validate::{
     check_non_degenerate, check_valid_diagram_source, DegeneracyError, ValidatePass,

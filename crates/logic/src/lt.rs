@@ -11,5 +11,6 @@
 //! paths working.
 
 pub use queryvis_ir::pattern::{
-    AttrRef, LogicTree, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr,
+    AttrRef, LogicTree, LtHaving, LtNode, LtOperand, LtPredicate, LtTable, NodeId, Quantifier,
+    SelectAttr,
 };

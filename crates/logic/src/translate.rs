@@ -18,7 +18,9 @@
 //! where `sel(Q)` is the single column of `Q`'s SELECT list and `¬op` is the
 //! logical negation of `op` (`x op ALL Q ≡ ∄ t ∈ Q : x ¬op t`).
 
-use crate::lt::{AttrRef, LogicTree, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr};
+use crate::lt::{
+    AttrRef, LogicTree, LtHaving, LtPredicate, LtTable, NodeId, Quantifier, SelectAttr,
+};
 use queryvis_ir::Symbol;
 use queryvis_sql::{
     ColumnRef, CompareOp, Operand, Predicate, Query, Schema, SelectItem, SelectList,
@@ -45,6 +47,17 @@ pub enum TranslateError {
     /// Aggregates / GROUP BY in a nested block (the extension covers only
     /// the root block, matching the study stimuli).
     NestedAggregate,
+    /// A positive-polarity disjunction reached [`translate`] unlowered:
+    /// it splits the query into several union branches, so the caller must
+    /// go through [`translate_branches`] (or the diagram pipeline).
+    UnloweredDisjunction { branches: usize },
+    /// Disjunction lowering exceeded
+    /// [`crate::disjunction::MAX_DISJUNCTION_BRANCHES`] branches.
+    DisjunctionTooWide { branches: usize },
+    /// An `OR` that would split a grouped (GROUP BY / aggregate) root
+    /// block into union branches — that changes aggregate semantics, so it
+    /// stays outside the supported fragment.
+    DisjunctiveAggregate,
 }
 
 impl fmt::Display for TranslateError {
@@ -73,6 +86,30 @@ impl fmt::Display for TranslateError {
                     "aggregates/GROUP BY are only supported in the root block"
                 )
             }
+            TranslateError::UnloweredDisjunction { branches } => {
+                write!(
+                    f,
+                    "disjunction splits the query into {branches} union branches; \
+                     translate it with translate_branches (the pipeline does)"
+                )
+            }
+            TranslateError::DisjunctionTooWide { branches } => {
+                write!(
+                    f,
+                    "disjunction lowering would produce {branches} branches, \
+                     beyond the supported bound of {}",
+                    crate::disjunction::MAX_DISJUNCTION_BRANCHES
+                )
+            }
+            TranslateError::DisjunctiveAggregate => {
+                write!(
+                    f,
+                    "`OR` that splits a grouped query into union branches is \
+                     outside the supported fragment (it would change aggregate \
+                     results); only disjunctions under an odd number of \
+                     negations are allowed with GROUP BY"
+                )
+            }
         }
     }
 }
@@ -84,7 +121,42 @@ impl std::error::Error for TranslateError {}
 /// If `schema` is given, unqualified column references are resolved through
 /// it; without a schema, unqualified references resolve only when the
 /// enclosing scope has a single binding.
+///
+/// Disjunctions are lowered first (see [`crate::disjunction`]); if the
+/// lowering stays within one branch (negative-polarity `OR`s become
+/// sibling ∄-groups) the tree comes back directly, otherwise the query is
+/// a union of conjunctive branches and the caller must use
+/// [`translate_branches`].
 pub fn translate(query: &Query, schema: Option<&Schema>) -> Result<LogicTree, TranslateError> {
+    if crate::disjunction::has_disjunction(query) {
+        let mut trees = translate_branches(query, schema)?;
+        if trees.len() != 1 {
+            return Err(TranslateError::UnloweredDisjunction {
+                branches: trees.len(),
+            });
+        }
+        return Ok(trees.pop().expect("one branch"));
+    }
+    translate_conjunctive(query, schema)
+}
+
+/// Translate a query into one logic tree per union branch after lowering
+/// its disjunctions. OR-free queries yield exactly one tree.
+pub fn translate_branches(
+    query: &Query,
+    schema: Option<&Schema>,
+) -> Result<Vec<LogicTree>, TranslateError> {
+    crate::disjunction::lower_disjunctions(query)?
+        .iter()
+        .map(|q| translate_conjunctive(q, schema))
+        .collect()
+}
+
+/// [`translate`] for a query already known to be OR-free.
+fn translate_conjunctive(
+    query: &Query,
+    schema: Option<&Schema>,
+) -> Result<LogicTree, TranslateError> {
     let mut translator = Translator {
         tree: LogicTree::with_root(),
         scopes: Vec::new(),
@@ -185,6 +257,18 @@ impl<'a> Translator<'a> {
                 let attr = self.resolve(c)?;
                 self.tree.group_by.push(attr);
             }
+            for h in &query.having {
+                let arg = match &h.agg.arg {
+                    Some(c) => Some(self.resolve(c)?),
+                    None => None,
+                };
+                self.tree.having.push(LtHaving {
+                    func: h.agg.func,
+                    arg,
+                    op: h.op,
+                    value: h.value,
+                });
+            }
         }
 
         // Predicates.
@@ -232,6 +316,13 @@ impl<'a> Translator<'a> {
                         (SQ::All, true) => (Quantifier::Exists, op.negate()),
                     };
                     self.desugar_subquery(node_id, quant, outer, child_op, query)?;
+                }
+                // Lowering runs before translation (see `translate`); a
+                // surviving disjunction means the caller skipped it.
+                Predicate::Or(branches) => {
+                    return Err(TranslateError::UnloweredDisjunction {
+                        branches: branches.len(),
+                    })
                 }
             }
         }

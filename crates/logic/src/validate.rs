@@ -27,6 +27,10 @@ pub enum DegeneracyError {
     DisconnectedBlock { node: NodeId },
     /// The tree exceeds the unambiguity depth bound of 3.
     TooDeep { depth: usize },
+    /// A HAVING predicate on a tree with no grouping attributes — the
+    /// post-grouping block it would attach to does not exist. The parser
+    /// cannot produce this; it guards hand-constructed trees.
+    HavingWithoutGrouping,
 }
 
 impl fmt::Display for DegeneracyError {
@@ -46,16 +50,31 @@ impl fmt::Display for DegeneracyError {
                 f,
                 "nesting depth {depth} exceeds the unambiguity bound of {MAX_DIAGRAM_DEPTH}"
             ),
+            DegeneracyError::HavingWithoutGrouping => write!(
+                f,
+                "HAVING predicates require grouping attributes on the root block"
+            ),
         }
     }
 }
 
 impl std::error::Error for DegeneracyError {}
 
-/// Check Properties 5.1 and 5.2. Returns the first violation found.
+/// Check Properties 5.1 and 5.2 (plus the HAVING attachment rule).
+/// Returns the first violation found.
 pub fn check_non_degenerate(tree: &LogicTree) -> Result<(), DegeneracyError> {
     check_local_attributes(tree)?;
     check_connected_subqueries(tree)?;
+    check_having_attachment(tree)?;
+    Ok(())
+}
+
+/// HAVING conjuncts attach to the grouping block; a tree carrying them
+/// without grouping attributes has no such block.
+pub fn check_having_attachment(tree: &LogicTree) -> Result<(), DegeneracyError> {
+    if !tree.having.is_empty() && tree.group_by.is_empty() {
+        return Err(DegeneracyError::HavingWithoutGrouping);
+    }
     Ok(())
 }
 

@@ -20,6 +20,8 @@
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
+pub mod sqlgen;
+
 pub mod test_runner {
     /// The deterministic per-case generator driving all strategies.
     /// SplitMix64: tiny, full-period over 2^64 seeds, and more than good

@@ -8,6 +8,31 @@
 use queryvis_diagram::{Diagram, RowKind};
 use std::collections::BTreeMap;
 
+/// Render a multi-branch (UNION) query as plain text: each branch's
+/// diagram in written order, separated by a union badge line.
+pub fn to_ascii_union(diagrams: &[&Diagram], all: bool) -> String {
+    if let [single] = diagrams {
+        return to_ascii(single);
+    }
+    let badge = if all {
+        "============ UNION ALL ============"
+    } else {
+        "============== UNION =============="
+    };
+    let mut out = String::new();
+    for (i, diagram) in diagrams.iter().enumerate() {
+        if i > 0 {
+            out.push_str(badge);
+            out.push('\n');
+        }
+        out.push_str(&to_ascii(diagram));
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Render a diagram as plain text.
 pub fn to_ascii(diagram: &Diagram) -> String {
     // Render each table to a block of lines.
@@ -25,7 +50,7 @@ pub fn to_ascii(diagram: &Diagram) -> String {
         let mut body: Vec<String> = Vec::new();
         for row in &table.rows {
             let marker = match row.kind {
-                RowKind::Selection { .. } => "*",
+                RowKind::Selection { .. } | RowKind::Having { .. } => "*",
                 RowKind::GroupBy => "#",
                 _ => " ",
             };

@@ -31,7 +31,7 @@ fn table_label(diagram: &Diagram, id: TableId) -> String {
     );
     for (i, row) in table.rows.iter().enumerate() {
         let bg = match row.kind {
-            RowKind::Selection { .. } => r##" bgcolor="#ffe9a8""##,
+            RowKind::Selection { .. } | RowKind::Having { .. } => r##" bgcolor="#ffe9a8""##,
             RowKind::GroupBy => r##" bgcolor="#d9d9d9""##,
             _ => "",
         };
@@ -49,7 +49,37 @@ fn table_label(diagram: &Diagram, id: TableId) -> String {
 pub fn to_dot(diagram: &Diagram) -> String {
     let mut out = String::from("digraph queryvis {\n");
     out.push_str("  rankdir=LR;\n  node [shape=plaintext];\n");
+    write_dot_body(&mut out, diagram, "");
+    out.push_str("}\n");
+    out
+}
 
+/// Export a multi-branch (UNION) query as one `digraph`: each branch in
+/// its own labeled cluster, node ids prefixed so branches never collide.
+pub fn to_dot_union(diagrams: &[&Diagram], all: bool) -> String {
+    if let [single] = diagrams {
+        return to_dot(single);
+    }
+    let connective = if all { "UNION ALL" } else { "UNION" };
+    let mut out = String::from("digraph queryvis {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=plaintext];\n");
+    let _ = writeln!(out, "  label=\"{connective}\";\n  labelloc=t;");
+    for (i, diagram) in diagrams.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  subgraph cluster_branch_{i} {{\n    label=\"branch {}\";",
+            i + 1
+        );
+        write_dot_body(&mut out, diagram, &format!("b{i}_"));
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The clusters, nodes, and edges of one diagram, with `prefix` applied to
+/// every node id and cluster name.
+fn write_dot_body(out: &mut String, diagram: &Diagram, prefix: &str) {
     // Boxed tables inside clusters.
     for (i, qbox) in diagram.boxes.iter().enumerate() {
         let style = match qbox.quantifier {
@@ -57,9 +87,13 @@ pub fn to_dot(diagram: &Diagram) -> String {
             Quantifier::ForAll => "peripheries=2",
             Quantifier::Exists => "style=invis",
         };
-        let _ = writeln!(out, "  subgraph cluster_{i} {{\n    {style};");
+        let _ = writeln!(out, "  subgraph cluster_{prefix}{i} {{\n    {style};");
         for &tid in &qbox.tables {
-            let _ = writeln!(out, "    t{tid} [label={}];", table_label(diagram, tid));
+            let _ = writeln!(
+                out,
+                "    {prefix}t{tid} [label={}];",
+                table_label(diagram, tid)
+            );
         }
         out.push_str("  }\n");
     }
@@ -68,7 +102,7 @@ pub fn to_dot(diagram: &Diagram) -> String {
         if diagram.box_of(table.id).is_none() {
             let _ = writeln!(
                 out,
-                "  t{} [label={}];",
+                "  {prefix}t{} [label={}];",
                 table.id,
                 table_label(diagram, table.id)
             );
@@ -90,12 +124,10 @@ pub fn to_dot(diagram: &Diagram) -> String {
         };
         let _ = writeln!(
             out,
-            "  t{}:r{} -> t{}:r{}{attr_str};",
+            "  {prefix}t{}:r{} -> {prefix}t{}:r{}{attr_str};",
             edge.from.table, edge.from.row, edge.to.table, edge.to.row
         );
     }
-    out.push_str("}\n");
-    out
 }
 
 #[cfg(test)]

@@ -16,9 +16,9 @@ pub mod ascii;
 pub mod dot;
 pub mod svg;
 
-pub use ascii::to_ascii;
-pub use dot::to_dot;
-pub use svg::{to_svg, SvgTheme};
+pub use ascii::{to_ascii, to_ascii_union};
+pub use dot::{to_dot, to_dot_union};
+pub use svg::{to_svg, to_svg_union, SvgTheme};
 
 use queryvis_diagram::Diagram;
 use queryvis_layout::{layout_diagram, LayoutOptions};

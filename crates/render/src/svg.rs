@@ -68,7 +68,76 @@ pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
         r#"<rect x="0" y="0" width="{:.0}" height="{:.0}" fill="{}"/>"#,
         layout.width, layout.height, theme.background
     );
+    write_marks(&mut out, diagram, layout, theme);
+    out.push_str("</svg>\n");
+    out
+}
 
+/// Height of the separator band between branches of a union rendering.
+const UNION_BADGE_HEIGHT: f64 = 28.0;
+
+/// Render a multi-branch (UNION) query as one standalone SVG document:
+/// the branch diagrams stack vertically with a labeled badge between
+/// them.
+pub fn to_svg_union(branches: &[(&Diagram, &Layout)], all: bool, theme: &SvgTheme) -> String {
+    if let [(diagram, layout)] = branches {
+        return to_svg(diagram, layout, theme);
+    }
+    let width = branches.iter().map(|(_, l)| l.width).fold(0.0f64, f64::max);
+    let height = branches.iter().map(|(_, l)| l.height).sum::<f64>()
+        + UNION_BADGE_HEIGHT * branches.len().saturating_sub(1) as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#,
+    );
+    let _ = writeln!(
+        out,
+        r#"<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="7" markerHeight="7" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="{}"/></marker></defs>"#,
+        theme.edge
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect x="0" y="0" width="{width:.0}" height="{height:.0}" fill="{}"/>"#,
+        theme.background
+    );
+    let badge = if all { "UNION ALL" } else { "UNION" };
+    let mut y = 0.0f64;
+    for (i, (diagram, layout)) in branches.iter().enumerate() {
+        if i > 0 {
+            // The union badge: a rule with the connective label on it.
+            let mid = y + UNION_BADGE_HEIGHT / 2.0;
+            let _ = writeln!(
+                out,
+                r#"<line x1="0" y1="{mid:.1}" x2="{width:.1}" y2="{mid:.1}" stroke="{}" stroke-width="1" stroke-dasharray="2,3" class="union-rule"/>"#,
+                theme.border
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}" class="union-badge">{badge}</text>"#,
+                width / 2.0,
+                mid - 4.0,
+                theme.font_family,
+                theme.font_size,
+                theme.border,
+            );
+            y += UNION_BADGE_HEIGHT;
+        }
+        let _ = writeln!(
+            out,
+            r#"<g transform="translate(0,{y:.1})" class="union-branch">"#
+        );
+        write_marks(&mut out, diagram, layout, theme);
+        out.push_str("</g>\n");
+        y += layout.height;
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Write the marks of one laid-out diagram (boxes, edges, tables) into an
+/// open SVG context.
+fn write_marks(out: &mut String, diagram: &Diagram, layout: &Layout, theme: &SvgTheme) {
     // Quantifier boxes first (beneath tables).
     for bl in &layout.boxes {
         let qbox = &diagram.boxes[bl.box_index];
@@ -156,7 +225,7 @@ pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
             let r = tl.row_rects[i];
             let fill = match row.kind {
                 RowKind::Attribute | RowKind::Aggregate { .. } => &theme.row_fill,
-                RowKind::Selection { .. } => &theme.selection_row_fill,
+                RowKind::Selection { .. } | RowKind::Having { .. } => &theme.selection_row_fill,
                 RowKind::GroupBy => &theme.group_row_fill,
             };
             let _ = writeln!(
@@ -175,9 +244,6 @@ pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
             );
         }
     }
-
-    out.push_str("</svg>\n");
-    out
 }
 
 #[cfg(test)]

@@ -111,7 +111,10 @@ pub fn fingerprint_sql(
     let prepared = queryvis::QueryVis::prepare(sql, options)?;
     let fingerprint = PATTERN_TOKENS.with(|cell| match cell.try_borrow_mut() {
         Ok(mut tokens) => {
-            PatternKey::of_tree_into(&prepared.logic_tree, &mut tokens);
+            // Union/OR-split queries canonicalize across all branches
+            // (order-canonicalized); single-block queries produce exactly
+            // the legacy per-tree stream.
+            prepared.pattern_tokens_into(&mut tokens);
             Fingerprint(PatternKey::fingerprint128_of(&tokens))
         }
         // Re-entrant fingerprinting on this thread (not a pipeline path):

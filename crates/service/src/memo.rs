@@ -617,6 +617,24 @@ mod tests {
     }
 
     #[test]
+    fn widened_fragment_keywords_fold() {
+        // The ISSUE-4 keywords case-fold like every other keyword …
+        assert_eq!(norm("a join b on a.x = b.x"), norm("a JOIN b ON a.x = b.x"));
+        assert_eq!(norm("group by x having count(*) > 1"), {
+            norm("GROUP BY x HAVING COUNT(*) > 1")
+        });
+        assert_eq!(norm("a union all b"), norm("a UNION ALL b"));
+        assert_eq!(norm("x = 1 or y = 2"), norm("x = 1 OR y = 2"));
+        assert_eq!(norm("inner left right full outer cross"), {
+            norm("INNER LEFT RIGHT FULL OUTER CROSS")
+        });
+        // … and remain significant tokens: UNION vs UNION ALL, and a
+        // keyword vs a same-spelling identifier context, stay distinct.
+        assert_ne!(norm("a UNION b"), norm("a UNION ALL b"));
+        assert_ne!(norm("a JOIN b ON c"), norm("a , b WHERE c"));
+    }
+
+    #[test]
     fn trailing_semicolons() {
         assert_eq!(norm("SELECT T.a FROM T;"), norm("SELECT T.a FROM T"));
         // Exactly one is dropped; more are a parse error, kept distinct.

@@ -35,7 +35,6 @@ use crate::memo::{L1Memo, MemoConfig, MemoStats};
 use crate::protocol::{Artifacts, Format, Request, Response};
 use queryvis::ir::Interner;
 use queryvis::QueryVisOptions;
-use queryvis_sql::metrics::word_count;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -213,7 +212,7 @@ impl DiagramService {
                 return Response::error(request.id, e.to_string());
             }
         };
-        let words = word_count(&fingerprinted.prepared.query);
+        let words = fingerprinted.prepared.sql_word_count();
         let fingerprint = fingerprinted.fingerprint;
         match self.entry_for(fingerprinted) {
             Ok(entry) => {
@@ -389,7 +388,7 @@ impl DiagramService {
             }
             match fingerprint_sql(sql, Arc::clone(&self.options)) {
                 Ok(fq) => Front::Full {
-                    words: word_count(&fq.prepared.query),
+                    words: fq.prepared.sql_word_count(),
                     fq: Box::new(fq),
                 },
                 Err(e) => Front::Failed(e.to_string()),

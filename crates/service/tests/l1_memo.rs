@@ -51,6 +51,89 @@ fn normalization_equivalent_texts_share_one_l1_entry() {
     assert_eq!(stats.compiles, 1);
 }
 
+/// The widened-fragment keywords (`JOIN`/`ON`/`HAVING`/`UNION`, ISSUE 4)
+/// case-fold in normalization exactly like the rest: every spelling and
+/// comment/whitespace variant of a widened query shares one memo entry.
+#[test]
+fn widened_keywords_case_fold_into_one_l1_entry() {
+    let cases: &[(&str, &[&str])] = &[
+        (
+            "SELECT F.a FROM Frequents F JOIN Serves S ON F.b = S.b",
+            &[
+                "select F.a from Frequents F join Serves S on F.b = S.b",
+                "SELECT F.a FROM Frequents F Join /* inner */ Serves S oN F.b = S.b",
+                "SELECT F.a\nFROM Frequents F\n  JOIN Serves S\n  ON F.b = S.b;",
+            ],
+        ),
+        (
+            "SELECT T.a FROM T GROUP BY T.a HAVING COUNT(*) > 2",
+            &[
+                "select T.a from T group by T.a having count(*) > 2",
+                "SELECT T.a FROM T GROUP BY T.a\n\tHaViNg COUNT(*) > 2",
+            ],
+        ),
+        (
+            "SELECT T.a FROM T UNION SELECT S.b FROM S",
+            &[
+                "select T.a from T union select S.b from S",
+                "SELECT T.a FROM T  union  SELECT S.b FROM S;",
+            ],
+        ),
+    ];
+    for (canonical, variants) in cases {
+        let service = service();
+        let first = service.handle(&request(0, canonical));
+        let fp = first.outcome.as_ref().unwrap().fingerprint;
+        for (i, variant) in variants.iter().enumerate() {
+            let response = service.handle(&request(1 + i as u64, variant));
+            assert_eq!(
+                response.outcome.as_ref().unwrap().fingerprint,
+                fp,
+                "variant diverged: {variant}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(
+            stats.l1_hits,
+            variants.len() as u64,
+            "every variant of `{canonical}` must resolve through the memo"
+        );
+        assert_eq!(
+            stats.l1_entries, 1,
+            "variants of `{canonical}` must share one normalized key"
+        );
+        assert_eq!(stats.compiles, 1, "{canonical}");
+    }
+}
+
+/// `UNION` and `UNION ALL` must never share a memo entry (or a
+/// fingerprint): the `ALL` keyword is a significant token.
+#[test]
+fn union_vs_union_all_never_share_a_memo_entry() {
+    let service = service();
+    let union = "SELECT T.a FROM T UNION SELECT S.b FROM S";
+    let union_all = "SELECT T.a FROM T UNION ALL SELECT S.b FROM S";
+    let a = service.handle(&request(0, union));
+    let b = service.handle(&request(1, union_all));
+    let stats = service.stats();
+    assert_eq!(
+        stats.l1_hits, 0,
+        "distinct texts must both run the frontend"
+    );
+    assert_eq!(stats.l1_entries, 2);
+    assert_eq!(stats.compiles, 2);
+    assert_ne!(
+        a.outcome.as_ref().unwrap().fingerprint,
+        b.outcome.as_ref().unwrap().fingerprint,
+        "UNION and UNION ALL are different patterns"
+    );
+    // Each spelling warms only itself.
+    service.handle(&request(2, "select T.a from T union select S.b from S"));
+    service.handle(&request(3, "select T.a from T union all select S.b from S"));
+    assert_eq!(service.stats().l1_hits, 2);
+    assert_eq!(service.stats().l1_entries, 2);
+}
+
 #[test]
 fn malformed_texts_error_identically_warm_and_cold() {
     // A warm memo must never rescue a malformed text: `/* oops` swallowed

@@ -215,6 +215,15 @@ pub enum Predicate {
         negated: bool,
         query: Box<Query>,
     },
+    /// A disjunction of conjunctions: `(P AND P OR P AND P ...)`.
+    ///
+    /// `AND` binds tighter than `OR`, so every branch is a non-empty
+    /// conjunction. The parser never produces a single-branch,
+    /// single-predicate `Or` (it inlines that case); a single branch with
+    /// several conjuncts encodes a parenthesized group `(P AND P)`.
+    /// Disjunctions are *lowered away* before translation — see
+    /// `queryvis_logic::disjunction`.
+    Or(Vec<Vec<Predicate>>),
 }
 
 impl Predicate {
@@ -232,31 +241,103 @@ impl Predicate {
         }
     }
 
-    /// True if this predicate contains a nested subquery.
+    /// True if this predicate contains a nested subquery (anywhere, for
+    /// `Or`: in any branch).
     pub fn has_subquery(&self) -> bool {
-        !matches!(self, Predicate::Compare { .. })
+        match self {
+            Predicate::Compare { .. } => false,
+            Predicate::Exists { .. }
+            | Predicate::InSubquery { .. }
+            | Predicate::Quantified { .. } => true,
+            Predicate::Or(branches) => branches
+                .iter()
+                .any(|b| b.iter().any(Predicate::has_subquery)),
+        }
     }
 
-    /// The nested query, if any.
+    /// The directly nested query of a subquery predicate. `None` for
+    /// comparisons and for `Or` (which may hold many — use
+    /// [`Predicate::subqueries`]).
     pub fn subquery(&self) -> Option<&Query> {
         match self {
-            Predicate::Compare { .. } => None,
+            Predicate::Compare { .. } | Predicate::Or(_) => None,
             Predicate::Exists { query, .. }
             | Predicate::InSubquery { query, .. }
             | Predicate::Quantified { query, .. } => Some(query),
         }
     }
+
+    /// Every query nested in this predicate, including inside `Or` branches.
+    pub fn subqueries(&self) -> Vec<&Query> {
+        let mut out = Vec::new();
+        self.collect_subqueries(&mut out);
+        out
+    }
+
+    fn collect_subqueries<'a>(&'a self, out: &mut Vec<&'a Query>) {
+        match self {
+            Predicate::Compare { .. } => {}
+            Predicate::Exists { query, .. }
+            | Predicate::InSubquery { query, .. }
+            | Predicate::Quantified { query, .. } => out.push(query),
+            Predicate::Or(branches) => {
+                for branch in branches {
+                    for pred in branch {
+                        pred.collect_subqueries(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visit every `Compare` predicate in this conjunct, descending into
+    /// `Or` branches but **not** into subqueries.
+    pub fn for_each_compare(&self, f: &mut impl FnMut(&Operand, CompareOp, &Operand)) {
+        match self {
+            Predicate::Compare { lhs, op, rhs } => f(lhs, *op, rhs),
+            Predicate::Exists { .. }
+            | Predicate::InSubquery { .. }
+            | Predicate::Quantified { .. } => {}
+            Predicate::Or(branches) => {
+                for branch in branches {
+                    for pred in branch {
+                        pred.for_each_compare(f);
+                    }
+                }
+            }
+        }
+    }
 }
 
-/// A query block (`SELECT`–`FROM`–`WHERE`[–`GROUP BY`]).
+/// A post-grouping predicate: `AGG([T.]A | *) O V` (the `HAVING` fragment —
+/// aggregates compared against constants only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HavingPredicate {
+    pub agg: AggCall,
+    pub op: CompareOp,
+    pub value: Value,
+}
+
+impl fmt::Display for HavingPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.agg, self.op, self.value)
+    }
+}
+
+/// A query block (`SELECT`–`FROM`–`WHERE`[–`GROUP BY`[–`HAVING`]]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     pub select: SelectList,
     pub from: Vec<TableRef>,
-    /// Conjunction of predicates; empty means no WHERE clause.
+    /// Conjunction of predicates; empty means no WHERE clause. Explicit
+    /// `JOIN … ON` conditions are desugared into this list by the parser
+    /// (preceding any WHERE conjuncts), so the AST never distinguishes
+    /// join syntax.
     pub where_clause: Vec<Predicate>,
     /// GROUP BY columns (study extension); empty means no grouping.
     pub group_by: Vec<ColumnRef>,
+    /// HAVING conjuncts (post-grouping predicates); requires `group_by`.
+    pub having: Vec<HavingPredicate>,
 }
 
 impl Query {
@@ -266,6 +347,7 @@ impl Query {
             from,
             where_clause: Vec::new(),
             group_by: Vec::new(),
+            having: Vec::new(),
         }
     }
 
@@ -274,7 +356,7 @@ impl Query {
     pub fn nesting_depth(&self) -> usize {
         self.where_clause
             .iter()
-            .filter_map(Predicate::subquery)
+            .flat_map(Predicate::subqueries)
             .map(|q| 1 + q.nesting_depth())
             .max()
             .unwrap_or(0)
@@ -285,7 +367,7 @@ impl Query {
         1 + self
             .where_clause
             .iter()
-            .filter_map(Predicate::subquery)
+            .flat_map(Predicate::subqueries)
             .map(Query::block_count)
             .sum::<usize>()
     }
@@ -297,44 +379,87 @@ impl Query {
             + self
                 .where_clause
                 .iter()
-                .filter_map(Predicate::subquery)
+                .flat_map(Predicate::subqueries)
                 .map(Query::table_ref_count)
                 .sum::<usize>()
     }
 
     /// Total number of join predicates (column-to-column comparisons) across
     /// all blocks — the other half of the paper's complexity measure.
+    /// Comparisons inside `Or` branches count.
     pub fn join_count(&self) -> usize {
-        let own = self
-            .where_clause
-            .iter()
-            .filter(|p| {
-                matches!(
-                    p,
-                    Predicate::Compare {
-                        lhs: Operand::Column(_),
-                        rhs: Operand::Column(_),
-                        ..
-                    }
-                )
-            })
-            .count();
+        let mut own = 0usize;
+        for pred in &self.where_clause {
+            pred.for_each_compare(&mut |lhs, _, rhs| {
+                if matches!((lhs, rhs), (Operand::Column(_), Operand::Column(_))) {
+                    own += 1;
+                }
+            });
+        }
         own + self
             .where_clause
             .iter()
-            .filter_map(Predicate::subquery)
+            .flat_map(Predicate::subqueries)
             .map(Query::join_count)
             .sum::<usize>()
     }
 
-    /// True if the query uses grouping or any aggregate select item.
+    /// True if any WHERE conjunct (at any nesting level of this block or
+    /// its subqueries) is a disjunction.
+    pub fn has_disjunction(&self) -> bool {
+        self.where_clause
+            .iter()
+            .any(|p| matches!(p, Predicate::Or(_)))
+            || self
+                .where_clause
+                .iter()
+                .flat_map(Predicate::subqueries)
+                .any(Query::has_disjunction)
+    }
+
+    /// True if the query uses grouping, a HAVING clause, or any aggregate
+    /// select item.
     pub fn uses_grouping(&self) -> bool {
         !self.group_by.is_empty()
+            || !self.having.is_empty()
             || self
                 .select
                 .items()
                 .iter()
                 .any(|i| matches!(i, SelectItem::Aggregate(_)))
+    }
+}
+
+/// A top-level query expression: one query block, or a `UNION [ALL]` chain
+/// of blocks. Single-block expressions (the entire pre-widening fragment)
+/// have exactly one branch and `all == false`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryExpr {
+    /// The union branches, in written order (always ≥ 1).
+    pub branches: Vec<Query>,
+    /// True for `UNION ALL` (bag semantics); `false` for `UNION` and for
+    /// single-block expressions. Mixing the two flavors in one chain is
+    /// outside the fragment.
+    pub all: bool,
+}
+
+impl QueryExpr {
+    /// Wrap a single query block.
+    pub fn single(query: Query) -> Self {
+        QueryExpr {
+            branches: vec![query],
+            all: false,
+        }
+    }
+
+    /// True when the expression is a plain single-block query.
+    pub fn is_single(&self) -> bool {
+        self.branches.len() == 1
+    }
+
+    /// The first (or only) branch.
+    pub fn first(&self) -> &Query {
+        &self.branches[0]
     }
 }
 

@@ -64,6 +64,8 @@ pub enum SemanticError {
     SubqueryArity { found: usize },
     /// Aggregates are only allowed in the SELECT list of a grouped query.
     MisplacedAggregate,
+    /// `UNION` branches with explicit select lists disagree on arity.
+    UnionArity { left: usize, right: usize },
 }
 
 impl fmt::Display for SemanticError {
@@ -102,6 +104,12 @@ impl fmt::Display for SemanticError {
             }
             SemanticError::MisplacedAggregate => {
                 write!(f, "aggregate functions are only allowed in the SELECT list")
+            }
+            SemanticError::UnionArity { left, right } => {
+                write!(
+                    f,
+                    "UNION branches select different column counts ({left} vs {right})"
+                )
             }
         }
     }

@@ -5,26 +5,36 @@
 //! SIGMOD 2020, Figure 4), extended with the `GROUP BY` / aggregate subset
 //! used by the paper's user study (Appendix F, Q7–Q9).
 //!
-//! The grammar, verbatim from the paper:
+//! The paper's grammar (Figure 4), widened per ISSUE 4 with inner joins,
+//! disjunction, `HAVING`, and top-level unions:
 //!
 //! ```text
+//! E ::= Q [UNION [ALL] Q ...]         top-level union of blocks
 //! Q ::= SELECT C [, C ...] | *        select clause
-//!     | FROM S [, S ...]              from clause
-//!     | [WHERE P]                     where clause
-//!     | [GROUP BY C [, C ...]]        (study extension)
+//!     | FROM S [, S ...]              from clause (incl. JOIN … ON)
+//!     | [WHERE D]                     where clause
+//!     | [GROUP BY C [, C ...]         (study extension)
+//!        [HAVING H [AND H ...]]]      post-grouping predicates
 //! C ::= [T.]A | AGG([T.]A) | AGG(*)   column / aggregate
-//! S ::= T [AS T]                      table (alias)
-//! P ::= P [AND P ... AND P]           conjunction
-//!     | C O C                         join predicate
+//! S ::= T [AS T] [[INNER] JOIN T [AS T] ON P [AND P ...] ...]
+//! D ::= B [OR B ...]                  disjunction (AND binds tighter)
+//! B ::= P [AND P ... AND P]           conjunction
+//! P ::= C O C                         join predicate
 //!     | C O V                         selection predicate
 //!     | [NOT] EXISTS (Q)              existential subquery
 //!     | C [NOT] IN (Q)                membership subquery
 //!     | C O {ALL | ANY} (Q)           quantified subquery
+//!     | ( D )                         parenthesized group
+//! H ::= AGG([T.]A | *) O V            aggregate-vs-constant comparison
 //! O ::= < | <= | = | <> | >= | >      comparison operator
 //! ```
 //!
-//! Disjunction (`OR`) is deliberately not part of the fragment (§4.4). The
-//! parser reports precise, spanned errors for anything outside the fragment.
+//! `JOIN … ON` desugars at parse time (the AST records only the implicit
+//! form); `OR` is lowered before translation (see
+//! `queryvis_logic::disjunction`). Outer/cross joins, `DISTINCT`,
+//! `ORDER BY`, subquery-level `UNION`, and non-constant `HAVING`
+//! comparisons remain outside the fragment, each rejected with a precise,
+//! spanned error.
 
 pub mod ast;
 pub mod error;
@@ -36,13 +46,16 @@ pub mod schema;
 pub mod token;
 
 pub use ast::{
-    AggCall, AggFunc, ColumnRef, CompareOp, Operand, Predicate, Query, SelectItem, SelectList,
-    TableRef, Value,
+    AggCall, AggFunc, ColumnRef, CompareOp, HavingPredicate, Operand, Predicate, Query, QueryExpr,
+    SelectItem, SelectList, TableRef, Value,
 };
 pub use error::{ParseError, SemanticError};
 pub use lexer::{tokenize, tokenize_in, tokenize_into};
-pub use parser::{parse_query, parse_query_in, parse_query_with};
-pub use printer::to_sql;
+pub use parser::{
+    parse_query, parse_query_expr, parse_query_expr_in, parse_query_expr_with, parse_query_in,
+    parse_query_with,
+};
+pub use printer::{to_sql, to_sql_expr};
 pub use queryvis_ir::{Interner, Symbol, SymbolQuery};
 pub use schema::{Schema, Table};
 

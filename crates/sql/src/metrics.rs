@@ -5,8 +5,8 @@
 //! words)"). These metrics back both the `repro complexity` harness and the
 //! stimulus-complexity input of the study simulator.
 
-use crate::ast::{Operand, Predicate, Query};
-use crate::printer::to_sql;
+use crate::ast::{Operand, Predicate, Query, QueryExpr};
+use crate::printer::{to_sql, to_sql_expr};
 
 /// Word count of the canonical rendering of a query.
 ///
@@ -17,6 +17,12 @@ use crate::printer::to_sql;
 /// for operators).
 pub fn word_count(query: &Query) -> usize {
     to_sql(query).split_whitespace().count()
+}
+
+/// [`word_count`] over a full query expression (`UNION` chains count the
+/// connective keywords, matching how one would count the printed text).
+pub fn word_count_expr(expr: &QueryExpr) -> usize {
+    to_sql_expr(expr).split_whitespace().count()
 }
 
 /// Number of lines of the canonical rendering.
@@ -69,23 +75,21 @@ pub fn complexity(query: &Query) -> QueryComplexity {
     }
 }
 
-/// Count of selection predicates (column-constant comparisons) in all blocks.
+/// Count of selection predicates (column-constant comparisons) in all
+/// blocks, descending into `Or` branches.
 pub fn selection_count(query: &Query) -> usize {
-    let own = query
-        .where_clause
-        .iter()
-        .filter(|p| {
-            matches!(
-                p,
-                Predicate::Compare { lhs, rhs, .. }
-                    if lhs.is_constant() != rhs.is_constant()
-            )
-        })
-        .count();
+    let mut own = 0usize;
+    for pred in &query.where_clause {
+        pred.for_each_compare(&mut |lhs, _, rhs| {
+            if lhs.is_constant() != rhs.is_constant() {
+                own += 1;
+            }
+        });
+    }
     own + query
         .where_clause
         .iter()
-        .filter_map(Predicate::subquery)
+        .flat_map(Predicate::subqueries)
         .map(selection_count)
         .sum::<usize>()
 }
@@ -113,7 +117,7 @@ pub fn has_self_join(query: &Query) -> bool {
         let nested = query
             .where_clause
             .iter()
-            .filter_map(Predicate::subquery)
+            .flat_map(Predicate::subqueries)
             .any(|q| walk(q, ancestors));
         for _ in &query.from {
             ancestors.pop();
@@ -126,24 +130,18 @@ pub fn has_self_join(query: &Query) -> bool {
 /// Count of comparison predicates whose operands are both constants — zero
 /// for any query in the fragment; exposed for failure-injection tests.
 pub fn constant_comparison_count(query: &Query) -> usize {
-    let own = query
-        .where_clause
-        .iter()
-        .filter(|p| {
-            matches!(
-                p,
-                Predicate::Compare {
-                    lhs: Operand::Value(_),
-                    rhs: Operand::Value(_),
-                    ..
-                }
-            )
-        })
-        .count();
+    let mut own = 0usize;
+    for pred in &query.where_clause {
+        pred.for_each_compare(&mut |lhs, _, rhs| {
+            if matches!((lhs, rhs), (Operand::Value(_), Operand::Value(_))) {
+                own += 1;
+            }
+        });
+    }
     own + query
         .where_clause
         .iter()
-        .filter_map(Predicate::subquery)
+        .flat_map(Predicate::subqueries)
         .map(constant_comparison_count)
         .sum::<usize>()
 }

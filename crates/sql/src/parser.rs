@@ -1,10 +1,21 @@
-//! Recursive-descent parser for the QueryVis SQL fragment.
+//! Recursive-descent parser for the (widened) QueryVis SQL fragment.
 //!
-//! The parser is a direct transcription of the grammar in the paper's
-//! Figure 4 (see the crate docs). Constructs outside the fragment that a
-//! user is likely to reach for (`OR`, `JOIN`, `HAVING`, `UNION`,
-//! `DISTINCT`, `ORDER BY`) are rejected with targeted error messages that
-//! point at the paper's fragment definition instead of a generic
+//! The core grammar is a direct transcription of the paper's Figure 4 (see
+//! the crate docs), widened with four constructs (ISSUE 4):
+//!
+//! * `JOIN … ON` — inner joins, desugared at parse time into the FROM list
+//!   plus WHERE conjuncts (the AST never records join syntax);
+//! * `OR` — disjunctions with standard precedence (`AND` binds tighter),
+//!   plus parenthesized boolean groups; represented as [`Predicate::Or`]
+//!   and lowered before translation;
+//! * `HAVING` — post-grouping predicates comparing an aggregate to a
+//!   constant;
+//! * top-level `UNION [ALL]` — parsed by [`parse_query_expr`] into a
+//!   multi-branch [`QueryExpr`].
+//!
+//! Constructs that remain outside the fragment (`OUTER`/`CROSS` joins,
+//! `DISTINCT`, `ORDER BY`, `UNION` in subqueries, …) are rejected with
+//! targeted, spanned error messages instead of a generic
 //! "unexpected token".
 
 use crate::ast::*;
@@ -25,8 +36,48 @@ thread_local! {
 
 /// Parse a single query (optionally terminated by `;`) into an AST, with
 /// all names interned in the global interner.
+///
+/// Top-level `UNION` is rejected here with a pointer at
+/// [`parse_query_expr`], which the diagram pipeline uses; every other
+/// widened construct (`JOIN … ON`, `OR`, `HAVING`) parses.
 pub fn parse_query(source: &str) -> Result<Query, ParseError> {
     parse_query_in(source, Interner::global())
+}
+
+/// Parse a full query expression — a query block or a top-level
+/// `UNION [ALL]` chain of blocks — with all names interned in the global
+/// interner.
+pub fn parse_query_expr(source: &str) -> Result<QueryExpr, ParseError> {
+    parse_query_expr_in(source, Interner::global())
+}
+
+/// [`parse_query_expr`] with an explicit interner; the containment caveats
+/// of [`parse_query_in`] apply.
+pub fn parse_query_expr_in(source: &str, interner: &Interner) -> Result<QueryExpr, ParseError> {
+    TOKEN_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => parse_query_expr_with(source, interner, &mut scratch),
+        Err(_) => parse_query_expr_with(source, interner, &mut Vec::new()),
+    })
+}
+
+/// [`parse_query_expr_in`] with an explicit token scratch buffer.
+pub fn parse_query_expr_with(
+    source: &str,
+    interner: &Interner,
+    scratch: &mut Vec<Token>,
+) -> Result<QueryExpr, ParseError> {
+    tokenize_into(source, interner, scratch)?;
+    let mut parser = Parser {
+        tokens: scratch,
+        pos: 0,
+        source,
+        interner,
+        scope: Vec::new(),
+    };
+    let expr = parser.query_expr()?;
+    parser.eat_if(&TokenKind::Semicolon);
+    parser.expect_eof()?;
+    Ok(expr)
 }
 
 /// [`parse_query`] with an explicit interner, for tests that prove symbol
@@ -61,8 +112,16 @@ pub fn parse_query_with(
         tokens: scratch,
         pos: 0,
         source,
+        interner,
+        scope: Vec::new(),
     };
     let query = parser.query_block()?;
+    if matches!(parser.peek_kind(), TokenKind::Keyword(Keyword::Union)) {
+        return Err(parser.err_here(
+            "top-level `UNION` is supported through the query-expression entry \
+             points (`parse_query_expr` / the diagram pipeline), not `parse_query`",
+        ));
+    }
     parser.eat_if(&TokenKind::Semicolon);
     parser.expect_eof()?;
     Ok(query)
@@ -72,6 +131,12 @@ struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
     source: &'a str,
+    interner: &'a Interner,
+    /// Bindings in scope, outermost first: each query block pushes its
+    /// FROM bindings as they are parsed (so `JOIN … ON` sees exactly the
+    /// tables introduced *before* it, plus every enclosing block's) and
+    /// truncates back on exit.
+    scope: Vec<Symbol>,
 }
 
 impl<'a> Parser<'a> {
@@ -162,17 +227,6 @@ impl<'a> Parser<'a> {
     /// Reject unsupported keywords with a message pointing at the fragment.
     fn check_unsupported(&self) -> Result<(), ParseError> {
         let unsupported = match self.peek_kind() {
-            TokenKind::Keyword(Keyword::Or) => {
-                Some("disjunction (`OR`) is outside the supported fragment (paper §4.4)")
-            }
-            TokenKind::Keyword(Keyword::Join) => Some(
-                "explicit `JOIN` syntax is not part of the fragment; \
-                 use implicit joins in the FROM/WHERE clauses (paper Fig. 4)",
-            ),
-            TokenKind::Keyword(Keyword::Having) => {
-                Some("`HAVING` is outside the supported fragment")
-            }
-            TokenKind::Keyword(Keyword::Union) => Some("`UNION` is outside the supported fragment"),
             TokenKind::Keyword(Keyword::Distinct) => {
                 Some("`DISTINCT` is outside the supported fragment (set semantics are implied)")
             }
@@ -187,16 +241,55 @@ impl<'a> Parser<'a> {
         }
     }
 
-    // Q ::= SELECT ... FROM ... [WHERE ...] [GROUP BY ...]
+    // E ::= Q [UNION [ALL] Q ...]
+    fn query_expr(&mut self) -> Result<QueryExpr, ParseError> {
+        let mut branches = vec![self.query_block()?];
+        let mut all: Option<bool> = None;
+        while matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Union)) {
+            let union_span = self.peek().span;
+            self.advance();
+            let this_all = self.eat_keyword(Keyword::All);
+            match all {
+                None => all = Some(this_all),
+                Some(prev) if prev != this_all => {
+                    return Err(self.err(
+                        "mixing `UNION` and `UNION ALL` in one query is outside \
+                         the supported fragment",
+                        union_span,
+                    ))
+                }
+                Some(_) => {}
+            }
+            branches.push(self.query_block()?);
+        }
+        Ok(QueryExpr {
+            branches,
+            all: all.unwrap_or(false),
+        })
+    }
+
+    // Q ::= SELECT ... FROM ... [WHERE ...] [GROUP BY ... [HAVING ...]]
     fn query_block(&mut self) -> Result<Query, ParseError> {
+        // This block's FROM bindings live on the scope stack only while
+        // the block (subqueries included) is being parsed.
+        let scope_mark = self.scope.len();
+        let result = self.query_block_scoped();
+        self.scope.truncate(scope_mark);
+        result
+    }
+
+    fn query_block_scoped(&mut self) -> Result<Query, ParseError> {
         self.expect_keyword(Keyword::Select)?;
         self.check_unsupported()?;
         let select = self.select_list()?;
         self.expect_keyword(Keyword::From)?;
-        let from = self.table_refs()?;
+        let (from, on_predicates) = self.table_refs()?;
         let mut query = Query::new(select, from);
+        // `JOIN … ON` conditions desugar to leading WHERE conjuncts.
+        query.where_clause = on_predicates;
         if self.eat_keyword(Keyword::Where) {
-            query.where_clause = self.predicates()?;
+            let mut where_preds = self.disjunction()?;
+            query.where_clause.append(&mut where_preds);
         }
         if self.eat_keyword(Keyword::Group) {
             self.expect_keyword(Keyword::By)?;
@@ -206,6 +299,13 @@ impl<'a> Parser<'a> {
                     break;
                 }
             }
+            if self.eat_keyword(Keyword::Having) {
+                query.having = self.having_predicates()?;
+            }
+        } else if matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Having)) {
+            return Err(
+                self.err_here("`HAVING` without `GROUP BY` is outside the supported fragment")
+            );
         }
         self.check_unsupported()?;
         Ok(query)
@@ -225,50 +325,233 @@ impl<'a> Parser<'a> {
         Ok(SelectList::Items(items))
     }
 
-    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
-        let agg = match self.peek_kind() {
+    /// The aggregate function named by the current token, if any.
+    fn peek_agg_func(&self) -> Option<AggFunc> {
+        match self.peek_kind() {
             TokenKind::Keyword(Keyword::Count) => Some(AggFunc::Count),
             TokenKind::Keyword(Keyword::Sum) => Some(AggFunc::Sum),
             TokenKind::Keyword(Keyword::Avg) => Some(AggFunc::Avg),
             TokenKind::Keyword(Keyword::Min) => Some(AggFunc::Min),
             TokenKind::Keyword(Keyword::Max) => Some(AggFunc::Max),
             _ => None,
+        }
+    }
+
+    /// `AGG([T.]A)` or `AGG(*)`, with the function keyword already peeked.
+    fn agg_call(&mut self, func: AggFunc) -> Result<AggCall, ParseError> {
+        self.advance();
+        self.expect(TokenKind::LParen)?;
+        let arg = if self.eat_if(&TokenKind::Star) {
+            None
+        } else {
+            Some(self.column_ref()?)
         };
-        if let Some(func) = agg {
-            self.advance();
-            self.expect(TokenKind::LParen)?;
-            let arg = if self.eat_if(&TokenKind::Star) {
-                None
-            } else {
-                Some(self.column_ref()?)
-            };
-            self.expect(TokenKind::RParen)?;
-            return Ok(SelectItem::Aggregate(AggCall { func, arg }));
+        self.expect(TokenKind::RParen)?;
+        Ok(AggCall { func, arg })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if let Some(func) = self.peek_agg_func() {
+            return Ok(SelectItem::Aggregate(self.agg_call(func)?));
         }
         Ok(SelectItem::Column(self.column_ref()?))
     }
 
-    fn table_refs(&mut self) -> Result<Vec<TableRef>, ParseError> {
-        let mut refs = Vec::new();
+    /// The HAVING clause: `AGG(...) O V [AND ...]` — aggregates compared
+    /// against constants, conjunction only.
+    fn having_predicates(&mut self) -> Result<Vec<HavingPredicate>, ParseError> {
+        let mut preds = Vec::new();
         loop {
-            let table = self.expect_ident("a table name")?;
-            let alias = if self.eat_keyword(Keyword::As) {
-                Some(self.expect_ident("an alias after AS")?)
-            } else if let TokenKind::Ident(name) = *self.peek_kind() {
-                self.advance();
-                Some(name)
-            } else {
-                None
+            let Some(func) = self.peek_agg_func() else {
+                return Err(self.err_here(
+                    "HAVING predicates must start with an aggregate \
+                     (COUNT/SUM/AVG/MIN/MAX) in this fragment",
+                ));
             };
-            refs.push(TableRef { table, alias });
+            let agg = self.agg_call(func)?;
+            let op = self.compare_op()?;
+            let value = match *self.peek_kind() {
+                TokenKind::Number(n) => {
+                    self.advance();
+                    Value::Number(n)
+                }
+                TokenKind::Str(s) => {
+                    self.advance();
+                    Value::Str(s)
+                }
+                _ => {
+                    return Err(self
+                        .err_here("HAVING compares an aggregate to a constant in this fragment"))
+                }
+            };
+            preds.push(HavingPredicate { agg, op, value });
+            if matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Or)) {
+                return Err(self.err_here("`OR` in HAVING is outside the supported fragment"));
+            }
+            if !self.eat_keyword(Keyword::And) {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    /// `T [[AS] alias]` — one FROM-clause table reference.
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.expect_ident("a table name")?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.expect_ident("an alias after AS")?)
+        } else if let TokenKind::Ident(name) = *self.peek_kind() {
+            self.advance();
+            Some(name)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    /// Reject the join flavors outside the fragment with targeted errors.
+    fn check_unsupported_join(&self) -> Result<(), ParseError> {
+        let message = match self.peek_kind() {
+            TokenKind::Keyword(Keyword::Left | Keyword::Right | Keyword::Full) => Some(
+                "outer joins (`LEFT`/`RIGHT`/`FULL [OUTER] JOIN`) are outside the \
+                 supported fragment; only inner `JOIN … ON` desugars into it",
+            ),
+            TokenKind::Keyword(Keyword::Outer) => Some(
+                "`OUTER JOIN` is outside the supported fragment; only inner \
+                 `JOIN … ON` desugars into it",
+            ),
+            TokenKind::Keyword(Keyword::Cross) => Some(
+                "`CROSS JOIN` is outside the supported fragment; list the tables \
+                 in the FROM clause instead",
+            ),
+            _ => None,
+        };
+        match message {
+            Some(msg) => Err(self.err_here(msg)),
+            None => Ok(()),
+        }
+    }
+
+    /// The FROM clause: comma-separated table references, each optionally
+    /// followed by a chain of `[INNER] JOIN T ON cond [AND cond ...]`.
+    /// Inner joins desugar on the spot: the joined table lands in the FROM
+    /// list and the ON conjuncts are returned for the WHERE clause.
+    fn table_refs(&mut self) -> Result<(Vec<TableRef>, Vec<Predicate>), ParseError> {
+        let mut refs = Vec::new();
+        let mut on_predicates = Vec::new();
+        loop {
+            let table_ref = self.table_ref()?;
+            self.scope.push(table_ref.binding());
+            refs.push(table_ref);
+            loop {
+                self.check_unsupported_join()?;
+                if self.eat_keyword(Keyword::Inner) {
+                    self.expect_keyword(Keyword::Join)?;
+                } else if !self.eat_keyword(Keyword::Join) {
+                    break;
+                }
+                let table_ref = self.table_ref()?;
+                self.scope.push(table_ref.binding());
+                refs.push(table_ref);
+                self.expect_keyword(Keyword::On)?;
+                on_predicates.append(&mut self.join_on_conjunction()?);
+            }
             if !self.eat_if(&TokenKind::Comma) {
                 break;
             }
         }
-        Ok(refs)
+        Ok((refs, on_predicates))
     }
 
-    fn predicates(&mut self) -> Result<Vec<Predicate>, ParseError> {
+    /// The condition of a `JOIN … ON`: a conjunction of comparison
+    /// predicates (subqueries and disjunctions stay WHERE-only). Unlike
+    /// WHERE — which the desugaring folds these conjuncts into — ON sees
+    /// only the bindings introduced *up to this point* (this block's
+    /// earlier FROM entries plus enclosing blocks), matching real SQL
+    /// scoping; a forward reference into the rest of the FROM list is a
+    /// spanned error here, not a silently accepted diagram.
+    fn join_on_conjunction(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut preds = Vec::new();
+        loop {
+            if matches!(
+                self.peek_kind(),
+                TokenKind::Keyword(Keyword::Not | Keyword::Exists) | TokenKind::LParen
+            ) {
+                return Err(self.err_here(
+                    "only comparison predicates are supported in `JOIN … ON`; \
+                     put subqueries and groups in the WHERE clause",
+                ));
+            }
+            let pred_span = self.peek().span;
+            let pred = self.comparison_like()?;
+            self.check_on_scope(&pred, pred_span)?;
+            preds.push(pred);
+            if matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Or)) {
+                return Err(self.err_here(
+                    "`OR` in `JOIN … ON` is outside the supported fragment; \
+                     move the disjunction into the WHERE clause",
+                ));
+            }
+            if !self.eat_keyword(Keyword::And) {
+                break;
+            }
+        }
+        Ok(preds)
+    }
+
+    /// Qualified columns in an ON condition must name a binding already in
+    /// scope (case-insensitively, matching the translator's resolution).
+    /// Unqualified columns resolve against the schema later and are not
+    /// checked here.
+    fn check_on_scope(&self, pred: &Predicate, span: Span) -> Result<(), ParseError> {
+        let Predicate::Compare { lhs, rhs, .. } = pred else {
+            return Ok(());
+        };
+        for operand in [lhs, rhs] {
+            let Operand::Column(column) = operand else {
+                continue;
+            };
+            let Some(qualifier) = column.table else {
+                continue;
+            };
+            let qualifier_text = self.interner.resolve(qualifier);
+            let known = self.scope.iter().any(|binding| {
+                *binding == qualifier
+                    || self
+                        .interner
+                        .resolve(*binding)
+                        .eq_ignore_ascii_case(qualifier_text)
+            });
+            if !known {
+                return Err(self.err(
+                    format!(
+                        "`{qualifier_text}` is not in scope in this `JOIN … ON` \
+                         condition; ON may only reference tables introduced \
+                         earlier in the FROM clause (or an enclosing block)"
+                    ),
+                    span,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A WHERE clause: `conjunction (OR conjunction)*` with standard
+    /// precedence. A single branch yields the plain conjunction; several
+    /// branches yield one [`Predicate::Or`] conjunct.
+    fn disjunction(&mut self) -> Result<Vec<Predicate>, ParseError> {
+        let mut branches = vec![self.conjunction()?];
+        while self.eat_keyword(Keyword::Or) {
+            branches.push(self.conjunction()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(vec![Predicate::Or(branches)])
+        }
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Predicate>, ParseError> {
         let mut preds = vec![self.predicate()?];
         loop {
             self.check_unsupported()?;
@@ -282,6 +565,22 @@ impl<'a> Parser<'a> {
 
     fn predicate(&mut self) -> Result<Predicate, ParseError> {
         self.check_unsupported()?;
+        // A parenthesized boolean group `(P AND P OR P ...)` — anything but
+        // a subquery opener after `(`.
+        if matches!(self.peek_kind(), TokenKind::LParen)
+            && !matches!(self.peek2_kind(), TokenKind::Keyword(Keyword::Select))
+        {
+            self.advance();
+            let mut branches = vec![self.conjunction()?];
+            while self.eat_keyword(Keyword::Or) {
+                branches.push(self.conjunction()?);
+            }
+            self.expect(TokenKind::RParen)?;
+            if branches.len() == 1 && branches[0].len() == 1 {
+                return Ok(branches.pop().expect("one branch").pop().expect("one pred"));
+            }
+            return Ok(Predicate::Or(branches));
+        }
         // `NOT EXISTS (Q)` or a leading `NOT` on IN / ANY / ALL forms.
         if matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Not)) {
             let not_span = self.peek().span;
@@ -318,10 +617,12 @@ impl<'a> Parser<'a> {
                     negated: !negated,
                     query,
                 }),
-                Predicate::Compare { .. } | Predicate::Exists { .. } => Err(self.err(
-                    "`NOT` may only prefix EXISTS, IN, or ANY/ALL predicates in this fragment",
-                    not_span,
-                )),
+                Predicate::Compare { .. } | Predicate::Exists { .. } | Predicate::Or(_) => {
+                    Err(self.err(
+                        "`NOT` may only prefix EXISTS, IN, or ANY/ALL predicates in this fragment",
+                        not_span,
+                    ))
+                }
             };
         }
         if self.eat_keyword(Keyword::Exists) {
@@ -393,6 +694,11 @@ impl<'a> Parser<'a> {
     fn subquery(&mut self) -> Result<Box<Query>, ParseError> {
         self.expect(TokenKind::LParen)?;
         let query = self.query_block()?;
+        if matches!(self.peek_kind(), TokenKind::Keyword(Keyword::Union)) {
+            return Err(
+                self.err_here("`UNION` is only supported at the top level, not inside subqueries")
+            );
+        }
         self.expect(TokenKind::RParen)?;
         Ok(Box::new(query))
     }
@@ -575,16 +881,152 @@ mod tests {
     }
 
     #[test]
-    fn reject_or() {
-        let err = parse_query("SELECT a FROM t WHERE a = 1 OR a = 2").unwrap_err();
-        assert!(err.message.contains("OR"), "{}", err.message);
-        assert!(err.message.contains("4.4"), "{}", err.message);
+    fn or_parses_with_and_precedence() {
+        let q = parse_query("SELECT t.a FROM t WHERE t.a = 1 AND t.b = 2 OR t.c = 3").unwrap();
+        assert_eq!(q.where_clause.len(), 1);
+        match &q.where_clause[0] {
+            Predicate::Or(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[0].len(), 2, "AND binds tighter than OR");
+                assert_eq!(branches[1].len(), 1);
+            }
+            other => panic!("expected Or, got {other:?}"),
+        }
     }
 
     #[test]
-    fn reject_explicit_join() {
-        let err = parse_query("SELECT a FROM t JOIN s").unwrap_err();
-        assert!(err.message.contains("JOIN"), "{}", err.message);
+    fn parenthesized_group_keeps_or_inside_conjunction() {
+        let q = parse_query("SELECT t.a FROM t WHERE t.a = 1 AND (t.b = 2 OR t.c = 3)").unwrap();
+        assert_eq!(q.where_clause.len(), 2);
+        assert!(matches!(q.where_clause[0], Predicate::Compare { .. }));
+        match &q.where_clause[1] {
+            Predicate::Or(branches) => assert_eq!(branches.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+        // A redundant single-predicate group is inlined.
+        let q = parse_query("SELECT t.a FROM t WHERE (t.a = 1)").unwrap();
+        assert!(matches!(q.where_clause[0], Predicate::Compare { .. }));
+    }
+
+    #[test]
+    fn join_on_desugars_to_from_and_where() {
+        let explicit = parse_query(
+            "SELECT F.person FROM Frequents F JOIN Serves S ON F.bar = S.bar \
+             WHERE S.drink = 'IPA'",
+        )
+        .unwrap();
+        let implicit = parse_query(
+            "SELECT F.person FROM Frequents F, Serves S \
+             WHERE F.bar = S.bar AND S.drink = 'IPA'",
+        )
+        .unwrap();
+        assert_eq!(
+            explicit, implicit,
+            "JOIN … ON must desugar to the implicit form"
+        );
+        // INNER JOIN is the same thing; chains and multi-conjunct ON work.
+        let chained = parse_query(
+            "SELECT F.person FROM Frequents F INNER JOIN Serves S ON F.bar = S.bar \
+             JOIN Likes L ON L.person = F.person AND L.beer = S.beer",
+        )
+        .unwrap();
+        assert_eq!(chained.from.len(), 3);
+        assert_eq!(chained.where_clause.len(), 3);
+    }
+
+    #[test]
+    fn join_mixes_with_comma_list() {
+        let q =
+            parse_query("SELECT A.x FROM T A JOIN U B ON A.x = B.x, V C WHERE C.y = A.y").unwrap();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.where_clause.len(), 2);
+    }
+
+    #[test]
+    fn join_on_scoping_is_left_to_right() {
+        // Forward reference into the rest of the FROM list: invalid SQL,
+        // must not silently desugar into a valid-looking diagram.
+        let err = parse_query("SELECT A.x FROM T A JOIN U B ON A.x = C.y, V C").unwrap_err();
+        assert!(err.message.contains("not in scope"), "{}", err.message);
+        assert!(err.message.contains("`C`"), "{}", err.message);
+        // A completely unknown binding is rejected the same way.
+        let err = parse_query("SELECT A.x FROM T A JOIN U B ON A.x = Z.y").unwrap_err();
+        assert!(err.message.contains("not in scope"), "{}", err.message);
+        // ON in a correlated subquery may reference enclosing bindings.
+        parse_query(
+            "SELECT F.x FROM T F WHERE EXISTS \
+             (SELECT * FROM U B JOIN V C ON B.k = C.k AND C.y = F.x)",
+        )
+        .unwrap();
+        // Alias matching is case-insensitive, like the translator's.
+        parse_query("SELECT A.x FROM T A JOIN U B ON a.x = b.y").unwrap();
+    }
+
+    #[test]
+    fn reject_outer_and_cross_joins() {
+        for (sql, token) in [
+            ("SELECT a FROM t LEFT JOIN s ON t.x = s.x", "outer joins"),
+            ("SELECT a FROM t RIGHT JOIN s ON t.x = s.x", "outer joins"),
+            (
+                "SELECT a FROM t FULL OUTER JOIN s ON t.x = s.x",
+                "outer joins",
+            ),
+            ("SELECT a FROM t CROSS JOIN s", "CROSS JOIN"),
+        ] {
+            let err = parse_query(sql).unwrap_err();
+            assert!(err.message.contains(token), "{sql}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn having_parses_after_group_by() {
+        let q = parse_query(
+            "SELECT T.a, COUNT(T.b) FROM T GROUP BY T.a \
+             HAVING COUNT(T.b) > 2 AND MAX(T.c) <= 10",
+        )
+        .unwrap();
+        assert_eq!(q.having.len(), 2);
+        assert_eq!(q.having[0].agg.func, AggFunc::Count);
+        assert_eq!(q.having[0].op, CompareOp::Gt);
+        assert!(q.uses_grouping());
+    }
+
+    #[test]
+    fn having_requires_group_by_and_aggregates() {
+        let err = parse_query("SELECT t.a FROM t HAVING COUNT(t.a) > 1").unwrap_err();
+        assert!(err.message.contains("GROUP BY"), "{}", err.message);
+        let err = parse_query("SELECT t.a FROM t GROUP BY t.a HAVING t.a > 1").unwrap_err();
+        assert!(err.message.contains("aggregate"), "{}", err.message);
+        let err = parse_query("SELECT t.a FROM t GROUP BY t.a HAVING COUNT(*) > t.b").unwrap_err();
+        assert!(err.message.contains("constant"), "{}", err.message);
+    }
+
+    #[test]
+    fn union_parses_as_expression() {
+        let expr =
+            parse_query_expr("SELECT t.a FROM t WHERE t.a = 1 UNION SELECT s.b FROM s;").unwrap();
+        assert_eq!(expr.branches.len(), 2);
+        assert!(!expr.all);
+        let expr = parse_query_expr("SELECT t.a FROM t UNION ALL SELECT s.b FROM s").unwrap();
+        assert!(expr.all);
+        // Single-block expressions stay single.
+        assert!(parse_query_expr("SELECT t.a FROM t").unwrap().is_single());
+    }
+
+    #[test]
+    fn union_rejected_where_unsupported() {
+        let err = parse_query("SELECT t.a FROM t UNION SELECT s.b FROM s").unwrap_err();
+        assert!(err.message.contains("parse_query_expr"), "{}", err.message);
+        let err = parse_query_expr(
+            "SELECT t.a FROM t UNION SELECT s.b FROM s UNION ALL SELECT u.c FROM u",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("mixing"), "{}", err.message);
+        let err = parse_query_expr(
+            "SELECT t.a FROM t WHERE EXISTS (SELECT s.b FROM s UNION SELECT u.c FROM u)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("top level"), "{}", err.message);
     }
 
     #[test]

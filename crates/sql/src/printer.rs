@@ -17,6 +17,22 @@ pub fn to_sql(query: &Query) -> String {
     out
 }
 
+/// Render a full query expression (a query block or a `UNION [ALL]` chain)
+/// as canonical multi-line SQL text.
+pub fn to_sql_expr(expr: &QueryExpr) -> String {
+    let mut out = String::new();
+    for (i, branch) in expr.branches.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+            out.push_str(if expr.all { "UNION ALL" } else { "UNION" });
+            out.push('\n');
+        }
+        write_query(&mut out, branch, 0);
+    }
+    out.push(';');
+    out
+}
+
 /// Render a query on a single line (used in logs and error messages).
 pub fn to_sql_one_line(query: &Query) -> String {
     to_sql(query)
@@ -66,6 +82,13 @@ fn write_query(out: &mut String, query: &Query, level: usize) {
         let cols: Vec<String> = query.group_by.iter().map(|c| c.to_string()).collect();
         out.push_str(&cols.join(", "));
     }
+    if !query.having.is_empty() {
+        out.push('\n');
+        indent(out, level);
+        out.push_str("HAVING ");
+        let preds: Vec<String> = query.having.iter().map(|h| h.to_string()).collect();
+        out.push_str(&preds.join(" AND "));
+    }
 }
 
 fn write_predicate(out: &mut String, pred: &Predicate, level: usize) {
@@ -106,6 +129,23 @@ fn write_predicate(out: &mut String, pred: &Predicate, level: usize) {
             }
             let _ = writeln!(out, "{column} {op} {} (", quantifier.as_str());
             write_query(out, query, level + 1);
+            out.push(')');
+        }
+        // A disjunction prints parenthesized so precedence survives the
+        // round trip: `(a AND b OR c)` re-parses to the same branches.
+        Predicate::Or(branches) => {
+            out.push('(');
+            for (i, branch) in branches.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" OR ");
+                }
+                for (j, pred) in branch.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(" AND ");
+                    }
+                    write_predicate(out, pred, level);
+                }
+            }
             out.push(')');
         }
     }
@@ -151,6 +191,50 @@ mod tests {
         roundtrip(
             "SELECT S.sname FROM Sailor S WHERE NOT S.sid = ANY (SELECT R.sid FROM Reserves R)",
         );
+    }
+
+    fn roundtrip_expr(sql: &str) {
+        let e1 = crate::parser::parse_query_expr(sql).unwrap();
+        let printed = to_sql_expr(&e1);
+        let e2 = crate::parser::parse_query_expr(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of printed SQL failed: {e}\n{printed}"));
+        assert_eq!(e1, e2, "round trip changed the AST:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_or_and_groups() {
+        roundtrip("SELECT t.a FROM t WHERE t.a = 1 AND t.b = 2 OR t.c = 3");
+        roundtrip("SELECT t.a FROM t WHERE t.a = 1 AND (t.b = 2 OR t.c = 3)");
+        roundtrip(
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar AND \
+             (S.drink = 'IPA' OR S.drink = 'Stout'))",
+        );
+    }
+
+    #[test]
+    fn roundtrip_having() {
+        roundtrip("SELECT T.a, COUNT(T.b) FROM T GROUP BY T.a HAVING COUNT(T.b) > 2");
+        roundtrip("SELECT T.a FROM T GROUP BY T.a HAVING COUNT(*) >= 3 AND MIN(T.c) < 9");
+    }
+
+    #[test]
+    fn roundtrip_union_expr() {
+        roundtrip_expr("SELECT t.a FROM t UNION SELECT s.b FROM s");
+        roundtrip_expr(
+            "SELECT t.a FROM t WHERE t.a = 1 UNION ALL SELECT s.b FROM s \
+             UNION ALL SELECT u.c FROM u",
+        );
+    }
+
+    #[test]
+    fn join_prints_in_desugared_form() {
+        let q =
+            parse_query("SELECT F.person FROM Frequents F JOIN Serves S ON F.bar = S.bar").unwrap();
+        let printed = to_sql(&q);
+        assert!(printed.contains("FROM Frequents F, Serves S"), "{printed}");
+        assert!(printed.contains("WHERE F.bar = S.bar"), "{printed}");
+        roundtrip("SELECT F.person FROM Frequents F JOIN Serves S ON F.bar = S.bar");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! correlated subqueries may reference outer aliases), innermost binding
 //! first.
 
-use crate::ast::{ColumnRef, Operand, Predicate, Query, SelectItem, SelectList};
+use crate::ast::{ColumnRef, Operand, Predicate, Query, QueryExpr, SelectItem, SelectList};
 use crate::error::SemanticError;
 use queryvis_ir::Symbol;
 
@@ -67,6 +67,29 @@ impl Schema {
         self.check_block(query, &mut scopes, false)
     }
 
+    /// Validate a full query expression: every `UNION` branch checks
+    /// individually, and branches with explicit select lists must agree on
+    /// arity (union compatibility).
+    pub fn check_query_expr(&self, expr: &QueryExpr) -> Result<(), SemanticError> {
+        let mut arity: Option<usize> = None;
+        for branch in &expr.branches {
+            self.check_query(branch)?;
+            if let SelectList::Items(items) = &branch.select {
+                match arity {
+                    None => arity = Some(items.len()),
+                    Some(n) if n != items.len() => {
+                        return Err(SemanticError::UnionArity {
+                            left: n,
+                            right: items.len(),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn check_block<'s>(
         &'s self,
         query: &Query,
@@ -124,37 +147,58 @@ impl Schema {
             for c in &query.group_by {
                 self.resolve(c, scopes)?;
             }
+            // HAVING aggregates (arguments resolve like any other column).
+            for h in &query.having {
+                if let Some(c) = &h.agg.arg {
+                    self.resolve(c, scopes)?;
+                }
+            }
             // WHERE predicates.
             for pred in &query.where_clause {
-                match pred {
-                    Predicate::Compare { lhs, op: _, rhs } => {
-                        if lhs.is_constant() && rhs.is_constant() {
-                            return Err(SemanticError::ConstantComparison);
-                        }
-                        for operand in [lhs, rhs] {
-                            if let Operand::Column(c) = operand {
-                                self.resolve(c, scopes)?;
-                            }
-                        }
-                    }
-                    Predicate::Exists { query, .. } => {
-                        self.check_block(query, scopes, false)?;
-                    }
-                    Predicate::InSubquery { column, query, .. } => {
-                        self.resolve(column, scopes)?;
-                        self.check_block(query, scopes, true)?;
-                    }
-                    Predicate::Quantified { column, query, .. } => {
-                        self.resolve(column, scopes)?;
-                        self.check_block(query, scopes, true)?;
-                    }
-                }
+                self.check_predicate(pred, scopes)?;
             }
             Ok(())
         })();
 
         scopes.pop();
         result
+    }
+
+    fn check_predicate<'s>(
+        &'s self,
+        pred: &Predicate,
+        scopes: &mut Vec<Vec<(Symbol, &'s Table)>>,
+    ) -> Result<(), SemanticError> {
+        match pred {
+            Predicate::Compare { lhs, op: _, rhs } => {
+                if lhs.is_constant() && rhs.is_constant() {
+                    return Err(SemanticError::ConstantComparison);
+                }
+                for operand in [lhs, rhs] {
+                    if let Operand::Column(c) = operand {
+                        self.resolve(c, scopes)?;
+                    }
+                }
+                Ok(())
+            }
+            Predicate::Exists { query, .. } => self.check_block(query, scopes, false),
+            Predicate::InSubquery { column, query, .. } => {
+                self.resolve(column, scopes)?;
+                self.check_block(query, scopes, true)
+            }
+            Predicate::Quantified { column, query, .. } => {
+                self.resolve(column, scopes)?;
+                self.check_block(query, scopes, true)
+            }
+            Predicate::Or(branches) => {
+                for branch in branches {
+                    for pred in branch {
+                        self.check_predicate(pred, scopes)?;
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Resolve a column reference against the scope stack (innermost block

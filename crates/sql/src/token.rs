@@ -64,12 +64,21 @@ pub enum Keyword {
     Avg,
     Min,
     Max,
-    // Recognized so we can reject them with a targeted message instead of a
-    // generic "unexpected identifier".
+    // Widened-fragment constructs (ISSUE 4): disjunction, explicit inner
+    // joins, post-grouping predicates, and top-level unions.
     Or,
     Having,
     Join,
+    On,
+    Inner,
     Union,
+    // Recognized so we can reject them with a targeted message instead of a
+    // generic "unexpected identifier".
+    Left,
+    Right,
+    Full,
+    Outer,
+    Cross,
     Distinct,
     OrderKw,
 }
@@ -86,6 +95,7 @@ const KEYWORDS_BY_LEN: [&[(&str, Keyword)]; 9] = [
         ("BY", Keyword::By),
         ("OR", Keyword::Or),
         ("AS", Keyword::As),
+        ("ON", Keyword::On),
     ], // 2
     &[
         ("AND", Keyword::And),
@@ -101,6 +111,8 @@ const KEYWORDS_BY_LEN: [&[(&str, Keyword)]; 9] = [
         ("FROM", Keyword::From),
         ("SOME", Keyword::Any),
         ("JOIN", Keyword::Join),
+        ("LEFT", Keyword::Left),
+        ("FULL", Keyword::Full),
     ], // 4
     &[
         ("WHERE", Keyword::Where),
@@ -108,6 +120,10 @@ const KEYWORDS_BY_LEN: [&[(&str, Keyword)]; 9] = [
         ("COUNT", Keyword::Count),
         ("UNION", Keyword::Union),
         ("ORDER", Keyword::OrderKw),
+        ("INNER", Keyword::Inner),
+        ("RIGHT", Keyword::Right),
+        ("OUTER", Keyword::Outer),
+        ("CROSS", Keyword::Cross),
     ], // 5
     &[
         ("SELECT", Keyword::Select),
@@ -149,7 +165,14 @@ impl Keyword {
             Keyword::Or => "OR",
             Keyword::Having => "HAVING",
             Keyword::Join => "JOIN",
+            Keyword::On => "ON",
+            Keyword::Inner => "INNER",
             Keyword::Union => "UNION",
+            Keyword::Left => "LEFT",
+            Keyword::Right => "RIGHT",
+            Keyword::Full => "FULL",
+            Keyword::Outer => "OUTER",
+            Keyword::Cross => "CROSS",
             Keyword::Distinct => "DISTINCT",
             Keyword::OrderKw => "ORDER",
         }

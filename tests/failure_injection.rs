@@ -51,31 +51,92 @@ fn malformed_sql_catalog() {
     }
 }
 
+/// The constructs that remain outside the widened fragment must keep
+/// targeted, spanned "outside the supported fragment"-style messages —
+/// through `parse_query_expr` (the pipeline's entry point), so warm and
+/// cold service paths reject identically (errors are never memoized).
 #[test]
 fn out_of_fragment_constructs_have_targeted_messages() {
     let cases: &[(&str, &str)] = &[
-        ("SELECT a FROM t WHERE a = 1 OR b = 2", "OR"),
-        ("SELECT a FROM t JOIN s ON t.x = s.x", "JOIN"),
-        ("SELECT a FROM t GROUP BY a HAVING COUNT(a) > 1", "HAVING"),
-        ("SELECT a FROM t UNION SELECT b FROM s", "UNION"),
         ("SELECT DISTINCT a FROM t", "DISTINCT"),
         ("SELECT a FROM t ORDER BY a", "ORDER"),
+        ("SELECT a FROM t LEFT JOIN s ON t.x = s.x", "outer joins"),
+        ("SELECT a FROM t RIGHT JOIN s ON t.x = s.x", "outer joins"),
+        (
+            "SELECT a FROM t FULL OUTER JOIN s ON t.x = s.x",
+            "outer joins",
+        ),
+        ("SELECT a FROM t CROSS JOIN s", "CROSS JOIN"),
+        (
+            "SELECT a FROM t JOIN s ON EXISTS (SELECT * FROM u)",
+            "comparison predicates",
+        ),
+        ("SELECT a FROM t JOIN s ON t.x = s.x OR t.y = s.y", "OR"),
+        ("SELECT a FROM t HAVING COUNT(a) > 1", "GROUP BY"),
+        ("SELECT a FROM t GROUP BY a HAVING a > 1", "aggregate"),
+        (
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > t.b",
+            "constant",
+        ),
+        (
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1 OR COUNT(*) < 9",
+            "OR",
+        ),
+        (
+            "SELECT a FROM t WHERE EXISTS (SELECT b FROM s UNION SELECT c FROM u)",
+            "top level",
+        ),
+        (
+            "SELECT a FROM t UNION SELECT b FROM s UNION ALL SELECT c FROM u",
+            "mixing",
+        ),
+        (
+            "SELECT a FROM t WHERE EXISTS (SELECT * FROM s ORDER BY s.x)",
+            "ORDER",
+        ),
     ];
     for (sql, token) in cases {
-        let err = parse_query(sql).unwrap_err();
+        let err = queryvis_sql::parse_query_expr(sql).unwrap_err();
         assert!(
             err.message.contains(token),
             "for `{sql}`: got `{}`",
             err.message
         );
+        // Spans must be real: every error points at a line/column.
+        assert!(err.line >= 1 && err.column >= 1, "{sql}");
     }
+}
+
+/// Fragment limits enforced below the parser (lowering/translation) also
+/// surface as errors through the pipeline, not panics.
+#[test]
+fn out_of_fragment_lowering_limits() {
+    // OR that would split a grouped root block.
+    let err =
+        QueryVis::from_sql("SELECT T.a, COUNT(T.b) FROM T WHERE T.a = 1 OR T.b = 2 GROUP BY T.a")
+            .unwrap_err();
+    assert!(
+        err.to_string().contains("outside the supported fragment"),
+        "{err}"
+    );
+    // Cross-product explosion past the branch cap.
+    let wide = format!(
+        "SELECT T.a FROM T WHERE {}",
+        (0..6)
+            .map(|i| format!("(T.a{i} = 1 OR T.b{i} = 2)"))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    );
+    let err = QueryVis::from_sql(&wide).unwrap_err();
+    assert!(err.to_string().contains("branches"), "{err}");
 }
 
 #[test]
 fn parse_errors_carry_positions() {
-    let err = parse_query("SELECT a\nFROM t\nWHERE a = 1 OR b = 2").unwrap_err();
+    let err = parse_query("SELECT a\nFROM t\nORDER BY a").unwrap_err();
     assert_eq!(err.line, 3, "error on line 3, got {}", err.line);
-    assert!(err.column > 1);
+    let err = parse_query("SELECT a FROM t\nLEFT JOIN s ON t.x = s.x").unwrap_err();
+    assert_eq!(err.line, 2, "error on line 2, got {}", err.line);
 }
 
 // ---------- semantic ----------

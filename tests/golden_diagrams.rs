@@ -97,6 +97,169 @@ fn fig12b_simplified_unique_set() {
     assert_eq!(quant_of("L6"), None);
 }
 
+// ---------- widened fragment (ISSUE 4): one golden per new construct ----------
+
+/// `JOIN … ON` desugars to the implicit form: the two syntaxes build the
+/// *same* diagram, structure and rows included.
+#[test]
+fn join_on_golden_matches_implicit_join() {
+    let explicit = QueryVis::with_schema(
+        "SELECT F.person FROM Frequents F JOIN Serves S ON F.bar = S.bar \
+         WHERE S.drink = 'IPA'",
+        &beers_schema(),
+    )
+    .unwrap();
+    let implicit = QueryVis::with_schema(
+        "SELECT F.person FROM Frequents F, Serves S \
+         WHERE F.bar = S.bar AND S.drink = 'IPA'",
+        &beers_schema(),
+    )
+    .unwrap();
+    assert_eq!(explicit.diagram, implicit.diagram);
+    let d = &explicit.diagram;
+    assert_eq!(d.tables.len(), 3); // F, S, SELECT
+    assert_eq!(d.boxes.len(), 0);
+    let serves = d.table_by_binding("S").unwrap();
+    assert!(serves.rows.iter().any(|r| r.display() == "drink = 'IPA'"));
+}
+
+/// A negative-polarity OR splits into *sibling ∄-groups*: one dashed box
+/// per disjunct, each holding its own copy of the subquery table.
+#[test]
+fn or_splits_into_sibling_groups_golden() {
+    let qv = QueryVis::with_options(
+        "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+         (SELECT * FROM Serves S WHERE S.bar = F.bar AND \
+          (S.drink = 'IPA' OR S.drink = 'Stout'))",
+        QueryVisOptions {
+            schema: Some(beers_schema()),
+            no_simplify: true,
+            ..QueryVisOptions::default()
+        },
+    )
+    .unwrap();
+    let d = &qv.diagram;
+    assert!(!qv.is_union(), "negative OR stays one diagram");
+    // Two sibling ∄ boxes, each with one Serves table.
+    assert_eq!(d.boxes.len(), 2);
+    assert!(d
+        .boxes
+        .iter()
+        .all(|b| b.quantifier == Quantifier::NotExists));
+    assert!(d.boxes.iter().all(|b| b.tables.len() == 1));
+    let serves: Vec<_> = d
+        .tables
+        .iter()
+        .filter(|t| t.name.as_str() == "Serves")
+        .collect();
+    assert_eq!(serves.len(), 2, "one Serves copy per disjunct");
+    // Each copy carries its disjunct's selection row.
+    let mut selections: Vec<String> = serves
+        .iter()
+        .flat_map(|t| t.rows.iter())
+        .filter(|r| matches!(r.kind, queryvis::diagram::RowKind::Selection { .. }))
+        .map(|r| r.display())
+        .collect();
+    selections.sort();
+    assert_eq!(selections, vec!["drink = 'IPA'", "drink = 'Stout'"]);
+}
+
+/// HAVING attaches to the grouping block: a highlighted row on the SELECT
+/// table, wired to the aggregated source attribute.
+#[test]
+fn having_golden() {
+    let qv = QueryVis::from_sql(
+        "SELECT T.AlbumId, COUNT(T.TrackId) FROM Track T \
+         GROUP BY T.AlbumId HAVING COUNT(T.TrackId) > 2",
+    )
+    .unwrap();
+    let d = &qv.diagram;
+    let select = &d.tables[d.select_table];
+    let having_row = select
+        .rows
+        .iter()
+        .find(|r| matches!(r.kind, queryvis::diagram::RowKind::Having { .. }))
+        .expect("HAVING row on the SELECT table");
+    assert_eq!(having_row.display(), "COUNT(TrackId) > 2");
+    // The HAVING row connects (undirected) to the source attribute.
+    let having_idx = select
+        .rows
+        .iter()
+        .position(|r| matches!(r.kind, queryvis::diagram::RowKind::Having { .. }))
+        .unwrap();
+    assert!(qv
+        .diagram
+        .edges
+        .iter()
+        .any(|e| !e.directed && e.from.table == d.select_table && e.from.row == having_idx));
+    // The reading reports it as a group-level condition.
+    assert!(
+        qv.reading()
+            .contains("keeping only groups where COUNT(TrackId) > 2"),
+        "{}",
+        qv.reading()
+    );
+}
+
+/// A 2-branch UNION compiles to one diagram per branch plus a union badge
+/// in every artifact.
+#[test]
+fn union_two_branch_golden() {
+    let qv = QueryVis::with_schema(
+        "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl' \
+         UNION \
+         SELECT L.person FROM Likes L WHERE L.beer = 'IPA'",
+        &beers_schema(),
+    )
+    .unwrap();
+    assert!(qv.is_union());
+    assert!(!qv.union_all);
+    assert_eq!(qv.diagrams().len(), 2);
+    // Each branch: one base table + its own SELECT table.
+    for d in qv.diagrams() {
+        assert_eq!(d.tables.len(), 2);
+        assert_eq!(d.boxes.len(), 0);
+    }
+    assert_eq!(qv.rest.len(), 1);
+    assert_eq!(qv.rest[0].diagram.tables[0].name.as_str(), "Likes");
+    // Badges in every artifact.
+    let ascii = qv.ascii();
+    assert!(ascii.contains("UNION"), "{ascii}");
+    assert!(
+        ascii.contains("Frequents") && ascii.contains("Likes"),
+        "{ascii}"
+    );
+    let svg = qv.svg();
+    assert_eq!(svg.matches("<svg").count(), 1, "one combined document");
+    assert!(svg.contains(">UNION</text>"), "svg badge missing");
+    let dot = qv.dot();
+    assert!(dot.contains("label=\"UNION\""), "{dot}");
+    assert!(dot.contains("cluster_branch_0") && dot.contains("cluster_branch_1"));
+    // A positive-polarity OR over one table is the same pattern as the
+    // equivalent written UNION (the equivalence the lowering implements).
+    let by_or = QueryVis::with_schema(
+        "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl' OR F.bar = 'Tap'",
+        &beers_schema(),
+    )
+    .unwrap();
+    let by_union = QueryVis::with_schema(
+        "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl' \
+         UNION SELECT F.person FROM Frequents F WHERE F.bar = 'Tap'",
+        &beers_schema(),
+    )
+    .unwrap();
+    assert_eq!(by_or.pattern(), by_union.pattern());
+    // UNION ALL is a different pattern (and a different badge).
+    let by_union_all = QueryVis::with_schema(
+        "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl' \
+         UNION ALL SELECT F.person FROM Frequents F WHERE F.bar = 'Tap'",
+        &beers_schema(),
+    )
+    .unwrap();
+    assert_ne!(by_union.pattern(), by_union_all.pattern());
+    assert!(by_union_all.ascii().contains("UNION ALL"));
+}
+
 /// The ASCII golden for Qsome (Fig. 2a) — small enough to pin exactly.
 #[test]
 fn fig2a_ascii_golden() {

@@ -128,7 +128,11 @@ fn resolved_names(query: &Query, resolve: &dyn Fn(queryvis_sql::Symbol) -> Strin
                 out.push(resolve(alias));
             }
         }
-        for pred in &query.where_clause {
+        fn pred_names(
+            pred: &Predicate,
+            resolve: &dyn Fn(queryvis_sql::Symbol) -> String,
+            out: &mut Vec<String>,
+        ) {
             match pred {
                 Predicate::Compare { lhs, rhs, .. } => {
                     operand(lhs, resolve, out);
@@ -144,7 +148,17 @@ fn resolved_names(query: &Query, resolve: &dyn Fn(queryvis_sql::Symbol) -> Strin
                     column(c, resolve, out);
                     walk(query, resolve, out);
                 }
+                Predicate::Or(branches) => {
+                    for branch in branches {
+                        for pred in branch {
+                            pred_names(pred, resolve, out);
+                        }
+                    }
+                }
             }
+        }
+        for pred in &query.where_clause {
+            pred_names(pred, resolve, out);
         }
         for c in &query.group_by {
             column(c, resolve, out);
