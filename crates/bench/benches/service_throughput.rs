@@ -12,9 +12,11 @@
 //! plus a **fingerprint-only** row (parse → translate → canonical token
 //! stream → 128-bit hash, no service) that tracks the frontend in
 //! isolation — the path the L1 text memo short-circuits for repeat
-//! texts — and a **warm_l1_hit** row serving a normalization-equivalent
-//! *variant* text of a warmed query, isolating the memo's effect. Every
-//! row also reports sampled p50/p99 per-request latency.
+//! texts — a **warm_l1_hit** row serving a normalization-equivalent
+//! *variant* text of a warmed query, isolating the memo's effect, and
+//! two **warm_multiformat** rows (one entry rendered ascii+svg+scene_json
+//! vs one format) quantifying the shared-scene layout win. Every row
+//! also reports sampled p50/p99 per-request latency.
 //!
 //! Besides the console report, the bench writes machine-readable results
 //! to `BENCH_service.json` at the repository root so the perf trajectory
@@ -424,6 +426,57 @@ fn main() {
             1,
             1,
             || service.handle(black_box(&variant_request)),
+        ));
+    }
+
+    // Multiformat: the shared-scene win, isolated from compile cost. The
+    // entry is compiled once outside the loop; each iteration measures
+    // exactly what `CompiledEntry` does per format set — multiformat =
+    // one scene build (layout + mark resolution + union composition) plus
+    // three backend walks (ascii+svg+scene_json); single_format = one
+    // scene build plus one walk (what each format cost pre-scene, when
+    // every backend laid the entry out for itself). The acceptance bound
+    // for the scene rearchitecture: multiformat per-iter < 3 ×
+    // single_format per-iter, with headroom exactly equal to the two
+    // layouts no longer run.
+    {
+        use queryvis::layout::compose_union;
+        use queryvis::render::{to_ascii, to_svg, SvgTheme};
+        use queryvis::QueryVis;
+        use queryvis_service::scene_json;
+        let sql = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+                   (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+                   (SELECT L.drink FROM Likes L WHERE L.person = F.person \
+                    AND S.drink = L.drink))";
+        let qv = QueryVis::from_sql(sql).expect("bench query compiles");
+        let theme = SvgTheme::default();
+        // `qv.scenes()` + compose is the *un-memoized* scene build
+        // (`QueryVis::scene` caches, which would make later iterations
+        // free and the measurement meaningless).
+        rows.push(measure(
+            mode,
+            "service/warm_multiformat/ascii_svg_scene",
+            "render",
+            1,
+            1,
+            || {
+                let scene = compose_union(black_box(&qv).scenes(), qv.union_all);
+                let total = to_ascii(&scene).len()
+                    + to_svg(&scene, &theme).len()
+                    + scene_json(&scene).len();
+                black_box(total)
+            },
+        ));
+        rows.push(measure(
+            mode,
+            "service/warm_multiformat/single_format",
+            "render",
+            1,
+            1,
+            || {
+                let scene = compose_union(black_box(&qv).scenes(), qv.union_all);
+                black_box(to_svg(&scene, &theme).len())
+            },
         ));
     }
 

@@ -3,8 +3,9 @@
 //! Compares a freshly generated `BENCH_service.json` against a committed
 //! baseline and fails (exit 1) if any guarded row's `per_iter_ns` regressed
 //! by more than the allowed fraction. Guarded rows are the warm-path
-//! contract of the serving layer (`warm_hit`, `warm_batch`); cold rows are
-//! reported but not gated — they are compile-bound and noisy on shared CI
+//! contract of the serving layer (`warm_hit`, `warm_l1_hit`, `warm_batch`,
+//! and the shared-scene `warm_multiformat` rows); cold rows are reported
+//! but not gated — they are compile-bound and noisy on shared CI
 //! hardware.
 //!
 //! ```text
@@ -26,7 +27,7 @@ use queryvis_service::json::{self, Json};
 use std::process::ExitCode;
 
 /// Row-name substrings that are gated. Everything else is informational.
-const GUARDED: [&str; 3] = ["warm_hit", "warm_batch", "warm_l1_hit"];
+const GUARDED: [&str; 4] = ["warm_hit", "warm_batch", "warm_l1_hit", "warm_multiformat"];
 
 struct Row {
     name: String,

@@ -1,15 +1,20 @@
 //! The one-stop [`QueryVis`] pipeline: SQL → logic tree → simplification →
-//! diagram → layout → rendering (the Fig. 8 flowchart).
+//! diagram → layout → scene → rendering (the Fig. 8 flowchart, with the
+//! layout/render boundary reified as the [`Scene`] display-list IR:
+//! geometry and union composition are computed once in
+//! [`QueryVis::scene`], and every geometric backend walks the result).
 
 use crate::pattern::PatternKey;
 use queryvis_diagram::{build_diagram, diagram_stats, render_reading, Diagram, DiagramStats};
 use queryvis_ir::{PassContext, PassManager};
-use queryvis_layout::{layout_diagram, Layout, LayoutOptions};
+use queryvis_layout::{
+    build_scene, compose_union, layout_diagram, Layout, LayoutOptions, Scene, SceneOptions,
+};
 use queryvis_logic::{
     check_non_degenerate, check_valid_diagram_source, to_trc, DegeneracyError, LogicTree,
     SimplifyPass, TranslateError, ValidatePass,
 };
-use queryvis_render::{to_ascii_union, to_dot_union, to_svg_union, SvgTheme};
+use queryvis_render::{to_ascii, to_dot_union, to_svg, SvgTheme};
 use queryvis_sql::{
     metrics::word_count_expr, parse_query_expr, ParseError, Query, QueryExpr, Schema, SemanticError,
 };
@@ -126,6 +131,9 @@ pub struct QueryVis {
     /// Lazily built diagram of the first branch's unsimplified tree — see
     /// [`QueryVis::raw_diagram`].
     raw: OnceLock<Diagram>,
+    /// Lazily built composed scene shared by every geometric render —
+    /// see [`QueryVis::scene`].
+    scene: OnceLock<Arc<Scene>>,
     options: Arc<QueryVisOptions>,
 }
 
@@ -246,6 +254,7 @@ impl PreparedQuery {
             rest,
             union_all,
             raw,
+            scene: OnceLock::new(),
             options,
         }
     }
@@ -376,18 +385,34 @@ impl QueryVis {
         layout_diagram(&self.diagram, &self.options.layout.unwrap_or_default())
     }
 
+    /// Resolve each branch into its own single-branch [`Scene`] (layout +
+    /// mark resolution, no union composition).
+    pub fn scenes(&self) -> Vec<Scene> {
+        let layout_options = self.options.layout.unwrap_or_default();
+        let scene_options = SceneOptions::default();
+        self.diagrams()
+            .iter()
+            .map(|d| build_scene(d, &layout_diagram(d, &layout_options), &scene_options))
+            .collect()
+    }
+
+    /// The fully composed scene of the whole query: every branch laid
+    /// out, resolved into marks, and union-stacked — the single input
+    /// every geometric backend renders from. Built lazily on first
+    /// access and memoized, so an `ascii()`-then-`svg()` caller (or a
+    /// serving layer rendering three formats) runs `layout_diagram`
+    /// exactly once per branch.
+    pub fn scene(&self) -> Arc<Scene> {
+        Arc::clone(
+            self.scene
+                .get_or_init(|| Arc::new(compose_union(self.scenes(), self.union_all))),
+        )
+    }
+
     /// Render to a standalone SVG document (union branches stack
     /// vertically under a union badge).
     pub fn svg(&self) -> String {
-        let layout_options = self.options.layout.unwrap_or_default();
-        let layouts: Vec<Layout> = self
-            .diagrams()
-            .iter()
-            .map(|d| layout_diagram(d, &layout_options))
-            .collect();
-        let pairs: Vec<(&Diagram, &Layout)> =
-            self.diagrams().into_iter().zip(layouts.iter()).collect();
-        to_svg_union(&pairs, self.union_all, &SvgTheme::default())
+        to_svg(&self.scene(), &SvgTheme::default())
     }
 
     /// Export to GraphViz DOT (union branches become labeled clusters).
@@ -397,7 +422,7 @@ impl QueryVis {
 
     /// Render to plain text (union branches separated by a badge line).
     pub fn ascii(&self) -> String {
-        to_ascii_union(&self.diagrams(), self.union_all)
+        to_ascii(&self.scene())
     }
 
     /// The natural-language reading along the default reading order (§4.6);
@@ -518,6 +543,22 @@ mod tests {
         )
         .unwrap();
         assert_eq!(raw.diagram.boxes.len(), 2); // two ∄ boxes
+    }
+
+    #[test]
+    fn scene_is_memoized_across_renders() {
+        let qv = QueryVis::from_sql(
+            "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl' \
+             UNION SELECT L.person FROM Likes L",
+        )
+        .unwrap();
+        // ascii() and svg() share the composed scene: the second render
+        // (and any direct scene() call) gets the same Arc, so layout runs
+        // once per branch for the whole QueryVis lifetime.
+        let first = Arc::as_ptr(&qv.scene());
+        let _ = qv.ascii();
+        let _ = qv.svg();
+        assert_eq!(first, Arc::as_ptr(&qv.scene()), "scene was rebuilt");
     }
 
     #[test]

@@ -353,9 +353,13 @@ fn measure_tables(diagram: &Diagram, options: &LayoutOptions) -> HashMap<TableId
         .tables
         .iter()
         .map(|table| {
-            let mut text_width = table.name.as_str().len() as f64 * options.char_width;
+            // Width is per displayed character, so text is measured in
+            // chars, not bytes: a multibyte name (`café`, `Übersicht`)
+            // must not inflate its table.
+            let chars = |s: &str| s.chars().count() as f64;
+            let mut text_width = chars(table.name.as_str()) * options.char_width;
             for row in &table.rows {
-                text_width = text_width.max(row.display().len() as f64 * options.char_width);
+                text_width = text_width.max(chars(&row.display()) * options.char_width);
             }
             let w = (text_width + 2.0 * options.cell_padding).max(options.min_table_width);
             let h = options.header_height + options.row_height * table.rows.len() as f64;

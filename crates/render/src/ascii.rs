@@ -1,142 +1,248 @@
 //! Plain-text rendering for terminals, examples, and golden tests.
 //!
-//! Tables are drawn as small boxes arranged in columns by nesting depth
-//! (SELECT leftmost), each prefixed by its quantifier symbol when enclosed
-//! in a box; edges are listed below the grid in reading form. Selection
-//! rows are marked `*`, group-by rows `#`.
+//! A [`Scene`] rasterizer: the shared layout's geometry decides *where*
+//! everything goes — which column a table lands in, the stacking order
+//! within a column, which tables align — via an x/y → col/row projection,
+//! and this module only draws it with box characters. The pre-scene
+//! renderer ran a private grid layout here; that is gone, so ASCII and
+//! SVG can no longer disagree about arrangement.
+//!
+//! Widths are measured in **chars**, not bytes (a char-cell medium cannot
+//! honor subpixel or multibyte-inflated widths): titles containing ∃/∀/∄
+//! or accented identifiers pad correctly. Tables are drawn as boxes, each
+//! title annotated with its alias and quantifier symbol; selection rows
+//! are marked `*`, group-by rows `#`. Edges are listed below the grid in
+//! reading form, straight from the scene's resolved endpoint names.
 
-use queryvis_diagram::{Diagram, RowKind};
-use std::collections::BTreeMap;
+use queryvis_layout::{EdgeKind, EdgeMark, Mark, MarkRole, Scene, StyleClass, TextRole};
 
-/// Render a multi-branch (UNION) query as plain text: each branch's
-/// diagram in written order, separated by a union badge line.
-pub fn to_ascii_union(diagrams: &[&Diagram], all: bool) -> String {
-    if let [single] = diagrams {
-        return to_ascii(single);
-    }
-    let badge = if all {
-        "============ UNION ALL ============"
-    } else {
-        "============== UNION =============="
-    };
-    let mut out = String::new();
-    for (i, diagram) in diagrams.iter().enumerate() {
-        if i > 0 {
-            out.push_str(badge);
-            out.push('\n');
-        }
-        out.push_str(&to_ascii(diagram));
-        if !out.ends_with('\n') {
-            out.push('\n');
-        }
-    }
+/// Width of the `====… UNION …====` badge line between union branches.
+const BADGE_WIDTH: usize = 35;
+
+/// Render a scene as plain text (union branches separated by a badge
+/// line).
+pub fn to_ascii(scene: &Scene) -> String {
+    let mut out = String::with_capacity(1024);
+    write_ascii(&mut out, scene);
     out
 }
 
-/// Render a diagram as plain text.
-pub fn to_ascii(diagram: &Diagram) -> String {
-    // Render each table to a block of lines.
-    let mut blocks: Vec<Vec<String>> = Vec::new();
-    for table in &diagram.tables {
-        let quant = diagram
-            .box_of(table.id)
-            .map(|b| format!(" {}", b.quantifier))
-            .unwrap_or_default();
-        let title = if table.alias != table.name && !table.is_select {
-            format!("{} ({}){}", table.name, table.alias, quant)
-        } else {
-            format!("{}{}", table.name, quant)
-        };
-        let mut body: Vec<String> = Vec::new();
-        for row in &table.rows {
-            let marker = match row.kind {
-                RowKind::Selection { .. } | RowKind::Having { .. } => "*",
-                RowKind::GroupBy => "#",
-                _ => " ",
-            };
-            body.push(format!("{marker}{}", row.display()));
+/// [`to_ascii`] into a caller-owned buffer.
+pub fn write_ascii(out: &mut String, scene: &Scene) {
+    for (i, branch) in scene.branches.iter().enumerate() {
+        if i > 0 {
+            let label = &scene.badges[i - 1].label;
+            // Project the badge rule into a fixed-width char rule with the
+            // label centered on it.
+            let pad = BADGE_WIDTH.saturating_sub(label.chars().count() + 2);
+            out.push_str(&"=".repeat(pad / 2 + pad % 2));
+            out.push(' ');
+            out.push_str(label);
+            out.push(' ');
+            out.push_str(&"=".repeat(pad / 2));
+            out.push('\n');
         }
-        let width = std::iter::once(title.len())
-            .chain(body.iter().map(String::len))
-            .max()
-            .unwrap_or(1);
-        let mut lines = Vec::new();
-        lines.push(format!("+{}+", "-".repeat(width + 2)));
-        lines.push(format!("| {title:<width$} |"));
-        lines.push(format!("+{}+", "-".repeat(width + 2)));
-        for row in &body {
-            lines.push(format!("| {row:<width$} |"));
-        }
-        lines.push(format!("+{}+", "-".repeat(width + 2)));
-        blocks.push(lines);
+        write_branch(out, &branch.marks);
     }
+}
 
-    // Column per depth (SELECT first).
-    let mut columns: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for table in &diagram.tables {
-        let col = if table.is_select { 0 } else { table.depth + 1 };
-        columns.entry(col).or_default().push(table.id);
+/// One table reconstructed from the display list: the frame rect plus the
+/// content runs that followed it in paint order.
+struct Block {
+    x: f64,
+    right: f64,
+    y: f64,
+    lines: Vec<String>,
+}
+
+/// The ASCII row marker of a row-band style class (shared semantics with
+/// the SVG fills and DOT bgcolors — see [`queryvis_layout::scene::row_class`]).
+fn marker(class: StyleClass) -> char {
+    match class {
+        StyleClass::RowSelection => '*',
+        StyleClass::RowGroup => '#',
+        _ => ' ',
     }
+}
 
-    // Stack blocks within each column.
-    let mut column_texts: Vec<Vec<String>> = Vec::new();
-    for ids in columns.values() {
-        let mut lines = Vec::new();
-        for (i, &id) in ids.iter().enumerate() {
-            if i > 0 {
-                lines.push(String::new());
+fn write_branch(out: &mut String, marks: &[Mark]) {
+    // -------- Pass 1: rebuild per-table content from mark order --------
+    // A Frame rect opens a table; Title/Annotation/RowText runs up to the
+    // next Frame belong to it. Edge marks feed the legend.
+    struct Table {
+        x: f64,
+        right: f64,
+        y: f64,
+        title: String,
+        rows: Vec<(char, String)>,
+    }
+    let mut tables: Vec<Table> = Vec::new();
+    let mut edges: Vec<&EdgeMark> = Vec::new();
+    for mark in marks {
+        match mark {
+            Mark::Rect(rect) if rect.role == MarkRole::Frame => tables.push(Table {
+                x: rect.rect.x,
+                right: rect.rect.right(),
+                y: rect.rect.y,
+                title: String::new(),
+                rows: Vec::new(),
+            }),
+            Mark::Text(text) => {
+                if let Some(table) = tables.last_mut() {
+                    match text.role {
+                        TextRole::Title => {
+                            if table.title.is_empty() {
+                                table.title = text.text.clone();
+                            }
+                        }
+                        TextRole::TitleAnnotation => {
+                            table.title.push(' ');
+                            table.title.push_str(&text.text);
+                        }
+                        TextRole::RowText => {
+                            table.rows.push((marker(text.class), text.text.clone()))
+                        }
+                        TextRole::EdgeLabel => {}
+                    }
+                }
             }
-            lines.extend(blocks[id].iter().cloned());
+            Mark::Edge(edge) => edges.push(edge),
+            Mark::Rect(_) => {}
         }
-        column_texts.push(lines);
     }
 
-    // Join columns side by side.
-    let heights: Vec<usize> = column_texts.iter().map(Vec::len).collect();
-    let max_height = heights.iter().copied().max().unwrap_or(0);
+    // -------- Pass 2: render each table to a block of lines --------
+    // Box interiors size to their text in char cells; positions (columns,
+    // stacking) still come from the scene geometry below.
+    let blocks: Vec<Block> = tables
+        .into_iter()
+        .map(|table| {
+            let width = std::iter::once(table.title.chars().count())
+                .chain(table.rows.iter().map(|(_, text)| text.chars().count() + 1))
+                .max()
+                .unwrap_or(1);
+            let mut lines = Vec::with_capacity(table.rows.len() + 4);
+            let rule = format!("+{}+", "-".repeat(width + 2));
+            lines.push(rule.clone());
+            lines.push(format!("| {:<width$} |", table.title));
+            lines.push(rule.clone());
+            for (marker, text) in &table.rows {
+                let row = format!("{marker}{text}");
+                lines.push(format!("| {row:<width$} |"));
+            }
+            lines.push(rule);
+            Block {
+                x: table.x,
+                right: table.right,
+                y: table.y,
+                lines,
+            }
+        })
+        .collect();
+
+    // -------- Pass 3: project x → column, y → order within column --------
+    // Tables of one layout column overlap horizontally (they share the
+    // column's center); distinct columns are separated by the column gap.
+    // Chaining x-overlaps therefore recovers the column structure without
+    // re-deriving it.
+    let mut order: Vec<usize> = (0..blocks.len()).collect();
+    order.sort_by(|&a, &b| {
+        blocks[a]
+            .x
+            .partial_cmp(&blocks[b].x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut columns: Vec<Vec<usize>> = Vec::new();
+    let mut column_right = f64::NEG_INFINITY;
+    for idx in order {
+        let block = &blocks[idx];
+        if columns.is_empty() || block.x >= column_right {
+            columns.push(Vec::new());
+            column_right = block.right;
+        } else {
+            column_right = column_right.max(block.right);
+        }
+        columns.last_mut().expect("non-empty").push(idx);
+    }
+    for column in &mut columns {
+        column.sort_by(|&a, &b| {
+            blocks[a]
+                .y
+                .partial_cmp(&blocks[b].y)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+    }
+
+    // -------- Pass 4: stack within columns, join side by side --------
+    let column_texts: Vec<Vec<&str>> = columns
+        .iter()
+        .map(|ids| {
+            let mut lines: Vec<&str> = Vec::new();
+            for (i, &id) in ids.iter().enumerate() {
+                if i > 0 {
+                    lines.push("");
+                }
+                lines.extend(blocks[id].lines.iter().map(String::as_str));
+            }
+            lines
+        })
+        .collect();
     let widths: Vec<usize> = column_texts
         .iter()
-        .map(|c| c.iter().map(String::len).max().unwrap_or(0))
+        .map(|c| c.iter().map(|l| l.chars().count()).max().unwrap_or(0))
         .collect();
-    let mut out = String::new();
+    let max_height = column_texts.iter().map(Vec::len).max().unwrap_or(0);
     for line_idx in 0..max_height {
         let mut line = String::new();
         for (col, text) in column_texts.iter().enumerate() {
-            let cell = text.get(line_idx).map(String::as_str).unwrap_or("");
-            line.push_str(&format!("{cell:<width$}   ", width = widths[col]));
+            let cell = text.get(line_idx).copied().unwrap_or("");
+            line.push_str(cell);
+            let pad = widths[col].saturating_sub(cell.chars().count());
+            line.push_str(&" ".repeat(pad + 3));
         }
         out.push_str(line.trim_end());
         out.push('\n');
     }
 
-    // Edge legend.
-    if !diagram.edges.is_empty() {
+    // -------- Edge legend --------
+    if !edges.is_empty() {
         out.push('\n');
-        for edge in &diagram.edges {
-            let from = &diagram.tables[edge.from.table];
-            let to = &diagram.tables[edge.to.table];
-            let arrow = if edge.directed { "-->" } else { "---" };
-            let label = edge.label.map(|op| format!(" [{op}]")).unwrap_or_default();
-            out.push_str(&format!(
-                "{}.{} {arrow} {}.{}{label}\n",
-                from.alias, from.rows[edge.from.row].column, to.alias, to.rows[edge.to.row].column,
-            ));
+        for edge in edges {
+            let arrow = if edge.kind == EdgeKind::Directed {
+                "-->"
+            } else {
+                "---"
+            };
+            out.push_str(&edge.from_text);
+            out.push(' ');
+            out.push_str(arrow);
+            out.push(' ');
+            out.push_str(&edge.to_text);
+            if let Some(label) = &edge.label {
+                out.push_str(" [");
+                out.push_str(label);
+                out.push(']');
+            }
+            out.push('\n');
         }
     }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diagram_scene;
     use queryvis_diagram::build_diagram;
+    use queryvis_layout::compose_union;
     use queryvis_logic::translate;
     use queryvis_sql::parse_query;
 
     fn ascii(sql: &str) -> String {
-        to_ascii(&build_diagram(
+        to_ascii(&diagram_scene(&build_diagram(
             &translate(&parse_query(sql).unwrap(), None).unwrap(),
-        ))
+        )))
     }
 
     #[test]
@@ -169,5 +275,51 @@ mod tests {
     fn label_in_edge_legend() {
         let s = ascii("SELECT A.x FROM T A, T B WHERE A.x <> B.x");
         assert!(s.contains("[<>]"));
+    }
+
+    #[test]
+    fn union_badge_lines_match_legacy_format() {
+        let scene = |sql: &str| {
+            diagram_scene(&build_diagram(
+                &translate(&parse_query(sql).unwrap(), None).unwrap(),
+            ))
+        };
+        let a = "SELECT F.person FROM Frequents F";
+        let b = "SELECT L.person FROM Likes L";
+        let union = to_ascii(&compose_union(vec![scene(a), scene(b)], false));
+        assert!(
+            union.contains("============== UNION =============="),
+            "{union}"
+        );
+        let union_all = to_ascii(&compose_union(vec![scene(a), scene(b)], true));
+        assert!(
+            union_all.contains("============ UNION ALL ============"),
+            "{union_all}"
+        );
+    }
+
+    /// Multibyte regression: a quantified table (∄ in the title) and a
+    /// unicode literal in a selection row must measure in *chars*. The
+    /// byte-counting bug inflated the box width by 2 per non-ASCII symbol,
+    /// so the widest row no longer sat flush against its border.
+    #[test]
+    fn multibyte_text_keeps_boxes_aligned() {
+        let s = ascii(
+            "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+             (SELECT * FROM Serves S WHERE S.bar = F.bar AND S.drink = 'Žatec beer')",
+        );
+        // The widest row of the Serves block sits flush: exactly one space
+        // before the closing border, no byte-inflated padding.
+        let row = "| *drink = 'Žatec beer' |";
+        assert!(s.contains(row), "row not flush against its border:\n{s}");
+        // The quantified title pads to the same char width as that row.
+        let width = "*drink = 'Žatec beer'".chars().count();
+        let title = format!("| {:<width$} |", "Serves (S) \u{2204}");
+        assert!(
+            s.contains(&title),
+            "title misaligned (padded in bytes?):\n{s}"
+        );
+        // And the block's border rule matches the content width in chars.
+        assert!(s.contains(&format!("+{}+", "-".repeat(width + 2))));
     }
 }

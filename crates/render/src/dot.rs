@@ -5,22 +5,30 @@
 //! that path. Tables become HTML-like labels with one port per row;
 //! quantifier boxes become clusters (dashed for ∄, `peripheries=2` for ∀).
 
-use queryvis_diagram::{Diagram, RowKind, TableId};
+use queryvis_diagram::{Diagram, TableId};
+use queryvis_layout::scene::{header_class, row_class};
+use queryvis_layout::StyleClass;
 use queryvis_logic::Quantifier;
 use std::fmt::Write;
 
+/// Escape text for GraphViz HTML-like labels. Quotes must be escaped too:
+/// a literal `"` inside a label attribute would otherwise terminate the
+/// attribute and produce malformed DOT.
 fn html_escape(text: &str) -> String {
     text.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn table_label(diagram: &Diagram, id: TableId) -> String {
     let table = &diagram.tables[id];
     let mut out =
         String::from(r#"<<table border="0" cellborder="1" cellspacing="0" cellpadding="4">"#);
-    let (bg, fg) = if table.is_select {
-        ("#bdbdbd", "black")
+    // Header and row styling resolve through the same style classes the
+    // scene backends use, so the media cannot drift apart.
+    let (bg, fg) = if header_class(table.is_select) == StyleClass::HeaderSelect {
+        (crate::style::SELECT_HEADER_FILL, "black")
     } else {
         ("black", "white")
     };
@@ -30,10 +38,9 @@ fn table_label(diagram: &Diagram, id: TableId) -> String {
         html_escape(table.name.as_str())
     );
     for (i, row) in table.rows.iter().enumerate() {
-        let bg = match row.kind {
-            RowKind::Selection { .. } | RowKind::Having { .. } => r##" bgcolor="#ffe9a8""##,
-            RowKind::GroupBy => r##" bgcolor="#d9d9d9""##,
-            _ => "",
+        let bg = match crate::style::row_fill(row_class(&row.kind)) {
+            Some(fill) => format!(r#" bgcolor="{fill}""#),
+            None => String::new(),
         };
         let _ = write!(
             out,
@@ -177,5 +184,17 @@ mod tests {
     fn labels_escaped() {
         let s = dot("SELECT A.x FROM T A, T B WHERE A.x <> B.x", false);
         assert!(s.contains("label=\"<>\""));
+    }
+
+    /// A quote-bearing string literal lands in an HTML-like label cell; it
+    /// must be escaped or the generated DOT is malformed.
+    #[test]
+    fn quotes_escaped_in_html_labels() {
+        let s = dot(
+            r#"SELECT B.bid FROM Boat B WHERE B.name = 'the "Maria"'"#,
+            false,
+        );
+        assert!(s.contains("&quot;Maria&quot;"), "{s}");
+        assert!(!s.contains(r#">name = 'the "Maria"'<"#));
     }
 }

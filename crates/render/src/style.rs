@@ -1,0 +1,26 @@
+//! The paper's fixed palette, shared by every backend that hardcodes
+//! colors: the SVG theme defaults ([`crate::SvgTheme`]) and the DOT
+//! exporter's HTML-label `bgcolor`s resolve the same style classes
+//! ([`queryvis_layout::StyleClass`]) to the same hex values, so the
+//! figures agree across media.
+
+use queryvis_layout::StyleClass;
+
+/// Black base-table header.
+pub const HEADER_FILL: &str = "#1a1a1a";
+/// Light `SELECT` header.
+pub const SELECT_HEADER_FILL: &str = "#bdbdbd";
+/// Yellow selection/HAVING rows.
+pub const SELECTION_ROW_FILL: &str = "#ffe9a8";
+/// Gray group-by rows.
+pub const GROUP_ROW_FILL: &str = "#d9d9d9";
+
+/// The highlight fill of a row-band style class, if it has one (plain
+/// rows keep the medium's background).
+pub fn row_fill(class: StyleClass) -> Option<&'static str> {
+    match class {
+        StyleClass::RowSelection => Some(SELECTION_ROW_FILL),
+        StyleClass::RowGroup => Some(GROUP_ROW_FILL),
+        _ => None,
+    }
+}

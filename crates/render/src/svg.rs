@@ -1,12 +1,17 @@
-//! SVG rendering of laid-out diagrams, styled after the paper's figures.
+//! SVG rendering, styled after the paper's figures.
+//!
+//! A thin [`Scene`] walker: every coordinate, label, and derived rect
+//! (the ∀ inner line, union offsets) comes pre-resolved from the scene;
+//! this module only maps style classes to theme colors and text anchors
+//! to SVG baselines. It contains no layout arithmetic.
 
-use queryvis_diagram::{Diagram, RowKind};
-use queryvis_layout::Layout;
-use queryvis_logic::Quantifier;
+use queryvis_layout::{EdgeKind, Mark, MarkRole, Scene, StyleClass, TextRole};
 use std::fmt::Write;
 
 /// Colors and strokes for the SVG output. Defaults mirror the paper (black
-/// headers, lighter SELECT header, yellow selection rows, gray group rows).
+/// headers, lighter SELECT header, yellow selection rows, gray group rows)
+/// and are shared with the DOT exporter's fixed palette
+/// (see [`crate::style`]).
 #[derive(Debug, Clone)]
 pub struct SvgTheme {
     pub background: String,
@@ -27,13 +32,13 @@ impl Default for SvgTheme {
     fn default() -> Self {
         SvgTheme {
             background: "#ffffff".into(),
-            header_fill: "#1a1a1a".into(),
+            header_fill: crate::style::HEADER_FILL.into(),
             header_text: "#ffffff".into(),
-            select_header_fill: "#bdbdbd".into(),
+            select_header_fill: crate::style::SELECT_HEADER_FILL.into(),
             select_header_text: "#000000".into(),
             row_fill: "#ffffff".into(),
-            selection_row_fill: "#ffe9a8".into(),
-            group_row_fill: "#d9d9d9".into(),
+            selection_row_fill: crate::style::SELECTION_ROW_FILL.into(),
+            group_row_fill: crate::style::GROUP_ROW_FILL.into(),
             border: "#333333".into(),
             edge: "#222222".into(),
             font_family: "Helvetica, Arial, sans-serif".into(),
@@ -50,13 +55,20 @@ fn escape(text: &str) -> String {
         .replace('"', "&quot;")
 }
 
-/// Render a laid-out diagram as a standalone SVG document.
-pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
-    let mut out = String::new();
+/// Render a scene as a standalone SVG document.
+pub fn to_svg(scene: &Scene, theme: &SvgTheme) -> String {
+    let mut out = String::with_capacity(2048);
+    write_svg(&mut out, scene, theme);
+    out
+}
+
+/// [`to_svg`] into a caller-owned buffer (the serving layer renders into
+/// reusable per-worker buffers).
+pub fn write_svg(out: &mut String, scene: &Scene, theme: &SvgTheme) {
     let _ = writeln!(
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
-        layout.width, layout.height, layout.width, layout.height
+        scene.width, scene.height, scene.width, scene.height
     );
     let _ = writeln!(
         out,
@@ -66,182 +78,152 @@ pub fn to_svg(diagram: &Diagram, layout: &Layout, theme: &SvgTheme) -> String {
     let _ = writeln!(
         out,
         r#"<rect x="0" y="0" width="{:.0}" height="{:.0}" fill="{}"/>"#,
-        layout.width, layout.height, theme.background
+        scene.width, scene.height, theme.background
     );
-    write_marks(&mut out, diagram, layout, theme);
-    out.push_str("</svg>\n");
-    out
-}
-
-/// Height of the separator band between branches of a union rendering.
-const UNION_BADGE_HEIGHT: f64 = 28.0;
-
-/// Render a multi-branch (UNION) query as one standalone SVG document:
-/// the branch diagrams stack vertically with a labeled badge between
-/// them.
-pub fn to_svg_union(branches: &[(&Diagram, &Layout)], all: bool, theme: &SvgTheme) -> String {
-    if let [(diagram, layout)] = branches {
-        return to_svg(diagram, layout, theme);
-    }
-    let width = branches.iter().map(|(_, l)| l.width).fold(0.0f64, f64::max);
-    let height = branches.iter().map(|(_, l)| l.height).sum::<f64>()
-        + UNION_BADGE_HEIGHT * branches.len().saturating_sub(1) as f64;
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#,
-    );
-    let _ = writeln!(
-        out,
-        r#"<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="7" markerHeight="7" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="{}"/></marker></defs>"#,
-        theme.edge
-    );
-    let _ = writeln!(
-        out,
-        r#"<rect x="0" y="0" width="{width:.0}" height="{height:.0}" fill="{}"/>"#,
-        theme.background
-    );
-    let badge = if all { "UNION ALL" } else { "UNION" };
-    let mut y = 0.0f64;
-    for (i, (diagram, layout)) in branches.iter().enumerate() {
-        if i > 0 {
-            // The union badge: a rule with the connective label on it.
-            let mid = y + UNION_BADGE_HEIGHT / 2.0;
-            let _ = writeln!(
-                out,
-                r#"<line x1="0" y1="{mid:.1}" x2="{width:.1}" y2="{mid:.1}" stroke="{}" stroke-width="1" stroke-dasharray="2,3" class="union-rule"/>"#,
-                theme.border
-            );
-            let _ = writeln!(
-                out,
-                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}" class="union-badge">{badge}</text>"#,
-                width / 2.0,
-                mid - 4.0,
-                theme.font_family,
-                theme.font_size,
-                theme.border,
-            );
-            y += UNION_BADGE_HEIGHT;
-        }
-        let _ = writeln!(
-            out,
-            r#"<g transform="translate(0,{y:.1})" class="union-branch">"#
-        );
-        write_marks(&mut out, diagram, layout, theme);
-        out.push_str("</g>\n");
-        y += layout.height;
-    }
-    out.push_str("</svg>\n");
-    out
-}
-
-/// Write the marks of one laid-out diagram (boxes, edges, tables) into an
-/// open SVG context.
-fn write_marks(out: &mut String, diagram: &Diagram, layout: &Layout, theme: &SvgTheme) {
-    // Quantifier boxes first (beneath tables).
-    for bl in &layout.boxes {
-        let qbox = &diagram.boxes[bl.box_index];
-        let r = bl.rect;
-        match qbox.quantifier {
-            Quantifier::NotExists => {
+    if let [branch] = scene.branches.as_slice() {
+        write_marks(out, &branch.marks, theme);
+    } else {
+        for (i, branch) in scene.branches.iter().enumerate() {
+            if i > 0 {
+                // The union badge: a rule with the connective label on it.
+                let badge = &scene.badges[i - 1];
                 let _ = writeln!(
                     out,
-                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="8" fill="none" stroke="{}" stroke-width="1.5" stroke-dasharray="6,4" class="box not-exists"/>"#,
-                    r.x, r.y, r.w, r.h, theme.border
+                    r#"<line x1="0" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="1" stroke-dasharray="2,3" class="union-rule"/>"#,
+                    badge.y_mid, scene.width, badge.y_mid, theme.border
+                );
+                let _ = writeln!(
+                    out,
+                    r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}" class="union-badge">{}</text>"#,
+                    scene.width / 2.0,
+                    badge.y_mid - 4.0,
+                    theme.font_family,
+                    theme.font_size,
+                    theme.border,
+                    badge.label,
                 );
             }
-            Quantifier::ForAll => {
-                // Double line: two nested rounded rects.
-                let inner = queryvis_layout::Rect::new(r.x + 3.0, r.y + 3.0, r.w - 6.0, r.h - 6.0);
-                let _ = writeln!(
-                    out,
-                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="8" fill="none" stroke="{}" stroke-width="1.5" class="box for-all"/>"#,
-                    r.x, r.y, r.w, r.h, theme.border
-                );
-                let _ = writeln!(
-                    out,
-                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="6" fill="none" stroke="{}" stroke-width="1.5" class="box for-all-inner"/>"#,
-                    inner.x, inner.y, inner.w, inner.h, theme.border
-                );
+            let _ = writeln!(
+                out,
+                r#"<g transform="translate(0,{:.1})" class="union-branch">"#,
+                branch.dy
+            );
+            write_marks(out, &branch.marks, theme);
+            out.push_str("</g>\n");
+        }
+    }
+    out.push_str("</svg>\n");
+}
+
+/// Write one branch's marks into an open SVG context, in scene paint
+/// order.
+fn write_marks(out: &mut String, marks: &[Mark], theme: &SvgTheme) {
+    for mark in marks {
+        match mark {
+            Mark::Rect(rect) => {
+                let r = rect.rect;
+                match rect.role {
+                    // Vector media tile the frame with header + row bands.
+                    MarkRole::Frame => {}
+                    MarkRole::QuantifierBox => {
+                        let (extra, class) = match rect.class {
+                            StyleClass::BoxNotExists => {
+                                (r#" stroke-dasharray="6,4""#, "box not-exists")
+                            }
+                            StyleClass::BoxForAll => ("", "box for-all"),
+                            _ => ("", "box for-all-inner"),
+                        };
+                        let _ = writeln!(
+                            out,
+                            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" rx="{:.0}" fill="none" stroke="{}" stroke-width="1.5"{} class="{}"/>"#,
+                            r.x, r.y, r.w, r.h, rect.radius, theme.border, extra, class
+                        );
+                    }
+                    MarkRole::Header => {
+                        let fill = if rect.class == StyleClass::HeaderSelect {
+                            &theme.select_header_fill
+                        } else {
+                            &theme.header_fill
+                        };
+                        let _ = writeln!(
+                            out,
+                            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="{}" class="header"/>"#,
+                            r.x, r.y, r.w, r.h, fill, theme.border
+                        );
+                    }
+                    MarkRole::Row => {
+                        let fill = match rect.class {
+                            StyleClass::RowSelection => &theme.selection_row_fill,
+                            StyleClass::RowGroup => &theme.group_row_fill,
+                            _ => &theme.row_fill,
+                        };
+                        let _ = writeln!(
+                            out,
+                            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="{}" class="row"/>"#,
+                            r.x, r.y, r.w, r.h, fill, theme.border
+                        );
+                    }
+                }
             }
-            Quantifier::Exists => {}
-        }
-    }
-
-    // Edges beneath tables so lines visually attach to row borders.
-    for el in &layout.edges {
-        let edge = &diagram.edges[el.edge_index];
-        let marker = if edge.directed {
-            r#" marker-end="url(#arrow)""#
-        } else {
-            ""
-        };
-        let _ = writeln!(
-            out,
-            r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="1.4"{} class="edge"/>"#,
-            el.from.x, el.from.y, el.to.x, el.to.y, theme.edge, marker
-        );
-        if let Some(op) = edge.label {
-            let _ = writeln!(
-                out,
-                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}" class="edge-label">{}</text>"#,
-                el.label_pos.x,
-                el.label_pos.y,
-                theme.font_family,
-                theme.font_size,
-                theme.edge,
-                escape(op.as_str())
-            );
-        }
-    }
-
-    // Tables.
-    for tl in &layout.tables {
-        let table = &diagram.tables[tl.table];
-        let (header_fill, header_text) = if table.is_select {
-            (&theme.select_header_fill, &theme.select_header_text)
-        } else {
-            (&theme.header_fill, &theme.header_text)
-        };
-        // Header.
-        let h = tl.header;
-        let _ = writeln!(
-            out,
-            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="{}" class="header"/>"#,
-            h.x, h.y, h.w, h.h, header_fill, theme.border
-        );
-        let _ = writeln!(
-            out,
-            r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}">{}</text>"#,
-            h.center().x,
-            h.center().y + theme.font_size / 3.0,
-            theme.font_family,
-            theme.font_size,
-            header_text,
-            escape(table.name.as_str())
-        );
-        // Rows.
-        for (i, row) in table.rows.iter().enumerate() {
-            let r = tl.row_rects[i];
-            let fill = match row.kind {
-                RowKind::Attribute | RowKind::Aggregate { .. } => &theme.row_fill,
-                RowKind::Selection { .. } | RowKind::Having { .. } => &theme.selection_row_fill,
-                RowKind::GroupBy => &theme.group_row_fill,
-            };
-            let _ = writeln!(
-                out,
-                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{}" stroke="{}" class="row"/>"#,
-                r.x, r.y, r.w, r.h, fill, theme.border
-            );
-            let _ = writeln!(
-                out,
-                r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" fill="#000000">{}</text>"##,
-                r.center().x,
-                r.center().y + theme.font_size / 3.0,
-                theme.font_family,
-                theme.font_size,
-                escape(&row.display())
-            );
+            Mark::Text(text) => match text.role {
+                // Char-medium decoration; the box style already encodes it.
+                TextRole::TitleAnnotation => {}
+                TextRole::Title => {
+                    let fill = if text.class == StyleClass::HeaderSelect {
+                        &theme.select_header_text
+                    } else {
+                        &theme.header_text
+                    };
+                    let _ = writeln!(
+                        out,
+                        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}">{}</text>"#,
+                        text.anchor.x,
+                        text.anchor.y + theme.font_size / 3.0,
+                        theme.font_family,
+                        theme.font_size,
+                        fill,
+                        escape(&text.text)
+                    );
+                }
+                TextRole::RowText => {
+                    let _ = writeln!(
+                        out,
+                        r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" fill="#000000">{}</text>"##,
+                        text.anchor.x,
+                        text.anchor.y + theme.font_size / 3.0,
+                        theme.font_family,
+                        theme.font_size,
+                        escape(&text.text)
+                    );
+                }
+                // Edge labels are emitted with their edge mark below, so
+                // the scene may omit them as standalone runs.
+                TextRole::EdgeLabel => {}
+            },
+            Mark::Edge(edge) => {
+                let marker = if edge.kind == EdgeKind::Directed {
+                    r#" marker-end="url(#arrow)""#
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="1.4"{} class="edge"/>"#,
+                    edge.from.x, edge.from.y, edge.to.x, edge.to.y, theme.edge, marker
+                );
+                if let Some(label) = &edge.label {
+                    let _ = writeln!(
+                        out,
+                        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="{}" font-size="{:.0}" font-weight="bold" fill="{}" class="edge-label">{}</text>"#,
+                        edge.label_pos.x,
+                        edge.label_pos.y,
+                        theme.font_family,
+                        theme.font_size,
+                        theme.edge,
+                        escape(label)
+                    );
+                }
+            }
         }
     }
 }
@@ -249,8 +231,9 @@ fn write_marks(out: &mut String, diagram: &Diagram, layout: &Layout, theme: &Svg
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diagram_scene;
     use queryvis_diagram::build_diagram;
-    use queryvis_layout::{layout_diagram, LayoutOptions};
+    use queryvis_layout::compose_union;
     use queryvis_logic::{simplify, translate};
     use queryvis_sql::parse_query;
 
@@ -258,8 +241,7 @@ mod tests {
         let lt = translate(&parse_query(sql).unwrap(), None).unwrap();
         let lt = if simplified { simplify(&lt) } else { lt };
         let d = build_diagram(&lt);
-        let l = layout_diagram(&d, &LayoutOptions::default());
-        to_svg(&d, &l, &SvgTheme::default())
+        to_svg(&diagram_scene(&d), &SvgTheme::default())
     }
 
     const QONLY: &str = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
@@ -320,5 +302,25 @@ mod tests {
     fn select_header_uses_light_fill() {
         let s = svg("SELECT L.beer FROM Likes L", false);
         assert!(s.contains("#bdbdbd"));
+    }
+
+    #[test]
+    fn union_scene_renders_badge_and_branch_groups() {
+        let scenes: Vec<_> = [
+            "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl'",
+            "SELECT L.person FROM Likes L WHERE L.beer = 'IPA'",
+        ]
+        .iter()
+        .map(|sql| {
+            diagram_scene(&build_diagram(
+                &translate(&parse_query(sql).unwrap(), None).unwrap(),
+            ))
+        })
+        .collect();
+        let s = to_svg(&compose_union(scenes, false), &SvgTheme::default());
+        assert_eq!(s.matches("<svg").count(), 1);
+        assert!(s.contains(">UNION</text>"));
+        assert_eq!(s.matches(r#"class="union-branch""#).count(), 2);
+        assert_eq!(s.matches(r#"class="union-rule""#).count(), 1);
     }
 }

@@ -90,7 +90,7 @@ service — QueryVis diagram-compilation service (JSON lines on stdin/stdout)
   --shards N     cache shard count                       [default: 16]
   --passes N     run the whole input batch N times       [default: 1]
   --format LIST  default formats (comma-separated from
-                 ascii,dot,svg,reading)                  [default: ascii]
+                 ascii,dot,svg,reading,scene_json)       [default: ascii]
   --corpus       serve the built-in paper corpus instead of stdin
   --stats        print per-pass stats JSON to stderr
 

@@ -2,12 +2,19 @@
 //!
 //! An entry is immutable once built; the rendered artifacts materialize on
 //! first request per format behind [`OnceLock`]s, so a pattern that is only
-//! ever served as ASCII never pays for SVG layout text, while concurrent
+//! ever served as ASCII never pays for SVG text, while concurrent
 //! renderers of the same entry do the work exactly once. Artifacts are
 //! stored as `Arc<str>`: responses share the entry's rendering instead of
 //! cloning whole artifact strings per request, so a warm hit copies
 //! pointers, not text. The 32-hex-character fingerprint string and the
 //! representative's SQL are likewise rendered/shared once per entry.
+//!
+//! **One layout per entry.** The geometric formats (svg, ascii,
+//! scene_json) all render from one shared [`Scene`] behind its own
+//! `OnceLock<Arc<Scene>>`: the first geometric request runs
+//! `layout_diagram` + scene resolution + union composition, and every
+//! later format walks the cached display list. Before the scene IR, an
+//! entry served as ascii-then-svg laid the same diagram out twice.
 //!
 //! **Representative semantics.** Entries are keyed by canonical-pattern
 //! fingerprint, and pattern-equivalent queries (alias renames, predicate
@@ -20,7 +27,10 @@
 
 use crate::fingerprint::{Fingerprint, FingerprintedQuery};
 use crate::protocol::Format;
+use crate::scene_json::write_scene_json;
 use queryvis::diagram::DiagramStats;
+use queryvis::layout::Scene;
+use queryvis::render::{ascii, svg, SvgTheme};
 use queryvis::QueryVis;
 use std::sync::{Arc, OnceLock};
 
@@ -36,10 +46,14 @@ pub struct CompiledEntry {
     /// responses.
     representative: Arc<str>,
     qv: QueryVis,
+    /// The composed scene every geometric artifact renders from; built on
+    /// the first svg/ascii/scene_json request, then shared.
+    scene: OnceLock<Arc<Scene>>,
     ascii: OnceLock<Arc<str>>,
     dot: OnceLock<Arc<str>>,
     svg: OnceLock<Arc<str>>,
     reading: OnceLock<Arc<str>>,
+    scene_json: OnceLock<Arc<str>>,
 }
 
 impl CompiledEntry {
@@ -73,15 +87,33 @@ impl CompiledEntry {
         self.qv.stats()
     }
 
+    /// The entry's composed [`Scene`] — layout, mark resolution, and
+    /// union composition run exactly once per entry, on first geometric
+    /// render, and the `Arc` is shared by every format that needs it
+    /// (delegating to [`QueryVis::scene`]'s own memoization).
+    pub fn scene(&self) -> &Arc<Scene> {
+        self.scene.get_or_init(|| self.qv.scene())
+    }
+
     /// Render (or fetch the memoized) artifact for one format. The
     /// returned `Arc` is shared: responses clone the pointer, never the
-    /// text.
+    /// text. Geometric formats walk the shared [`CompiledEntry::scene`];
+    /// only dot (semantic GraphViz export) and reading (prose) bypass it.
     pub fn render(&self, format: Format) -> &Arc<str> {
         match format {
-            Format::Ascii => self.ascii.get_or_init(|| self.qv.ascii().into()),
+            Format::Ascii => self
+                .ascii
+                .get_or_init(|| ascii::to_ascii(self.scene()).into()),
             Format::Dot => self.dot.get_or_init(|| self.qv.dot().into()),
-            Format::Svg => self.svg.get_or_init(|| self.qv.svg().into()),
+            Format::Svg => self
+                .svg
+                .get_or_init(|| svg::to_svg(self.scene(), &SvgTheme::default()).into()),
             Format::Reading => self.reading.get_or_init(|| self.qv.reading().into()),
+            Format::SceneJson => self.scene_json.get_or_init(|| {
+                let mut out = String::with_capacity(4096);
+                write_scene_json(&mut out, self.scene());
+                out.into()
+            }),
         }
     }
 
@@ -93,6 +125,7 @@ impl CompiledEntry {
             (Format::Dot, &self.dot),
             (Format::Svg, &self.svg),
             (Format::Reading, &self.reading),
+            (Format::SceneJson, &self.scene_json),
         ] {
             if slot.get().is_some() {
                 formats.push(format);
@@ -118,10 +151,12 @@ pub fn compile_representative(fingerprinted: FingerprintedQuery) -> CompiledEntr
         pattern,
         representative: qv.sql.as_str().into(),
         qv,
+        scene: OnceLock::new(),
         ascii: OnceLock::new(),
         dot: OnceLock::new(),
         svg: OnceLock::new(),
         reading: OnceLock::new(),
+        scene_json: OnceLock::new(),
     }
 }
 
@@ -146,6 +181,29 @@ mod tests {
         assert!(entry.render(Format::Svg).starts_with("<svg"));
         assert!(entry.render(Format::Dot).starts_with("digraph"));
         assert!(entry.render(Format::Reading).starts_with("Return"));
+        assert!(entry.render(Format::SceneJson).starts_with("{\"v\":"));
+    }
+
+    /// The acceptance property of the scene rearchitecture: an entry
+    /// served in all three geometric formats lays out exactly once — the
+    /// `OnceLock`ed scene is built by the first format and pointer-shared
+    /// by the rest (layout only ever runs inside that scene build).
+    #[test]
+    fn geometric_formats_share_one_scene() {
+        let entry = compiled("SELECT F.person FROM Frequents F WHERE F.bar = 'Owl'");
+        assert!(entry.scene.get().is_none(), "no layout before first render");
+        entry.render(Format::Ascii);
+        let scene = Arc::as_ptr(entry.scene());
+        entry.render(Format::Svg);
+        entry.render(Format::SceneJson);
+        assert_eq!(
+            scene,
+            Arc::as_ptr(entry.scene()),
+            "svg/scene_json re-laid-out instead of sharing the scene"
+        );
+        // Reading and dot don't need geometry and must not build it
+        // eagerly either (checked by construction: they bypass scene()).
+        assert_eq!(entry.rendered_formats().len(), 3);
     }
 
     #[test]

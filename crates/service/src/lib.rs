@@ -33,7 +33,11 @@
 //! * [`protocol`] / [`json`] — the JSON-lines wire format of the
 //!   `service` binary (see the repository `README.md` for examples),
 //!   serialized without intermediate trees by
-//!   [`Response::write_json_line`].
+//!   [`Response::write_json_line`];
+//! * [`scene_json`] — the machine-readable scene export: one entry's
+//!   shared [`Scene`](queryvis::layout::Scene) display list (svg, ascii,
+//!   and scene_json all render from it — one layout per entry) as a JSON
+//!   document a browser client can draw directly.
 
 pub mod cache;
 pub mod compile;
@@ -42,6 +46,7 @@ pub mod fingerprint;
 pub mod json;
 pub mod memo;
 pub mod protocol;
+pub mod scene_json;
 pub mod service;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
@@ -49,6 +54,7 @@ pub use compile::{compile_representative, CompiledEntry};
 pub use fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
 pub use memo::{L1Memo, MemoConfig, MemoStats};
 pub use protocol::{Artifacts, Format, Request, Response};
+pub use scene_json::{scene_json, write_scene_json};
 pub use service::{DiagramService, ServiceConfig, ServiceStats};
 
 /// Every query of the paper corpus as a request batch — the standard

@@ -33,10 +33,19 @@ pub enum Format {
     Svg,
     /// The natural-language reading of the diagram (§4.6).
     Reading,
+    /// The machine-readable [`Scene`](queryvis::layout::Scene) display
+    /// list as one JSON document — what a browser client renders from.
+    SceneJson,
 }
 
 impl Format {
-    pub const ALL: [Format; 4] = [Format::Ascii, Format::Dot, Format::Svg, Format::Reading];
+    pub const ALL: [Format; 5] = [
+        Format::Ascii,
+        Format::Dot,
+        Format::Svg,
+        Format::Reading,
+        Format::SceneJson,
+    ];
 
     pub fn name(&self) -> &'static str {
         match self {
@@ -44,6 +53,7 @@ impl Format {
             Format::Dot => "dot",
             Format::Svg => "svg",
             Format::Reading => "reading",
+            Format::SceneJson => "scene_json",
         }
     }
 
