@@ -15,8 +15,13 @@
 //! texts — a **warm_l1_hit** row serving a normalization-equivalent
 //! *variant* text of a warmed query, isolating the memo's effect, and
 //! two **warm_multiformat** rows (one entry rendered ascii+svg+scene_json
-//! vs one format) quantifying the shared-scene layout win. Every row
-//! also reports sampled p50/p99 per-request latency.
+//! vs one format) quantifying the shared-scene layout win, and a
+//! **warm_hit_telemetry_off / _on** pair bounding the cost of the
+//! `queryvis-telemetry` instrumentation on the hottest path. Every
+//! measured row also reports p50/p99/p999 per-request latency from the
+//! same log-linear [`HistogramSnapshot`] the service exports — smoke
+//! rows (one sample) report `null` instead of pretending a single
+//! observation is a distribution.
 //!
 //! Besides the console report, the bench writes machine-readable results
 //! to `BENCH_service.json` at the repository root so the perf trajectory
@@ -39,6 +44,7 @@ use queryvis_service::{
     fingerprint_sql, paper_corpus_requests, CacheConfig, DiagramService, Format, Request,
     ServiceConfig,
 };
+use queryvis_telemetry::HistogramSnapshot;
 use std::time::{Duration, Instant};
 
 fn corpus() -> Vec<Request> {
@@ -173,10 +179,14 @@ struct BenchRow {
     queries_per_iter: usize,
     iters: u64,
     per_iter_ns: f64,
-    /// Median per-*request* latency (sampled pass; ns).
-    p50_ns: f64,
-    /// 99th-percentile per-request latency (sampled pass; ns).
-    p99_ns: f64,
+    /// Median per-*request* latency (histogram sampling pass; ns).
+    /// `None` when the row was not sampled (smoke mode runs a single
+    /// iteration — one observation has no percentiles).
+    p50_ns: Option<f64>,
+    /// 99th-percentile per-request latency (ns); `None` when unsampled.
+    p99_ns: Option<f64>,
+    /// 99.9th-percentile per-request latency (ns); `None` when unsampled.
+    p999_ns: Option<f64>,
 }
 
 impl BenchRow {
@@ -188,20 +198,14 @@ impl BenchRow {
     }
 }
 
-/// Percentile (nearest-rank) of a sorted sample vector.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
 /// Calibrate-then-measure (mirrors the vendored criterion shim): time
 /// single iterations until ~window/10 elapses, size the measured run to
 /// fill the window, report mean ns/iter. A second, individually-timed
-/// sampling pass (up to 1000 iterations) yields p50/p99 per-request
-/// latency without polluting the mean with per-iteration clock reads.
+/// sampling pass (up to 1000 iterations) records per-request latency
+/// into a [`HistogramSnapshot`] — the same ≤1/32-relative-error
+/// log-linear buckets the service's `--stats` percentiles come from, so
+/// bench rows and service stats are directly comparable — without
+/// polluting the mean with per-iteration clock reads.
 fn measure<O>(
     mode: Mode,
     name: &'static str,
@@ -215,17 +219,19 @@ fn measure<O>(
         black_box(payload());
         let elapsed = start.elapsed();
         println!("{name:<50} ok (smoke)");
-        let per_iter_ns = elapsed.as_nanos() as f64;
-        let per_request_ns = per_iter_ns / queries_per_iter.max(1) as f64;
+        // One iteration is one observation: report no percentiles rather
+        // than the old `p50 == p99 == mean` rows, which read as a real
+        // (and implausibly tight) distribution downstream.
         return BenchRow {
             name,
             kind,
             threads,
             queries_per_iter,
             iters: 1,
-            per_iter_ns,
-            p50_ns: per_request_ns,
-            p99_ns: per_request_ns,
+            per_iter_ns: elapsed.as_nanos() as f64,
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
         };
     }
     let window = mode.window();
@@ -246,24 +252,26 @@ fn measure<O>(
     }
     let elapsed = start.elapsed();
     let per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
-    // Sampling pass: per-iteration timings for the latency distribution.
+    // Sampling pass: per-iteration timings recorded into the telemetry
+    // histogram for the latency distribution.
     let samples_n = iters.min(1000);
-    let mut samples: Vec<f64> = Vec::with_capacity(samples_n as usize);
+    let mut histogram = HistogramSnapshot::empty();
     for _ in 0..samples_n {
         let t = Instant::now();
         black_box(payload());
-        samples.push(t.elapsed().as_nanos() as f64 / queries_per_iter.max(1) as f64);
+        histogram.record(t.elapsed().as_nanos() as u64 / queries_per_iter.max(1) as u64);
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
-    let p50_ns = percentile(&samples, 50.0);
-    let p99_ns = percentile(&samples, 99.0);
+    let p50_ns = histogram.p50() as f64;
+    let p99_ns = histogram.p99() as f64;
+    let p999_ns = histogram.p999() as f64;
     println!(
         "{name:<50} {:>12.3} ms/iter ({iters} iters in {:.3} ms; \
-         p50 {:.2} µs/q, p99 {:.2} µs/q)",
+         p50 {:.2} µs/q, p99 {:.2} µs/q, p999 {:.2} µs/q)",
         per_iter_ns / 1e6,
         elapsed.as_secs_f64() * 1e3,
         p50_ns / 1e3,
         p99_ns / 1e3,
+        p999_ns / 1e3,
     );
     BenchRow {
         name,
@@ -272,13 +280,23 @@ fn measure<O>(
         queries_per_iter,
         iters,
         per_iter_ns,
-        p50_ns,
-        p99_ns,
+        p50_ns: Some(p50_ns),
+        p99_ns: Some(p99_ns),
+        p999_ns: Some(p999_ns),
     }
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// A percentile field: a number when sampled, `null` when the row ran a
+/// single smoke iteration.
+fn percentile_field(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.0}"),
+        None => "null".to_string(),
+    }
 }
 
 /// Write `BENCH_service.json` at the repository root (two levels above
@@ -306,7 +324,8 @@ fn write_report(mode: Mode, rows: &[BenchRow]) -> std::io::Result<std::path::Pat
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"kind\": \"{}\", \"threads\": {}, \
              \"queries_per_iter\": {}, \"iters\": {}, \"per_iter_ns\": {:.0}, \
-             \"queries_per_sec\": {:.1}, \"p50_ns\": {:.0}, \"p99_ns\": {:.0}}}{}\n",
+             \"queries_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"p999_ns\": {}}}{}\n",
             json_escape(row.name),
             row.kind,
             row.threads,
@@ -314,8 +333,9 @@ fn write_report(mode: Mode, rows: &[BenchRow]) -> std::io::Result<std::path::Pat
             row.iters,
             row.per_iter_ns,
             row.queries_per_sec(),
-            row.p50_ns,
-            row.p99_ns,
+            percentile_field(row.p50_ns),
+            percentile_field(row.p99_ns),
+            percentile_field(row.p999_ns),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -405,6 +425,31 @@ fn main() {
             1,
             || service.handle(black_box(&request)),
         ));
+        // Telemetry overhead pair on the hottest path. `_off` pins the
+        // flag false (the process default — this row must be
+        // indistinguishable from plain warm_hit, which bench_guard
+        // enforces); `_on` measures with counters, spans, and the request
+        // histogram live. The recorded gap is the instrumentation budget
+        // DESIGN.md §6 commits to (≤10% enabled).
+        queryvis_telemetry::global().set_enabled(false);
+        rows.push(measure(
+            mode,
+            "service/single/warm_hit_telemetry_off",
+            "warm",
+            1,
+            1,
+            || service.handle(black_box(&request)),
+        ));
+        queryvis_telemetry::global().set_enabled(true);
+        rows.push(measure(
+            mode,
+            "service/single/warm_hit_telemetry_on",
+            "warm",
+            1,
+            1,
+            || service.handle(black_box(&request)),
+        ));
+        queryvis_telemetry::global().set_enabled(false);
         // L1 memo row: a *different text* of the warmed query (lowercase
         // keywords, reshaped whitespace, a comment, trailing `;`) that
         // normalizes to the same L1 key — the warm path for resubmitted

@@ -18,8 +18,16 @@ use queryvis_render::{to_ascii, to_dot_union, to_svg, SvgTheme};
 use queryvis_sql::{
     metrics::word_count_expr, parse_query_expr, ParseError, Query, QueryExpr, Schema, SemanticError,
 };
+use queryvis_telemetry::StageDef;
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+
+/// Telemetry stages for the pipeline's back half (DESIGN.md §6). Lex and
+/// parse are spanned inside `queryvis-sql`; these cover lowering +
+/// translation, diagram construction, and scene composition.
+static STAGE_LOWER: StageDef = StageDef::new("stage.lower");
+static STAGE_DIAGRAM: StageDef = StageDef::new("stage.diagram");
+static STAGE_SCENE: StageDef = StageDef::new("stage.scene");
 
 /// Hard cap on lowered branches per request (`UNION` branches times each
 /// branch's OR expansion) — the same bound the disjunction lowering
@@ -204,6 +212,7 @@ impl PreparedQuery {
     /// construction, per branch. Infallible — every error the fragment can
     /// produce is already surfaced by [`QueryVis::prepare`].
     pub fn complete(self) -> QueryVis {
+        let _span = STAGE_DIAGRAM.span();
         let PreparedQuery {
             sql,
             expr,
@@ -308,6 +317,7 @@ impl QueryVis {
         // sibling ∄-groups in place; positive-polarity ORs split into
         // further branches) and translate every resulting conjunctive
         // query into its own logic tree, keeping AST and tree paired.
+        let _span = STAGE_LOWER.span();
         let mut branches: Vec<(Query, LogicTree)> = Vec::with_capacity(expr.branches.len());
         for written in &expr.branches {
             if queryvis_logic::has_disjunction(written) {
@@ -403,10 +413,10 @@ impl QueryVis {
     /// serving layer rendering three formats) runs `layout_diagram`
     /// exactly once per branch.
     pub fn scene(&self) -> Arc<Scene> {
-        Arc::clone(
-            self.scene
-                .get_or_init(|| Arc::new(compose_union(self.scenes(), self.union_all))),
-        )
+        Arc::clone(self.scene.get_or_init(|| {
+            let _span = STAGE_SCENE.span();
+            Arc::new(compose_union(self.scenes(), self.union_all))
+        }))
     }
 
     /// Render to a standalone SVG document (union branches stack

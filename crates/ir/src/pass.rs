@@ -12,11 +12,23 @@
 //! The framework is deliberately tiny — no scheduling, no invalidation —
 //! because the pipeline is a straight line; what it buys is uniform
 //! naming, timing, error plumbing, and a single place to add passes.
+//!
+//! When process telemetry is enabled the manager also *publishes* what it
+//! measures instead of only stashing it in the context: each executed pass
+//! records its duration into a `pass.<name>` histogram, bumps the
+//! `passes_run` counter (and `passes_changed` when it mutated the IR), and
+//! every [`PassContext::put_fact`] bumps `pass_facts` — so per-pass cost is
+//! finally visible in `service --stats` rather than write-only.
 
+use queryvis_telemetry::CounterDef;
 use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
+
+static PASSES_RUN: CounterDef = CounterDef::new("passes_run");
+static PASSES_CHANGED: CounterDef = CounterDef::new("passes_changed");
+static PASS_FACTS: CounterDef = CounterDef::new("pass_facts");
 
 /// Whether a pass mutated the IR.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +75,7 @@ pub struct PassMetric {
 pub struct PassContext {
     facts: HashMap<&'static str, Box<dyn Any + Send>>,
     pub metrics: Vec<PassMetric>,
+    facts_published: u64,
 }
 
 impl PassContext {
@@ -72,7 +85,16 @@ impl PassContext {
 
     /// Publish an analysis fact under `key` (replacing any previous value).
     pub fn put_fact<T: Any + Send>(&mut self, key: &'static str, value: T) {
+        self.facts_published += 1;
+        PASS_FACTS.add(1);
         self.facts.insert(key, Box::new(value));
+    }
+
+    /// How many facts have been published into this context over its
+    /// lifetime (replacements count — this tracks publication traffic,
+    /// not the live fact set).
+    pub fn facts_published(&self) -> u64 {
+        self.facts_published
     }
 
     /// Fetch a previously published fact.
@@ -148,9 +170,20 @@ impl<Ir> PassManager<Ir> {
         for pass in &self.passes {
             let start = Instant::now();
             let effect = pass.run(ir, cx)?;
+            let duration = start.elapsed();
+            if queryvis_telemetry::enabled() {
+                PASSES_RUN.add(1);
+                if effect == PassEffect::Changed {
+                    PASSES_CHANGED.add(1);
+                }
+                let mut name = String::with_capacity(5 + pass.name().len());
+                name.push_str("pass.");
+                name.push_str(pass.name());
+                queryvis_telemetry::global().record_named_ns(&name, duration.as_nanos() as u64);
+            }
             cx.metrics.push(PassMetric {
                 pass: pass.name(),
-                duration: start.elapsed(),
+                duration,
                 effect,
             });
         }

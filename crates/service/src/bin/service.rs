@@ -15,16 +15,27 @@
 //!                      `formats` field, comma-separated        [default: ascii]
 //!   --corpus           serve the built-in paper corpus instead of stdin
 //!   --stats            print per-pass stats JSON to stderr
+//!                      (enables telemetry: each line carries the pass's
+//!                      request-latency percentiles and the cumulative
+//!                      per-stage timing breakdown)
+//!   --stats-json PATH  write the full stats snapshot (ServiceStats +
+//!                      telemetry registry) as one JSON document to PATH
+//!   --trace-jsonl PATH dump per-request span records (JSON lines) to PATH
 //!   --help             this text
 //! ```
 //!
 //! The cache persists across passes, so `--passes 2 --stats` demonstrates
 //! the steady-state hit rate: pass 2 of any fixed batch is 100 % hits.
+//! `--stats`, `--stats-json`, and `--trace-jsonl` all enable process
+//! telemetry; without them every span/counter call site stays a single
+//! relaxed atomic load.
 
+use queryvis_service::stats_json::{histogram_json, stats_snapshot_json, write_trace_jsonl};
 use queryvis_service::{
     paper_corpus_requests, CacheConfig, DiagramService, Format, MemoConfig, Request, Response,
     ServiceConfig, ServiceStats,
 };
+use queryvis_telemetry::TelemetrySnapshot;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
@@ -36,6 +47,8 @@ struct Cli {
     default_formats: Vec<Format>,
     corpus: bool,
     stats: bool,
+    stats_json: Option<String>,
+    trace_jsonl: Option<String>,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -47,6 +60,8 @@ fn parse_cli() -> Result<Cli, String> {
         default_formats: vec![Format::Ascii],
         corpus: false,
         stats: false,
+        stats_json: None,
+        trace_jsonl: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +87,12 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--corpus" => cli.corpus = true,
             "--stats" => cli.stats = true,
+            "--stats-json" => {
+                cli.stats_json = Some(args.next().ok_or("--stats-json needs a path")?);
+            }
+            "--trace-jsonl" => {
+                cli.trace_jsonl = Some(args.next().ok_or("--trace-jsonl needs a path")?);
+            }
             "--help" | "-h" => {
                 println!("{}", USAGE.trim());
                 std::process::exit(0);
@@ -92,7 +113,10 @@ service — QueryVis diagram-compilation service (JSON lines on stdin/stdout)
   --format LIST  default formats (comma-separated from
                  ascii,dot,svg,reading,scene_json)       [default: ascii]
   --corpus       serve the built-in paper corpus instead of stdin
-  --stats        print per-pass stats JSON to stderr
+  --stats        print per-pass stats JSON to stderr (with latency
+                 percentiles and per-stage timing breakdown)
+  --stats-json PATH   write the full stats snapshot document to PATH
+  --trace-jsonl PATH  dump per-request span records (JSON lines) to PATH
 
 Request lines:  {\"id\": 1, \"sql\": \"SELECT T.a FROM T\", \"formats\": [\"ascii\"]}
 Response lines: {\"id\":1,\"fingerprint\":\"…\",\"sql_words\":4,\"artifacts\":{\"ascii\":\"…\"}}
@@ -139,6 +163,7 @@ fn stats_line(
     delta_lookups: u64,
     elapsed_secs: f64,
     batch_len: usize,
+    telemetry: Option<(&TelemetrySnapshot, &TelemetrySnapshot)>,
 ) -> String {
     use queryvis_service::json::Json;
     let pass_hit_rate = if delta_lookups > 0 {
@@ -151,7 +176,7 @@ fn stats_line(
     } else {
         0.0
     };
-    Json::Obj(vec![
+    let mut line = Json::Obj(vec![
         ("pass".into(), Json::Num(pass as f64)),
         ("requests".into(), Json::Num(stats.requests as f64)),
         ("compiles".into(), Json::Num(stats.compiles as f64)),
@@ -182,8 +207,33 @@ fn stats_line(
             Json::Num((elapsed_secs * 1e5).round() / 1e2),
         ),
         ("qps".into(), Json::Num(qps.round())),
-    ])
-    .to_string()
+    ]);
+    let Some((before, after)) = telemetry else {
+        return line.to_string();
+    };
+    let Json::Obj(fields) = &mut line else {
+        unreachable!("stats line is an object");
+    };
+    // This pass's request-latency window: the `request` histogram diffed
+    // against its state before the pass.
+    let window = match (after.histogram("request"), before.histogram("request")) {
+        (Some(after), Some(before)) => Some(after.diff(before)),
+        (Some(after), None) => Some(after.clone()),
+        _ => None,
+    };
+    if let Some(window) = window {
+        fields.push(("latency".into(), histogram_json(&window)));
+    }
+    // Cumulative per-stage breakdown: every pipeline stage and rewrite
+    // pass histogram, name-sorted (the snapshot is pre-sorted).
+    let stages: Vec<(String, Json)> = after
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("stage.") || name.starts_with("pass."))
+        .map(|(name, h)| (name.clone(), histogram_json(h)))
+        .collect();
+    fields.push(("stages".into(), Json::Obj(stages)));
+    line.to_string()
 }
 
 fn main() {
@@ -194,6 +244,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Any observability output enables telemetry for the process; tracing
+    // (span records) only when a trace sink was requested.
+    let telemetry_on = cli.stats || cli.stats_json.is_some() || cli.trace_jsonl.is_some();
+    if telemetry_on {
+        queryvis_telemetry::global().set_enabled(true);
+    }
+    if cli.trace_jsonl.is_some() {
+        queryvis_telemetry::global().set_tracing(true);
+    }
     let service = DiagramService::new(ServiceConfig {
         cache: CacheConfig {
             capacity: cli.capacity,
@@ -225,6 +284,7 @@ fn main() {
     };
     for pass in 1..=cli.passes {
         let before = service.stats();
+        let telemetry_before = telemetry_on.then(|| queryvis_telemetry::global().snapshot());
         let start = Instant::now();
         let responses = service.execute_batch(&requests, cli.threads);
         let elapsed = start.elapsed().as_secs_f64();
@@ -250,6 +310,7 @@ fn main() {
         if cli.stats {
             let delta_hits = after.cache.hits - before.cache.hits;
             let delta_lookups = delta_hits + (after.cache.misses - before.cache.misses);
+            let telemetry_after = queryvis_telemetry::global().snapshot();
             eprintln!(
                 "{}",
                 stats_line(
@@ -258,9 +319,27 @@ fn main() {
                     delta_hits,
                     delta_lookups,
                     elapsed,
-                    requests.len()
+                    requests.len(),
+                    telemetry_before.as_ref().map(|b| (b, &telemetry_after)),
                 )
             );
+        }
+    }
+
+    if let Some(path) = &cli.stats_json {
+        let doc = stats_snapshot_json(&service.stats(), &queryvis_telemetry::global().snapshot());
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("service: cannot write --stats-json {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &cli.trace_jsonl {
+        let records = queryvis_telemetry::global().drain_trace();
+        let mut body = String::new();
+        write_trace_jsonl(&mut body, &records);
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("service: cannot write --trace-jsonl {path}: {e}");
+            std::process::exit(1);
         }
     }
 }

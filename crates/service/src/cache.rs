@@ -13,8 +13,15 @@
 
 use crate::compile::CompiledEntry;
 use crate::fingerprint::Fingerprint;
+use queryvis_telemetry::CounterDef;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+// Global telemetry mirrors of the per-shard counters (DESIGN.md §6);
+// `CacheStats` remains the per-instance view.
+static C_L2_HITS: CounterDef = CounterDef::new("l2_hits");
+static C_L2_MISSES: CounterDef = CounterDef::new("l2_misses");
+static C_L2_EVICTIONS: CounterDef = CounterDef::new("l2_evictions");
 
 /// Cache configuration.
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +128,7 @@ impl LruState {
         match self.map.get(&key).copied() {
             Some(idx) => {
                 self.hits += 1;
+                C_L2_HITS.add(1);
                 if self.head != idx {
                     self.unlink(idx);
                     self.push_front(idx);
@@ -129,6 +137,7 @@ impl LruState {
             }
             None => {
                 self.misses += 1;
+                C_L2_MISSES.add(1);
                 None
             }
         }
@@ -157,6 +166,7 @@ impl LruState {
             self.map.remove(&victim_key);
             self.free.push(victim);
             self.evictions += 1;
+            C_L2_EVICTIONS.add(1);
             evicted = Some(victim_key);
         }
         let resident = Arc::clone(&value);

@@ -32,7 +32,17 @@ use queryvis::diagram::DiagramStats;
 use queryvis::layout::Scene;
 use queryvis::render::{ascii, svg, SvgTheme};
 use queryvis::QueryVis;
+use queryvis_telemetry::StageDef;
 use std::sync::{Arc, OnceLock};
+
+/// Per-format render stages (DESIGN.md §6). Each span covers one *actual*
+/// materialization — memoized re-serves of an artifact record nothing, so
+/// the histograms count renders, not requests.
+static STAGE_RENDER_ASCII: StageDef = StageDef::new("stage.render.ascii");
+static STAGE_RENDER_DOT: StageDef = StageDef::new("stage.render.dot");
+static STAGE_RENDER_SVG: StageDef = StageDef::new("stage.render.svg");
+static STAGE_RENDER_READING: StageDef = StageDef::new("stage.render.reading");
+static STAGE_RENDER_SCENE_JSON: StageDef = StageDef::new("stage.render.scene_json");
 
 /// A compiled pattern: the finished pipeline result for the pattern's
 /// representative query, with per-format render caches.
@@ -101,15 +111,24 @@ impl CompiledEntry {
     /// only dot (semantic GraphViz export) and reading (prose) bypass it.
     pub fn render(&self, format: Format) -> &Arc<str> {
         match format {
-            Format::Ascii => self
-                .ascii
-                .get_or_init(|| ascii::to_ascii(self.scene()).into()),
-            Format::Dot => self.dot.get_or_init(|| self.qv.dot().into()),
-            Format::Svg => self
-                .svg
-                .get_or_init(|| svg::to_svg(self.scene(), &SvgTheme::default()).into()),
-            Format::Reading => self.reading.get_or_init(|| self.qv.reading().into()),
+            Format::Ascii => self.ascii.get_or_init(|| {
+                let _span = STAGE_RENDER_ASCII.span();
+                ascii::to_ascii(self.scene()).into()
+            }),
+            Format::Dot => self.dot.get_or_init(|| {
+                let _span = STAGE_RENDER_DOT.span();
+                self.qv.dot().into()
+            }),
+            Format::Svg => self.svg.get_or_init(|| {
+                let _span = STAGE_RENDER_SVG.span();
+                svg::to_svg(self.scene(), &SvgTheme::default()).into()
+            }),
+            Format::Reading => self.reading.get_or_init(|| {
+                let _span = STAGE_RENDER_READING.span();
+                self.qv.reading().into()
+            }),
             Format::SceneJson => self.scene_json.get_or_init(|| {
+                let _span = STAGE_RENDER_SCENE_JSON.span();
                 let mut out = String::with_capacity(4096);
                 write_scene_json(&mut out, self.scene());
                 out.into()

@@ -24,9 +24,14 @@
 //! documented in `queryvis::pattern`.
 
 use queryvis::{PatternKey, PreparedQuery, QueryVisError, QueryVisOptions};
+use queryvis_telemetry::StageDef;
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::Arc;
+
+/// Canonical-token emission + 128-bit hashing (DESIGN.md §6). Parse and
+/// lowering inside `QueryVis::prepare` carry their own stage spans.
+static STAGE_CANONICALIZE: StageDef = StageDef::new("stage.canonicalize");
 
 thread_local! {
     /// Per-thread canonical token-stream scratch: fingerprinting a batch
@@ -109,6 +114,7 @@ pub fn fingerprint_sql(
     options: impl Into<Arc<QueryVisOptions>>,
 ) -> Result<FingerprintedQuery, QueryVisError> {
     let prepared = queryvis::QueryVis::prepare(sql, options)?;
+    let _span = STAGE_CANONICALIZE.span();
     let fingerprint = PATTERN_TOKENS.with(|cell| match cell.try_borrow_mut() {
         Ok(mut tokens) => {
             // Union/OR-split queries canonicalize across all branches

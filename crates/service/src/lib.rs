@@ -37,7 +37,11 @@
 //! * [`scene_json`] — the machine-readable scene export: one entry's
 //!   shared [`Scene`](queryvis::layout::Scene) display list (svg, ascii,
 //!   and scene_json all render from it — one layout per entry) as a JSON
-//!   document a browser client can draw directly.
+//!   document a browser client can draw directly;
+//! * [`stats_json`] — the observability export: [`ServiceStats`] plus the
+//!   process-wide `queryvis-telemetry` snapshot (per-stage latency
+//!   histograms, mirrored counters, `pass.*` timings) as one
+//!   schema-stable JSON document, and the `--trace-jsonl` span dump.
 
 pub mod cache;
 pub mod compile;
@@ -48,6 +52,7 @@ pub mod memo;
 pub mod protocol;
 pub mod scene_json;
 pub mod service;
+pub mod stats_json;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use compile::{compile_representative, CompiledEntry};
@@ -56,6 +61,7 @@ pub use memo::{L1Memo, MemoConfig, MemoStats};
 pub use protocol::{Artifacts, Format, Request, Response};
 pub use scene_json::{scene_json, write_scene_json};
 pub use service::{DiagramService, ServiceConfig, ServiceStats};
+pub use stats_json::{stats_snapshot_json, write_trace_jsonl};
 
 /// Every query of the paper corpus as a request batch — the standard
 /// workload of the `service` binary's `--corpus` mode and the throughput

@@ -52,8 +52,14 @@
 use crate::fingerprint::Fingerprint;
 use queryvis_sql::lexer::{is_ident_continue, is_ident_start};
 use queryvis_sql::token::Keyword;
+use queryvis_telemetry::CounterDef;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
+
+/// Global telemetry mirror of coherence invalidations (DESIGN.md §6);
+/// `MemoStats` remains the per-instance view. L1 *hits* are counted by the
+/// service, which knows whether the resolved fingerprint was servable.
+static C_L1_INVALIDATIONS: CounterDef = CounterDef::new("l1_invalidations");
 
 const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -464,6 +470,7 @@ impl MemoShard {
         }
         self.len -= removed;
         self.invalidations += removed as u64;
+        C_L1_INVALIDATIONS.add(removed as u64);
         removed
     }
 }

@@ -35,9 +35,25 @@ use crate::memo::{L1Memo, MemoConfig, MemoStats};
 use crate::protocol::{Artifacts, Format, Request, Response};
 use queryvis::ir::Interner;
 use queryvis::QueryVisOptions;
+use queryvis_telemetry::{now_if_enabled, CounterDef, GaugeDef, StageDef};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+// Global telemetry mirrors of the per-service counters (DESIGN.md §6).
+// `ServiceStats` stays the per-instance source of truth; these fold the
+// same events into the process-wide registry so `--stats`/`--trace-jsonl`
+// see one vocabulary. Every call is a relaxed load + branch when disabled.
+static C_REQUESTS: CounterDef = CounterDef::new("requests");
+static C_COMPILES: CounterDef = CounterDef::new("compiles");
+static C_COALESCED: CounterDef = CounterDef::new("coalesced");
+static C_ERRORS: CounterDef = CounterDef::new("errors");
+static C_L1_HITS: CounterDef = CounterDef::new("l1_hits");
+static G_INFLIGHT: GaugeDef = GaugeDef::new("inflight_compiles");
+/// End-to-end request latency. `handle()` records wall time; the batch
+/// executor records queue-free *service time* (frontend + compile +
+/// respond, compile attributed to the pattern representative only).
+static STAGE_REQUEST: StageDef = StageDef::new("request");
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -193,12 +209,21 @@ impl DiagramService {
 
     /// Serve one request, consulting and filling both cache levels.
     pub fn handle(&self, request: &Request) -> Response {
+        // Inert (one relaxed load each) unless telemetry is enabled; the
+        // span records full wall time into the `request` histogram and the
+        // scope tags this thread's stage spans with the request id.
+        let _request_span = STAGE_REQUEST.span();
+        let _trace_scope = queryvis_telemetry::global()
+            .tracing()
+            .then(|| queryvis_telemetry::request_scope(request.id));
         self.requests.fetch_add(1, Ordering::Relaxed);
+        C_REQUESTS.add(1);
         // L1: a repeat text resolves to its fingerprint without touching
         // the frontend at all.
         if let Some((fingerprint, words)) = self.memo.lookup(&request.sql) {
             if let Some(entry) = self.cache.get(fingerprint) {
                 self.l1_hits.fetch_add(1, Ordering::Relaxed);
+                C_L1_HITS.add(1);
                 return self.respond(request, words as usize, &entry);
             }
             // L2 evicted this fingerprint between the eager invalidation
@@ -209,6 +234,7 @@ impl DiagramService {
             Ok(fq) => fq,
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                C_ERRORS.add(1);
                 return Response::error(request.id, e.to_string());
             }
         };
@@ -223,6 +249,7 @@ impl DiagramService {
             }
             Err(message) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                C_ERRORS.add(1);
                 Response::error(request.id, message)
             }
         }
@@ -252,6 +279,7 @@ impl DiagramService {
         };
         if !is_owner {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
+            C_COALESCED.add(1);
             let guard = flight.slot.lock().expect("flight slot poisoned");
             let guard = flight
                 .ready
@@ -303,7 +331,11 @@ impl DiagramService {
 
     fn compile(&self, fingerprinted: FingerprintedQuery) -> CompiledEntry {
         self.compiles.fetch_add(1, Ordering::Relaxed);
-        compile_representative(fingerprinted)
+        C_COMPILES.add(1);
+        G_INFLIGHT.add(1);
+        let entry = compile_representative(fingerprinted);
+        G_INFLIGHT.add(-1);
+        entry
     }
 
     /// Publish a compiled entry into L2, invalidating whatever L1 texts
@@ -353,6 +385,7 @@ impl DiagramService {
         let n = requests.len();
         let threads = threads.max(1);
         self.requests.fetch_add(n as u64, Ordering::Relaxed);
+        C_REQUESTS.add(n as u64);
 
         /// Result of the per-request front half: either the L1 memo
         /// recognized the text (no frontend ran), or the full frontend
@@ -376,31 +409,44 @@ impl DiagramService {
         // memo probe first, full frontend on memo misses. The memo cannot
         // change any response byte — it returns exactly the fingerprint
         // and word count the frontend would recompute.
-        let fronts: Vec<Front> = run_indexed(n, threads, |i| {
-            let sql = &requests[i].sql;
-            // (l1_hits is counted in phase 4, once it is known whether the
-            // representative had to re-run the frontend after all.)
-            if let Some((fingerprint, words)) = self.memo.lookup(sql) {
-                return Front::Memo {
-                    fingerprint,
-                    words: words as usize,
-                };
-            }
-            match fingerprint_sql(sql, Arc::clone(&self.options)) {
-                Ok(fq) => Front::Full {
-                    words: fq.prepared.sql_word_count(),
-                    fq: Box::new(fq),
-                },
-                Err(e) => Front::Failed(e.to_string()),
-            }
+        let fronts: Vec<(Front, u64)> = run_indexed(n, threads, |i| {
+            // Telemetry measures queue-free service time per request; the
+            // frontend share is timed here, the compile/respond shares in
+            // phases 3/4, and the sum is recorded in phase 4.
+            let t0 = now_if_enabled();
+            let _trace_scope = queryvis_telemetry::global()
+                .tracing()
+                .then(|| queryvis_telemetry::request_scope(requests[i].id));
+            let front = (|| {
+                let sql = &requests[i].sql;
+                // (l1_hits is counted in phase 4, once it is known whether
+                // the representative had to re-run the frontend after all.)
+                if let Some((fingerprint, words)) = self.memo.lookup(sql) {
+                    return Front::Memo {
+                        fingerprint,
+                        words: words as usize,
+                    };
+                }
+                match fingerprint_sql(sql, Arc::clone(&self.options)) {
+                    Ok(fq) => Front::Full {
+                        words: fq.prepared.sql_word_count(),
+                        fq: Box::new(fq),
+                    },
+                    Err(e) => Front::Failed(e.to_string()),
+                }
+            })();
+            let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            (front, ns)
         });
+        let mut front_ns: Vec<u64> = Vec::with_capacity(n);
         let mut outcome: Vec<Result<usize, String>> = Vec::with_capacity(n);
         let mut fingerprints: Vec<Option<Fingerprint>> = Vec::with_capacity(n);
         let mut fqs: Vec<Option<Box<FingerprintedQuery>>> = Vec::with_capacity(n);
         // Which requests ran the full frontend (and should be memoized
         // once their entry is resident).
         let mut memoize: Vec<bool> = Vec::with_capacity(n);
-        for front in fronts {
+        for (front, ns) in fronts {
+            front_ns.push(ns);
             match front {
                 Front::Memo { fingerprint, words } => {
                     outcome.push(Ok(words));
@@ -422,10 +468,9 @@ impl DiagramService {
                 }
             }
         }
-        self.errors.fetch_add(
-            outcome.iter().filter(|r| r.is_err()).count() as u64,
-            Ordering::Relaxed,
-        );
+        let front_errors = outcome.iter().filter(|r| r.is_err()).count() as u64;
+        self.errors.fetch_add(front_errors, Ordering::Relaxed);
+        C_ERRORS.add(front_errors);
 
         // Phase 2 — group by fingerprint in request order; the first
         // occurrence is the representative. One cache lookup per group.
@@ -477,39 +522,43 @@ impl DiagramService {
 
         // Phase 3 — compile the missing representatives in parallel and
         // publish them. Joins within the batch are the coalesced ones.
-        let compiled: Vec<(usize, bool, Result<Arc<CompiledEntry>, String>)> =
-            run_indexed(missing.len(), threads, |k| {
-                let job = &missing[k];
-                let (refingerprinted, fq) =
-                    match job.fq.lock().expect("missing slot poisoned").take() {
-                        Some(fq) => (false, Ok(*fq)),
-                        None => (
-                            true,
-                            fingerprint_sql(
-                                &requests[job.representative].sql,
-                                Arc::clone(&self.options),
-                            )
-                            .map_err(|e| e.to_string()),
-                        ),
-                    };
-                match fq {
-                    Ok(fq) => {
-                        let fingerprint = fq.fingerprint;
-                        let entry = Arc::new(self.compile(fq));
-                        // Keep whatever is resident after the insert: if a
-                        // concurrent batch compiled the same fingerprint
-                        // first, its incumbent wins and this whole group
-                        // serves it, keeping responses consistent within
-                        // the batch.
-                        (
-                            job.group,
-                            refingerprinted,
-                            Ok(self.publish(fingerprint, entry)),
-                        )
-                    }
-                    Err(message) => (job.group, refingerprinted, Err(message)),
+        // (group index, refingerprinted, outcome, compile ns)
+        type CompiledGroup = (usize, bool, Result<Arc<CompiledEntry>, String>, u64);
+        let compiled: Vec<CompiledGroup> = run_indexed(missing.len(), threads, |k| {
+            let job = &missing[k];
+            let t0 = now_if_enabled();
+            // Compile spans are attributed to the representative.
+            let _trace_scope = queryvis_telemetry::global()
+                .tracing()
+                .then(|| queryvis_telemetry::request_scope(requests[job.representative].id));
+            let (refingerprinted, fq) = match job.fq.lock().expect("missing slot poisoned").take() {
+                Some(fq) => (false, Ok(*fq)),
+                None => (
+                    true,
+                    fingerprint_sql(&requests[job.representative].sql, Arc::clone(&self.options))
+                        .map_err(|e| e.to_string()),
+                ),
+            };
+            let (group, refingerprinted, result) = match fq {
+                Ok(fq) => {
+                    let fingerprint = fq.fingerprint;
+                    let entry = Arc::new(self.compile(fq));
+                    // Keep whatever is resident after the insert: if a
+                    // concurrent batch compiled the same fingerprint
+                    // first, its incumbent wins and this whole group
+                    // serves it, keeping responses consistent within
+                    // the batch.
+                    (
+                        job.group,
+                        refingerprinted,
+                        Ok(self.publish(fingerprint, entry)),
+                    )
                 }
-            });
+                Err(message) => (job.group, refingerprinted, Err(message)),
+            };
+            let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            (group, refingerprinted, result, ns)
+        });
         let mut freshly_compiled = vec![false; groups.len()];
         for job in &missing {
             freshly_compiled[job.group] = true;
@@ -519,8 +568,12 @@ impl DiagramService {
         // request's frontend was not skipped, so it must not count as an
         // L1 hit in phase 4.
         let mut rep_refingerprinted = vec![false; groups.len()];
-        for (gi, refingerprinted, result) in compiled {
+        // Compile time attributed to each group's representative when the
+        // per-request service time is recorded in phase 4.
+        let mut group_compile_ns = vec![0u64; groups.len()];
+        for (gi, refingerprinted, result, ns) in compiled {
             rep_refingerprinted[gi] = refingerprinted;
+            group_compile_ns[gi] = ns;
             match result {
                 Ok(entry) => groups[gi].entry = Some(entry),
                 Err(message) => groups[gi].failed = Some(message),
@@ -535,7 +588,11 @@ impl DiagramService {
         // that the entry is resident.
         run_indexed(n, threads, |i| {
             let request = &requests[i];
-            match (&outcome[i], group_of[i]) {
+            let t0 = now_if_enabled();
+            let _trace_scope = queryvis_telemetry::global()
+                .tracing()
+                .then(|| queryvis_telemetry::request_scope(request.id));
+            let response = (|| match (&outcome[i], group_of[i]) {
                 (Err(message), _) => Response::error(request.id, message.clone()),
                 (Ok(words), Some(gi)) => {
                     let group = &groups[gi];
@@ -545,9 +602,11 @@ impl DiagramService {
                     let memo_resolved = !memoize[i];
                     if memo_resolved && !(group.representative == i && rep_refingerprinted[gi]) {
                         self.l1_hits.fetch_add(1, Ordering::Relaxed);
+                        C_L1_HITS.add(1);
                     }
                     if let Some(message) = &group.failed {
                         self.errors.fetch_add(1, Ordering::Relaxed);
+                        C_ERRORS.add(1);
                         return Response::error(request.id, message.clone());
                     }
                     // Every response in the group comes from the *same*
@@ -559,6 +618,7 @@ impl DiagramService {
                     if group.representative != i {
                         if freshly_compiled[gi] {
                             self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            C_COALESCED.add(1);
                         }
                         let _ = self.cache.get(group.fingerprint);
                     }
@@ -570,7 +630,19 @@ impl DiagramService {
                     self.respond(request, *words, &entry)
                 }
                 (Ok(_), None) => unreachable!("fingerprinted requests always have a group"),
+            })();
+            if let Some(t0) = t0 {
+                // Queue-free service time: this request's frontend share +
+                // its compile (representatives only) + response assembly.
+                let mut ns = front_ns[i] + t0.elapsed().as_nanos() as u64;
+                if let Some(gi) = group_of[i] {
+                    if groups[gi].representative == i {
+                        ns += group_compile_ns[gi];
+                    }
+                }
+                STAGE_REQUEST.record_ns(ns);
             }
+            response
         })
     }
 }

@@ -23,7 +23,13 @@ use crate::error::ParseError;
 use crate::lexer::tokenize_into;
 use crate::token::{Keyword, Span, Token, TokenKind};
 use queryvis_ir::{Interner, Symbol};
+use queryvis_telemetry::StageDef;
 use std::cell::RefCell;
+
+/// Telemetry stages for the SQL front end (see DESIGN.md §6): inert single
+/// branches unless the process enables telemetry.
+static STAGE_LEX: StageDef = StageDef::new("stage.lex");
+static STAGE_PARSE: StageDef = StageDef::new("stage.parse");
 
 thread_local! {
     /// Per-thread token scratch: the parser borrows the token stream, so
@@ -66,7 +72,11 @@ pub fn parse_query_expr_with(
     interner: &Interner,
     scratch: &mut Vec<Token>,
 ) -> Result<QueryExpr, ParseError> {
-    tokenize_into(source, interner, scratch)?;
+    {
+        let _span = STAGE_LEX.span();
+        tokenize_into(source, interner, scratch)?;
+    }
+    let _span = STAGE_PARSE.span();
     let mut parser = Parser {
         tokens: scratch,
         pos: 0,

@@ -1,0 +1,232 @@
+//! Property tests for the log-linear histogram, via the vendored
+//! `proptest` shim. The properties pin the contract the rest of the
+//! workspace builds on:
+//!
+//! * **bucket boundary exactness** — every value round-trips into a
+//!   bucket that contains it, bucket edges are their own fixed points
+//!   (`bucket_index(bucket_low(i)) == i`), adjacent buckets tile the
+//!   `u64` line with no gaps or overlaps, and bucket width never exceeds
+//!   `1/BASE` of the bucket's low edge (the ≤3.2% relative-error bound
+//!   quoted everywhere percentiles are reported);
+//! * **merge algebra** — merge is bucket-wise addition: commutative,
+//!   associative, with `empty` as identity, and equal to having recorded
+//!   the concatenated value stream in the first place;
+//! * **percentile behaviour** — percentiles are monotone in `p`, clamped
+//!   to the exactly-tracked `[min, max]`, exact at both extremes, and
+//!   within one bucket of the true nearest-rank order statistic;
+//! * **snapshot equivalence** — the atomic [`Histogram`] and the owned
+//!   [`HistogramSnapshot`] accumulator agree on identical input, so bench
+//!   rows and service stats are directly comparable;
+//! * **diff windows** — `later.diff(earlier)` recovers exactly the
+//!   bucket counts of the values recorded in between, with min/max
+//!   bounds that bracket the window's true extremes.
+
+use proptest::prelude::*;
+use queryvis_telemetry::histogram::{bucket_high, bucket_index, bucket_low, BASE, BUCKET_COUNT};
+use queryvis_telemetry::{Histogram, HistogramSnapshot};
+
+/// Log-uniform-ish `u64` values: a uniform 64-bit draw shifted right by a
+/// uniform amount, so every magnitude (and every octave of the bucket
+/// layout) is exercised, not just the astronomically large values a plain
+/// uniform draw would produce. `u64::MAX` is mixed in explicitly — it is
+/// the last bucket's saturating edge case.
+fn values() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        (0u32..64, 0u64..u64::MAX).prop_map(|(shift, raw)| raw >> shift),
+        Just(u64::MAX),
+        0u64..(2 * BASE),
+    ]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let mut s = HistogramSnapshot::empty();
+    for &v in values {
+        s.record(v);
+    }
+    s
+}
+
+/// True nearest-rank percentile of a raw sample (the reference the
+/// histogram approximates).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as u64;
+    sorted[(rank.clamp(1, sorted.len() as u64) - 1) as usize]
+}
+
+proptest! {
+    #[test]
+    fn every_value_lands_in_a_bucket_that_contains_it(v in values()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKET_COUNT, "index {i} out of range for {v}");
+        prop_assert!(
+            bucket_low(i) <= v && v <= bucket_high(i),
+            "{v} outside bucket {i}: [{}, {}]",
+            bucket_low(i),
+            bucket_high(i)
+        );
+    }
+
+    #[test]
+    fn bucket_edges_are_fixed_points(i in 0usize..BUCKET_COUNT) {
+        prop_assert_eq!(bucket_index(bucket_low(i)), i);
+        prop_assert_eq!(bucket_index(bucket_high(i)), i);
+    }
+
+    #[test]
+    fn adjacent_buckets_tile_without_gaps(i in 0usize..BUCKET_COUNT - 1) {
+        prop_assert_eq!(bucket_high(i).saturating_add(1), bucket_low(i + 1));
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error(v in values()) {
+        let i = bucket_index(v);
+        if i >= BASE as usize {
+            // Octave buckets: width ≤ low / BASE, hence percentile
+            // quantization error ≤ 1/BASE relative.
+            let width = bucket_high(i) - bucket_low(i) + 1;
+            prop_assert!(
+                width <= bucket_low(i) / BASE,
+                "bucket {i} width {width} exceeds 1/{BASE} of low {}",
+                bucket_low(i)
+            );
+        } else {
+            // Exact range: one value per bucket, zero error.
+            prop_assert_eq!(bucket_low(i), bucket_high(i));
+            prop_assert_eq!(bucket_low(i), v);
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        a in proptest::collection::vec(values(), 0..20),
+        b in proptest::collection::vec(values(), 0..20),
+        c in proptest::collection::vec(values(), 0..20),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // b ⊕ a == a ⊕ b
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        // empty is the identity.
+        let mut with_empty = sa.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&with_empty, &sa);
+        // Merging equals having recorded the concatenated stream.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &snapshot_of(&all));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped(
+        samples in proptest::collection::vec(values(), 1..40),
+    ) {
+        let s = snapshot_of(&samples);
+        let mut previous = 0u64;
+        for tenth in 0..=100u64 {
+            let p = tenth as f64;
+            let got = s.percentile(p);
+            prop_assert!(
+                got >= previous,
+                "percentile not monotone: p{p} = {got} < {previous}"
+            );
+            prop_assert!(s.min() <= got && got <= s.max());
+            previous = got;
+        }
+        prop_assert_eq!(s.percentile(0.0), s.min());
+        prop_assert_eq!(s.percentile(100.0), s.max());
+    }
+
+    #[test]
+    fn percentile_is_within_one_bucket_of_truth(
+        samples in proptest::collection::vec(values(), 1..40),
+        tenth in 0u64..=1000,
+    ) {
+        let s = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let p = tenth as f64 / 10.0;
+        let truth = exact_percentile(&sorted, p);
+        let got = s.percentile(p);
+        // The reported quantile never undershoots the true order
+        // statistic and never overshoots its bucket's upper edge (or the
+        // exact max, whichever is tighter).
+        prop_assert!(
+            got >= truth,
+            "p{p}: reported {got} undershoots true {truth}"
+        );
+        prop_assert!(
+            got <= bucket_high(bucket_index(truth)).min(s.max()),
+            "p{p}: reported {got} beyond bucket of true {truth}"
+        );
+    }
+
+    #[test]
+    fn atomic_and_owned_accumulators_agree(
+        samples in proptest::collection::vec(values(), 0..40),
+    ) {
+        // The atomic histogram's sum wraps (fetch_add) while the owned one
+        // saturates; nanosecond totals never approach u64::MAX in practice,
+        // so the equivalence claim is scoped to non-overflowing streams.
+        prop_assume!(
+            samples.iter().map(|&v| u128::from(v)).sum::<u128>() <= u128::from(u64::MAX)
+        );
+        let atomic = Histogram::new();
+        for &v in &samples {
+            atomic.record(v);
+        }
+        prop_assert_eq!(&atomic.snapshot(), &snapshot_of(&samples));
+    }
+
+    #[test]
+    fn diff_recovers_the_window(
+        before in proptest::collection::vec(values(), 0..20),
+        after in proptest::collection::vec(values(), 1..20),
+    ) {
+        prop_assume!(
+            before
+                .iter()
+                .chain(&after)
+                .map(|&v| u128::from(v))
+                .sum::<u128>()
+                <= u128::from(u64::MAX)
+        );
+        let h = Histogram::new();
+        for &v in &before {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for &v in &after {
+            h.record(v);
+        }
+        let window = h.snapshot().diff(&earlier);
+        let expected = snapshot_of(&after);
+        prop_assert_eq!(window.count(), expected.count());
+        prop_assert_eq!(window.sum(), expected.sum());
+        // Bucket counts match the standalone window exactly; min/max are
+        // conservative bounds that bracket the true window extremes.
+        prop_assert!(window.min() <= expected.min());
+        prop_assert!(window.max() >= expected.max());
+        for tenth in 0..=10u64 {
+            let p = tenth as f64 * 10.0;
+            prop_assert!(
+                window.percentile(p) >= expected.percentile(p) / 2
+                    || window.percentile(p) + BASE >= expected.percentile(p),
+                "window p{p} wildly off"
+            );
+        }
+    }
+}
