@@ -19,9 +19,17 @@
 //! **warm_hit_telemetry_off / _on** pair bounding the cost of the
 //! `queryvis-telemetry` instrumentation on the hottest path. Every
 //! measured row also reports p50/p99/p999 per-request latency from the
-//! same log-linear [`HistogramSnapshot`] the service exports — smoke
-//! rows (one sample) report `null` instead of pretending a single
-//! observation is a distribution.
+//! same log-linear [`HistogramSnapshot`] the service exports — rows with
+//! a single observation (smoke mode, or a quick-mode payload slower than
+//! the whole window) report `null` instead of pretending one sample is a
+//! distribution.
+//!
+//! Four **eviction-policy** rows replay deterministic seeded traces — a
+//! zipfian-skewed key stream and a hot-set-with-cold-scan-bursts stream —
+//! against the real ARC cache and against a strict-LRU reference with
+//! identical shard geometry, each reporting a `hit_rate` alongside the
+//! replay time. `bench_guard` pins both the absolute hit rates against
+//! the committed baseline and the ARC ≥ LRU ordering within the run.
 //!
 //! Besides the console report, the bench writes machine-readable results
 //! to `BENCH_service.json` at the repository root so the perf trajectory
@@ -32,19 +40,26 @@
 //! * `--test` (what `cargo test --benches` passes) — one iteration per
 //!   row, timings reported as mode `smoke`.
 //!
-//! Caveat: on a single-CPU host (like the container this repo is
-//! developed in) the 4-thread rows can only show pool overhead, never
-//! speedup — the interesting property there is that their *responses*
-//! stay byte-identical to the 1-thread rows, which the service tests
-//! assert.
+//! Caveat: the service clamps batch workers to the hardware's available
+//! parallelism (oversubscribing a CPU-bound batch only buys context
+//! switches), so on a single-CPU host (like the container this repo is
+//! developed in) the 4-thread rows measure the clamped path and must sit
+//! within noise of the 1-thread rows — a property `bench_guard` gates
+//! (4-thread ≤ 1.25 × 1-thread) now that the old oversubscription
+//! overhead (~2×) is gone. Real speedup only shows on multicore
+//! hardware; byte-identical responses for any thread count are asserted
+//! by the service tests either way.
 
 use criterion::black_box;
 use queryvis::QueryVisOptions;
 use queryvis_service::{
-    fingerprint_sql, paper_corpus_requests, CacheConfig, DiagramService, Format, Request,
-    ServiceConfig,
+    compile_representative, fingerprint_sql, paper_corpus_requests, CacheConfig, CompiledEntry,
+    DiagramService, Fingerprint, Format, Request, ServiceConfig, ShardedCache,
 };
 use queryvis_telemetry::HistogramSnapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn corpus() -> Vec<Request> {
@@ -131,6 +146,109 @@ fn synthetic_requests(n: usize) -> Vec<Request> {
 }
 
 // ---------------------------------------------------------------------
+// Eviction-policy traces: ARC (the real cache) vs an LRU reference
+// ---------------------------------------------------------------------
+
+/// Zipfian key trace: `accesses` draws over `n_keys` ranks with exponent
+/// `s`, inverse-CDF sampling of the seeded vendored rng. Rank 0 is the
+/// hottest key.
+fn zipf_trace(n_keys: usize, s: f64, accesses: usize, seed: u64) -> Vec<u64> {
+    let weights: Vec<f64> = (1..=n_keys).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(n_keys);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..accesses)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            cdf.partition_point(|&c| c < u).min(n_keys - 1) as u64
+        })
+        .collect()
+}
+
+/// Hot-set-with-cold-scan trace: cycles of `hot_runs` random draws from a
+/// small re-referenced hot set, each followed by a one-shot burst of
+/// `scan_len` never-repeated cold keys — the pattern a recency-only
+/// policy flushes its working set for, and the one ARC's ghost lists are
+/// built to resist.
+fn hot_scan_trace(
+    hot_keys: u64,
+    cycles: usize,
+    hot_runs: usize,
+    scan_len: usize,
+    seed: u64,
+) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_cold = 1_000_000u64;
+    let mut trace = Vec::with_capacity(cycles * (hot_runs + scan_len));
+    for _ in 0..cycles {
+        for _ in 0..hot_runs {
+            trace.push(rng.gen_range(0..hot_keys));
+        }
+        for _ in 0..scan_len {
+            trace.push(next_cold);
+            next_cold += 1;
+        }
+    }
+    trace
+}
+
+/// Low-half synthetic keys, so `Fingerprint::shard` (lo ^ hi, mod shards)
+/// spreads consecutive keys across shards like real fingerprints do.
+fn trace_fingerprint(key: u64) -> Fingerprint {
+    Fingerprint(u128::from(key) + 1)
+}
+
+/// Replay a trace against the real [`ShardedCache`] (ARC policy): get,
+/// and on a miss insert. One shared entry stands in for every value — the
+/// eviction policy only sees keys. Returns the hit rate.
+fn arc_replay(trace: &[u64], entry: &Arc<CompiledEntry>, config: CacheConfig) -> f64 {
+    let cache = ShardedCache::new(config);
+    let mut hits = 0usize;
+    for &key in trace {
+        let fp = trace_fingerprint(key);
+        if cache.get(fp).is_some() {
+            hits += 1;
+        } else {
+            cache.insert(fp, Arc::clone(entry));
+        }
+    }
+    hits as f64 / trace.len().max(1) as f64
+}
+
+/// The LRU reference: strict per-shard LRU with the same shard mapping
+/// (`Fingerprint::shard`) and the same per-shard capacity split
+/// (`div_ceil`) the real cache uses, so the replay differs from
+/// [`arc_replay`] in eviction policy only. Stamp-based; shards are tiny,
+/// so the O(n) evict scan is irrelevant to the hit rate it exists to
+/// report.
+fn lru_replay(trace: &[u64], config: CacheConfig) -> f64 {
+    let shards = config.shards.max(1);
+    let per_shard = config.capacity.div_ceil(shards).max(1);
+    let mut maps: Vec<std::collections::HashMap<u128, u64>> = (0..shards)
+        .map(|_| std::collections::HashMap::new())
+        .collect();
+    let mut stamp = 0u64;
+    let mut hits = 0usize;
+    for &key in trace {
+        let fp = trace_fingerprint(key);
+        let map = &mut maps[fp.shard(shards)];
+        stamp += 1;
+        if map.insert(fp.0, stamp).is_some() {
+            hits += 1;
+        } else if map.len() > per_shard {
+            let coldest = *map.iter().min_by_key(|&(_, s)| *s).map(|(k, _)| k).unwrap();
+            map.remove(&coldest);
+        }
+    }
+    hits as f64 / trace.len().max(1) as f64
+}
+
+// ---------------------------------------------------------------------
 // Measurement harness + machine-readable report
 // ---------------------------------------------------------------------
 
@@ -187,6 +305,11 @@ struct BenchRow {
     p99_ns: Option<f64>,
     /// 99.9th-percentile per-request latency (ns); `None` when unsampled.
     p999_ns: Option<f64>,
+    /// Cache hit rate over the row's replay trace — only the eviction-
+    /// policy rows (`zipfian_skew`, `hot_scan`) carry one. Computed once,
+    /// deterministically (seeded trace, fresh cache), independent of the
+    /// timing loop.
+    hit_rate: Option<f64>,
 }
 
 impl BenchRow {
@@ -232,6 +355,7 @@ fn measure<O>(
             p50_ns: None,
             p99_ns: None,
             p999_ns: None,
+            hit_rate: None,
         };
     }
     let window = mode.window();
@@ -261,18 +385,32 @@ fn measure<O>(
         black_box(payload());
         histogram.record(t.elapsed().as_nanos() as u64 / queries_per_iter.max(1) as u64);
     }
-    let p50_ns = histogram.p50() as f64;
-    let p99_ns = histogram.p99() as f64;
-    let p999_ns = histogram.p999() as f64;
-    println!(
-        "{name:<50} {:>12.3} ms/iter ({iters} iters in {:.3} ms; \
-         p50 {:.2} µs/q, p99 {:.2} µs/q, p999 {:.2} µs/q)",
-        per_iter_ns / 1e6,
-        elapsed.as_secs_f64() * 1e3,
-        p50_ns / 1e3,
-        p99_ns / 1e3,
-        p999_ns / 1e3,
-    );
+    // One observation has no distribution. Rows whose calibration lands on
+    // `iters == 1` (payloads slower than the quick-mode window, e.g.
+    // cold_synthetic_512) used to report a fabricated `p50 == p99 == p999`
+    // from that single sample; report `null` instead, like smoke mode.
+    let sampled = samples_n >= 2;
+    let p50_ns = sampled.then(|| histogram.p50() as f64);
+    let p99_ns = sampled.then(|| histogram.p99() as f64);
+    let p999_ns = sampled.then(|| histogram.p999() as f64);
+    if let (Some(p50), Some(p99), Some(p999)) = (p50_ns, p99_ns, p999_ns) {
+        println!(
+            "{name:<50} {:>12.3} ms/iter ({iters} iters in {:.3} ms; \
+             p50 {:.2} µs/q, p99 {:.2} µs/q, p999 {:.2} µs/q)",
+            per_iter_ns / 1e6,
+            elapsed.as_secs_f64() * 1e3,
+            p50 / 1e3,
+            p99 / 1e3,
+            p999 / 1e3,
+        );
+    } else {
+        println!(
+            "{name:<50} {:>12.3} ms/iter ({iters} iters in {:.3} ms; \
+             single sample — no percentiles)",
+            per_iter_ns / 1e6,
+            elapsed.as_secs_f64() * 1e3,
+        );
+    }
     BenchRow {
         name,
         kind,
@@ -280,9 +418,10 @@ fn measure<O>(
         queries_per_iter,
         iters,
         per_iter_ns,
-        p50_ns: Some(p50_ns),
-        p99_ns: Some(p99_ns),
-        p999_ns: Some(p999_ns),
+        p50_ns,
+        p99_ns,
+        p999_ns,
+        hit_rate: None,
     }
 }
 
@@ -325,7 +464,7 @@ fn write_report(mode: Mode, rows: &[BenchRow]) -> std::io::Result<std::path::Pat
             "    {{\"name\": \"{}\", \"kind\": \"{}\", \"threads\": {}, \
              \"queries_per_iter\": {}, \"iters\": {}, \"per_iter_ns\": {:.0}, \
              \"queries_per_sec\": {:.1}, \"p50_ns\": {}, \"p99_ns\": {}, \
-             \"p999_ns\": {}}}{}\n",
+             \"p999_ns\": {}, \"hit_rate\": {}}}{}\n",
             json_escape(row.name),
             row.kind,
             row.threads,
@@ -336,6 +475,10 @@ fn write_report(mode: Mode, rows: &[BenchRow]) -> std::io::Result<std::path::Pat
             percentile_field(row.p50_ns),
             percentile_field(row.p99_ns),
             percentile_field(row.p999_ns),
+            match row.hit_rate {
+                Some(rate) => format!("{rate:.4}"),
+                None => "null".to_string(),
+            },
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -548,6 +691,57 @@ fn main() {
                 last
             },
         ));
+    }
+
+    // Eviction-policy rows: the real cache's ARC against a strict-LRU
+    // reference replaying the same deterministic traces through the same
+    // shard geometry. `hit_rate` is computed once per row outside the
+    // timing loop (seeded trace + fresh cache = deterministic); the timed
+    // payload is a full fresh-cache replay, tracking policy overhead.
+    // bench_guard gates both directions: hit_rate against the committed
+    // baseline, and arc >= lru_ref within the current run.
+    {
+        let policy_config = || CacheConfig {
+            capacity: 64,
+            shards: 4,
+        };
+        let entry = {
+            let fq = fingerprint_sql(
+                "SELECT T.a FROM T WHERE T.a = 0",
+                QueryVisOptions::default(),
+            )
+            .expect("policy entry compiles");
+            Arc::new(compile_representative(fq))
+        };
+        let zipf = zipf_trace(256, 1.0, 10_000, 0x5eed);
+        let hot_scan = hot_scan_trace(48, 40, 60, 100, 0x5eed);
+        let pairs: [(&'static str, &'static str, &Vec<u64>); 2] = [
+            (
+                "service/zipfian_skew/arc",
+                "service/zipfian_skew/lru_ref",
+                &zipf,
+            ),
+            (
+                "service/hot_scan/arc",
+                "service/hot_scan/lru_ref",
+                &hot_scan,
+            ),
+        ];
+        for (arc_name, lru_name, trace) in pairs {
+            let arc_rate = arc_replay(trace, &entry, policy_config());
+            let lru_rate = lru_replay(trace, policy_config());
+            let mut row = measure(mode, arc_name, "policy", 1, trace.len(), || {
+                black_box(arc_replay(black_box(trace), &entry, policy_config()))
+            });
+            row.hit_rate = Some(arc_rate);
+            rows.push(row);
+            let mut row = measure(mode, lru_name, "policy", 1, trace.len(), || {
+                black_box(lru_replay(black_box(trace), policy_config()))
+            });
+            row.hit_rate = Some(lru_rate);
+            rows.push(row);
+            println!("  {arc_name}: hit rate {arc_rate:.4} (lru reference {lru_rate:.4})");
+        }
     }
 
     match write_report(mode, &rows) {

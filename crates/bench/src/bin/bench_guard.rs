@@ -4,9 +4,23 @@
 //! baseline and fails (exit 1) if any guarded row's `per_iter_ns` regressed
 //! by more than the allowed fraction. Guarded rows are the warm-path
 //! contract of the serving layer (`warm_hit`, `warm_l1_hit`, `warm_batch`,
-//! and the shared-scene `warm_multiformat` rows); cold rows are reported
-//! but not gated — they are compile-bound and noisy on shared CI
-//! hardware.
+//! the shared-scene `warm_multiformat` rows, and the eviction-policy
+//! replay rows); cold rows are reported but not gated — they are
+//! compile-bound and noisy on shared CI hardware.
+//!
+//! Beyond per-row latency, three structural gates:
+//!
+//! * **hit-rate floor** — any row carrying a `hit_rate` in the baseline
+//!   must stay within 0.02 of it (the traces are seeded, so a drop means
+//!   the eviction policy changed behavior, not the hardware);
+//! * **ARC ≥ LRU** — within the *current* run, each policy trace's `arc`
+//!   row must hit at least as often as its `lru_ref` row (the
+//!   scan-resistance contract of the ARC cache);
+//! * **thread-scaling ratio** — current `warm_batch/4_threads` must cost
+//!   ≤ 1.25 × `warm_batch/1_threads` per iteration: workers are clamped
+//!   to hardware parallelism, so even a single-CPU host must not pay the
+//!   old oversubscription penalty (~2×), and a regression here means a
+//!   lock or shared cache line crept back into the warm batch path.
 //!
 //! ```text
 //! Usage: bench_guard <current.json> <baseline.json> [--max-regression 0.30]
@@ -27,11 +41,27 @@ use queryvis_service::json::{self, Json};
 use std::process::ExitCode;
 
 /// Row-name substrings that are gated. Everything else is informational.
-const GUARDED: [&str; 4] = ["warm_hit", "warm_batch", "warm_l1_hit", "warm_multiformat"];
+const GUARDED: [&str; 6] = [
+    "warm_hit",
+    "warm_batch",
+    "warm_l1_hit",
+    "warm_multiformat",
+    "zipfian_skew",
+    "hot_scan",
+];
+
+/// Absolute hit-rate slack against the baseline. The replay traces are
+/// seeded and deterministic, so this only absorbs float printing — a real
+/// policy change moves hit rates by far more.
+const HIT_RATE_SLACK: f64 = 0.02;
+
+/// Ceiling on current `warm_batch/4_threads` ÷ `warm_batch/1_threads`.
+const WARM_BATCH_THREAD_RATIO: f64 = 1.25;
 
 struct Row {
     name: String,
     per_iter_ns: f64,
+    hit_rate: Option<f64>,
 }
 
 fn load_rows(path: &str) -> Result<Vec<Row>, String> {
@@ -53,7 +83,18 @@ fn load_rows(path: &str) -> Result<Vec<Row>, String> {
                 Some(Json::Int(n)) => *n as f64,
                 _ => return Err(format!("{path}: row {name} without `per_iter_ns`")),
             };
-            Ok(Row { name, per_iter_ns })
+            // Optional: only the eviction-policy rows carry one (absent
+            // entirely in baselines that predate the field).
+            let hit_rate = match row.get("hit_rate") {
+                Some(Json::Num(n)) => Some(*n),
+                Some(Json::Int(n)) => Some(*n as f64),
+                _ => None,
+            };
+            Ok(Row {
+                name,
+                per_iter_ns,
+                hit_rate,
+            })
         })
         .collect()
 }
@@ -134,6 +175,79 @@ fn main() -> ExitCode {
                 "info"
             }
         );
+        // Hit-rate floor: deterministic seeded traces, so any drop beyond
+        // slack is a behavioral change in the eviction policy.
+        if let (Some(base_rate), Some(cur_rate)) = (base.hit_rate, cur.hit_rate) {
+            if cur_rate < base_rate - HIT_RATE_SLACK {
+                println!(
+                    "{:<45} hit rate {cur_rate:.4} fell below baseline {base_rate:.4} - {HIT_RATE_SLACK}",
+                    base.name
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    // ARC ≥ LRU within the current run: each policy trace's real-cache
+    // row must hit at least as often as its same-geometry LRU reference.
+    for trace in ["zipfian_skew", "hot_scan"] {
+        let rate_of = |suffix: &str| {
+            current
+                .iter()
+                .find(|r| r.name == format!("service/{trace}/{suffix}"))
+                .and_then(|r| r.hit_rate)
+        };
+        match (rate_of("arc"), rate_of("lru_ref")) {
+            (Some(arc), Some(lru)) => {
+                if arc < lru {
+                    println!("service/{trace}: arc hit rate {arc:.4} below lru reference {lru:.4}");
+                    failures += 1;
+                } else {
+                    println!(
+                        "service/{trace}: arc hit rate {arc:.4} >= lru reference {lru:.4}  ok"
+                    );
+                }
+            }
+            _ => {
+                println!("service/{trace}: arc/lru_ref hit-rate pair missing from current results");
+                failures += 1;
+            }
+        }
+    }
+
+    // Thread-scaling ratio: the N-thread warm batch must not re-grow the
+    // oversubscription penalty the worker clamp removed.
+    {
+        let per_iter_of = |name: &str| {
+            current
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.per_iter_ns)
+        };
+        match (
+            per_iter_of("service/warm_batch/1_threads"),
+            per_iter_of("service/warm_batch/4_threads"),
+        ) {
+            (Some(one), Some(four)) if one > 0.0 => {
+                let ratio = four / one;
+                if ratio > WARM_BATCH_THREAD_RATIO {
+                    println!(
+                        "warm_batch 4_threads/1_threads ratio {ratio:.2} exceeds \
+                         {WARM_BATCH_THREAD_RATIO} — the batch path re-serialized"
+                    );
+                    failures += 1;
+                } else {
+                    println!(
+                        "warm_batch 4_threads/1_threads ratio {ratio:.2} <= \
+                         {WARM_BATCH_THREAD_RATIO}  ok"
+                    );
+                }
+            }
+            _ => {
+                println!("warm_batch thread-ratio pair missing from current results");
+                failures += 1;
+            }
+        }
     }
     if guarded_seen == 0 {
         eprintln!("bench_guard: baseline contains no guarded rows (warm_hit/warm_batch)");
@@ -141,7 +255,8 @@ fn main() -> ExitCode {
     }
     if failures > 0 {
         eprintln!(
-            "bench_guard: {failures} guarded row(s) regressed more than {:.0}% \
+            "bench_guard: {failures} gate failure(s) — latency regression beyond {:.0}%, \
+             hit-rate drop, or thread-scaling breach \
              (refresh .github/bench-baseline.json or label the PR \
              `bench-baseline-reset` if intentional)",
             max_regression * 100.0

@@ -1,0 +1,351 @@
+//! Epoch-based reclamation for the lock-free read paths.
+//!
+//! The L2 cache and the L1 memo publish `Arc`-owned entries through
+//! atomic pointers that readers probe **without locking**. A reader that
+//! has just loaded such a pointer holds no reference count yet — between
+//! its load and its `Arc::increment_strong_count` the writer may have
+//! unlinked the entry and dropped the owning `Arc`. This module closes
+//! that window with the classic epoch scheme:
+//!
+//! * Every reader thread owns a [`PinSlot`] — one cache line holding the
+//!   era the thread is currently reading under (`IDLE` when it isn't).
+//! * A global era counter advances when a writer unlinks something.
+//! * Unlinked values are not dropped; they are **retired** into a
+//!   [`Limbo`] tagged with the era the unlink advanced to. A retired
+//!   value is freed only once every pinned slot has moved to that era or
+//!   past it — at which point no reader can still be holding a pointer
+//!   loaded before the unlink.
+//!
+//! ## Why a pinned reader's pointer stays valid
+//!
+//! The pin protocol is a validated store: the reader loads the era,
+//! publishes it in its slot, and re-checks the era (all `SeqCst`). If the
+//! re-check passes, the publication is ordered before any later era
+//! advance in the single total order of `SeqCst` operations — so a writer
+//! that advances to era `R` and then scans the slots **must** observe the
+//! pin. The pinned era `e < R` keeps every value retired at era `> e` in
+//! limbo. Conversely, a reader whose pin validates at era `e ≥ R` read
+//! the counter *after* the advance; the advance is a `SeqCst` RMW, so the
+//! writer's unlink (sequenced before it) happens-before everything the
+//! reader does after validation — such a reader can only see the new
+//! table state and never loads the retired pointer at all. Either way, a
+//! pointer a pinned reader actually loaded is backed by an `Arc` that is
+//! alive in the authoritative map or in limbo, and
+//! `Arc::increment_strong_count` on it is sound.
+//!
+//! Slots are allocated once per thread (leaked, one cache line each) and
+//! recycled through a free list when the thread exits, so short-lived
+//! benchmark/test threads do not grow the registry without bound. The
+//! registry itself is an append-only lock-free list — writers scanning
+//! for the minimum active era never take a lock either (only slot
+//! *acquisition*, a once-per-thread event, does).
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Slot value meaning "this thread is not reading".
+const IDLE: u64 = u64::MAX;
+
+/// The global era. Starts at 1 so 0 can never be confused with a live
+/// retirement tag.
+static ERA: AtomicU64 = AtomicU64::new(1);
+
+/// Head of the append-only registry of every slot ever allocated.
+static SLOTS: AtomicPtr<PinSlot> = AtomicPtr::new(ptr::null_mut());
+
+/// Slots returned by exited threads, ready for reuse.
+static FREE: Mutex<Vec<&'static PinSlot>> = Mutex::new(Vec::new());
+
+/// One reader thread's published era. Padded to a cache line so writer
+/// scans and neighbor pins never false-share.
+#[repr(align(64))]
+pub struct PinSlot {
+    era: AtomicU64,
+    /// Intrusive link of the append-only registry; written once before
+    /// the slot is published, never changed after.
+    next: AtomicPtr<PinSlot>,
+}
+
+fn acquire_slot() -> &'static PinSlot {
+    if let Some(slot) = FREE.lock().expect("epoch free list poisoned").pop() {
+        return slot;
+    }
+    let slot: &'static PinSlot = Box::leak(Box::new(PinSlot {
+        era: AtomicU64::new(IDLE),
+        next: AtomicPtr::new(ptr::null_mut()),
+    }));
+    let mut head = SLOTS.load(Ordering::Acquire);
+    loop {
+        slot.next.store(head, Ordering::Relaxed);
+        match SLOTS.compare_exchange_weak(
+            head,
+            slot as *const PinSlot as *mut PinSlot,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return slot,
+            Err(h) => head = h,
+        }
+    }
+}
+
+/// Owns the thread's slot for the thread's lifetime; hands it back (idle)
+/// when the thread exits.
+struct SlotHandle(&'static PinSlot);
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        self.0.era.store(IDLE, Ordering::SeqCst);
+        if let Ok(mut free) = FREE.lock() {
+            free.push(self.0);
+        }
+    }
+}
+
+thread_local! {
+    static SLOT: SlotHandle = SlotHandle(acquire_slot());
+    /// Pin nesting depth: only the outermost guard publishes and clears.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// An active read-side pin. While any guard is alive on this thread,
+/// every value retired *after* the pin was taken stays allocated.
+pub struct PinGuard {
+    slot: &'static PinSlot,
+    /// `!Send`/`!Sync`: the guard manipulates this thread's depth cell.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Pin the current thread at the current era. Reentrant: nested pins
+/// share the outermost publication.
+#[inline]
+pub fn pin() -> PinGuard {
+    let slot = SLOT.with(|h| h.0);
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    if depth == 0 {
+        // Validated publication: retry until the era we published is
+        // still current, so a concurrent advance can never miss the pin
+        // (see the module docs for the ordering argument).
+        loop {
+            let era = ERA.load(Ordering::SeqCst);
+            slot.era.store(era, Ordering::SeqCst);
+            if ERA.load(Ordering::SeqCst) == era {
+                break;
+            }
+        }
+    }
+    PinGuard {
+        slot,
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for PinGuard {
+    #[inline]
+    fn drop(&mut self) {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get() - 1;
+            d.set(depth);
+            depth
+        });
+        if depth == 0 {
+            self.slot.era.store(IDLE, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Advance the global era, returning the new value. Called by writers
+/// after unlinking a value from a read-visible structure.
+#[inline]
+pub fn advance() -> u64 {
+    ERA.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// The smallest era any thread is currently pinned at (`u64::MAX` when no
+/// thread is pinned). Values retired at an era `≤` this are unreachable.
+pub fn min_active() -> u64 {
+    let mut min = u64::MAX;
+    let mut cursor = SLOTS.load(Ordering::SeqCst);
+    while let Some(slot) = unsafe { cursor.as_ref() } {
+        min = min.min(slot.era.load(Ordering::SeqCst));
+        cursor = slot.next.load(Ordering::Acquire);
+    }
+    min
+}
+
+/// A writer-owned graveyard of unlinked values (lives inside the shard's
+/// write mutex, so it needs no synchronization of its own).
+pub struct Limbo<T> {
+    items: Vec<(u64, T)>,
+}
+
+impl<T> Default for Limbo<T> {
+    fn default() -> Self {
+        Limbo { items: Vec::new() }
+    }
+}
+
+impl<T> Limbo<T> {
+    /// Retire a value just unlinked from the read-visible structure:
+    /// advance the era and park the value until no pin predates the
+    /// advance. Also drains whatever older retirees became free.
+    pub fn retire(&mut self, value: T) {
+        let era = advance();
+        self.items.push((era, value));
+        self.reclaim();
+    }
+
+    /// Drop every parked value whose retirement era no active pin
+    /// precedes. Values retired at era `r` free once `min_active() ≥ r`:
+    /// a pin at `≥ r` validated after the advance and therefore after the
+    /// unlink (see module docs).
+    pub fn reclaim(&mut self) {
+        if self.items.is_empty() {
+            return;
+        }
+        let min = min_active();
+        self.items.retain(|(era, _)| min < *era);
+    }
+
+    /// Parked values (tests / telemetry).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// Counts drops so tests can observe reclamation.
+    struct DropBomb(Arc<AtomicUsize>);
+
+    impl Drop for DropBomb {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn unpinned_retirees_free_immediately() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut limbo = Limbo::default();
+        limbo.retire(DropBomb(Arc::clone(&drops)));
+        // No pin is active on any thread touching this limbo; the next
+        // retire (or explicit reclaim) frees it. Other test threads may
+        // be pinned concurrently, so poke until it drains.
+        for _ in 0..1000 {
+            limbo.reclaim();
+            if limbo.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert!(limbo.is_empty());
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn a_pin_holds_later_retirees_until_released() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut limbo: Limbo<DropBomb> = Limbo::default();
+        let guard = pin();
+        limbo.retire(DropBomb(Arc::clone(&drops)));
+        limbo.reclaim();
+        assert_eq!(limbo.len(), 1, "pinned reader must park the retiree");
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(guard);
+        for _ in 0..1000 {
+            limbo.reclaim();
+            if limbo.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_pins_share_one_publication() {
+        let outer = pin();
+        let inner = pin();
+        drop(outer);
+        // Still pinned: a retiree parked now must survive.
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut limbo = Limbo::default();
+        limbo.retire(DropBomb(Arc::clone(&drops)));
+        limbo.reclaim();
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(inner);
+        for _ in 0..1000 {
+            limbo.reclaim();
+            if limbo.is_empty() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn advance_is_monotonic_across_threads() {
+        let eras: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| (0..100).map(|_| advance()).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let unique: std::collections::HashSet<u64> = eras.iter().copied().collect();
+        assert_eq!(unique.len(), 400, "every advance returns a distinct era");
+    }
+
+    #[test]
+    fn concurrent_pins_keep_every_inflight_retiree() {
+        // Writers retire tagged values while readers pin and immediately
+        // unpin; nothing should ever be freed while a pin that predates
+        // its retirement is still live. The DropBomb counter proves every
+        // value is freed exactly once by the end.
+        let drops = Arc::new(AtomicUsize::new(0));
+        let total = 2_000;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let drops = Arc::clone(&drops);
+                scope.spawn(move || {
+                    let mut limbo = Limbo::default();
+                    for _ in 0..total / 2 {
+                        limbo.retire(DropBomb(Arc::clone(&drops)));
+                    }
+                    while !limbo.is_empty() {
+                        limbo.reclaim();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..2_000 {
+                        let _guard = pin();
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+        assert_eq!(drops.load(Ordering::SeqCst), total);
+    }
+}

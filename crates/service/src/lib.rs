@@ -23,8 +23,10 @@
 //! * [`memo`] — the L1 text→fingerprint memo (byte-level normalization,
 //!   exact match, invalidated on L2 eviction);
 //! * [`fingerprint`] — canonical-pattern cache keys;
-//! * [`cache`] — the N-shard mutex-striped LRU with hit/miss/eviction
-//!   counters;
+//! * [`cache`] — the N-shard ARC cache with a lock-free (seqlock +
+//!   epoch) read side and hit/miss/eviction counters;
+//! * [`epoch`] — the pin/era/limbo reclamation protocol both cache
+//!   levels use to make unlocked pointer reads sound;
 //! * [`compile`] — immutable compiled entries (pattern representatives)
 //!   with lazily rendered, `Arc`-shared per-format artifacts;
 //! * [`service`] — [`DiagramService`]: single-request serving with
@@ -45,6 +47,7 @@
 
 pub mod cache;
 pub mod compile;
+pub mod epoch;
 pub mod executor;
 pub mod fingerprint;
 pub mod json;

@@ -383,7 +383,13 @@ impl DiagramService {
     /// gets there first.
     pub fn execute_batch(&self, requests: &[Request], threads: usize) -> Vec<Response> {
         let n = requests.len();
-        let threads = threads.max(1);
+        // The batch is CPU-bound (no I/O anywhere in the pipeline), so
+        // workers beyond the hardware's parallelism cannot overlap
+        // anything — they only add spawn cost and context switches. Clamp
+        // to the core count; the caller's `threads` is a ceiling, not a
+        // demand, and output bytes are identical for any worker count.
+        let hardware = std::thread::available_parallelism().map_or(1, usize::from);
+        let threads = threads.clamp(1, hardware);
         self.requests.fetch_add(n as u64, Ordering::Relaxed);
         C_REQUESTS.add(n as u64);
 

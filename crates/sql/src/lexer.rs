@@ -19,6 +19,7 @@
 //! block comment is a spanned error.
 
 use crate::error::ParseError;
+use crate::scan;
 use crate::token::{Keyword, Span, Token, TokenKind};
 use queryvis_ir::{Interner, Symbol};
 
@@ -119,41 +120,44 @@ pub fn tokenize_into(
         let b = bytes[i];
         match CLASS[b as usize] {
             Class::Ws => {
-                i += 1;
+                i = scan::ws_run_end(bytes, i + 1);
             }
             Class::Minus => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
                     // Line comment: skip to end of line.
-                    while i < bytes.len() && bytes[i] != b'\n' {
-                        i += 1;
-                    }
+                    i = scan::find_byte(bytes, i + 2, b'\n').unwrap_or(bytes.len());
                 } else {
                     return Err(unexpected_char(source, start));
                 }
             }
             Class::Slash => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    // Block comment; nests per the SQL standard.
+                    // Block comment; nests per the SQL standard. Only `*`
+                    // and `/` can open or close a delimiter, so the scan
+                    // leaps between them.
                     let mut depth = 1usize;
                     i += 2;
                     while depth > 0 {
-                        if i + 1 >= bytes.len() {
-                            return Err(ParseError::new(
-                                "unterminated block comment",
-                                Span::new(start, bytes.len()),
-                                source,
-                            ));
-                        }
-                        match (bytes[i], bytes[i + 1]) {
-                            (b'/', b'*') => {
-                                depth += 1;
-                                i += 2;
+                        let at = scan::find_byte2(bytes, i, b'*', b'/');
+                        match at {
+                            Some(at) if at + 1 < bytes.len() => match (bytes[at], bytes[at + 1]) {
+                                (b'/', b'*') => {
+                                    depth += 1;
+                                    i = at + 2;
+                                }
+                                (b'*', b'/') => {
+                                    depth -= 1;
+                                    i = at + 2;
+                                }
+                                _ => i = at + 1,
+                            },
+                            _ => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    Span::new(start, bytes.len()),
+                                    source,
+                                ));
                             }
-                            (b'*', b'/') => {
-                                depth -= 1;
-                                i += 2;
-                            }
-                            _ => i += 1,
                         }
                     }
                 } else {
@@ -230,57 +234,46 @@ pub fn tokenize_into(
                 i += 1;
                 let body_start = i;
                 let mut escaped: Option<String> = None;
-                loop {
-                    if i >= bytes.len() {
-                        return Err(ParseError::new(
-                            "unterminated string literal",
-                            Span::new(start, bytes.len()),
-                            source,
-                        ));
-                    }
-                    if bytes[i] == b'\'' {
+                let Some(at) = scan::find_byte(bytes, i, b'\'') else {
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::new(start, bytes.len()),
+                        source,
+                    ));
+                };
+                i = at;
+                if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                    // First escape: switch to the unescaping buffer.
+                    let value = escaped.get_or_insert_with(String::new);
+                    value.push_str(&source[body_start..i]);
+                    // From here on, re-slice per segment.
+                    i += 2;
+                    value.push('\'');
+                    // Continue scanning segments until the closing
+                    // quote, copying each unescaped run whole.
+                    let mut seg = i;
+                    loop {
+                        let Some(at) = scan::find_byte(bytes, i, b'\'') else {
+                            return Err(ParseError::new(
+                                "unterminated string literal",
+                                Span::new(start, bytes.len()),
+                                source,
+                            ));
+                        };
+                        i = at;
                         if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
-                            // First escape: switch to the unescaping buffer.
-                            let value = escaped.get_or_insert_with(String::new);
-                            value.push_str(&source[body_start..i]);
-                            // From here on, re-slice per segment.
-                            let segment_start = i + 2;
-                            i += 2;
+                            value.push_str(&source[seg..i]);
                             value.push('\'');
-                            // Continue scanning segments until the closing
-                            // quote, copying each unescaped run whole.
-                            let mut seg = segment_start;
-                            loop {
-                                if i >= bytes.len() {
-                                    return Err(ParseError::new(
-                                        "unterminated string literal",
-                                        Span::new(start, bytes.len()),
-                                        source,
-                                    ));
-                                }
-                                if bytes[i] == b'\'' {
-                                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
-                                        value.push_str(&source[seg..i]);
-                                        value.push('\'');
-                                        i += 2;
-                                        seg = i;
-                                    } else {
-                                        value.push_str(&source[seg..i]);
-                                        i += 1;
-                                        break;
-                                    }
-                                } else {
-                                    i += 1;
-                                }
-                            }
-                            break;
+                            i += 2;
+                            seg = i;
                         } else {
+                            value.push_str(&source[seg..i]);
                             i += 1;
                             break;
                         }
-                    } else {
-                        i += 1;
                     }
+                } else {
+                    i += 1;
                 }
                 let symbol = match &escaped {
                     // Escape-free literal: intern straight from the source.
@@ -290,20 +283,11 @@ pub fn tokenize_into(
                 tokens.push(tok(TokenKind::Str(symbol), start, i));
             }
             Class::Digit => {
-                let mut j = i + 1;
-                let mut seen_dot = false;
-                while j < bytes.len() {
-                    match bytes[j] {
-                        b'0'..=b'9' => j += 1,
-                        b'.' if !seen_dot
-                            && j + 1 < bytes.len()
-                            && bytes[j + 1].is_ascii_digit() =>
-                        {
-                            seen_dot = true;
-                            j += 1;
-                        }
-                        _ => break,
-                    }
+                let mut j = scan::digit_run_end(bytes, i + 1);
+                // One fractional part: absorb `.` only when a digit
+                // follows (so `L1.a` and a trailing `1.` keep their dot).
+                if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+                    j = scan::digit_run_end(bytes, j + 1);
                 }
                 tokens.push(tok(
                     TokenKind::Number(interner.intern(&source[i..j])),
@@ -313,10 +297,7 @@ pub fn tokenize_into(
                 i = j;
             }
             Class::Ident => {
-                let mut j = i + 1;
-                while j < bytes.len() && is_ident_continue(bytes[j]) {
-                    j += 1;
-                }
+                let j = scan::ident_run_end(bytes, i + 1);
                 let text = &source[i..j];
                 let kind = match Keyword::lookup(text) {
                     Some(kw) => TokenKind::Keyword(kw),

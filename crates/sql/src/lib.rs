@@ -42,6 +42,7 @@ pub mod lexer;
 pub mod metrics;
 pub mod parser;
 pub mod printer;
+pub mod scan;
 pub mod schema;
 pub mod token;
 
