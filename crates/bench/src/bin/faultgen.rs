@@ -1,0 +1,332 @@
+//! `faultgen` — the fault-injection suite for the TCP front end.
+//!
+//! Spawns a **release-mode** `server` subprocess with tight budgets and an
+//! armed compile-panic token, then drives every fault class the server
+//! promises to survive, asserting a structured error (right `error_kind`)
+//! and continued liveness after each:
+//!
+//! 1. malformed frames           → `bad_request`, connection survives
+//! 2. oversized lines            → `too_large`, stream recovers
+//! 3. byte-at-a-time slow writes → `timeout` (slowloris disconnect)
+//! 4. half-closed sockets        → every buffered response delivered
+//! 5. mid-request disconnects    → server unaffected
+//! 6. connection floods          → `overloaded` sheds past the limit
+//! 7. injected compile panics    → `panic`, one request only
+//!
+//! Ends with a graceful shutdown and asserts the drain report exists and
+//! the process exits 0. Prints one PASS/FAIL line per class to stderr and
+//! a machine-readable summary line to stdout; exit 1 on any failure.
+//!
+//! ```text
+//! Usage: faultgen [--server PATH]      [default: target/release/server]
+//! ```
+
+use queryvis_bench::harness::{error_kind, Conn, ServerProcess};
+use queryvis_service::json::Json;
+use std::io::Write as _;
+use std::net::Shutdown;
+use std::time::Duration;
+
+const PANIC_TOKEN: &str = "Faultgen_Poison_xyzzy";
+
+struct Suite {
+    failures: Vec<String>,
+    passed: u32,
+}
+
+impl Suite {
+    fn class(&mut self, name: &str, result: Result<(), String>) {
+        match result {
+            Ok(()) => {
+                self.passed += 1;
+                eprintln!("faultgen: PASS {name}");
+            }
+            Err(message) => {
+                eprintln!("faultgen: FAIL {name}: {message}");
+                self.failures.push(format!("{name}: {message}"));
+            }
+        }
+    }
+}
+
+fn expect_kind(response: &Json, kind: &str) -> Result<(), String> {
+    match error_kind(response) {
+        Some(k) if k == kind => Ok(()),
+        other => Err(format!(
+            "expected error_kind `{kind}`, got {other:?}: {response}"
+        )),
+    }
+}
+
+fn expect_ok(response: &Json) -> Result<(), String> {
+    if response.get("artifacts").is_some() {
+        Ok(())
+    } else {
+        Err(format!("expected a successful response, got {response}"))
+    }
+}
+
+fn liveness(conn: &mut Conn) -> Result<(), String> {
+    expect_ok(&conn.rpc("{\"id\":999,\"sql\":\"SELECT T.a FROM T\"}")?)
+}
+
+fn malformed_frames(conn: &mut Conn) -> Result<(), String> {
+    expect_kind(&conn.rpc("{{{garbage")?, "bad_request")?;
+    expect_kind(&conn.rpc("{\"sql\":42}")?, "bad_request")?;
+    expect_kind(&conn.rpc("{\"op\":\"reboot\"}")?, "bad_request")?;
+    expect_kind(
+        &conn.rpc("{\"id\":1,\"sql\":\"SELECT T.a FROM T\",\"formats\":[\"gif\"]}")?,
+        "bad_request",
+    )?;
+    liveness(conn)
+}
+
+fn oversized_lines(conn: &mut Conn) -> Result<(), String> {
+    let huge = format!(
+        "{{\"id\":1,\"sql\":\"SELECT T.a FROM T WHERE T.a = {}\"}}",
+        "9".repeat(256 * 1024)
+    );
+    expect_kind(&conn.rpc(&huge)?, "too_large")?;
+    liveness(conn)
+}
+
+fn slow_writes(addr: std::net::SocketAddr) -> Result<(), String> {
+    let mut conn = Conn::open(addr)?;
+    // Trickle partial-line bytes slower than the read deadline tolerates.
+    for &byte in b"{\"id\":1,\"sql\":\"SELECT ".iter().cycle().take(60) {
+        if conn.stream.write_all(&[byte]).is_err() {
+            break; // server already gave up on us — expected
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Either the classified timeout line survived the teardown, or the
+    // connection is already closed; a *hang* here is the failure mode.
+    match conn.read_json() {
+        Ok(Some(response)) => expect_kind(&response, "timeout"),
+        Ok(None) => Ok(()),
+        Err(_) => Ok(()), // reset mid-teardown: still a disconnect, not a hang
+    }
+}
+
+fn half_close(addr: std::net::SocketAddr) -> Result<(), String> {
+    let mut conn = Conn::open(addr)?;
+    for id in 0..5 {
+        conn.send_line(&format!("{{\"id\":{id},\"sql\":\"SELECT T.a FROM T\"}}"))?;
+    }
+    conn.stream
+        .shutdown(Shutdown::Write)
+        .map_err(|e| format!("half-close: {e}"))?;
+    for id in 0..5 {
+        let response = conn
+            .read_json()?
+            .ok_or_else(|| format!("EOF before response {id}"))?;
+        expect_ok(&response)?;
+    }
+    match conn.read_json()? {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected extra line after drain: {extra}")),
+    }
+}
+
+fn mid_request_disconnect(addr: std::net::SocketAddr) -> Result<(), String> {
+    for _ in 0..10 {
+        let mut conn = Conn::open(addr)?;
+        let _ = conn.stream.write_all(b"{\"id\":1,\"sql\":\"SELECT T.");
+        // Dropped with a partial request in flight.
+    }
+    for _ in 0..10 {
+        let mut conn = Conn::open(addr)?;
+        let _ = conn
+            .stream
+            .write_all(b"{\"id\":2,\"sql\":\"SELECT T.a FROM T\"}\n");
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        // Vanished right after a complete request, never reading.
+    }
+    liveness_with_retry(addr)
+}
+
+/// Liveness probe that tolerates transient `overloaded` sheds while slots
+/// vacated by deliberately-killed connections are still being reaped.
+fn liveness_with_retry(addr: std::net::SocketAddr) -> Result<(), String> {
+    let mut last = String::new();
+    for _ in 0..50 {
+        let mut conn = Conn::open(addr)?;
+        let response = conn.rpc("{\"id\":999,\"sql\":\"SELECT T.a FROM T\"}")?;
+        if response.get("artifacts").is_some() {
+            return Ok(());
+        }
+        if error_kind(&response) != Some("overloaded") {
+            return Err(format!("expected a successful response, got {response}"));
+        }
+        last = response.to_string();
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Err(format!("still overloaded after retries: {last}"))
+}
+
+fn connection_flood(addr: std::net::SocketAddr, max_conns: usize) -> Result<(), String> {
+    // Let connections from earlier fault classes finish dying first.
+    std::thread::sleep(Duration::from_millis(300));
+    // Hold the admission budget open with live connections; a slot still
+    // occupied by a dying connection sheds us, so retry briefly.
+    let mut held = Vec::new();
+    let mut attempts = 0;
+    while held.len() < max_conns {
+        attempts += 1;
+        if attempts > 50 {
+            return Err(format!("only held {}/{max_conns} slots", held.len()));
+        }
+        let mut conn = Conn::open(addr)?;
+        let response = conn.rpc("{\"id\":999,\"sql\":\"SELECT T.a FROM T\"}")?;
+        if response.get("artifacts").is_some() {
+            held.push(conn); // slot established, not queued
+        } else if error_kind(&response) == Some("overloaded") {
+            std::thread::sleep(Duration::from_millis(100));
+        } else {
+            return Err(format!("unexpected response holding a slot: {response}"));
+        }
+    }
+    // …then flood: every extra connection must be shed with one
+    // structured line, not queued indefinitely.
+    let mut sheds = 0;
+    for _ in 0..8 {
+        let mut conn = Conn::open(addr)?;
+        // EOF or reset means we raced a closing slot: acceptable.
+        if let Ok(Some(response)) = conn.read_json() {
+            expect_kind(&response, "overloaded")?;
+            sheds += 1;
+        }
+    }
+    if sheds < 6 {
+        return Err(format!("only {sheds}/8 flood connections were shed"));
+    }
+    drop(held);
+    std::thread::sleep(Duration::from_millis(200));
+    let mut conn = Conn::open(addr)?;
+    liveness(&mut conn)
+}
+
+fn injected_panic(conn: &mut Conn) -> Result<(), String> {
+    let poisoned = format!(
+        "{{\"id\":1,\"sql\":\"SELECT P.a FROM {PANIC_TOKEN} P WHERE P.a = 1 AND P.b = 2\"}}"
+    );
+    expect_kind(&conn.rpc(&poisoned)?, "panic")?;
+    liveness(conn)?;
+    let stats = conn.rpc("{\"op\":\"stats\"}")?;
+    let caught = stats
+        .get("service")
+        .and_then(|s| s.get("panics_caught"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if caught == 0 {
+        return Err(format!("panics_caught not incremented: {stats}"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut server_bin = "target/release/server".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--server" => {
+                server_bin = args.next().unwrap_or_else(|| {
+                    eprintln!("faultgen: --server needs a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("faultgen: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    const MAX_CONNS: usize = 4;
+    let server = match ServerProcess::spawn(
+        &server_bin,
+        &[
+            "--addr",
+            "127.0.0.1:0",
+            "--max-conns",
+            "4",
+            "--max-line",
+            "65536",
+            "--read-deadline-ms",
+            "400",
+            "--write-stall-ms",
+            "2000",
+            "--drain-grace-ms",
+            "500",
+            "--stats",
+        ],
+        &[("QUERYVIS_FAULT_COMPILE_PANIC", PANIC_TOKEN)],
+    ) {
+        Ok(server) => server,
+        Err(message) => {
+            eprintln!("faultgen: {message}");
+            std::process::exit(2);
+        }
+    };
+    let addr = server.addr;
+    eprintln!("faultgen: server at {addr}");
+
+    let mut suite = Suite {
+        failures: Vec::new(),
+        passed: 0,
+    };
+    // One persistent connection proves per-class survival *and* overall
+    // connection reuse across fault classes.
+    match Conn::open(addr) {
+        Ok(mut conn) => {
+            suite.class("malformed_frames", malformed_frames(&mut conn));
+            suite.class("oversized_lines", oversized_lines(&mut conn));
+            suite.class("injected_panic", injected_panic(&mut conn));
+            drop(conn);
+        }
+        Err(message) => suite.class("persistent_connection", Err(message)),
+    }
+    suite.class("slow_writes", slow_writes(addr));
+    suite.class("half_close", half_close(addr));
+    suite.class("mid_request_disconnect", mid_request_disconnect(addr));
+    suite.class("connection_flood", connection_flood(addr, MAX_CONNS));
+
+    // Graceful shutdown: the server must ack, drain, report, and exit 0.
+    let shutdown = (|| -> Result<(), String> {
+        let mut conn = Conn::open(addr)?;
+        liveness(&mut conn)?;
+        let ack = conn.rpc("{\"op\":\"shutdown\"}")?;
+        if ack.get("draining") != Some(&Json::Bool(true)) {
+            return Err(format!("bad shutdown ack: {ack}"));
+        }
+        Ok(())
+    })();
+    suite.class("shutdown_ack", shutdown);
+
+    match server.wait_for_drain() {
+        Ok((exit_ok, report)) => {
+            let dropped = report.get("dropped").and_then(Json::as_u64);
+            let drain = if !exit_ok {
+                Err("server exited nonzero".to_string())
+            } else if dropped != Some(0) {
+                Err(format!("drain dropped requests: {report}"))
+            } else {
+                Ok(())
+            };
+            suite.class("graceful_drain", drain);
+            eprintln!("faultgen: drain report {report}");
+        }
+        Err(message) => suite.class("graceful_drain", Err(message)),
+    }
+
+    let failed = suite.failures.len();
+    println!(
+        "{{\"faultgen\":{{\"passed\":{},\"failed\":{failed}}}}}",
+        suite.passed
+    );
+    if failed > 0 {
+        eprintln!("faultgen: {failed} class(es) failed");
+        std::process::exit(1);
+    }
+    eprintln!("faultgen: all {} classes green", suite.passed);
+}

@@ -1,0 +1,448 @@
+//! `loadgen` — open-loop load generator and soak runner for the TCP
+//! front end.
+//!
+//! Spawns a release-mode `server` subprocess and drives it through three
+//! phases:
+//!
+//! 1. **Soak.** `--conns` persistent connections each send requests at a
+//!    fixed open-loop rate: request *i* is scheduled at `start + i/rate`
+//!    and latency is measured **from the scheduled send time**, so a
+//!    stalled server inflates the recorded tail instead of silently
+//!    pausing the load (no coordinated omission). The query mix repeats
+//!    texts (L1 memo hits) and varies constants within a pattern (L2
+//!    cache hits), and a `stats` op at the end asserts both tiers
+//!    actually absorbed the load.
+//! 2. **Drain.** With requests still in flight, one control connection
+//!    sends `{"op":"shutdown"}`; the server must answer everything it
+//!    accepted, report `dropped == 0`, and exit 0.
+//! 3. **Restart.** A fresh server on the same state-free binary serves a
+//!    verification batch and drains cleanly again — the
+//!    accepted-requests ledger balances across a full restart cycle.
+//!
+//! Gates (exit 1 on violation): p99 ≤ `--p99-ms`, p999 ≤ `--p999-ms`,
+//! zero client-visible errors, both drain reports `dropped == 0`, L1 and
+//! L2 hits observed. The full machine-readable result is written to
+//! `--report` (default `SOAK_report.json`).
+//!
+//! ```text
+//! Usage: loadgen [--server PATH] [--duration-secs N] [--rate N]
+//!                [--conns N] [--p99-ms N] [--p999-ms N] [--report PATH]
+//! ```
+
+use queryvis_bench::harness::{percentile_ns, Conn, ServerProcess};
+use queryvis_service::json::Json;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Cli {
+    server_bin: String,
+    duration: Duration,
+    rate_per_conn: u64,
+    conns: usize,
+    p99_ms: u64,
+    p999_ms: u64,
+    report: String,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        server_bin: "target/release/server".to_string(),
+        duration: Duration::from_secs(6),
+        rate_per_conn: 150,
+        conns: 4,
+        p99_ms: 50,
+        p999_ms: 250,
+        report: "SOAK_report.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut number = |name: &str| -> Result<u64, String> {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|_| format!("{name} needs an unsigned integer"))
+        };
+        match arg.as_str() {
+            "--server" => cli.server_bin = args.next().ok_or("--server needs a path")?,
+            "--duration-secs" => cli.duration = Duration::from_secs(number("--duration-secs")?),
+            "--rate" => cli.rate_per_conn = number("--rate")?.max(1),
+            "--conns" => cli.conns = number("--conns")?.max(1) as usize,
+            "--p99-ms" => cli.p99_ms = number("--p99-ms")?,
+            "--p999-ms" => cli.p999_ms = number("--p999-ms")?,
+            "--report" => cli.report = args.next().ok_or("--report needs a path")?,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// The soak query mix: index → request SQL. Every text repeats across the
+/// run (L1 memo hits after first use); constants vary within one pattern
+/// every `PATTERN_SPREAD` requests (L1 miss → L2 pattern hit).
+const PATTERN_SPREAD: u64 = 16;
+
+fn query_for(seq: u64) -> String {
+    match seq % 4 {
+        0 => "SELECT T.a FROM T WHERE T.a = 1".to_string(),
+        1 => "SELECT F.person FROM Frequents F, Likes L WHERE F.person = L.person".to_string(),
+        2 => format!(
+            "SELECT T.a FROM T WHERE T.a = {} AND T.b = 7",
+            seq % PATTERN_SPREAD
+        ),
+        _ => "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+              (SELECT S.bar FROM Serves S WHERE S.bar = F.bar)"
+            .to_string(),
+    }
+}
+
+struct ConnOutcome {
+    sent: u64,
+    responses: u64,
+    errors: u64,
+    /// Wire failures after shutdown began (server gone mid-send/read).
+    cut_off: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One soak connection: open-loop sender + reader on the same thread pair.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    addr: std::net::SocketAddr,
+    conn_idx: usize,
+    rate: u64,
+    duration: Duration,
+    stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+) -> Result<ConnOutcome, String> {
+    let conn = Conn::open(addr)?;
+    let mut writer = conn.stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut reader = conn.reader;
+    let start = Instant::now();
+    let interval = Duration::from_nanos(1_000_000_000 / rate);
+    let planned = (duration.as_nanos() / interval.as_nanos()) as u64;
+
+    let sent = Arc::new(AtomicU64::new(0));
+    let sender_sent = Arc::clone(&sent);
+    let sender_stop = Arc::clone(&stop);
+    let sender = std::thread::spawn(move || -> u64 {
+        use std::io::Write as _;
+        let mut cut_off = 0;
+        for seq in 0..planned {
+            let scheduled = start + interval * (seq as u32);
+            if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            if sender_stop.load(Ordering::Acquire) {
+                break;
+            }
+            let id = (conn_idx as u64) << 32 | seq;
+            let line = format!("{{\"id\":{id},\"sql\":\"{}\"}}\n", query_for(seq));
+            if writer.write_all(line.as_bytes()).is_err() {
+                cut_off += 1;
+                break; // server drained away mid-soak
+            }
+            sender_sent.fetch_add(1, Ordering::Release);
+        }
+        cut_off
+    });
+
+    // Reader: latency is measured against the *scheduled* send time of
+    // the id, reconstructed from the sequence number — open-loop.
+    let mut outcome = ConnOutcome {
+        sent: 0,
+        responses: 0,
+        errors: 0,
+        cut_off: 0,
+        latencies_ns: Vec::with_capacity(planned as usize),
+    };
+    loop {
+        let mut line = String::new();
+        use std::io::BufRead as _;
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // server closed (drain): remaining were never accepted
+            Ok(_) => {
+                let now = Instant::now();
+                let parsed = queryvis_service::json::parse(line.trim())
+                    .map_err(|e| format!("bad response: {e}: {line}"))?;
+                outcome.responses += 1;
+                if parsed.get("error").is_some() {
+                    // Draining refusals are orderly; anything else is a
+                    // soak failure.
+                    let kind = parsed.get("error_kind").and_then(Json::as_str);
+                    if kind != Some("draining") && !draining.load(Ordering::Acquire) {
+                        outcome.errors += 1;
+                    }
+                } else if let Some(id) = parsed.get("id").and_then(Json::as_u64) {
+                    let seq = id & 0xffff_ffff;
+                    let scheduled = start + interval * (seq as u32);
+                    let latency = now.saturating_duration_since(scheduled);
+                    outcome.latencies_ns.push(latency.as_nanos() as u64);
+                }
+                if outcome.responses >= sent.load(Ordering::Acquire)
+                    && sender.is_finished()
+                    && outcome.responses >= sent.load(Ordering::Acquire)
+                {
+                    break;
+                }
+            }
+            Err(_) => break, // reset during drain
+        }
+    }
+    outcome.cut_off = sender.join().map_err(|_| "sender panicked".to_string())?;
+    outcome.sent = sent.load(Ordering::Acquire);
+    Ok(outcome)
+}
+
+fn spawn_server(bin: &str) -> Result<ServerProcess, String> {
+    ServerProcess::spawn(
+        bin,
+        &[
+            "--addr",
+            "127.0.0.1:0",
+            "--max-conns",
+            "64",
+            "--drain-grace-ms",
+            "1000",
+            "--stats",
+        ],
+        &[],
+    )
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    // ---- Phase 1: soak ----
+    let server = match spawn_server(&cli.server_bin) {
+        Ok(server) => server,
+        Err(message) => {
+            eprintln!("loadgen: {message}");
+            std::process::exit(2);
+        }
+    };
+    let addr = server.addr;
+    eprintln!(
+        "loadgen: soaking {addr} for {:?} at {}/s × {} conns",
+        cli.duration, cli.rate_per_conn, cli.conns
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let draining = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..cli.conns)
+        .map(|conn_idx| {
+            let stop = Arc::clone(&stop);
+            let draining = Arc::clone(&draining);
+            let duration = cli.duration;
+            let rate = cli.rate_per_conn;
+            std::thread::spawn(move || {
+                drive_connection(addr, conn_idx, rate, duration, stop, draining)
+            })
+        })
+        .collect();
+
+    // Mid-soak shutdown: at 80% of the duration, with requests still in
+    // flight, begin the drain. Everything accepted must still be answered.
+    std::thread::sleep(cli.duration.mul_f64(0.8));
+    let control = (|| -> Result<Json, String> {
+        let mut control = Conn::open(addr)?;
+        let stats = control.rpc("{\"op\":\"stats\"}")?;
+        draining.store(true, Ordering::Release);
+        let ack = control.rpc("{\"op\":\"shutdown\"}")?;
+        if ack.get("draining") != Some(&Json::Bool(true)) {
+            return Err(format!("bad shutdown ack: {ack}"));
+        }
+        Ok(stats)
+    })();
+    let stats = match control {
+        Ok(stats) => Some(stats),
+        Err(message) => {
+            gate_failures.push(format!("control connection: {message}"));
+            None
+        }
+    };
+
+    let mut sent = 0u64;
+    let mut responses = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for worker in workers {
+        match worker.join().expect("soak worker panicked") {
+            Ok(outcome) => {
+                sent += outcome.sent;
+                responses += outcome.responses;
+                errors += outcome.errors;
+                latencies.extend(outcome.latencies_ns);
+            }
+            Err(message) => gate_failures.push(format!("soak connection: {message}")),
+        }
+    }
+    stop.store(true, Ordering::Release);
+
+    let drain1 = match server.wait_for_drain() {
+        Ok((exit_ok, report)) => {
+            if !exit_ok {
+                gate_failures.push("soak server exited nonzero".to_string());
+            }
+            if report.get("dropped").and_then(Json::as_u64) != Some(0) {
+                gate_failures.push(format!("soak drain dropped requests: {report}"));
+            }
+            Some(report)
+        }
+        Err(message) => {
+            gate_failures.push(format!("soak drain: {message}"));
+            None
+        }
+    };
+
+    // ---- Latency gates (coordinated-omission-free percentiles) ----
+    latencies.sort_unstable();
+    let p50 = percentile_ns(&latencies, 0.50);
+    let p99 = percentile_ns(&latencies, 0.99);
+    let p999 = percentile_ns(&latencies, 0.999);
+    eprintln!(
+        "loadgen: {} responses / {} sent, p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms",
+        responses,
+        sent,
+        p50 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        p999 as f64 / 1e6
+    );
+    if latencies.is_empty() {
+        gate_failures.push("no latencies recorded".to_string());
+    }
+    if p99 > cli.p99_ms * 1_000_000 {
+        gate_failures.push(format!("p99 {:.2}ms > {}ms", p99 as f64 / 1e6, cli.p99_ms));
+    }
+    if p999 > cli.p999_ms * 1_000_000 {
+        gate_failures.push(format!(
+            "p999 {:.2}ms > {}ms",
+            p999 as f64 / 1e6,
+            cli.p999_ms
+        ));
+    }
+    if errors > 0 {
+        gate_failures.push(format!("{errors} error responses during soak"));
+    }
+
+    // ---- Cache/memo assertions from the stats op ----
+    let mut l1_hits = 0u64;
+    let mut l2_hits = 0u64;
+    if let Some(stats) = &stats {
+        let service = stats.get("service");
+        l1_hits = service
+            .and_then(|s| s.get("l1_hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        l2_hits = service
+            .and_then(|s| s.get("cache"))
+            .and_then(|c| c.get("hits"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if l1_hits == 0 {
+            gate_failures.push("no L1 memo hits under a repeating mix".to_string());
+        }
+        if l2_hits == 0 {
+            gate_failures.push("no L2 cache hits under a pattern-varying mix".to_string());
+        }
+        let panics = service
+            .and_then(|s| s.get("panics_caught"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if panics > 0 {
+            gate_failures.push(format!("{panics} compile panics during soak"));
+        }
+    }
+
+    // ---- Phase 3: restart and verify ----
+    let drain2 = (|| -> Result<Json, String> {
+        let server = spawn_server(&cli.server_bin)?;
+        let mut conn = Conn::open(server.addr)?;
+        for id in 0..32u64 {
+            let response = conn.rpc(&format!("{{\"id\":{id},\"sql\":\"{}\"}}", query_for(id)))?;
+            if response.get("artifacts").is_none() {
+                server.kill();
+                return Err(format!("restart verification failed: {response}"));
+            }
+        }
+        let ack = conn.rpc("{\"op\":\"shutdown\"}")?;
+        if ack.get("draining") != Some(&Json::Bool(true)) {
+            server.kill();
+            return Err(format!("bad restart shutdown ack: {ack}"));
+        }
+        let (exit_ok, report) = server.wait_for_drain()?;
+        if !exit_ok {
+            return Err("restarted server exited nonzero".to_string());
+        }
+        if report.get("dropped").and_then(Json::as_u64) != Some(0) {
+            return Err(format!("restart drain dropped requests: {report}"));
+        }
+        Ok(report)
+    })();
+    let drain2 = match drain2 {
+        Ok(report) => Some(report),
+        Err(message) => {
+            gate_failures.push(format!("restart phase: {message}"));
+            None
+        }
+    };
+
+    // ---- Machine-readable report ----
+    let pass = gate_failures.is_empty();
+    let report = Json::Obj(vec![
+        ("pass".to_string(), Json::Bool(pass)),
+        (
+            "config".to_string(),
+            Json::Obj(vec![
+                (
+                    "duration_secs".to_string(),
+                    Json::Int(cli.duration.as_secs()),
+                ),
+                ("rate_per_conn".to_string(), Json::Int(cli.rate_per_conn)),
+                ("conns".to_string(), Json::Int(cli.conns as u64)),
+                ("p99_gate_ms".to_string(), Json::Int(cli.p99_ms)),
+                ("p999_gate_ms".to_string(), Json::Int(cli.p999_ms)),
+            ]),
+        ),
+        (
+            "soak".to_string(),
+            Json::Obj(vec![
+                ("sent".to_string(), Json::Int(sent)),
+                ("responses".to_string(), Json::Int(responses)),
+                ("errors".to_string(), Json::Int(errors)),
+                ("p50_ns".to_string(), Json::Int(p50)),
+                ("p99_ns".to_string(), Json::Int(p99)),
+                ("p999_ns".to_string(), Json::Int(p999)),
+                ("l1_hits".to_string(), Json::Int(l1_hits)),
+                ("l2_hits".to_string(), Json::Int(l2_hits)),
+            ]),
+        ),
+        ("drain".to_string(), drain1.clone().unwrap_or(Json::Null)),
+        (
+            "restart_drain".to_string(),
+            drain2.clone().unwrap_or(Json::Null),
+        ),
+        (
+            "gate_failures".to_string(),
+            Json::Arr(gate_failures.iter().map(|m| Json::Str(m.clone())).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&cli.report, format!("{report}\n")) {
+        eprintln!("loadgen: cannot write {}: {e}", cli.report);
+        std::process::exit(2);
+    }
+    println!("{report}");
+    if !pass {
+        for failure in &gate_failures {
+            eprintln!("loadgen: GATE FAIL {failure}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!("loadgen: all gates green ({} samples)", latencies.len());
+}

@@ -1,0 +1,149 @@
+//! Shared plumbing for the serving-layer harnesses (`loadgen`, the soak
+//! runner, and `faultgen`, the fault-injection client): spawn a real
+//! `server` binary as a subprocess, learn its bound address from the
+//! `{"listening":"…"}` startup line, talk JSON lines to it, and collect
+//! its drain report on exit.
+
+use queryvis_service::json::{self, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// A running `server` subprocess under harness control.
+pub struct ServerProcess {
+    child: Child,
+    stdout: BufReader<std::process::ChildStdout>,
+    pub addr: SocketAddr,
+}
+
+impl ServerProcess {
+    /// Spawn `binary` with `args` (the harness always binds port 0) and
+    /// wait for the startup line. `envs` lets the fault suite arm the
+    /// compile-panic hook.
+    pub fn spawn(
+        binary: &str,
+        args: &[&str],
+        envs: &[(&str, &str)],
+    ) -> Result<ServerProcess, String> {
+        let mut command = Command::new(binary);
+        command
+            .args(args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (key, value) in envs {
+            command.env(key, value);
+        }
+        let mut child = command
+            .spawn()
+            .map_err(|e| format!("cannot spawn {binary}: {e}"))?;
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        stdout
+            .read_line(&mut line)
+            .map_err(|e| format!("no startup line: {e}"))?;
+        let parsed =
+            json::parse(line.trim()).map_err(|e| format!("bad startup line `{line}`: {e}"))?;
+        let addr = parsed
+            .get("listening")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("startup line lacks `listening`: {line}"))?
+            .parse::<SocketAddr>()
+            .map_err(|e| format!("bad listening address: {e}"))?;
+        Ok(ServerProcess {
+            child,
+            stdout,
+            addr,
+        })
+    }
+
+    /// Wait for exit and return (exit-ok, drain report) — the report is
+    /// the `{"drain_report":…}` line the binary prints while draining.
+    pub fn wait_for_drain(mut self) -> Result<(bool, Json), String> {
+        let mut report = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.stdout.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if let Ok(parsed) = json::parse(line.trim()) {
+                        if let Some(r) = parsed.get("drain_report") {
+                            report = Some(r.clone());
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        let status = self
+            .child
+            .wait()
+            .map_err(|e| format!("server wait failed: {e}"))?;
+        let report = report.ok_or_else(|| "server printed no drain report".to_string())?;
+        Ok((status.success(), report))
+    }
+
+    /// Force-kill (cleanup on harness failure paths).
+    pub fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One JSON-lines connection with a split reader.
+pub struct Conn {
+    pub stream: TcpStream,
+    pub reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    pub fn open(addr: SocketAddr) -> Result<Conn, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("read timeout: {e}"))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| format!("clone: {e}"))?);
+        Ok(Conn { stream, reader })
+    }
+
+    pub fn send_line(&mut self, line: &str) -> Result<(), String> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.write_all(b"\n"))
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Read one response line; `Ok(None)` is EOF.
+    pub fn read_json(&mut self) -> Result<Option<Json>, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => json::parse(line.trim())
+                .map(Some)
+                .map_err(|e| format!("bad response line `{line}`: {e}")),
+            Err(e) => Err(format!("read: {e}")),
+        }
+    }
+
+    pub fn rpc(&mut self, line: &str) -> Result<Json, String> {
+        self.send_line(line)?;
+        self.read_json()?
+            .ok_or_else(|| "connection closed mid-rpc".to_string())
+    }
+}
+
+/// The `error_kind` of a response line, if it is an error.
+pub fn error_kind(response: &Json) -> Option<&str> {
+    response.get("error_kind").and_then(Json::as_str)
+}
+
+/// Percentile from a sorted slice of nanosecond latencies (nearest-rank).
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}

@@ -4,6 +4,8 @@
 //! the Criterion benchmarks. See `DESIGN.md` §2 for the experiment index
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
+pub mod harness;
+
 use queryvis_stats::BootstrapInterval;
 use std::fmt::Write as _;
 

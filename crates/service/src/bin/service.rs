@@ -11,6 +11,8 @@
 //!   --capacity N       total cache entries across shards       [default: 4096]
 //!   --shards N         cache shard count                       [default: 16]
 //!   --passes N         run the whole input batch N times       [default: 1]
+//!   --max-line BYTES   stdin request-line budget; longer lines
+//!                      become structured `too_large` errors     [default: 1048576]
 //!   --format LIST      default formats for requests without a
 //!                      `formats` field, comma-separated        [default: ascii]
 //!   --corpus           serve the built-in paper corpus instead of stdin
@@ -30,13 +32,15 @@
 //! telemetry; without them every span/counter call site stays a single
 //! relaxed atomic load.
 
+use queryvis_service::net::{LineReader, Poll};
+use queryvis_service::protocol::ErrorKind;
 use queryvis_service::stats_json::{histogram_json, stats_snapshot_json, write_trace_jsonl};
 use queryvis_service::{
     paper_corpus_requests, CacheConfig, DiagramService, Format, MemoConfig, Request, Response,
     ServiceConfig, ServiceStats,
 };
 use queryvis_telemetry::TelemetrySnapshot;
-use std::io::{BufRead, Write};
+use std::io::Write;
 use std::time::Instant;
 
 struct Cli {
@@ -44,6 +48,7 @@ struct Cli {
     capacity: usize,
     shards: usize,
     passes: usize,
+    max_line: usize,
     default_formats: Vec<Format>,
     corpus: bool,
     stats: bool,
@@ -57,6 +62,7 @@ fn parse_cli() -> Result<Cli, String> {
         capacity: 4096,
         shards: 16,
         passes: 1,
+        max_line: 1 << 20,
         default_formats: vec![Format::Ascii],
         corpus: false,
         stats: false,
@@ -76,6 +82,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--capacity" => cli.capacity = number("--capacity")?.max(1),
             "--shards" => cli.shards = number("--shards")?.max(1),
             "--passes" => cli.passes = number("--passes")?.max(1),
+            "--max-line" => cli.max_line = number("--max-line")?.max(1),
             "--format" => {
                 let list = args.next().ok_or("--format needs a value")?;
                 cli.default_formats = list
@@ -110,6 +117,8 @@ service — QueryVis diagram-compilation service (JSON lines on stdin/stdout)
   --capacity N   total cache entries across shards       [default: 4096]
   --shards N     cache shard count                       [default: 16]
   --passes N     run the whole input batch N times       [default: 1]
+  --max-line BYTES  stdin request-line budget (longer lines become
+                 structured too_large errors)           [default: 1048576]
   --format LIST  default formats (comma-separated from
                  ascii,dot,svg,reading,scene_json)       [default: ascii]
   --corpus       serve the built-in paper corpus instead of stdin
@@ -122,36 +131,72 @@ Request lines:  {\"id\": 1, \"sql\": \"SELECT T.a FROM T\", \"formats\": [\"asci
 Response lines: {\"id\":1,\"fingerprint\":\"…\",\"sql_words\":4,\"artifacts\":{\"ascii\":\"…\"}}
 ";
 
-/// Read the whole input batch. Malformed lines become pre-built error
-/// responses so they still produce exactly one output line at the right
-/// position.
-fn read_requests(corpus: bool, formats: &[Format]) -> (Vec<Request>, Vec<(usize, Response)>) {
+/// Read the whole input batch through the same bounded line framer the
+/// TCP server uses: a line past `max_line` bytes is *discarded to its
+/// newline* (never buffered whole — a hostile or corrupt input cannot
+/// balloon memory through one giant line) and becomes a structured
+/// `too_large` error at its position. Malformed lines likewise become
+/// pre-built `bad_request` error responses, so every non-empty input line
+/// still produces exactly one output line in order.
+fn read_requests(
+    corpus: bool,
+    formats: &[Format],
+    max_line: usize,
+) -> (Vec<Request>, Vec<(usize, Response)>) {
     if corpus {
         return (paper_corpus_requests(formats), Vec::new());
     }
     let stdin = std::io::stdin();
+    let mut reader = LineReader::new(stdin.lock(), max_line);
     let mut requests = Vec::new();
     let mut bad_lines = Vec::new();
     let mut position = 0usize;
-    for (line_no, line) in stdin.lock().lines().enumerate() {
-        let line = match line {
-            Ok(line) => line,
-            Err(e) => {
+    let mut line_no = 0u64;
+    loop {
+        match reader.poll() {
+            Poll::Line(line) => {
+                let id = line_no;
+                line_no += 1;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match Request::from_json_line(&line, id) {
+                    Ok(request) => requests.push(request),
+                    Err(message) => bad_lines.push((
+                        position,
+                        Response::error_kind(
+                            id,
+                            ErrorKind::BadRequest,
+                            format!("bad request: {message}"),
+                        ),
+                    )),
+                }
+                position += 1;
+            }
+            Poll::TooLarge { len } => {
+                let id = line_no;
+                line_no += 1;
+                bad_lines.push((
+                    position,
+                    Response::error_kind(
+                        id,
+                        ErrorKind::TooLarge,
+                        format!(
+                            "request line exceeded the {max_line} byte budget \
+                             (received at least {len})"
+                        ),
+                    ),
+                ));
+                position += 1;
+            }
+            // Blocking stdin never reports Idle, but stay total.
+            Poll::Idle => continue,
+            Poll::Eof => break,
+            Poll::Fatal(e) => {
                 eprintln!("service: stdin read error: {e}");
                 break;
             }
-        };
-        if line.trim().is_empty() {
-            continue;
         }
-        match Request::from_json_line(&line, line_no as u64) {
-            Ok(request) => requests.push(request),
-            Err(message) => bad_lines.push((
-                position,
-                Response::error(line_no as u64, format!("bad request: {message}")),
-            )),
-        }
-        position += 1;
     }
     (requests, bad_lines)
 }
@@ -268,7 +313,7 @@ fn main() {
         options: Default::default(),
         default_formats: cli.default_formats.clone(),
     });
-    let (requests, bad_lines) = read_requests(cli.corpus, &cli.default_formats);
+    let (requests, bad_lines) = read_requests(cli.corpus, &cli.default_formats, cli.max_line);
 
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());

@@ -49,11 +49,14 @@ pub mod cache;
 pub mod compile;
 pub mod epoch;
 pub mod executor;
+pub mod fault;
 pub mod fingerprint;
 pub mod json;
 pub mod memo;
+pub mod net;
 pub mod protocol;
 pub mod scene_json;
+pub mod server;
 pub mod service;
 pub mod stats_json;
 
@@ -61,8 +64,9 @@ pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use compile::{compile_representative, CompiledEntry};
 pub use fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
 pub use memo::{L1Memo, MemoConfig, MemoStats};
-pub use protocol::{Artifacts, Format, Request, Response};
+pub use protocol::{Artifacts, ErrorKind, Format, Request, Response, ServiceError};
 pub use scene_json::{scene_json, write_scene_json};
+pub use server::{DrainReport, Server, ServerConfig, ServerHandle};
 pub use service::{DiagramService, ServiceConfig, ServiceStats};
 pub use stats_json::{stats_snapshot_json, write_trace_jsonl};
 

@@ -1,0 +1,338 @@
+//! Byte-level line transport for the serving layer (`std::net` only; the
+//! workspace carries no async runtime).
+//!
+//! [`LineReader`] is the single line-framing implementation shared by the
+//! TCP server and the stdin front end. It differs from
+//! `BufRead::read_line` in exactly the ways robustness requires:
+//!
+//! * **Bounded.** A line longer than `max_line` is reported once as
+//!   [`Poll::TooLarge`] and then *discarded to its newline* — the reader
+//!   never buffers more than `max_line` bytes of an attacker-controlled
+//!   line, and the stream stays usable afterwards (one structured error
+//!   per oversized line, not a dead connection).
+//! * **Tick-friendly.** A `WouldBlock`/`TimedOut` from the underlying
+//!   stream (nonblocking sockets, `SO_RCVTIMEO` slices) surfaces as
+//!   [`Poll::Idle`] instead of an error, so callers can interleave
+//!   deadline checks and drain checks between read attempts.
+//! * **EOF-precise.** A final unterminated line is still delivered before
+//!   [`Poll::Eof`], and a half-closed peer (client shut down its write
+//!   side) drains cleanly: every complete line received is served before
+//!   the connection winds down.
+
+use std::io::{self, ErrorKind as IoErrorKind, Read, Write};
+
+/// One step of line extraction. Callers loop on [`LineReader::poll`] and
+/// match; at most one underlying `read` happens per `Idle` return.
+#[derive(Debug)]
+pub enum Poll {
+    /// A complete line (without its terminator; a trailing `\r` is
+    /// stripped). Invalid UTF-8 is replaced, never fatal.
+    Line(String),
+    /// The current line exceeded the budget; `len` is the buffered length
+    /// at detection time. The remainder of the line is discarded as it
+    /// arrives, then reading resumes at the next line.
+    TooLarge { len: usize },
+    /// No complete line buffered and the underlying read would block (or
+    /// its timeout slice elapsed). Check deadlines, then poll again.
+    Idle,
+    /// Clean end of stream, all buffered lines already delivered.
+    Eof,
+    /// Unrecoverable transport error.
+    Fatal(io::Error),
+}
+
+/// Incremental bounded line framer over any [`Read`].
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (start of the current partial line).
+    start: usize,
+    /// Absolute index where the newline scan resumes (never rescan).
+    scan: usize,
+    /// Inside an oversized line: drop bytes until its newline.
+    discarding: bool,
+    /// Buffered length of the oversized line when it tripped the budget.
+    discarded_len: usize,
+    eof: bool,
+    max_line: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    pub fn new(inner: R, max_line: usize) -> LineReader<R> {
+        LineReader {
+            inner,
+            buf: Vec::with_capacity(4096),
+            start: 0,
+            scan: 0,
+            discarding: false,
+            discarded_len: 0,
+            eof: false,
+            max_line: max_line.max(1),
+        }
+    }
+
+    /// Bytes of the current *partial* line buffered so far. Zero means the
+    /// connection is between lines — the distinction slowloris deadlines
+    /// key on (an idle connection is fine; a trickling line is not).
+    pub fn partial_len(&self) -> usize {
+        if self.discarding {
+            self.discarded_len
+        } else {
+            self.buf.len() - self.start
+        }
+    }
+
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Extract the next line, reading at most once when nothing complete
+    /// is buffered.
+    pub fn poll(&mut self) -> Poll {
+        loop {
+            // 1. Deliver anything already buffered.
+            if let Some(i) = memchr_newline(&self.buf[self.scan..]) {
+                let end = self.scan + i;
+                let line_start = self.start;
+                self.start = end + 1;
+                self.scan = self.start;
+                if self.discarding {
+                    // The tail of an oversized line: swallow it and keep
+                    // scanning from the next line.
+                    self.discarding = false;
+                    self.compact();
+                    continue;
+                }
+                // A complete line can still exceed the budget when it and
+                // its newline arrived within one read chunk — the partial
+                // -line check below never saw it grow.
+                let len = end - line_start;
+                if len > self.max_line {
+                    self.compact();
+                    return Poll::TooLarge { len };
+                }
+                let mut end = end;
+                if end > line_start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                let line = String::from_utf8_lossy(&self.buf[line_start..end]).into_owned();
+                self.compact();
+                return Poll::Line(line);
+            }
+            self.scan = self.buf.len();
+
+            // 2. Enforce the budget on the partial line.
+            let pending = self.buf.len() - self.start;
+            if pending > self.max_line {
+                self.start = self.buf.len(); // drop the buffered excess
+                self.compact();
+                if !self.discarding {
+                    self.discarding = true;
+                    self.discarded_len = pending;
+                    return Poll::TooLarge { len: pending };
+                }
+                self.discarded_len = self.discarded_len.saturating_add(pending);
+            } else if self.discarding {
+                // Still swallowing an oversized line: drop as we go so the
+                // buffer never grows past the budget.
+                self.discarded_len = self.discarded_len.saturating_add(pending);
+                self.start = self.buf.len();
+                self.compact();
+            }
+
+            // 3. Out of buffered data.
+            if self.eof {
+                let pending = self.buf.len() - self.start;
+                if pending > 0 && !self.discarding {
+                    // Final unterminated line.
+                    let line = String::from_utf8_lossy(&self.buf[self.start..]).into_owned();
+                    self.start = self.buf.len();
+                    self.compact();
+                    return Poll::Line(line);
+                }
+                return Poll::Eof;
+            }
+
+            // 4. One read attempt.
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut =>
+                {
+                    return Poll::Idle;
+                }
+                Err(e) => return Poll::Fatal(e),
+            }
+        }
+    }
+
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+            self.scan = 0;
+        } else if self.start >= 4096 {
+            self.buf.drain(..self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+    }
+}
+
+#[inline]
+fn memchr_newline(haystack: &[u8]) -> Option<usize> {
+    haystack.iter().position(|&b| b == b'\n')
+}
+
+/// `write_all` with a stall budget instead of infinite patience: the
+/// stream must carry `SO_SNDTIMEO` (`TcpStream::set_write_timeout`), and a
+/// write slice that makes **zero progress** within one timeout window
+/// fails with `TimedOut`. A slow-but-progressing reader is tolerated; a
+/// reader that stops draining while the kernel buffer is full is cut off —
+/// the server never queues unbounded output for one connection.
+pub fn write_all_stall_bounded<W: Write>(stream: &mut W, bytes: &[u8]) -> io::Result<()> {
+    let mut written = 0;
+    while written < bytes.len() {
+        match stream.write(&bytes[written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    IoErrorKind::WriteZero,
+                    "peer stopped accepting bytes",
+                ))
+            }
+            Ok(n) => written += n,
+            Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
+                return Err(io::Error::new(
+                    IoErrorKind::TimedOut,
+                    "write stalled past the per-connection budget",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A `Read` that yields scripted chunks, then `WouldBlock`, then EOF.
+    struct Script {
+        chunks: Vec<Vec<u8>>,
+        pos: usize,
+        block_between: bool,
+        blocked: bool,
+    }
+
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.block_between && !self.blocked && self.pos < self.chunks.len() {
+                self.blocked = true;
+                return Err(io::Error::new(IoErrorKind::WouldBlock, "tick"));
+            }
+            self.blocked = false;
+            if self.pos >= self.chunks.len() {
+                return Ok(0);
+            }
+            let chunk = &self.chunks[self.pos];
+            let n = chunk.len().min(out.len());
+            out[..n].copy_from_slice(&chunk[..n]);
+            if n == chunk.len() {
+                self.pos += 1;
+            } else {
+                self.chunks[self.pos] = chunk[n..].to_vec();
+            }
+            Ok(n)
+        }
+    }
+
+    fn script(chunks: &[&[u8]], block_between: bool) -> Script {
+        Script {
+            chunks: chunks.iter().map(|c| c.to_vec()).collect(),
+            pos: 0,
+            block_between,
+            blocked: false,
+        }
+    }
+
+    #[test]
+    fn frames_lines_across_chunk_boundaries() {
+        let r = script(&[b"hel", b"lo\nwor", b"ld\r\n", b"tail"], false);
+        let mut lr = LineReader::new(r, 1024);
+        assert!(matches!(lr.poll(), Poll::Line(l) if l == "hello"));
+        assert!(matches!(lr.poll(), Poll::Line(l) if l == "world"));
+        // Final unterminated line is still delivered before EOF.
+        assert!(matches!(lr.poll(), Poll::Line(l) if l == "tail"));
+        assert!(matches!(lr.poll(), Poll::Eof));
+        assert!(matches!(lr.poll(), Poll::Eof));
+    }
+
+    #[test]
+    fn would_block_surfaces_as_idle_not_error() {
+        let r = script(&[b"par", b"tial\n"], true);
+        let mut lr = LineReader::new(r, 1024);
+        assert!(matches!(lr.poll(), Poll::Idle));
+        assert_eq!(lr.partial_len(), 0);
+        assert!(matches!(lr.poll(), Poll::Idle)); // "par" buffered, no line yet
+        assert_eq!(lr.partial_len(), 3);
+        assert!(matches!(lr.poll(), Poll::Line(l) if l == "partial"));
+    }
+
+    #[test]
+    fn oversized_line_reported_once_then_stream_recovers() {
+        let big = vec![b'x'; 100];
+        let mut input = big.clone();
+        input.extend_from_slice(b"\nafter\n");
+        let r = script(&[&input], false);
+        let mut lr = LineReader::new(r, 16);
+        match lr.poll() {
+            Poll::TooLarge { len } => assert!(len > 16),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The oversized line's tail is swallowed; the next line survives.
+        assert!(matches!(lr.poll(), Poll::Line(l) if l == "after"));
+        assert!(matches!(lr.poll(), Poll::Eof));
+    }
+
+    #[test]
+    fn oversized_line_never_buffers_past_budget() {
+        // 1 MiB line against a 1 KiB budget, fed in 8 KiB reads: the
+        // buffer must stay bounded by budget + one read chunk.
+        let mut input = vec![b'y'; 1 << 20];
+        input.extend_from_slice(b"\nok\n");
+        let r = script(&[&input], false);
+        let mut lr = LineReader::new(r, 1024);
+        assert!(matches!(lr.poll(), Poll::TooLarge { .. }));
+        assert!(lr.buf.capacity() < 64 * 1024, "buffer grew unbounded");
+        assert!(matches!(lr.poll(), Poll::Line(l) if l == "ok"));
+    }
+
+    #[test]
+    fn oversized_final_line_without_newline_reaches_eof() {
+        let big = vec![b'z'; 100];
+        let r = script(&[&big], false);
+        let mut lr = LineReader::new(r, 16);
+        assert!(matches!(lr.poll(), Poll::TooLarge { .. }));
+        assert!(matches!(lr.poll(), Poll::Eof));
+    }
+
+    #[test]
+    fn stalled_write_times_out_instead_of_hanging() {
+        struct Stalled;
+        impl Write for Stalled {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(IoErrorKind::WouldBlock, "full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_all_stall_bounded(&mut Stalled, b"payload").unwrap_err();
+        assert_eq!(err.kind(), IoErrorKind::TimedOut);
+    }
+}

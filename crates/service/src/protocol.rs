@@ -14,8 +14,13 @@
 //!
 //! ```json
 //! {"id":7,"fingerprint":"<32 hex>","sql_words":4,"artifacts":{"ascii":"..."}}
-//! {"id":8,"error":"parse error: ..."}
+//! {"id":8,"error":"parse error: ...","error_kind":"compile"}
 //! ```
+//!
+//! Failed requests carry a machine-readable `error_kind` next to the prose
+//! `error` message, so clients and the fault-injection harness can react
+//! to failure *classes* (`bad_request`, `compile`, `too_large`, `timeout`,
+//! `overloaded`, `panic`, `draining`) without parsing text.
 //!
 //! When a request is served from a *different* query's compiled entry (a
 //! pattern-equivalent representative), the response additionally carries
@@ -59,6 +64,87 @@ impl Format {
 
     pub fn parse(name: &str) -> Option<Format> {
         Format::ALL.into_iter().find(|f| f.name() == name)
+    }
+}
+
+/// Machine-readable classification of a failed request, carried on the
+/// wire as `error_kind`. The set is the protocol's failure vocabulary:
+/// front ends map every failure onto exactly one kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// The line was not a well-formed request (bad JSON, wrong field
+    /// shapes, unknown format or operation).
+    BadRequest,
+    /// The SQL failed inside the pipeline (lex, parse, validate,
+    /// translate, or lower).
+    Compile,
+    /// The request line exceeded the front end's line budget. The
+    /// offending line is consumed (and discarded) to its newline, so the
+    /// connection survives.
+    TooLarge,
+    /// The client did not deliver a complete request line within the read
+    /// deadline (slowloris protection); the connection is closed after
+    /// this response.
+    Timeout,
+    /// Admission control shed this connection under overload instead of
+    /// queueing it; retry against a less-loaded server.
+    Overloaded,
+    /// The compile panicked. The fault was isolated to this request — the
+    /// connection and the process survive.
+    Panic,
+    /// The server is draining toward shutdown and no longer serves new
+    /// requests.
+    Draining,
+}
+
+impl ErrorKind {
+    pub const ALL: [ErrorKind; 7] = [
+        ErrorKind::BadRequest,
+        ErrorKind::Compile,
+        ErrorKind::TooLarge,
+        ErrorKind::Timeout,
+        ErrorKind::Overloaded,
+        ErrorKind::Panic,
+        ErrorKind::Draining,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Compile => "compile",
+            ErrorKind::TooLarge => "too_large",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Draining => "draining",
+        }
+    }
+
+    pub fn parse(name: &str) -> Option<ErrorKind> {
+        ErrorKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// A classified request failure: the `error` / `error_kind` pair of a
+/// failed response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    pub kind: ErrorKind,
+    pub message: String,
+}
+
+impl ServiceError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
     }
 }
 
@@ -133,14 +219,21 @@ pub struct Artifacts {
 #[derive(Debug, Clone)]
 pub struct Response {
     pub id: u64,
-    pub outcome: Result<Artifacts, String>,
+    pub outcome: Result<Artifacts, ServiceError>,
 }
 
 impl Response {
+    /// A compile-class error response (the historical default: every
+    /// pipeline failure is a `compile` error). Use [`Response::error_kind`]
+    /// for the other failure classes.
     pub fn error(id: u64, message: impl Into<String>) -> Response {
+        Response::error_kind(id, ErrorKind::Compile, message)
+    }
+
+    pub fn error_kind(id: u64, kind: ErrorKind, message: impl Into<String>) -> Response {
         Response {
             id,
-            outcome: Err(message.into()),
+            outcome: Err(ServiceError::new(kind, message)),
         }
     }
 
@@ -173,9 +266,11 @@ impl Response {
                 }
                 out.push_str("}}");
             }
-            Err(message) => {
+            Err(error) => {
                 out.push_str(",\"error\":");
-                json::escape_into(out, message);
+                json::escape_into(out, &error.message);
+                out.push_str(",\"error_kind\":");
+                json::escape_into(out, error.kind.name());
                 out.push('}');
             }
         }
@@ -257,7 +352,23 @@ mod tests {
         );
 
         let err = Response::error(2, "boom").to_json_line();
-        assert!(crate::json::parse(&err).unwrap().get("error").is_some());
+        let parsed = crate::json::parse(&err).unwrap();
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("boom"));
+        assert_eq!(parsed.get("error_kind").unwrap().as_str(), Some("compile"));
+    }
+
+    #[test]
+    fn error_kinds_roundtrip_and_reach_the_wire() {
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::parse(kind.name()), Some(kind));
+            let line = Response::error_kind(3, kind, "x").to_json_line();
+            let parsed = crate::json::parse(&line).unwrap();
+            assert_eq!(
+                parsed.get("error_kind").unwrap().as_str(),
+                Some(kind.name())
+            );
+        }
+        assert_eq!(ErrorKind::parse("nope"), None);
     }
 
     #[test]

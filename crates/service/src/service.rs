@@ -32,13 +32,14 @@ use crate::compile::{compile_representative, CompiledEntry};
 use crate::executor::run_indexed;
 use crate::fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
 use crate::memo::{L1Memo, MemoConfig, MemoStats};
-use crate::protocol::{Artifacts, Format, Request, Response};
+use crate::protocol::{Artifacts, ErrorKind, Format, Request, Response, ServiceError};
 use queryvis::ir::Interner;
 use queryvis::QueryVisOptions;
 use queryvis_telemetry::{now_if_enabled, CounterDef, GaugeDef, StageDef};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 // Global telemetry mirrors of the per-service counters (DESIGN.md §6).
 // `ServiceStats` stays the per-instance source of truth; these fold the
@@ -49,6 +50,7 @@ static C_COMPILES: CounterDef = CounterDef::new("compiles");
 static C_COALESCED: CounterDef = CounterDef::new("coalesced");
 static C_ERRORS: CounterDef = CounterDef::new("errors");
 static C_L1_HITS: CounterDef = CounterDef::new("l1_hits");
+static C_PANICS: CounterDef = CounterDef::new("panics_caught");
 static G_INFLIGHT: GaugeDef = GaugeDef::new("inflight_compiles");
 /// End-to-end request latency. `handle()` records wall time; the batch
 /// executor records queue-free *service time* (frontend + compile +
@@ -93,6 +95,9 @@ pub struct ServiceStats {
     /// Requests whose frontend (lex→parse→translate→canonicalize) was
     /// skipped because the L1 memo recognized the text.
     pub l1_hits: u64,
+    /// Compile panics caught and converted into per-request `panic`
+    /// errors (the process survived every one of them).
+    pub panics_caught: u64,
     /// Texts currently memoized in L1.
     pub l1_entries: usize,
     /// Distinct names resident in the shared interner (process-wide; grows
@@ -103,11 +108,23 @@ pub struct ServiceStats {
     pub memo: MemoStats,
 }
 
+/// Lock a mutex, recovering the guard from a poisoned lock. Every mutex
+/// in the service guards state that is valid at all times (inserts and
+/// removes are single operations, never multi-step invariants), so a
+/// panic that unwound through a critical section leaves usable data
+/// behind. Propagating poison instead would turn one isolated request
+/// panic into a process-wide failure: every later request would panic on
+/// the poisoned `lock().expect(..)` — exactly the amplification the
+/// serving layer promises not to have.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// One in-flight compilation that racing requests can join. The slot is
 /// filled with `Err` if the owning compile unwinds, so joiners get an
 /// error response instead of parking forever.
 struct Flight {
-    slot: Mutex<Option<Result<Arc<CompiledEntry>, String>>>,
+    slot: Mutex<Option<Result<Arc<CompiledEntry>, ServiceError>>>,
     ready: Condvar,
 }
 
@@ -127,13 +144,12 @@ impl Drop for FlightGuard<'_> {
         if !self.armed {
             return;
         }
-        if let Ok(mut slot) = self.flight.slot.lock() {
-            *slot = Some(Err("diagram compilation panicked".to_string()));
-        }
+        *lock_unpoisoned(&self.flight.slot) = Some(Err(ServiceError::new(
+            ErrorKind::Panic,
+            "diagram compilation panicked",
+        )));
         self.flight.ready.notify_all();
-        if let Ok(mut inflight) = self.service.inflight.lock() {
-            inflight.remove(&self.fingerprint.0);
-        }
+        lock_unpoisoned(&self.service.inflight).remove(&self.fingerprint.0);
     }
 }
 
@@ -160,6 +176,7 @@ pub struct DiagramService {
     coalesced: AtomicU64,
     errors: AtomicU64,
     l1_hits: AtomicU64,
+    panics_caught: AtomicU64,
 }
 
 impl DiagramService {
@@ -176,6 +193,7 @@ impl DiagramService {
             coalesced: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             l1_hits: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
         }
     }
 
@@ -200,6 +218,7 @@ impl DiagramService {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             l1_hits: self.l1_hits.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
             l1_entries: self.memo.entries(),
             interned_symbols: self.interner.len() as u64,
             cache: self.cache.stats(),
@@ -247,24 +266,30 @@ impl DiagramService {
                 self.memo.insert(&request.sql, fingerprint, words as u32);
                 self.respond(request, words, &entry)
             }
-            Err(message) => {
+            Err(error) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 C_ERRORS.add(1);
-                Response::error(request.id, message)
+                Response {
+                    id: request.id,
+                    outcome: Err(error),
+                }
             }
         }
     }
 
     /// Look up or compile the entry for a fingerprinted query, joining an
     /// in-flight compile of the same fingerprint when one exists. `Err`
-    /// means the owning compile panicked.
-    fn entry_for(&self, fingerprinted: FingerprintedQuery) -> Result<Arc<CompiledEntry>, String> {
+    /// means the compile failed or panicked (classified by its kind).
+    fn entry_for(
+        &self,
+        fingerprinted: FingerprintedQuery,
+    ) -> Result<Arc<CompiledEntry>, ServiceError> {
         let fingerprint = fingerprinted.fingerprint;
         if let Some(entry) = self.cache.get(fingerprint) {
             return Ok(entry);
         }
         let (flight, is_owner) = {
-            let mut inflight = self.inflight.lock().expect("inflight table poisoned");
+            let mut inflight = lock_unpoisoned(&self.inflight);
             match inflight.get(&fingerprint.0) {
                 Some(flight) => (Arc::clone(flight), false),
                 None => {
@@ -280,11 +305,11 @@ impl DiagramService {
         if !is_owner {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
             C_COALESCED.add(1);
-            let guard = flight.slot.lock().expect("flight slot poisoned");
+            let guard = lock_unpoisoned(&flight.slot);
             let guard = flight
                 .ready
                 .wait_while(guard, |slot| slot.is_none())
-                .expect("flight slot poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             return guard.as_ref().expect("woken with a filled slot").clone();
         }
         let mut guard = FlightGuard {
@@ -299,14 +324,21 @@ impl DiagramService {
         // (Counter-free peek: the miss was already counted above.)
         let resident = match self.cache.peek(fingerprint) {
             Some(entry) => entry,
-            None => {
-                let entry = Arc::new(self.compile(fingerprinted));
+            None => match self.compile(fingerprinted) {
                 // Publish to the cache before retiring the flight so there
                 // is no window where the entry is reachable through
                 // neither; serve the *resident* entry (the incumbent, if
                 // another compile won a race) so owner and joiners agree.
-                self.publish(fingerprint, entry)
-            }
+                Ok(entry) => self.publish(fingerprint, Arc::new(entry)),
+                Err(error) => {
+                    // A caught compile panic: hand joiners the classified
+                    // error (not the guard's generic one) and fail only
+                    // this fingerprint's requests.
+                    guard.armed = false;
+                    self.retire_flight(&flight, fingerprint, Err(error.clone()));
+                    return Err(error);
+                }
+            },
         };
         guard.armed = false;
         self.retire_flight(&flight, fingerprint, Ok(Arc::clone(&resident)));
@@ -319,23 +351,42 @@ impl DiagramService {
         &self,
         flight: &Flight,
         fingerprint: Fingerprint,
-        result: Result<Arc<CompiledEntry>, String>,
+        result: Result<Arc<CompiledEntry>, ServiceError>,
     ) {
-        *flight.slot.lock().expect("flight slot poisoned") = Some(result);
+        *lock_unpoisoned(&flight.slot) = Some(result);
         flight.ready.notify_all();
-        self.inflight
-            .lock()
-            .expect("inflight table poisoned")
-            .remove(&fingerprint.0);
+        lock_unpoisoned(&self.inflight).remove(&fingerprint.0);
     }
 
-    fn compile(&self, fingerprinted: FingerprintedQuery) -> CompiledEntry {
+    /// Run the back half of the pipeline with panic isolation: an unwind
+    /// anywhere in simplify → diagram → layout (including an injected
+    /// fault, see [`crate::fault`]) is caught here and classified as a
+    /// `panic` error for this request alone. The process, the caches, and
+    /// every other connection survive.
+    fn compile(&self, fingerprinted: FingerprintedQuery) -> Result<CompiledEntry, ServiceError> {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         C_COMPILES.add(1);
         G_INFLIGHT.add(1);
-        let entry = compile_representative(fingerprinted);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            crate::fault::maybe_panic_compile(&fingerprinted.prepared.sql);
+            compile_representative(fingerprinted)
+        }));
         G_INFLIGHT.add(-1);
-        entry
+        result.map_err(|payload| {
+            self.panics_caught.fetch_add(1, Ordering::Relaxed);
+            C_PANICS.add(1);
+            let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                s
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.as_str()
+            } else {
+                "non-string panic payload"
+            };
+            ServiceError::new(
+                ErrorKind::Panic,
+                format!("diagram compilation panicked: {detail}"),
+            )
+        })
     }
 
     /// Publish a compiled entry into L2, invalidating whatever L1 texts
@@ -408,7 +459,7 @@ impl DiagramService {
                 words: usize,
                 fq: Box<FingerprintedQuery>,
             },
-            Failed(String),
+            Failed(ServiceError),
         }
 
         // Phase 1 — resolve every request's fingerprint in parallel: L1
@@ -438,14 +489,14 @@ impl DiagramService {
                         words: fq.prepared.sql_word_count(),
                         fq: Box::new(fq),
                     },
-                    Err(e) => Front::Failed(e.to_string()),
+                    Err(e) => Front::Failed(ServiceError::new(ErrorKind::Compile, e.to_string())),
                 }
             })();
             let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
             (front, ns)
         });
         let mut front_ns: Vec<u64> = Vec::with_capacity(n);
-        let mut outcome: Vec<Result<usize, String>> = Vec::with_capacity(n);
+        let mut outcome: Vec<Result<usize, ServiceError>> = Vec::with_capacity(n);
         let mut fingerprints: Vec<Option<Fingerprint>> = Vec::with_capacity(n);
         let mut fqs: Vec<Option<Box<FingerprintedQuery>>> = Vec::with_capacity(n);
         // Which requests ran the full frontend (and should be memoized
@@ -484,10 +535,11 @@ impl DiagramService {
             fingerprint: Fingerprint,
             representative: usize,
             entry: Option<Arc<CompiledEntry>>,
-            /// Set only if the representative's frontend re-run failed —
+            /// Set only if the representative's compile failed (a caught
+            /// panic) or its frontend re-run failed — the latter is
             /// unreachable when L1 normalization is sound, but a wrong
             /// answer must degrade to an error response, not a panic.
-            failed: Option<String>,
+            failed: Option<ServiceError>,
         }
         let mut groups: Vec<Group> = Vec::new();
         let mut group_index: HashMap<u128, usize> = HashMap::new();
@@ -529,7 +581,7 @@ impl DiagramService {
         // Phase 3 — compile the missing representatives in parallel and
         // publish them. Joins within the batch are the coalesced ones.
         // (group index, refingerprinted, outcome, compile ns)
-        type CompiledGroup = (usize, bool, Result<Arc<CompiledEntry>, String>, u64);
+        type CompiledGroup = (usize, bool, Result<Arc<CompiledEntry>, ServiceError>, u64);
         let compiled: Vec<CompiledGroup> = run_indexed(missing.len(), threads, |k| {
             let job = &missing[k];
             let t0 = now_if_enabled();
@@ -537,30 +589,29 @@ impl DiagramService {
             let _trace_scope = queryvis_telemetry::global()
                 .tracing()
                 .then(|| queryvis_telemetry::request_scope(requests[job.representative].id));
-            let (refingerprinted, fq) = match job.fq.lock().expect("missing slot poisoned").take() {
+            let (refingerprinted, fq) = match lock_unpoisoned(&job.fq).take() {
                 Some(fq) => (false, Ok(*fq)),
                 None => (
                     true,
                     fingerprint_sql(&requests[job.representative].sql, Arc::clone(&self.options))
-                        .map_err(|e| e.to_string()),
+                        .map_err(|e| ServiceError::new(ErrorKind::Compile, e.to_string())),
                 ),
             };
             let (group, refingerprinted, result) = match fq {
                 Ok(fq) => {
                     let fingerprint = fq.fingerprint;
-                    let entry = Arc::new(self.compile(fq));
                     // Keep whatever is resident after the insert: if a
                     // concurrent batch compiled the same fingerprint
                     // first, its incumbent wins and this whole group
                     // serves it, keeping responses consistent within
-                    // the batch.
-                    (
-                        job.group,
-                        refingerprinted,
-                        Ok(self.publish(fingerprint, entry)),
-                    )
+                    // the batch. A caught compile panic fails the whole
+                    // group with a `panic` error instead.
+                    let result = self
+                        .compile(fq)
+                        .map(|entry| self.publish(fingerprint, Arc::new(entry)));
+                    (job.group, refingerprinted, result)
                 }
-                Err(message) => (job.group, refingerprinted, Err(message)),
+                Err(error) => (job.group, refingerprinted, Err(error)),
             };
             let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
             (group, refingerprinted, result, ns)
@@ -582,7 +633,7 @@ impl DiagramService {
             group_compile_ns[gi] = ns;
             match result {
                 Ok(entry) => groups[gi].entry = Some(entry),
-                Err(message) => groups[gi].failed = Some(message),
+                Err(error) => groups[gi].failed = Some(error),
             }
         }
 
@@ -599,7 +650,10 @@ impl DiagramService {
                 .tracing()
                 .then(|| queryvis_telemetry::request_scope(request.id));
             let response = (|| match (&outcome[i], group_of[i]) {
-                (Err(message), _) => Response::error(request.id, message.clone()),
+                (Err(error), _) => Response {
+                    id: request.id,
+                    outcome: Err(error.clone()),
+                },
                 (Ok(words), Some(gi)) => {
                     let group = &groups[gi];
                     // Count the L1 hit exactly: a memo-resolved request
@@ -610,10 +664,13 @@ impl DiagramService {
                         self.l1_hits.fetch_add(1, Ordering::Relaxed);
                         C_L1_HITS.add(1);
                     }
-                    if let Some(message) = &group.failed {
+                    if let Some(error) = &group.failed {
                         self.errors.fetch_add(1, Ordering::Relaxed);
                         C_ERRORS.add(1);
-                        return Response::error(request.id, message.clone());
+                        return Response {
+                            id: request.id,
+                            outcome: Err(error.clone()),
+                        };
                     }
                     // Every response in the group comes from the *same*
                     // entry (phase 2/3's resident), so disclosures stay

@@ -78,6 +78,7 @@ pub fn service_stats_json(stats: &ServiceStats) -> Json {
         ("coalesced".to_string(), Json::Int(stats.coalesced)),
         ("errors".to_string(), Json::Int(stats.errors)),
         ("l1_hits".to_string(), Json::Int(stats.l1_hits)),
+        ("panics_caught".to_string(), Json::Int(stats.panics_caught)),
         ("l1_entries".to_string(), usize_json(stats.l1_entries)),
         (
             "interned_symbols".to_string(),
@@ -199,6 +200,7 @@ mod tests {
             coalesced: 1,
             errors: 0,
             l1_hits: 2,
+            panics_caught: 0,
             l1_entries: 3,
             interned_symbols: 40,
             cache: Default::default(),

@@ -1,0 +1,127 @@
+//! Panic isolation, end to end through the public service API: an
+//! injected compile panic must fail exactly one request with a
+//! classified `panic` error, increment `panics_caught`, and leave the
+//! service fully functional — the promise the TCP front end builds on.
+//!
+//! Own integration binary: the fault hook and the telemetry counter it
+//! asserts on are process-global, so this must not share a process with
+//! other instrumented tests.
+
+use queryvis_service::{fault, DiagramService, ErrorKind, Format, Request, ServiceConfig};
+use std::sync::{Mutex, Once};
+
+/// The fault hook is process-global; both tests arm it, so they must not
+/// overlap even within this binary.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Swallow the *expected* injected-panic backtraces while letting real
+/// test failures print normally.
+fn quiet_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !message.contains("injected compile panic") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[test]
+fn injected_compile_panic_fails_one_request_not_the_process() {
+    let _serial = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    quiet_injected_panics();
+    fault::arm_compile_panic("Poisoned_Tbl_xyzzy");
+
+    let service = DiagramService::new(ServiceConfig::default());
+    let poisoned = Request {
+        id: 7,
+        sql: "SELECT P.a FROM Poisoned_Tbl_xyzzy P WHERE P.a = 1".to_string(),
+        formats: vec![Format::Ascii],
+    };
+    let response = service.handle(&poisoned);
+    let err = response
+        .outcome
+        .as_ref()
+        .expect_err("injected panic must surface as an error response");
+    assert_eq!(err.kind, ErrorKind::Panic);
+    assert!(err.message.contains("panicked"), "message: {}", err.message);
+    let line = response.to_json_line();
+    assert!(
+        line.contains("\"error_kind\":\"panic\""),
+        "wire line must carry the classification: {line}"
+    );
+
+    // The panic was counted, and the service keeps serving other queries.
+    assert_eq!(service.stats().panics_caught, 1);
+    let healthy = Request {
+        id: 8,
+        sql: "SELECT T.a FROM T WHERE T.a = 1".to_string(),
+        formats: vec![Format::Ascii],
+    };
+    assert!(service.handle(&healthy).outcome.is_ok());
+
+    // A panicking flight is retired, not cached: disarmed, the very same
+    // SQL compiles cleanly on retry.
+    fault::disarm_compile_panic();
+    let retry = service.handle(&poisoned);
+    assert!(
+        retry.outcome.is_ok(),
+        "disarmed retry must succeed: {:?}",
+        retry.outcome.err()
+    );
+    assert_eq!(
+        service.stats().panics_caught,
+        1,
+        "no new panics after disarm"
+    );
+}
+
+#[test]
+fn batch_executor_contains_injected_panics_too() {
+    let _serial = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    quiet_injected_panics();
+    fault::arm_compile_panic("Poisoned_Batch_xyzzy");
+
+    let service = DiagramService::new(ServiceConfig::default());
+    let requests = vec![
+        Request {
+            id: 0,
+            sql: "SELECT T.a FROM T WHERE T.a = 1".to_string(),
+            formats: vec![Format::Ascii],
+        },
+        // Structurally distinct from the healthy requests: fingerprinting
+        // abstracts table names and constants, so a pattern-equivalent
+        // query would coalesce onto the healthy representative and the
+        // token would never reach the compile.
+        Request {
+            id: 1,
+            sql: "SELECT P.a FROM Poisoned_Batch_xyzzy P WHERE P.a = 2 AND P.b = 3".to_string(),
+            formats: vec![Format::Ascii],
+        },
+        Request {
+            id: 2,
+            sql: "SELECT U.b FROM U WHERE U.b = 3".to_string(),
+            formats: vec![Format::Ascii],
+        },
+    ];
+    let responses = service.execute_batch(&requests, 2);
+    fault::disarm_compile_panic();
+
+    assert_eq!(responses.len(), 3);
+    assert!(responses[0].outcome.is_ok());
+    assert!(responses[2].outcome.is_ok());
+    let err = responses[1]
+        .outcome
+        .as_ref()
+        .expect_err("poisoned batch entry must fail alone");
+    assert_eq!(err.kind, ErrorKind::Panic);
+    assert!(service.stats().panics_caught >= 1);
+}

@@ -53,6 +53,7 @@ fn corpus_stats_snapshot_is_parseable_schema_stable_and_consistent() {
         "coalesced",
         "errors",
         "l1_hits",
+        "panics_caught",
         "l1_entries",
         "interned_symbols",
         "cache",

@@ -83,6 +83,7 @@ pub fn parse_query_expr_with(
         source,
         interner,
         scope: Vec::new(),
+        depth: 0,
     };
     let expr = parser.query_expr()?;
     parser.eat_if(&TokenKind::Semicolon);
@@ -124,6 +125,7 @@ pub fn parse_query_with(
         source,
         interner,
         scope: Vec::new(),
+        depth: 0,
     };
     let query = parser.query_block()?;
     if matches!(parser.peek_kind(), TokenKind::Keyword(Keyword::Union)) {
@@ -137,6 +139,17 @@ pub fn parse_query_with(
     Ok(query)
 }
 
+/// Maximum combined nesting (subquery blocks + parenthesized predicate
+/// groups) the parser accepts. The recursive-descent parser — and every
+/// recursive stage downstream of it (translation, simplification, pattern
+/// canonicalization, diagram build) — consumes stack proportional to
+/// nesting depth, so without a bound a hostile request like
+/// `WHERE (((((…)))))` overflows the stack and *aborts* the process (an
+/// abort, not an unwind — `catch_unwind` cannot contain it). The paper
+/// corpus tops out at depth 3; 64 leaves two orders of magnitude of
+/// headroom while keeping worst-case stack use in the tens of kilobytes.
+pub const MAX_NESTING_DEPTH: usize = 64;
+
 struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
@@ -147,6 +160,8 @@ struct Parser<'a> {
     /// tables introduced *before* it, plus every enclosing block's) and
     /// truncates back on exit.
     scope: Vec<Symbol>,
+    /// Current recursion depth (see [`MAX_NESTING_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -177,6 +192,21 @@ impl<'a> Parser<'a> {
 
     fn err_here(&self, message: impl Into<String>) -> ParseError {
         self.err(message, self.peek().span)
+    }
+
+    /// Enter one nesting level (subquery block or parenthesized predicate
+    /// group), rejecting the query once [`MAX_NESTING_DEPTH`] is reached.
+    /// Callers decrement `self.depth` on their success path; error paths
+    /// abandon the parser wholesale, so an unmatched increment there is
+    /// harmless.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(self.err_here(format!(
+                "query nesting exceeds the supported depth ({MAX_NESTING_DEPTH})"
+            )));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn eat_if(&mut self, kind: &TokenKind) -> bool {
@@ -282,9 +312,11 @@ impl<'a> Parser<'a> {
     fn query_block(&mut self) -> Result<Query, ParseError> {
         // This block's FROM bindings live on the scope stack only while
         // the block (subqueries included) is being parsed.
+        self.descend()?;
         let scope_mark = self.scope.len();
         let result = self.query_block_scoped();
         self.scope.truncate(scope_mark);
+        self.depth -= 1;
         result
     }
 
@@ -580,12 +612,14 @@ impl<'a> Parser<'a> {
         if matches!(self.peek_kind(), TokenKind::LParen)
             && !matches!(self.peek2_kind(), TokenKind::Keyword(Keyword::Select))
         {
+            self.descend()?;
             self.advance();
             let mut branches = vec![self.conjunction()?];
             while self.eat_keyword(Keyword::Or) {
                 branches.push(self.conjunction()?);
             }
             self.expect(TokenKind::RParen)?;
+            self.depth -= 1;
             if branches.len() == 1 && branches[0].len() == 1 {
                 return Ok(branches.pop().expect("one branch").pop().expect("one pred"));
             }
@@ -768,6 +802,46 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        // Regression: 50k nested predicate groups used to recurse the
+        // parser (and everything downstream) off the stack — an abort, not
+        // an unwind. The depth guard must turn this into a spanned error.
+        let depth = 50_000;
+        let sql = format!(
+            "SELECT T.a FROM T WHERE {}T.a = 1{}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let err = parse_query(&sql).expect_err("deep nesting must be rejected");
+        assert!(
+            err.to_string().contains("nesting exceeds"),
+            "unexpected message: {err}"
+        );
+
+        // Deep *subquery* nesting takes the other recursion path
+        // (query_block), and must hit the same guard.
+        let mut sql = String::from("SELECT T.a FROM T");
+        for _ in 0..depth {
+            sql.push_str(" WHERE T.a IN (SELECT T.a FROM T");
+        }
+        sql.push_str(&")".repeat(depth));
+        let err = parse_query(&sql).expect_err("deep subqueries must be rejected");
+        assert!(
+            err.to_string().contains("nesting exceeds"),
+            "unexpected message: {err}"
+        );
+
+        // Depth just under the limit still parses.
+        let shallow = 16;
+        let sql = format!(
+            "SELECT T.a FROM T WHERE {}T.a = 1{}",
+            "(".repeat(shallow),
+            ")".repeat(shallow)
+        );
+        parse_query(&sql).expect("shallow nesting stays accepted");
+    }
 
     #[test]
     fn parse_conjunctive_query() {
