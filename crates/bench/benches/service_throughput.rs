@@ -140,6 +140,7 @@ fn synthetic_requests(n: usize) -> Vec<Request> {
                 id: i as u64,
                 sql,
                 formats: vec![Format::Ascii, Format::Svg],
+                rows: None,
             }
         })
         .collect()
@@ -546,6 +547,7 @@ fn main() {
             id: 0,
             sql: sql.to_string(),
             formats: vec![Format::Ascii],
+            rows: None,
         };
         rows.push(measure(
             mode,
@@ -606,6 +608,7 @@ fn main() {
             id: 1,
             sql: variant.to_string(),
             formats: vec![Format::Ascii],
+            rows: None,
         };
         rows.push(measure(
             mode,

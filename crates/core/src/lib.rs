@@ -58,7 +58,7 @@ pub mod unambiguity;
 
 pub use decompose::{recover_depths_decomposition, recovered_depth_by_binding, DepthRecoveryPass};
 pub use inverse::{recover_logic_tree, GroupGraph, InverseError};
-pub use pattern::{canonical_pattern, canonical_pattern_branches, PatternKey};
+pub use pattern::{canonical_pattern, canonical_pattern_branches, PatternKey, TreeErasure};
 pub use pipeline::{
     rewrite_passes, strict_validation_passes, PreparedQuery, QueryVis, QueryVisError,
     QueryVisOptions, UnionBranch, MAX_QUERY_BRANCHES,

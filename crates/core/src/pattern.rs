@@ -22,16 +22,26 @@
 //! protocol disclosure, and tests; string equality and token equality
 //! coincide by construction (the renderer is injective on streams).
 //!
-//! (As with any practical tree canonicalization over decorated nodes,
-//! pathological queries with *structurally identical but differently
-//! cross-linked* sibling subtrees could in principle collide; none of the
-//! paper's patterns — nor any query we could construct in the fragment —
-//! hits that case, and the property-based tests include randomized
-//! sanity checks.)
+//! Anywhere the canonical form must not depend on written conjunct order
+//! — sibling subtrees whose *name-free structural signatures* tie, and
+//! the predicate/HAVING conjunct lists themselves — ordering is decided
+//! by **speculative erasure**: each candidate is erased against a clone
+//! of the current canonical-name state and the smallest resulting stream
+//! commits first — streams that tie fall back to the constants the
+//! erasure recorded, then to a rename-invariant physical-sharing trail.
+//! Naming in written order and sorting afterwards is not enough, because
+//! naming *assigns* the `c` indices the sort keys are made of. (The
+//! semantic oracle, ISSUE 9, caught the failure modes of the old scheme
+//! one by one: an insertion-order tie-break for structurally identical
+//! siblings, conjunct-order column naming, tied probes resolved without
+//! lookahead, and token-symmetric conjuncts whose cross-binding column
+//! sharing — erased from the stream but compared by the oracle's data
+//! transport — depended on written order.)
 
-use queryvis_logic::{LogicTree, LtOperand, LtPredicate, NodeId, SelectAttr};
-use queryvis_sql::{AggFunc, CompareOp, Symbol};
+use queryvis_logic::{AttrRef, LogicTree, LtOperand, LtPredicate, NodeId, SelectAttr};
+use queryvis_sql::{AggFunc, CompareOp, Symbol, Value};
 use std::collections::HashMap;
+use std::rc::Rc;
 
 // Token tags. Kept well clear of the dense payload ranges so a tag can
 // never be confused with a canonical index in a stream comparison.
@@ -64,13 +74,205 @@ pub struct PatternKey {
     tokens: Vec<u32>,
 }
 
+/// The canonical-name assignment recorded while erasing one branch — the
+/// readable companion of the branch's token stream, produced by
+/// [`PatternKey::branch_erasures`]. Consumers (the semantic oracle's data
+/// transport) use it to translate concrete names into the canonical
+/// `(b, c)` coordinate space the fingerprint is expressed in.
+#[derive(Debug, Clone)]
+pub struct TreeErasure {
+    /// Position of this branch's stream in the canonical (sorted) branch
+    /// order used by [`PatternKey::of_branches`]; 0 for single-branch
+    /// queries.
+    pub rank: usize,
+    /// The branch's canonical token stream.
+    pub tokens: Vec<u32>,
+    /// Binding key → canonical binding index, sorted by (dense) index.
+    pub bindings: Vec<(Symbol, u32)>,
+    /// (binding key, column) → canonical `(b, c)` slot, sorted by slot.
+    pub attrs: Vec<(Symbol, Symbol, (u32, u32))>,
+}
+
 /// Canonical-name erasure state: symbol → dense index maps, integer-keyed.
-#[derive(Default)]
+/// `Clone` so sibling signature ties can be broken by *speculatively*
+/// erasing each candidate subtree against a snapshot of the current state
+/// (see the tie-break in `walk`).
+#[derive(Default, Clone)]
 struct Eraser {
     bindings: HashMap<Symbol, u32>,
     columns: HashMap<(u32, Symbol), u32>,
     /// Next column index per binding, indexed by binding code.
     column_counters: Vec<u32>,
+    /// Constant values seen, in erasure order. *Not* part of the token
+    /// stream (the pattern erases constant values) — recorded only as a
+    /// deterministic tie-break between candidates whose erased streams
+    /// tie, so the canonical *name maps* ([`TreeErasure`]) stay stable
+    /// under conjunct reordering whenever the constants can tell the
+    /// candidates apart. The semantic oracle's data transport depends on
+    /// that stability to pair up slots across equal-fingerprint queries.
+    consts: Vec<ConstKey>,
+    /// Physical-sharing profile of the query being erased (see
+    /// [`physical_shares`]). Shared (`Rc`) because the eraser is cloned
+    /// per speculative probe.
+    share_of: Rc<ShareProfile>,
+    /// Sharing descriptors of freshly allocated columns, in allocation
+    /// order — the last-resort tie-break trail. Candidates can be fully
+    /// token-symmetric (identical probes *and* identical continuations:
+    /// `B.p = A.x AND B.q = A.y`) yet erase physically different columns,
+    /// and cross-binding column sharing — invisible to the token stream
+    /// by design, but compared by the oracle's transport — then differs
+    /// between written orders. Each descriptor is rename-invariant (the
+    /// canonical indices of already-named co-sharers, plus a count of
+    /// not-yet-named ones), so ordering on the trail keeps the name maps
+    /// spelling-independent without re-admitting names into the pattern.
+    shares: Vec<ShareKey>,
+}
+
+/// One fresh column's sharing descriptor, compared component-wise:
+///
+/// 1. For every *other* binding referencing the same physical column
+///    that is already named at allocation time, its canonical binding
+///    index and the canonical column index it gave the shared column
+///    (`u32::MAX` when it has not touched the column yet), sorted.
+/// 2. A count of co-sharing bindings not named at all yet (including
+///    bindings in sibling branches, which erase separately).
+/// 3. The (binding, column)'s total reference count across the query —
+///    which sees references in child blocks that the conjunct-list
+///    lookahead cannot reach.
+/// 4. The physical column's reference-context profile (see [`CtxTag`]) —
+///    which sees *how* sibling branches use the shared column even
+///    though their erasures are independent.
+///
+/// Every component is an erasure output or a structural count, never a
+/// concrete name — two sharing classes of equal size still compare
+/// differently when their members sit at different canonical coordinates
+/// or are used differently elsewhere in the query.
+type ShareKey = (Vec<(u32, u32)>, u32, u32, Rc<Vec<CtxTag>>);
+
+/// One reference context of a physical column, name-free: selected
+/// column, aggregate argument (with function), grouping column, HAVING
+/// argument (function + operator), predicate vs constant (operator), or
+/// predicate vs attribute (operator folded with its flip, so the
+/// name-based orientation of a join cannot leak in).
+type CtxTag = (u8, u32, u32);
+
+/// Rename-invariant sharing profile of a query, consulted by the erasure
+/// tie-break. It is a function of the query's reference *structure* only
+/// (never of written conjunct order or concrete names), so it is safe to
+/// consult inside canonicalization.
+#[derive(Default)]
+struct ShareProfile {
+    /// (binding key, column) → the members of its physical column's
+    /// sharing class: the distinct bindings, across all branches, of the
+    /// same base table referencing a column of that name. Exactly the
+    /// relation the semantic oracle's transport partitions columns by.
+    sharers: HashMap<(Symbol, Symbol), Rc<Vec<Symbol>>>,
+    /// (binding key, column) → total number of references across all
+    /// branches (predicates, select list, grouping, aggregate args).
+    refs: HashMap<(Symbol, Symbol), u32>,
+    /// (binding key, column) → the physical column's sorted context
+    /// multiset, shared by every member of its sharing class.
+    contexts: HashMap<(Symbol, Symbol), Rc<Vec<CtxTag>>>,
+}
+
+fn physical_shares(trees: &[&LogicTree]) -> ShareProfile {
+    let mut table_of: HashMap<Symbol, Symbol> = HashMap::new();
+    for tree in trees {
+        for t in tree.bindings() {
+            table_of.insert(t.key, t.table);
+        }
+    }
+    // (base table, column) → distinct binding keys referencing it, and
+    // the multiset of contexts it is referenced in.
+    let mut members: HashMap<(Symbol, Symbol), Vec<Symbol>> = HashMap::new();
+    let mut ctx_of: HashMap<(Symbol, Symbol), Vec<CtxTag>> = HashMap::new();
+    let mut refs: HashMap<(Symbol, Symbol), u32> = HashMap::new();
+    {
+        let mut add = |a: &AttrRef, tag: CtxTag| {
+            *refs.entry((a.binding, a.column)).or_insert(0) += 1;
+            if let Some(&table) = table_of.get(&a.binding) {
+                let keys = members.entry((table, a.column)).or_default();
+                if !keys.contains(&a.binding) {
+                    keys.push(a.binding);
+                }
+                ctx_of.entry((table, a.column)).or_default().push(tag);
+            }
+        };
+        for tree in trees {
+            for s in &tree.select {
+                match s {
+                    SelectAttr::Column(a) => add(a, (0, 0, 0)),
+                    SelectAttr::Aggregate { func, arg } => {
+                        if let Some(a) = arg {
+                            add(a, (1, func.code(), 0));
+                        }
+                    }
+                }
+            }
+            for a in &tree.group_by {
+                add(a, (2, 0, 0));
+            }
+            for h in &tree.having {
+                if let Some(a) = &h.arg {
+                    add(a, (3, h.func.code(), h.op.code()));
+                }
+            }
+            for node in tree.nodes() {
+                for p in &node.predicates {
+                    match &p.rhs {
+                        LtOperand::Const(_) => add(&p.lhs, (4, p.op.code(), 0)),
+                        LtOperand::Attr(a) => {
+                            let op = p.op.code().min(p.op.flip().code());
+                            add(&p.lhs, (5, op, 0));
+                            add(a, (5, op, 0));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut sharers = HashMap::new();
+    let mut contexts = HashMap::new();
+    for ((table, column), keys) in members {
+        let mut tags = ctx_of.remove(&(table, column)).unwrap_or_default();
+        tags.sort_unstable();
+        let tags = Rc::new(tags);
+        let class = Rc::new(keys);
+        for &key in class.iter() {
+            sharers.insert((key, column), Rc::clone(&class));
+            contexts.insert((key, column), Rc::clone(&tags));
+        }
+    }
+    ShareProfile {
+        sharers,
+        refs,
+        contexts,
+    }
+}
+
+/// Order-comparable digest of a constant: numerics by value (sign-folded
+/// IEEE bits give total order), everything else by text. Symbol *ids* are
+/// never compared — they depend on interner history.
+type ConstKey = (u8, u64, &'static str);
+
+/// What one speculative continuation recorded, in comparison order:
+/// erased streams first, then the constants trail, then the sharing
+/// trail, then the committed candidate (index or node).
+type ErasedTrail<S, C> = (S, Vec<ConstKey>, Vec<ShareKey>, C);
+
+fn const_key(v: Value) -> ConstKey {
+    match v.numeric() {
+        Some(n) => {
+            let bits = n.to_bits();
+            let ordered = if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits | 1 << 63
+            };
+            (1, ordered, "")
+        }
+        None => (2, 0, v.text()),
+    }
 }
 
 impl Eraser {
@@ -85,15 +287,45 @@ impl Eraser {
 
     fn attr(&mut self, binding: Symbol, column: Symbol) -> (u32, u32) {
         let b = self.binding(binding);
-        let counter = &mut self.column_counters[b as usize];
-        let c = match self.columns.entry((b, column)) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                let c = *counter;
-                *counter += 1;
-                *e.insert(c)
+        if let Some(&c) = self.columns.get(&(b, column)) {
+            return (b, c);
+        }
+        // Fresh column: record its sharing descriptor (see [`ShareKey`])
+        // before committing the index.
+        let refs = self
+            .share_of
+            .refs
+            .get(&(binding, column))
+            .copied()
+            .unwrap_or(0);
+        let ctx = self
+            .share_of
+            .contexts
+            .get(&(binding, column))
+            .cloned()
+            .unwrap_or_default();
+        let share = match self.share_of.sharers.get(&(binding, column)) {
+            Some(sharers) => {
+                let mut named: Vec<(u32, u32)> = Vec::new();
+                let mut unnamed = 0u32;
+                for &k in sharers.iter().filter(|&&k| k != binding) {
+                    match self.bindings.get(&k) {
+                        Some(&bk) => {
+                            let ck = self.columns.get(&(bk, column)).copied().unwrap_or(u32::MAX);
+                            named.push((bk, ck));
+                        }
+                        None => unnamed += 1,
+                    }
+                }
+                named.sort_unstable();
+                (named, unnamed, refs, ctx)
             }
+            None => (Vec::new(), 0, refs, ctx),
         };
+        self.shares.push(share);
+        let c = self.column_counters[b as usize];
+        self.column_counters[b as usize] += 1;
+        self.columns.insert((b, column), c);
         (b, c)
     }
 }
@@ -127,6 +359,120 @@ fn orient(p: &LtPredicate) -> LtPredicate {
     }
 }
 
+/// Erase one (already oriented) predicate through the name state, pushing
+/// its constant (if any) onto the tie-break trail.
+fn erase_pred(p: &LtPredicate, eraser: &mut Eraser) -> [u32; 6] {
+    let (lb, lc) = eraser.attr(p.lhs.binding, p.lhs.column);
+    match p.rhs {
+        LtOperand::Attr(a) => {
+            let (rb, rc) = eraser.attr(a.binding, a.column);
+            [T_PRED_JOIN, p.op.code(), lb, lc, rb, rc]
+        }
+        LtOperand::Const(v) => {
+            eraser.consts.push(const_key(v));
+            [T_PRED_SEL, p.op.code(), lb, lc, 0, 0]
+        }
+    }
+}
+
+/// Work cap on recursive tie lookahead, counted in probe erasures. Real
+/// conjunct lists resolve in a handful of probes; the cap only exists so
+/// an adversarial query with many mutually indistinguishable conjuncts
+/// degrades to first-wins (still deterministic per normalized text)
+/// instead of factorial work in the service's fingerprint path.
+const TIE_LOOKAHEAD_BUDGET: u32 = 10_000;
+
+/// Greedily order a conjunct list: at each step erase every remaining
+/// item against a clone of the current name state and commit the smallest
+/// resulting tuple (ties broken by the constants the erasure recorded).
+/// Committing the minimum first keeps the emitted sequence sorted — a
+/// later item's final tuple can only grow past its earlier candidate,
+/// because committed names are fixed and fresh `c` indices only increase
+/// — while guaranteeing the `c` assignment itself is independent of the
+/// written conjunct order.
+///
+/// Probes that tie *exactly* (same tuple, same constants, same sharing)
+/// can still erase different physical columns — `T.a = U.k AND T.b = U.k`
+/// probes both conjuncts to the same `JOIN` tuple, yet whichever commits
+/// first hands its column the smaller fresh index, and a later conjunct
+/// touching one of them would then name it differently depending on
+/// written order. So exact ties are broken by lookahead: erase the whole
+/// remaining list under each tied candidate and commit the one whose full
+/// continuation is smallest. Candidates that stay tied even through the
+/// lookahead (fully token-symmetric conjuncts) are ordered by the
+/// physical-sharing trail — see [`Eraser::shares`] — before falling back
+/// to written order.
+fn greedy_erase<T>(
+    items: &[T],
+    eraser: &mut Eraser,
+    erase: impl Fn(&T, &mut Eraser) -> [u32; 6],
+) -> Vec<[u32; 6]> {
+    let mut remaining: Vec<&T> = items.iter().collect();
+    let mut ordered = Vec::with_capacity(items.len());
+    let mut budget = TIE_LOOKAHEAD_BUDGET;
+    erase_all(&mut remaining, eraser, &erase, &mut budget, &mut ordered);
+    ordered
+}
+
+fn erase_all<T>(
+    remaining: &mut Vec<&T>,
+    eraser: &mut Eraser,
+    erase: &impl Fn(&T, &mut Eraser) -> [u32; 6],
+    budget: &mut u32,
+    out: &mut Vec<[u32; 6]>,
+) {
+    while !remaining.is_empty() {
+        let base = eraser.consts.len();
+        let sbase = eraser.shares.len();
+        let mut probes: Vec<([u32; 6], Vec<ConstKey>, Vec<ShareKey>)> =
+            Vec::with_capacity(remaining.len());
+        for item in remaining.iter() {
+            let mut probe = eraser.clone();
+            let tuple = erase(item, &mut probe);
+            probes.push((
+                tuple,
+                probe.consts[base..].to_vec(),
+                probe.shares[sbase..].to_vec(),
+            ));
+            *budget = budget.saturating_sub(1);
+        }
+        let min = probes.iter().min().cloned().unwrap();
+        let candidates: Vec<usize> = (0..probes.len()).filter(|&i| probes[i] == min).collect();
+        let chosen = if candidates.len() == 1 || *budget == 0 {
+            candidates[0]
+        } else {
+            // Exact tie: identical probes over different columns. Compare
+            // whole continuations (tokens, then constants, then the
+            // physical-sharing trail) and commit the candidate yielding
+            // the smallest one.
+            let mut best: Option<ErasedTrail<Vec<[u32; 6]>, usize>> = None;
+            for &c in &candidates {
+                let mut probe = eraser.clone();
+                let mut trail = vec![erase(remaining[c], &mut probe)];
+                let mut rest: Vec<&T> = remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != c)
+                    .map(|(_, item)| *item)
+                    .collect();
+                erase_all(&mut rest, &mut probe, erase, budget, &mut trail);
+                let consts = probe.consts[base..].to_vec();
+                let shares = probe.shares[sbase..].to_vec();
+                let better = match &best {
+                    None => true,
+                    Some((t, k, s, _)) => (&trail, &consts, &shares) < (t, k, s),
+                };
+                if better {
+                    best = Some((trail, consts, shares, c));
+                }
+            }
+            best.unwrap().3
+        };
+        let item = remaining.remove(chosen);
+        out.push(erase(item, eraser));
+    }
+}
+
 impl PatternKey {
     /// Canonicalize a logic tree into its pattern token stream.
     pub fn of_tree(tree: &LogicTree) -> PatternKey {
@@ -141,6 +487,17 @@ impl PatternKey {
     /// per query. Combine with [`PatternKey::fingerprint128_of`] to hash
     /// without ever materializing a `PatternKey`.
     pub fn of_tree_into(tree: &LogicTree, tokens: &mut Vec<u32>) {
+        let mut eraser = Eraser {
+            share_of: Rc::new(physical_shares(&[tree])),
+            ..Eraser::default()
+        };
+        Self::canonicalize_into(tree, &mut eraser, tokens);
+    }
+
+    /// The full canonicalization, erasing through caller-provided state so
+    /// [`PatternKey::branch_erasures`] can read the name assignment back
+    /// out of the `Eraser` afterwards.
+    fn canonicalize_into(tree: &LogicTree, eraser: &mut Eraser, tokens: &mut Vec<u32>) {
         // Phase 1: structural signatures, bottom-up, name-free. Used to
         // order children deterministically before assigning canonical
         // names. Signatures are token streams themselves (compared
@@ -188,7 +545,6 @@ impl PatternKey {
 
         // Phase 2: canonical traversal (children ordered by signature),
         // with name erasure into dense indices.
-        let mut eraser = Eraser::default();
         tokens.clear();
         tokens.reserve(16 * tree.node_count());
 
@@ -223,20 +579,20 @@ impl PatternKey {
         }
         if !tree.having.is_empty() {
             // HAVING conjuncts: erased like selections (the constant is a
-            // placeholder), order-canonicalized by erased token tuple.
+            // placeholder), order-canonicalized by greedy erasure so an
+            // aggregate argument's `c` index never depends on which
+            // conjunct was written first.
             tokens.push(T_HAVING);
-            let mut rendered: Vec<[u32; 6]> = tree
-                .having
-                .iter()
-                .map(|h| match h.arg {
+            let rendered = greedy_erase(&tree.having, eraser, |h, eraser| {
+                eraser.consts.push(const_key(h.value));
+                match h.arg {
                     Some(a) => {
                         let (b, c) = eraser.attr(a.binding, a.column);
                         [T_HAV_PRED, h.func.code(), h.op.code(), T_HAS_ARG, b, c]
                     }
                     None => [T_HAV_PRED, h.func.code(), h.op.code(), T_NO_ARG, 0, 0],
-                })
-                .collect();
-            rendered.sort_unstable();
+                }
+            });
             for pred in &rendered {
                 let len = if pred[3] == T_HAS_ARG { 6 } else { 4 };
                 tokens.extend_from_slice(&pred[..len]);
@@ -258,38 +614,78 @@ impl PatternKey {
                 let b = eraser.binding(table.key);
                 tokens.extend_from_slice(&[T_BINDING, b]);
             }
-            // Predicates: oriented, named in conjunct order (mirroring the
-            // original string canonicalization), then sorted by erased
-            // token tuple for order insensitivity.
-            let mut rendered: Vec<[u32; 6]> = node
-                .predicates
-                .iter()
-                .map(|p| {
-                    let p = orient(p);
-                    let (lb, lc) = eraser.attr(p.lhs.binding, p.lhs.column);
-                    match p.rhs {
-                        LtOperand::Attr(a) => {
-                            let (rb, rc) = eraser.attr(a.binding, a.column);
-                            [T_PRED_JOIN, p.op.code(), lb, lc, rb, rc]
-                        }
-                        LtOperand::Const(_) => [T_PRED_SEL, p.op.code(), lb, lc, 0, 0],
-                    }
-                })
-                .collect();
-            rendered.sort_unstable();
+            // Predicates: oriented, then greedily ordered-and-named.
+            // Naming in written conjunct order and sorting afterwards is
+            // not order-insensitive — naming *assigns* the `c` indices
+            // the sort keys are made of (the semantic oracle's second
+            // catch: `B.z = 3 AND A.x = B.y` vs the swapped spelling gave
+            // `B.y`/`B.z` opposite indices and split the fingerprint).
+            let oriented: Vec<LtPredicate> = node.predicates.iter().map(orient).collect();
+            let rendered = greedy_erase(&oriented, eraser, erase_pred);
             for pred in &rendered {
                 let len = if pred[0] == T_PRED_JOIN { 6 } else { 4 };
                 tokens.extend_from_slice(&pred[..len]);
             }
-            // Children in canonical (signature) order.
+            // Children in canonical (signature) order. Signatures are
+            // name-free, so structurally identical siblings *tie* even when
+            // they are cross-linked to different outer bindings (e.g. two
+            // one-table ∄ blocks, one joining back to `a`, one to `b`).
+            // Ties used to fall back to insertion order, which made the
+            // erased stream depend on the written conjunct order — the
+            // semantic oracle's first catch. Resolve a tied run by erasing
+            // each candidate subtree against a *snapshot* of the current
+            // eraser and ordering on the resulting streams: candidate
+            // streams only reference outer bindings (already named) and a
+            // sibling's own fresh bindings (named deterministically from
+            // the snapshot), never another sibling's, so they are stable
+            // while the run commits and the greedy order is canonical.
             let mut children = node.children.clone();
-            children.sort_by(|a, b| signature[a].cmp(&signature[b]).then(a.cmp(b)));
+            children.sort_by(|a, b| signature[a].cmp(&signature[b]));
+            let mut start = 0;
+            while start < children.len() {
+                let mut end = start + 1;
+                while end < children.len()
+                    && signature[&children[end]] == signature[&children[start]]
+                {
+                    end += 1;
+                }
+                if end - start > 1 {
+                    // Sort key: the candidate's erased stream, then the
+                    // constants its erasure saw (identical streams can
+                    // still differ in erased constant values, and the
+                    // name-map transport needs those paired canonically),
+                    // then the physical-sharing trail (token-symmetric
+                    // candidates can still erase differently shared
+                    // columns), then node id for full determinism.
+                    let base = eraser.consts.len();
+                    let sbase = eraser.shares.len();
+                    let mut keyed: Vec<ErasedTrail<Vec<u32>, NodeId>> = children[start..end]
+                        .iter()
+                        .map(|&child| {
+                            let mut probe = eraser.clone();
+                            let mut stream = Vec::new();
+                            walk(tree, child, signature, &mut probe, &mut stream);
+                            (
+                                stream,
+                                probe.consts[base..].to_vec(),
+                                probe.shares[sbase..].to_vec(),
+                                child,
+                            )
+                        })
+                        .collect();
+                    keyed.sort();
+                    for (offset, (_, _, _, child)) in keyed.into_iter().enumerate() {
+                        children[start + offset] = child;
+                    }
+                }
+                start = end;
+            }
             for child in children {
                 walk(tree, child, signature, eraser, tokens);
             }
             tokens.push(T_CLOSE);
         }
-        walk(tree, 0, &signature, &mut eraser, tokens);
+        walk(tree, 0, &signature, eraser, tokens);
     }
 
     /// Canonicalize a multi-branch (UNION / OR-split) query. A single
@@ -312,11 +708,18 @@ impl PatternKey {
             PatternKey::of_tree_into(single, tokens);
             return;
         }
+        // The sharing profile spans all branches (column sharing is a
+        // query-wide relation), so every branch erases against one map.
+        let share_of = Rc::new(physical_shares(trees));
         let mut branch_streams: Vec<Vec<u32>> = trees
             .iter()
             .map(|tree| {
+                let mut eraser = Eraser {
+                    share_of: Rc::clone(&share_of),
+                    ..Eraser::default()
+                };
                 let mut stream = Vec::new();
-                PatternKey::of_tree_into(tree, &mut stream);
+                PatternKey::canonicalize_into(tree, &mut eraser, &mut stream);
                 stream
             })
             .collect();
@@ -329,6 +732,72 @@ impl PatternKey {
             tokens.push(T_BRANCH);
             tokens.extend_from_slice(stream);
         }
+    }
+
+    /// Canonicalize every branch of a query and return, per branch, the
+    /// recorded canonical-name assignment: which binding key became which
+    /// `b` index and which `(binding, column)` became which `(b, c)` slot,
+    /// plus the branch's position in the canonical (sorted-stream) branch
+    /// order.
+    ///
+    /// This is the bridge the semantic oracle's *data transport* is built
+    /// on: two equal-fingerprint queries assign corresponding bindings the
+    /// same `b` and corresponding attributes the same `(b, c)`, so a
+    /// database generated per canonical slot executes both queries over
+    /// "the same" data even when every concrete name differs.
+    pub fn branch_erasures(trees: &[&LogicTree]) -> Vec<TreeErasure> {
+        let share_of = Rc::new(physical_shares(trees));
+        let mut trails: Vec<(Vec<ConstKey>, Vec<ShareKey>)> = Vec::with_capacity(trees.len());
+        let mut erasures: Vec<TreeErasure> = trees
+            .iter()
+            .map(|tree| {
+                let mut eraser = Eraser {
+                    share_of: Rc::clone(&share_of),
+                    ..Eraser::default()
+                };
+                let mut tokens = Vec::new();
+                PatternKey::canonicalize_into(tree, &mut eraser, &mut tokens);
+                let mut bindings: Vec<(Symbol, u32)> =
+                    eraser.bindings.iter().map(|(&key, &b)| (key, b)).collect();
+                bindings.sort_by_key(|&(_, b)| b);
+                let mut attrs: Vec<(Symbol, Symbol, (u32, u32))> = eraser
+                    .columns
+                    .iter()
+                    .map(|(&(b, column), &c)| {
+                        let key = bindings[b as usize].0;
+                        (key, column, (b, c))
+                    })
+                    .collect();
+                attrs.sort_by_key(|&(_, _, slot)| slot);
+                trails.push((eraser.consts, eraser.shares));
+                TreeErasure {
+                    rank: 0,
+                    tokens,
+                    bindings,
+                    attrs,
+                }
+            })
+            .collect();
+        // Ranks mirror `of_branches_into`'s stream sort, so rank k here is
+        // branch k of the fingerprint's canonical branch order. Branches
+        // with *equal* streams sort the same under any order, but the
+        // transport pairs branch k of one query with branch k of the
+        // other — so tied streams are rank-ordered by their erasure
+        // trails (constants, then physical sharing; both invariant under
+        // branch rotation and renaming) before falling back to written
+        // branch order.
+        let mut order: Vec<usize> = (0..erasures.len()).collect();
+        order.sort_by(|&i, &j| {
+            erasures[i]
+                .tokens
+                .cmp(&erasures[j].tokens)
+                .then_with(|| trails[i].cmp(&trails[j]))
+                .then(i.cmp(&j))
+        });
+        for (rank, &index) in order.iter().enumerate() {
+            erasures[index].rank = rank;
+        }
+        erasures
     }
 
     /// The raw token stream (exposed for benches and tests).
@@ -663,6 +1132,206 @@ mod tests {
              AND NOT EXISTS(SELECT * FROM B WHERE B.x = A.x AND B.y = 'k')",
         );
         assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn tied_sibling_signatures_ignore_conjunct_order() {
+        // Minimized repro of the canonicalization divergence the semantic
+        // oracle flushed out (ISSUE 9). The two ∄ blocks are structurally
+        // identical — same shape signature — but cross-linked to
+        // *different* outer bindings (`b.x` vs `a.x`). With the old
+        // insertion-order tie-break, swapping the conjuncts changed which
+        // subtree erased first, handed the subtrees different canonical
+        // binding indices, and split one pattern into two fingerprints.
+        let ab = key("SELECT A.x FROM T A, T B \
+             WHERE NOT EXISTS(SELECT * FROM S S1 WHERE S1.k = B.x) \
+             AND NOT EXISTS(SELECT * FROM S S2 WHERE S2.k = A.x)");
+        let ba = key("SELECT A.x FROM T A, T B \
+             WHERE NOT EXISTS(SELECT * FROM S S2 WHERE S2.k = A.x) \
+             AND NOT EXISTS(SELECT * FROM S S1 WHERE S1.k = B.x)");
+        assert_eq!(ab, ba, "sibling-tie order leaked into the fingerprint");
+        // The cross-links still matter: retargeting one of them is a
+        // different pattern, not a collision.
+        let both_a = key("SELECT A.x FROM T A, T B \
+             WHERE NOT EXISTS(SELECT * FROM S S1 WHERE S1.k = A.x) \
+             AND NOT EXISTS(SELECT * FROM S S2 WHERE S2.k = A.x)");
+        assert_ne!(ab, both_a);
+    }
+
+    #[test]
+    fn tied_siblings_with_nested_structure_stay_order_insensitive() {
+        // Same tie class one level deeper: the tied ∄ blocks each carry a
+        // nested ∃, so the speculative erasure must recurse.
+        let ab = key("SELECT A.x FROM T A, T B WHERE \
+             NOT EXISTS(SELECT * FROM S S1 WHERE S1.k = B.x AND \
+               EXISTS(SELECT * FROM U U1 WHERE U1.v = S1.k)) AND \
+             NOT EXISTS(SELECT * FROM S S2 WHERE S2.k = A.x AND \
+               EXISTS(SELECT * FROM U U2 WHERE U2.v = S2.k))");
+        let ba = key("SELECT A.x FROM T A, T B WHERE \
+             NOT EXISTS(SELECT * FROM S S2 WHERE S2.k = A.x AND \
+               EXISTS(SELECT * FROM U U2 WHERE U2.v = S2.k)) AND \
+             NOT EXISTS(SELECT * FROM S S1 WHERE S1.k = B.x AND \
+               EXISTS(SELECT * FROM U U1 WHERE U1.v = S1.k))");
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn conjunct_order_does_not_leak_into_column_naming() {
+        // The oracle's second catch (ISSUE 9): `c` indices were assigned
+        // in written conjunct order *before* the order-canonicalizing
+        // sort, so the sort keys themselves depended on conjunct order.
+        // Here `B.y` and `B.z` are fresh at predicate-erasure time; the
+        // old scheme named whichever conjunct came first `c1`.
+        let ab = key("SELECT A.x FROM T A, T B WHERE B.z = 3 AND A.x = B.y");
+        let ba = key("SELECT A.x FROM T A, T B WHERE A.x = B.y AND B.z = 3");
+        assert_eq!(ab, ba, "conjunct order leaked into column naming");
+    }
+
+    #[test]
+    fn having_conjunct_order_does_not_leak_into_column_naming() {
+        // Same bug class in the HAVING list: each aggregate argument is a
+        // fresh column, so naming order must come from greedy erasure,
+        // not the written conjunct order.
+        let ab = key("SELECT T.a FROM T GROUP BY T.a HAVING MIN(T.b) > 1 AND MAX(T.c) > 2");
+        let ba = key("SELECT T.a FROM T GROUP BY T.a HAVING MAX(T.c) > 2 AND MIN(T.b) > 1");
+        assert_eq!(ab, ba, "HAVING order leaked into column naming");
+    }
+
+    #[test]
+    fn tied_probes_over_different_columns_break_by_lookahead() {
+        // The oracle's third catch (ISSUE 9): `A.p = B.k` and `A.q = B.k`
+        // probe to the *same* erasure tuple (each allocates a fresh `A`
+        // column), yet whichever commits first hands its column the
+        // smaller index — and the trailing `A.q > 5` then renders as a
+        // different selection tuple depending on written order. The tie
+        // must be broken by whole-continuation lookahead.
+        let pq = key("SELECT A.x FROM T A, U B WHERE A.p = B.k AND A.q = B.k AND A.q > 5");
+        let qp = key("SELECT A.x FROM T A, U B WHERE A.q > 5 AND A.q = B.k AND A.p = B.k");
+        assert_eq!(pq, qp, "tied join probes resolved by written order");
+    }
+
+    #[test]
+    fn token_symmetric_conjuncts_break_ties_by_physical_sharing() {
+        // The oracle's fourth catch (ISSUE 9): `B.p = A.x` and `B.q = A.y`
+        // are *fully* token-symmetric — identical probes and identical
+        // continuations — so neither constants nor lookahead can order
+        // them, and written order used to decide which `A` column got the
+        // smaller index. The fingerprint survives (the streams really are
+        // symmetric), but the recorded name maps differed: `A.y` shares a
+        // physical column with `C.y` (same base table `R`), a fact the
+        // token stream erases but the semantic oracle's data transport
+        // compares — so the two spellings of one query produced different
+        // column partitions and the pair became unprovable. Sharing-class
+        // sizes are rename-invariant, so they may break the tie.
+        let sql = |preds: &str| {
+            format!(
+                "SELECT A.s FROM R A WHERE EXISTS(SELECT * FROM S B WHERE {preds}) \
+                 AND EXISTS(SELECT * FROM R C WHERE C.y > 0)"
+            )
+        };
+        let xy = sql("B.p = A.x AND B.q = A.y");
+        let yx = sql("B.q = A.y AND B.p = A.x");
+        assert_eq!(key(&xy), key(&yx), "symmetric conjuncts must not split");
+        let tree_xy = translate(&parse_query(&xy).unwrap(), None).unwrap();
+        let tree_yx = translate(&parse_query(&yx).unwrap(), None).unwrap();
+        let e_xy = &PatternKey::branch_erasures(&[&tree_xy])[0];
+        let e_yx = &PatternKey::branch_erasures(&[&tree_yx])[0];
+        assert_eq!(
+            e_xy.attrs, e_yx.attrs,
+            "conjunct order leaked into the canonical name maps"
+        );
+    }
+
+    #[test]
+    fn cross_branch_reference_context_breaks_symmetric_join_ties() {
+        // A 4096-case oracle catch: `B.p = A.x` and `B.q = A.x` are fully
+        // tie-equivalent inside their branch — same probes, same
+        // continuations, same sharer sets ({B, C}, with C not yet named
+        // because it lives in the *other* UNION branch), same reference
+        // counts. The only discriminating fact is *how* the sibling
+        // branch uses the shared physical columns: `C.p` is selected
+        // while `C.q` sits under a constant comparison. The ShareKey's
+        // context profile records exactly that, so the name maps must not
+        // depend on written conjunct order.
+        let branch = |preds: &str| {
+            translate(
+                &parse_query(&format!(
+                    "SELECT A.s FROM R A WHERE EXISTS(SELECT * FROM S B WHERE {preds})"
+                ))
+                .unwrap(),
+                None,
+            )
+            .unwrap()
+        };
+        let sibling = translate(
+            &parse_query("SELECT C.p FROM S C WHERE C.q > 5").unwrap(),
+            None,
+        )
+        .unwrap();
+        let pq = branch("B.p = A.x AND B.q = A.x");
+        let qp = branch("B.q = A.x AND B.p = A.x");
+        let e_pq = PatternKey::branch_erasures(&[&pq, &sibling]);
+        let e_qp = PatternKey::branch_erasures(&[&qp, &sibling]);
+        assert_eq!(e_pq[0].tokens, e_qp[0].tokens, "symmetric pair split");
+        assert_eq!(
+            e_pq[0].attrs, e_qp[0].attrs,
+            "conjunct order leaked into the name maps past a cross-branch tie"
+        );
+    }
+
+    #[test]
+    fn identically_tokenized_branches_rank_by_structure_not_rotation() {
+        // Another oracle catch: two UNION branches whose erased streams
+        // are *identical* (tables and constants are erased) used to take
+        // their ranks from written order, so rotating the branches
+        // re-paired them under the transport and broke provability. The
+        // per-branch (constants, shares) trails must pin the ranks.
+        let tree = |sql: &str| translate(&parse_query(sql).unwrap(), None).unwrap();
+        let r = tree("SELECT A.x FROM R A WHERE A.y = 1");
+        let s = tree("SELECT B.x FROM S B WHERE B.y = 2");
+        let rs = PatternKey::branch_erasures(&[&r, &s]);
+        let sr = PatternKey::branch_erasures(&[&s, &r]);
+        assert_eq!(rs[0].tokens, rs[1].tokens, "branches must tokenize alike");
+        assert_eq!(
+            rs[0].rank, sr[1].rank,
+            "the R branch's rank must survive rotation"
+        );
+        assert_eq!(
+            rs[1].rank, sr[0].rank,
+            "the S branch's rank must survive rotation"
+        );
+    }
+
+    #[test]
+    fn branch_erasures_record_the_canonical_name_maps() {
+        let tree = translate(
+            &parse_query("SELECT A.x FROM T A, T B WHERE A.x = B.y AND B.z = 3").unwrap(),
+            None,
+        )
+        .unwrap();
+        let erasures = PatternKey::branch_erasures(&[&tree]);
+        assert_eq!(erasures.len(), 1);
+        let e = &erasures[0];
+        assert_eq!(e.rank, 0);
+        assert_eq!(e.tokens, PatternKey::of_tree(&tree).tokens());
+        // Select list erases first: A → b0, A.x → (0,0).
+        let b_of = |name: &str| {
+            e.bindings
+                .iter()
+                .find(|(k, _)| k.as_str() == name)
+                .map(|&(_, b)| b)
+        };
+        assert_eq!(b_of("A"), Some(0));
+        assert_eq!(b_of("B"), Some(1));
+        let slot_of = |binding: &str, column: &str| {
+            e.attrs
+                .iter()
+                .find(|(k, c, _)| k.as_str() == binding && c.as_str() == column)
+                .map(|&(_, _, slot)| slot)
+        };
+        assert_eq!(slot_of("A", "x"), Some((0, 0)));
+        assert_eq!(slot_of("B", "y"), Some((1, 0)));
+        assert_eq!(slot_of("B", "z"), Some((1, 1)));
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Runtime values and SQL three-valued comparison logic.
+//!
+//! The executor works over typed [`Datum`]s, not the IR's source-text
+//! [`queryvis_sql::Value`]s: numeric literals are parsed once (via
+//! `Value::numeric`) so `3.50` and `3.5` compare equal, the way a database
+//! would compare them — not the way the interner does.
+
+use queryvis_sql::CompareOp;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value: SQL `NULL`, a (finite) number, or a string.
+///
+/// `NaN` is never constructed — constants come from `Value::numeric`
+/// (finite-filtered) and generated data comes from constant-derived
+/// palettes — so `PartialEq` on `Num` behaves like total equality.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    Null,
+    Num(f64),
+    Str(String),
+}
+
+impl Datum {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => f.write_str("NULL"),
+            Datum::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Datum::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// Total order over datums, used everywhere *mechanical* ordering is
+/// needed (result normalization, GROUP BY keys, DISTINCT): `NULL` sorts
+/// first and compares equal to itself, numbers before strings, numbers by
+/// IEEE total order. This is explicitly *not* SQL comparison — that is
+/// [`compare`].
+pub fn total_cmp(a: &Datum, b: &Datum) -> Ordering {
+    match (a, b) {
+        (Datum::Null, Datum::Null) => Ordering::Equal,
+        (Datum::Null, _) => Ordering::Less,
+        (_, Datum::Null) => Ordering::Greater,
+        (Datum::Num(x), Datum::Num(y)) => x.total_cmp(y),
+        (Datum::Num(_), Datum::Str(_)) => Ordering::Less,
+        (Datum::Str(_), Datum::Num(_)) => Ordering::Greater,
+        (Datum::Str(x), Datum::Str(y)) => x.cmp(y),
+    }
+}
+
+/// SQL comparison: `None` is UNKNOWN — either operand `NULL`, or a
+/// number compared against a string (untyped schemas make this reachable;
+/// a real database would error, the 3VL treatment keeps the oracle total
+/// and still deterministic).
+pub fn compare(a: &Datum, b: &Datum) -> Option<Ordering> {
+    match (a, b) {
+        (Datum::Num(x), Datum::Num(y)) => Some(x.total_cmp(y)),
+        (Datum::Str(x), Datum::Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+/// Evaluate `a op b` under three-valued logic: `None` is UNKNOWN.
+pub fn eval_op(op: CompareOp, a: &Datum, b: &Datum) -> Option<bool> {
+    let ord = compare(a, b)?;
+    Some(match op {
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::Le => ord != Ordering::Greater,
+        CompareOp::Eq => ord == Ordering::Equal,
+        CompareOp::Ne => ord != Ordering::Equal,
+        CompareOp::Ge => ord != Ordering::Less,
+        CompareOp::Gt => ord == Ordering::Greater,
+    })
+}
+
+/// Lexicographic row comparison under the total order (shorter rows first
+/// on a shared prefix — mixed arities only arise from malformed unions,
+/// but the order stays total).
+pub fn row_cmp(a: &[Datum], b: &[Datum]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = total_cmp(x, y);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+/// `Ord` adapter over [`total_cmp`] so datums can key `BTreeMap`s
+/// (GROUP BY) and sort as tuples.
+#[derive(Debug, Clone)]
+pub struct DatumKey(pub Datum);
+
+impl PartialEq for DatumKey {
+    fn eq(&self, other: &Self) -> bool {
+        total_cmp(&self.0, &other.0) == Ordering::Equal
+    }
+}
+impl Eq for DatumKey {}
+impl PartialOrd for DatumKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DatumKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        total_cmp(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_valued_logic_basics() {
+        let n = Datum::Null;
+        let one = Datum::Num(1.0);
+        let two = Datum::Num(2.0);
+        let s = Datum::Str("x".into());
+        // NULL never satisfies anything, not even NULL = NULL.
+        assert_eq!(eval_op(CompareOp::Eq, &n, &n), None);
+        assert_eq!(eval_op(CompareOp::Ne, &one, &n), None);
+        // Cross-type comparisons are UNKNOWN too.
+        assert_eq!(eval_op(CompareOp::Eq, &one, &s), None);
+        assert_eq!(eval_op(CompareOp::Lt, &one, &two), Some(true));
+        assert_eq!(eval_op(CompareOp::Ge, &one, &two), Some(false));
+        assert_eq!(eval_op(CompareOp::Ne, &one, &two), Some(true));
+    }
+
+    #[test]
+    fn total_order_ranks_null_num_str() {
+        let mut v = vec![
+            Datum::Str("b".into()),
+            Datum::Num(3.0),
+            Datum::Null,
+            Datum::Str("a".into()),
+            Datum::Num(-1.0),
+        ];
+        v.sort_by(total_cmp);
+        assert_eq!(
+            v,
+            vec![
+                Datum::Null,
+                Datum::Num(-1.0),
+                Datum::Num(3.0),
+                Datum::Str("a".into()),
+                Datum::Str("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn row_cmp_is_lexicographic() {
+        let a = [Datum::Num(1.0), Datum::Num(2.0)];
+        let b = [Datum::Num(1.0), Datum::Num(3.0)];
+        assert_eq!(row_cmp(&a, &b), Ordering::Less);
+        assert_eq!(row_cmp(&a, &a), Ordering::Equal);
+        assert_eq!(row_cmp(&a[..1], &a), Ordering::Less);
+    }
+}

@@ -1,0 +1,32 @@
+//! # queryvis-exec
+//!
+//! A small in-memory relational executor for the QueryVis fragment, and
+//! the **semantic conformance oracle** built on it (DESIGN.md §8).
+//!
+//! The serving model rests on one invariant: *equal fingerprint ⇒ the
+//! same diagram is correct for both queries*. The canonicalizer's tests
+//! defend that at the token level; this crate defends it at the level
+//! that actually matters — **answers**. It executes lowered logic trees
+//! directly (scan / filter / join / quantified anti- and semi-joins /
+//! GROUP BY + HAVING / UNION) under SQL three-valued NULL logic over
+//! typed values, generates deterministic databases in the fingerprint's
+//! own canonical coordinate space ([`Analysis`]), and differentially
+//! checks that pattern-equal queries produce identical result sets
+//! ([`check_pair`]), minimizing and reporting any divergence
+//! reproducibly.
+//!
+//! Two canonicalization bugs found by this oracle (sibling-tie ordering
+//! and conjunct-order column naming) are fixed in `queryvis::pattern`
+//! with minimized regression tests — see the module docs there.
+
+mod datum;
+mod db;
+mod eval;
+mod oracle;
+mod transport;
+
+pub use datum::{compare, eval_op, row_cmp, total_cmp, Datum, DatumKey};
+pub use db::{Database, Table};
+pub use eval::{execute, render_row, ExecError, ResultSet, DEFAULT_BUDGET};
+pub use oracle::{check_pair, check_simplify, sample_rows, Divergence, PairOutcome};
+pub use transport::Analysis;

@@ -132,6 +132,27 @@ pub enum Value {
     Str(Symbol),
 }
 
+impl Value {
+    /// The literal as a typed number, when it is one. Numeric literals are
+    /// stored as source text (so `3.50` and `3.5` are *different* symbols);
+    /// semantic consumers — the executor above all — must compare them
+    /// numerically, and this is the one place that parse lives.
+    pub fn numeric(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_str().parse::<f64>().ok().filter(|v| v.is_finite()),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The literal's text without quoting: the string contents for a string
+    /// literal, the source digits for a number.
+    pub fn text(&self) -> &'static str {
+        match self {
+            Value::Number(n) | Value::Str(n) => n.as_str(),
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -180,6 +201,18 @@ mod tests {
     fn value_display_quotes_strings() {
         assert_eq!(Value::Str("Rock".into()).to_string(), "'Rock'");
         assert_eq!(Value::Number("3.5".into()).to_string(), "3.5");
+    }
+
+    #[test]
+    fn numeric_access_is_typed_not_textual() {
+        // `3.50` and `3.5` are different symbols (textual equality) but the
+        // same number — the executor compares through `numeric()`.
+        assert_ne!(Value::Number("3.50".into()), Value::Number("3.5".into()));
+        assert_eq!(Value::Number("3.50".into()).numeric(), Some(3.5));
+        assert_eq!(Value::Number("270000".into()).numeric(), Some(270000.0));
+        assert_eq!(Value::Str("3.5".into()).numeric(), None);
+        assert_eq!(Value::Str("Rock".into()).text(), "Rock");
+        assert_eq!(Value::Number("42".into()).text(), "42");
     }
 
     #[test]

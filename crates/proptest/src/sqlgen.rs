@@ -381,6 +381,10 @@ struct EmitOptions {
     /// Lowercase keywords, `!=` / `SOME` spellings, noisy whitespace,
     /// comments, and a trailing semicolon (L1-normalization-equal).
     noisy: bool,
+    /// Emit each block's WHERE conjuncts (and HAVING conjuncts) in
+    /// reverse written order — pattern-preserving because conjunct lists
+    /// canonicalize order-insensitively.
+    reverse_conjuncts: bool,
 }
 
 const CANONICAL: EmitOptions = EmitOptions {
@@ -391,6 +395,7 @@ const CANONICAL: EmitOptions = EmitOptions {
     rotate_branches: 0,
     join_syntax: false,
     noisy: false,
+    reverse_conjuncts: false,
 };
 
 impl GenQuery {
@@ -414,6 +419,7 @@ impl GenQuery {
             rotate_branches: (salt as usize / 2) % self.branches.len().max(1),
             join_syntax: salt % 5 < 2,
             noisy: false,
+            reverse_conjuncts: salt % 7 >= 4,
         })
     }
 
@@ -656,13 +662,18 @@ fn emit_block(w: &mut Writer, block: &Block) {
         }
     }
     w.kw("FROM");
+    let preds: Vec<&Pred> = if w.opts.reverse_conjuncts {
+        block.preds.iter().rev().collect()
+    } else {
+        block.preds.iter().collect()
+    };
     // `JOIN … ON` syntax is AST-identical to the implicit form when the
     // block's first predicate is a plain comparison: the parser desugars
     // ON conjuncts to *leading* WHERE conjuncts.
     let join_eligible = w.opts.join_syntax
         && block.tables.len() >= 2
-        && matches!(block.preds.first(), Some(Pred::Cmp { .. }));
-    let mut remaining: &[Pred] = &block.preds;
+        && matches!(preds.first(), Some(Pred::Cmp { .. }));
+    let mut remaining: &[&Pred] = &preds;
     if join_eligible {
         let (table, alias) = block.tables[0];
         let t = format!("{}{} {}", w.opts.table_prefix, table, w.alias(alias));
@@ -672,8 +683,8 @@ fn emit_block(w: &mut Writer, block: &Block) {
         let t = format!("{}{} {}", w.opts.table_prefix, table, w.alias(alias));
         w.raw(&t);
         w.kw("ON");
-        emit_pred(w, &block.preds[0]);
-        remaining = &block.preds[1..];
+        emit_pred(w, preds[0]);
+        remaining = &preds[1..];
         for &(table, alias) in &block.tables[2..] {
             w.glue(",");
             let t = format!("{}{} {}", w.opts.table_prefix, table, w.alias(alias));
@@ -704,7 +715,12 @@ fn emit_block(w: &mut Writer, block: &Block) {
         w.raw(&t);
         if !having.is_empty() {
             w.kw("HAVING");
-            for (i, &(func, arg, op, value)) in having.iter().enumerate() {
+            let clauses: Vec<_> = if w.opts.reverse_conjuncts {
+                having.iter().rev().collect()
+            } else {
+                having.iter().collect()
+            };
+            for (i, &&(func, arg, op, value)) in clauses.iter().enumerate() {
                 if i > 0 {
                     w.kw("AND");
                 }

@@ -26,6 +26,7 @@
 //! of whole diagrams, concrete label text included.
 
 use crate::fingerprint::{Fingerprint, FingerprintedQuery};
+use crate::json::Json;
 use crate::protocol::Format;
 use crate::scene_json::write_scene_json;
 use queryvis::diagram::DiagramStats;
@@ -43,6 +44,35 @@ static STAGE_RENDER_DOT: StageDef = StageDef::new("stage.render.dot");
 static STAGE_RENDER_SVG: StageDef = StageDef::new("stage.render.svg");
 static STAGE_RENDER_READING: StageDef = StageDef::new("stage.render.reading");
 static STAGE_RENDER_SCENE_JSON: StageDef = StageDef::new("stage.render.scene_json");
+static STAGE_RENDER_ROWS: StageDef = StageDef::new("stage.render.rows");
+
+/// Hard cap on sample rows computed (and cached) per entry; requests ask
+/// for up to this many via the `rows` field.
+pub const MAX_SAMPLE_ROWS: usize = 20;
+/// Fixed sample-data parameters: the rows shown next to a diagram are a
+/// deterministic function of the pattern, never of request timing.
+const SAMPLE_SEED: u64 = 1;
+const SAMPLE_ROWS_PER_TABLE: usize = 4;
+/// Executor work cap for the sample path — a hostile pattern (many nested
+/// quantifiers) fails with a `rows_error` instead of stalling a worker.
+const SAMPLE_BUDGET: u64 = 200_000;
+
+/// Per-entry sample rows: each row pre-rendered as one JSON array
+/// fragment (e.g. `[1,"a",null]`), shared by every response that asks.
+#[derive(Debug, Clone)]
+pub struct SampleRows {
+    pub rows: Arc<[Arc<str>]>,
+    /// True when the full result had more than [`MAX_SAMPLE_ROWS`] rows.
+    pub truncated: bool,
+}
+
+fn datum_json(d: &queryvis_exec::Datum) -> Json {
+    match d {
+        queryvis_exec::Datum::Null => Json::Null,
+        queryvis_exec::Datum::Num(n) => Json::Num(*n),
+        queryvis_exec::Datum::Str(s) => Json::Str(s.clone()),
+    }
+}
 
 /// A compiled pattern: the finished pipeline result for the pattern's
 /// representative query, with per-format render caches.
@@ -64,6 +94,9 @@ pub struct CompiledEntry {
     svg: OnceLock<Arc<str>>,
     reading: OnceLock<Arc<str>>,
     scene_json: OnceLock<Arc<str>>,
+    /// Sample result rows over the pattern's transport-generated database,
+    /// computed once per entry on first `rows` request.
+    samples: OnceLock<Result<SampleRows, Arc<str>>>,
 }
 
 impl CompiledEntry {
@@ -136,6 +169,35 @@ impl CompiledEntry {
         }
     }
 
+    /// Sample rows for the `rows` request field: the representative
+    /// executed over its own deterministic transport database
+    /// ([`queryvis_exec::sample_rows`]), capped at [`MAX_SAMPLE_ROWS`] and
+    /// memoized per entry. Errors (budget, fragment limits) memoize too —
+    /// they are a property of the pattern, not of the request.
+    pub fn sample_rows(&self) -> &Result<SampleRows, Arc<str>> {
+        self.samples.get_or_init(|| {
+            let _span = STAGE_RENDER_ROWS.span();
+            queryvis_exec::sample_rows(
+                &self.qv.trees(),
+                self.qv.union_all,
+                SAMPLE_SEED,
+                SAMPLE_ROWS_PER_TABLE,
+                MAX_SAMPLE_ROWS,
+                SAMPLE_BUDGET,
+            )
+            .map(|(rows, truncated)| SampleRows {
+                rows: rows
+                    .iter()
+                    .map(|row| {
+                        Arc::from(Json::Arr(row.iter().map(datum_json).collect()).to_string())
+                    })
+                    .collect(),
+                truncated,
+            })
+            .map_err(|e| Arc::from(e.to_string()))
+        })
+    }
+
     /// Which formats have been rendered so far (observability only).
     pub fn rendered_formats(&self) -> Vec<Format> {
         let mut formats = Vec::new();
@@ -176,6 +238,7 @@ pub fn compile_representative(fingerprinted: FingerprintedQuery) -> CompiledEntr
         svg: OnceLock::new(),
         reading: OnceLock::new(),
         scene_json: OnceLock::new(),
+        samples: OnceLock::new(),
     }
 }
 

@@ -378,7 +378,11 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Int(n) => write_u64(out, *n),
             Json::Num(n) => {
-                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                if !n.is_finite() {
+                    // JSON has no NaN/Infinity literal; `format!` would
+                    // emit `inf`/`NaN` and corrupt the document.
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     out.push_str(&format!("{}", *n as i64));
                 } else {
                     out.push_str(&format!("{n}"));
@@ -448,6 +452,21 @@ mod tests {
             parse(&Json::Num(0.25).to_string()).unwrap(),
             Json::Num(0.25)
         );
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null_and_round_trip() {
+        // `format!("{n}")` renders `inf`/`NaN`, which are not JSON: the
+        // serialized document would fail to parse. Non-finite must map to
+        // `null`.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let doc = Json::Obj(vec![("v".to_string(), Json::Num(bad))]).to_string();
+            assert_eq!(doc, r#"{"v":null}"#);
+            assert!(
+                parse(&doc).is_ok(),
+                "serializer emitted invalid JSON: {doc}"
+            );
+        }
     }
 
     #[test]

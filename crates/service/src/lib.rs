@@ -109,6 +109,7 @@ pub fn paper_corpus_requests(formats: &[Format]) -> Vec<Request> {
             id: i as u64,
             sql,
             formats: formats.to_vec(),
+            rows: None,
         })
         .collect()
 }

@@ -25,6 +25,13 @@
 //! When a request is served from a *different* query's compiled entry (a
 //! pattern-equivalent representative), the response additionally carries
 //! `"representative_sql"` so the substitution is visible to clients.
+//!
+//! An optional `"rows": n` request field opts into up to `n` sample
+//! result rows next to the diagram (server-capped), computed by executing
+//! the representative over its deterministic generated database. They
+//! arrive as `"rows": [[…], …]` (with `"rows_truncated": true` when rows
+//! were dropped), or as a `"rows_error"` string when the executor
+//! declines — the diagram itself is still served.
 
 use crate::fingerprint::Fingerprint;
 use crate::json::{self, Json};
@@ -155,6 +162,10 @@ pub struct Request {
     pub sql: String,
     /// Requested artifact formats; empty means "use the service default".
     pub formats: Vec<Format>,
+    /// Opt-in sample rows: `Some(n)` asks for up to `n` example result
+    /// rows next to the diagram, executed over deterministic generated
+    /// data (capped server-side).
+    pub rows: Option<usize>,
 }
 
 impl Request {
@@ -186,7 +197,20 @@ impl Request {
                 })
                 .collect::<Result<Vec<Format>, String>>()?,
         };
-        Ok(Request { id, sql, formats })
+        let rows = match value.get("rows") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| "`rows` must be a non-negative integer".to_string())?
+                    as usize,
+            ),
+        };
+        Ok(Request {
+            id,
+            sql,
+            formats,
+            rows,
+        })
     }
 }
 
@@ -213,6 +237,25 @@ pub struct Artifacts {
     pub representative_sql: Option<Arc<str>>,
     /// `(format, rendered)` in request order.
     pub rendered: Vec<(Format, Arc<str>)>,
+    /// Sample result rows, present only when the request opted in via
+    /// `rows`. Row fragments are pre-rendered JSON arrays shared with the
+    /// cache entry.
+    pub sample_rows: Option<SampleOutcome>,
+}
+
+/// Outcome of the opt-in sample-rows execution for one response.
+#[derive(Debug, Clone)]
+pub enum SampleOutcome {
+    Rows {
+        /// Pre-rendered JSON array fragments, one per row.
+        rows: Vec<Arc<str>>,
+        /// True when rows were dropped by the request's count or the
+        /// server cap.
+        truncated: bool,
+    },
+    /// The executor declined (work budget, fragment limits): the diagram
+    /// is still served; the failure rides along as `rows_error`.
+    Error(Arc<str>),
 }
 
 /// One response line.
@@ -264,7 +307,30 @@ impl Response {
                     out.push(':');
                     json::escape_into(out, text);
                 }
-                out.push_str("}}");
+                out.push('}');
+                match &artifacts.sample_rows {
+                    None => {}
+                    Some(SampleOutcome::Rows { rows, truncated }) => {
+                        out.push_str(",\"rows\":[");
+                        for (i, row) in rows.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            // Fragments are already JSON arrays — emitted
+                            // raw, not re-escaped.
+                            out.push_str(row);
+                        }
+                        out.push(']');
+                        if *truncated {
+                            out.push_str(",\"rows_truncated\":true");
+                        }
+                    }
+                    Some(SampleOutcome::Error(message)) => {
+                        out.push_str(",\"rows_error\":");
+                        json::escape_into(out, message);
+                    }
+                }
+                out.push('}');
             }
             Err(error) => {
                 out.push_str(",\"error\":");
@@ -330,6 +396,7 @@ mod tests {
                 sql_words: 4,
                 representative_sql: None,
                 rendered: vec![(Format::Ascii, "a\nb".into())],
+                sample_rows: None,
             }),
         };
         let line = ok.to_json_line();
@@ -381,6 +448,7 @@ mod tests {
                 sql_words: 4,
                 representative_sql: Some("SELECT T.a FROM T".into()),
                 rendered: Vec::new(),
+                sample_rows: None,
             }),
         };
         let parsed = crate::json::parse(&response.to_json_line()).unwrap();
@@ -388,6 +456,66 @@ mod tests {
             parsed.get("representative_sql").unwrap().as_str(),
             Some("SELECT T.a FROM T")
         );
+    }
+
+    #[test]
+    fn rows_request_field_parses_and_rejects_bad_shapes() {
+        let r = Request::from_json_line(r#"{"sql": "SELECT T.a FROM T"}"#, 0).unwrap();
+        assert_eq!(r.rows, None);
+        let r = Request::from_json_line(r#"{"sql": "SELECT T.a FROM T", "rows": 5}"#, 0).unwrap();
+        assert_eq!(r.rows, Some(5));
+        assert!(Request::from_json_line(r#"{"sql": "x", "rows": "many"}"#, 0).is_err());
+        assert!(Request::from_json_line(r#"{"sql": "x", "rows": -1}"#, 0).is_err());
+    }
+
+    #[test]
+    fn sample_rows_reach_the_wire_as_raw_json() {
+        let response = Response {
+            id: 5,
+            outcome: Ok(Artifacts {
+                fingerprint: Fingerprint(2),
+                fingerprint_hex: hex(Fingerprint(2)),
+                sql_words: 4,
+                representative_sql: None,
+                rendered: vec![(Format::Ascii, "d".into())],
+                sample_rows: Some(SampleOutcome::Rows {
+                    rows: vec!["[1,\"a\",null]".into(), "[2,\"b\",null]".into()],
+                    truncated: true,
+                }),
+            }),
+        };
+        let line = response.to_json_line();
+        assert!(!line.contains('\n'));
+        let parsed = crate::json::parse(&line).unwrap();
+        let rows = parsed.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].as_arr().unwrap()[1].as_str(), Some("a"));
+        assert_eq!(rows[0].as_arr().unwrap()[2], crate::json::Json::Null);
+        assert_eq!(
+            parsed.get("rows_truncated").and_then(|v| match v {
+                crate::json::Json::Bool(b) => Some(*b),
+                _ => None,
+            }),
+            Some(true)
+        );
+
+        let err = Response {
+            id: 6,
+            outcome: Ok(Artifacts {
+                fingerprint: Fingerprint(2),
+                fingerprint_hex: hex(Fingerprint(2)),
+                sql_words: 4,
+                representative_sql: None,
+                rendered: Vec::new(),
+                sample_rows: Some(SampleOutcome::Error("execution budget exceeded".into())),
+            }),
+        };
+        let parsed = crate::json::parse(&err.to_json_line()).unwrap();
+        assert_eq!(
+            parsed.get("rows_error").unwrap().as_str(),
+            Some("execution budget exceeded")
+        );
+        assert!(parsed.get("rows").is_none());
     }
 
     #[test]

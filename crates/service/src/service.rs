@@ -32,7 +32,9 @@ use crate::compile::{compile_representative, CompiledEntry};
 use crate::executor::run_indexed;
 use crate::fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
 use crate::memo::{L1Memo, MemoConfig, MemoStats};
-use crate::protocol::{Artifacts, ErrorKind, Format, Request, Response, ServiceError};
+use crate::protocol::{
+    Artifacts, ErrorKind, Format, Request, Response, SampleOutcome, ServiceError,
+};
 use queryvis::ir::Interner;
 use queryvis::QueryVisOptions;
 use queryvis_telemetry::{now_if_enabled, CounterDef, GaugeDef, StageDef};
@@ -411,6 +413,19 @@ impl DiagramService {
         // disclosure shares the entry's Arc, like every artifact string.
         let representative_sql = (entry.representative_sql() != request.sql)
             .then(|| Arc::clone(entry.representative_shared()));
+        // Opt-in sample rows: executed (and memoized) per entry, sliced
+        // per request. Note the rows — like the diagram — come from the
+        // pattern representative.
+        let sample_rows = request.rows.map(|wanted| match entry.sample_rows() {
+            Ok(samples) => {
+                let take = wanted.min(samples.rows.len());
+                SampleOutcome::Rows {
+                    rows: samples.rows[..take].iter().map(Arc::clone).collect(),
+                    truncated: samples.truncated || take < samples.rows.len(),
+                }
+            }
+            Err(message) => SampleOutcome::Error(Arc::clone(message)),
+        });
         Response {
             id: request.id,
             outcome: Ok(Artifacts {
@@ -422,6 +437,7 @@ impl DiagramService {
                     .iter()
                     .map(|format| (*format, Arc::clone(entry.render(*format))))
                     .collect(),
+                sample_rows,
             }),
         }
     }
@@ -719,6 +735,7 @@ mod tests {
             id,
             sql: sql.to_string(),
             formats: vec![Format::Ascii],
+            rows: None,
         }
     }
 
@@ -736,6 +753,47 @@ mod tests {
         assert_eq!(stats.compiles, 1);
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.cache.misses, 1);
+    }
+
+    #[test]
+    fn sample_rows_ride_along_when_requested() {
+        let service = service();
+        let mut with_rows = request(0, "SELECT T.a FROM T WHERE T.a > 1");
+        with_rows.rows = Some(2);
+
+        // Opted out: no rows key at all.
+        let plain = service.handle(&request(1, "SELECT T.a FROM T WHERE T.a > 1"));
+        let line = plain.to_json_line();
+        let parsed = crate::json::parse(&line).unwrap();
+        assert!(parsed.get("rows").is_none());
+        assert!(parsed.get("rows_error").is_none());
+
+        // Opted in: rows arrive as JSON arrays next to the artifacts, and
+        // the diagram itself is unchanged.
+        let served = service.handle(&with_rows);
+        let line = served.to_json_line();
+        let parsed = crate::json::parse(&line).unwrap();
+        let rows = parsed
+            .get("rows")
+            .unwrap_or_else(|| panic!("no rows in {line}"))
+            .as_arr()
+            .unwrap();
+        assert!(rows.len() <= 2);
+        for row in rows {
+            assert_eq!(row.as_arr().unwrap().len(), 1, "one select column");
+        }
+        assert!(parsed.get("artifacts").unwrap().get("ascii").is_some());
+
+        // Deterministic: same request, same rows (served from the entry's
+        // memoized samples on the warm path).
+        let again = service.handle(&with_rows);
+        assert_eq!(line, again.to_json_line());
+
+        // A request with a huge count is capped, not a DoS: capped at the
+        // entry's sample set.
+        let mut greedy = request(2, "SELECT T.a FROM T WHERE T.a > 1");
+        greedy.rows = Some(1_000_000);
+        assert!(service.handle(&greedy).outcome.is_ok());
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn request(id: u64, sql: &str) -> Request {
         id,
         sql: sql.to_string(),
         formats: vec![Format::Ascii],
+        rows: None,
     }
 }
 

@@ -13,6 +13,7 @@ fn request(id: u64, sql: &str) -> Request {
         id,
         sql: sql.to_string(),
         formats: vec![Format::Ascii],
+        rows: None,
     }
 }
 
@@ -340,6 +341,7 @@ fn corpus_variants_hit_the_memo_after_one_sighting() {
             id: 10_000 + i as u64,
             sql: mutated.clone(),
             formats: vec![Format::Ascii],
+            rows: None,
         });
         let varied = varied.outcome.expect("mutated corpus text still serves");
         assert_eq!(varied.fingerprint, artifacts.fingerprint, "{mutated}");

@@ -45,6 +45,7 @@ fn injected_compile_panic_fails_one_request_not_the_process() {
         id: 7,
         sql: "SELECT P.a FROM Poisoned_Tbl_xyzzy P WHERE P.a = 1".to_string(),
         formats: vec![Format::Ascii],
+        rows: None,
     };
     let response = service.handle(&poisoned);
     let err = response
@@ -65,6 +66,7 @@ fn injected_compile_panic_fails_one_request_not_the_process() {
         id: 8,
         sql: "SELECT T.a FROM T WHERE T.a = 1".to_string(),
         formats: vec![Format::Ascii],
+        rows: None,
     };
     assert!(service.handle(&healthy).outcome.is_ok());
 
@@ -96,6 +98,7 @@ fn batch_executor_contains_injected_panics_too() {
             id: 0,
             sql: "SELECT T.a FROM T WHERE T.a = 1".to_string(),
             formats: vec![Format::Ascii],
+            rows: None,
         },
         // Structurally distinct from the healthy requests: fingerprinting
         // abstracts table names and constants, so a pattern-equivalent
@@ -105,11 +108,13 @@ fn batch_executor_contains_injected_panics_too() {
             id: 1,
             sql: "SELECT P.a FROM Poisoned_Batch_xyzzy P WHERE P.a = 2 AND P.b = 3".to_string(),
             formats: vec![Format::Ascii],
+            rows: None,
         },
         Request {
             id: 2,
             sql: "SELECT U.b FROM U WHERE U.b = 3".to_string(),
             formats: vec![Format::Ascii],
+            rows: None,
         },
     ];
     let responses = service.execute_batch(&requests, 2);

@@ -18,6 +18,7 @@ fn request(id: u64, sql: &str, formats: &[Format]) -> Request {
         id,
         sql: sql.to_string(),
         formats: formats.to_vec(),
+        rows: None,
     }
 }
 

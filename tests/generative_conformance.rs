@@ -127,6 +127,7 @@ proptest! {
             id: 1,
             sql: sql.to_string(),
             formats: vec![],
+            rows: None,
         };
         let cold = service.handle(&request(&canonical));
         let warm = service.handle(&request(&canonical));

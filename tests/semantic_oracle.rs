@@ -1,0 +1,239 @@
+//! The semantic conformance oracle (ISSUE 9): equal fingerprints must
+//! mean equal **answers**, not just equal token streams.
+//!
+//! Two sweeps defend the serving invariant end to end:
+//!
+//! 1. **Corpus sweep** — every equal-fingerprint pair across the paper
+//!    corpus (plus the App. G pattern grid and the Fig. 24 syntactic
+//!    variants) is differentially executed over canonically transported
+//!    databases at several seeds. Pairs the transport cannot prove are
+//!    skipped *visibly* as `Incompatible` — never silently passed — and
+//!    the flagship corpus groups are additionally required to come back
+//!    `Equal`, not skipped.
+//! 2. **Generative sweep** — ≥ 4 pattern-preserving rewrites per sqlgen
+//!    case (renames, join flips, branch rotation, `JOIN … ON`, reversed
+//!    conjuncts) go through [`queryvis_exec::check_pair`], and every
+//!    query's raw trees are checked against their simplified forms.
+//!
+//! Any divergence is shrunk to the smallest reproducing table size and
+//! written to `oracle-divergences/` (uploaded as a CI artifact) before
+//! the test panics, so a red run always leaves a deterministic repro.
+
+use proptest::sqlgen::{gen_query, GenConfig, GenQuery};
+use proptest::test_runner::TestRng;
+use queryvis::{PreparedQuery, QueryVis, QueryVisOptions};
+use queryvis_corpus::{pattern_grid, sailors_only_variants, PatternKind};
+use queryvis_exec::{check_pair, check_simplify, Divergence, ExecError, PairOutcome};
+use queryvis_service::paper_corpus_requests;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const ROWS_PER_TABLE: usize = 5;
+
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn prepare(sql: &str) -> Option<PreparedQuery> {
+    QueryVis::prepare(sql, QueryVisOptions::default()).ok()
+}
+
+/// Persist a minimized divergence where CI can pick it up, then fail.
+fn dump_and_panic(context: &str, d: &Divergence) -> ! {
+    let dir = std::path::Path::new("oracle-divergences");
+    let _ = std::fs::create_dir_all(dir);
+    let _ = std::fs::write(dir.join(format!("{context}.txt")), d.report());
+    panic!("{context}:\n{}", d.report());
+}
+
+/// A fragment-limit refusal (work budget, `SUM(*)`-style shapes): the
+/// pair is skipped, anything else is an oracle bug.
+fn skippable(e: &ExecError) -> bool {
+    matches!(e, ExecError::Budget | ExecError::BadLiteral(_))
+}
+
+#[test]
+fn corpus_equal_fingerprint_pairs_agree_on_answers() {
+    let prepared: Vec<PreparedQuery> = paper_corpus_requests(&[])
+        .iter()
+        .filter_map(|r| prepare(&r.sql))
+        .collect();
+    assert!(prepared.len() >= 10, "corpus unexpectedly small");
+    let fingerprints: Vec<u128> = prepared
+        .iter()
+        .map(|p| p.pattern_key().fingerprint128())
+        .collect();
+
+    let (mut pairs, mut proven, mut skipped) = (0u32, 0u32, 0u32);
+    for i in 0..prepared.len() {
+        for j in (i + 1)..prepared.len() {
+            if fingerprints[i] != fingerprints[j] {
+                continue;
+            }
+            pairs += 1;
+            for seed in SEEDS {
+                match check_pair(&prepared[i], &prepared[j], seed, ROWS_PER_TABLE) {
+                    Ok(PairOutcome::Equal) => proven += 1,
+                    Ok(PairOutcome::Incompatible(_)) => skipped += 1,
+                    Ok(PairOutcome::Divergent(d)) => {
+                        dump_and_panic(&format!("corpus-pair-{i}-{j}-seed{seed}"), &d)
+                    }
+                    Err(e) if skippable(&e) => skipped += 1,
+                    Err(e) => panic!(
+                        "oracle failed on corpus pair:\n{}\nvs\n{}\n{e}",
+                        prepared[i].sql, prepared[j].sql
+                    ),
+                }
+            }
+        }
+    }
+    assert!(
+        pairs > 0,
+        "the corpus is known to contain equal-fingerprint pairs"
+    );
+    assert!(
+        proven > skipped,
+        "the transport must prove most corpus pairs ({proven} proven, {skipped} skipped)"
+    );
+}
+
+#[test]
+fn pattern_grid_rows_are_proven_equal_not_skipped() {
+    // App. G: each pattern spans three schemas. These are exactly the
+    // cross-schema renames the paper's sharing rests on — the transport
+    // must *prove* them, not classify them away.
+    let grid = pattern_grid();
+    for kind in [PatternKind::No, PatternKind::Only, PatternKind::All] {
+        let queries: Vec<PreparedQuery> = grid
+            .iter()
+            .filter(|q| q.kind == kind)
+            .map(|q| prepare(&q.sql).expect("grid query must prepare"))
+            .collect();
+        for i in 0..queries.len() {
+            for j in (i + 1)..queries.len() {
+                for seed in SEEDS {
+                    match check_pair(&queries[i], &queries[j], seed, ROWS_PER_TABLE) {
+                        Ok(PairOutcome::Equal) => {}
+                        Ok(PairOutcome::Incompatible(reason)) => panic!(
+                            "{kind:?} grid pair must be provable, got Incompatible: {reason}\n{}\nvs\n{}",
+                            queries[i].sql, queries[j].sql
+                        ),
+                        Ok(PairOutcome::Divergent(d)) => {
+                            dump_and_panic(&format!("grid-{kind:?}-{i}-{j}-seed{seed}"), &d)
+                        }
+                        Err(e) => panic!("oracle failed on grid pair: {e}"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sailors_syntactic_variants_agree_on_answers() {
+    // Fig. 24: NOT EXISTS / NOT IN / <> ALL spellings of one pattern all
+    // lower to the same trees, so the oracle must prove them equal.
+    let variants: Vec<PreparedQuery> = sailors_only_variants()
+        .iter()
+        .map(|s| prepare(s).expect("variant must prepare"))
+        .collect();
+    for i in 0..variants.len() {
+        for j in (i + 1)..variants.len() {
+            for seed in SEEDS {
+                match check_pair(&variants[i], &variants[j], seed, ROWS_PER_TABLE) {
+                    Ok(PairOutcome::Equal) => {}
+                    Ok(PairOutcome::Incompatible(reason)) => {
+                        panic!("variant pair must be provable: {reason}")
+                    }
+                    Ok(PairOutcome::Divergent(d)) => {
+                        dump_and_panic(&format!("sailors-{i}-{j}-seed{seed}"), &d)
+                    }
+                    Err(e) => panic!("oracle failed on sailors variants: {e}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_simplification_is_answer_preserving() {
+    // The ∀-introduction rewrite runs on every served diagram; it must
+    // never change a query's answers.
+    let (mut checked, mut skipped) = (0u32, 0u32);
+    for request in paper_corpus_requests(&[]) {
+        let Some(q) = prepare(&request.sql) else {
+            continue;
+        };
+        for seed in SEEDS {
+            match check_simplify(&q, seed, 4) {
+                Ok(None) => checked += 1,
+                Ok(Some(d)) => {
+                    dump_and_panic(&format!("corpus-simplify-{}-seed{seed}", request.id), &d)
+                }
+                Err(e) if skippable(&e) => skipped += 1,
+                Err(e) => panic!("simplify oracle failed on {}: {e}", request.sql),
+            }
+        }
+    }
+    assert!(checked > 0 && checked > skipped, "{checked} vs {skipped}");
+}
+
+/// The generative sweep: canonical vs pattern-preserving rewrites, and
+/// raw vs simplified trees, over freshly generated queries. With the CI
+/// setting (`PROPTEST_CASES=64`) this differentially executes ≥ 256
+/// rewrite pairs.
+#[test]
+fn generated_rewrite_pairs_agree_on_answers() {
+    // Salts chosen to cover every rewrite axis: renames (salt % 3),
+    // join flips (even), branch rotation (salt / 2), `JOIN … ON`
+    // (salt % 5 < 2), reversed conjuncts (salt % 7 >= 4).
+    const SALTS: [u64; 4] = [0, 5, 11, 25];
+    let cases = case_count().max(16);
+    let (mut pairs, mut proven, mut fragment_skipped) = (0u64, 0u64, 0u64);
+    for case in 0..cases {
+        let mut rng = TestRng::for_case("semantic_oracle", case);
+        let q: GenQuery = gen_query(&GenConfig::default(), &mut rng);
+        let canonical = q.canonical();
+        // The only admissible prepare failure is the documented
+        // disjunction-width cap (covered by generative_conformance).
+        let Some(left) = prepare(&canonical) else {
+            continue;
+        };
+        let seed = case + 1;
+        for salt in SALTS {
+            let variant = q.pattern_variant(salt);
+            let right = prepare(&variant)
+                .unwrap_or_else(|| panic!("variant must prepare when canonical does:\n{variant}"));
+            pairs += 1;
+            match check_pair(&left, &right, seed, 4) {
+                Ok(PairOutcome::Equal) => proven += 1,
+                // Rewrites rename and reorder but never touch constants or
+                // table sharing: the transport must always prove them.
+                Ok(PairOutcome::Incompatible(reason)) => panic!(
+                    "pattern variant must be transport-compatible, got: {reason}\n{canonical}\nvs\n{variant}"
+                ),
+                Ok(PairOutcome::Divergent(d)) => {
+                    dump_and_panic(&format!("generated-case{case}-salt{salt}"), &d)
+                }
+                Err(e) if skippable(&e) => fragment_skipped += 1,
+                Err(e) => panic!("oracle failed on generated pair: {e}\n{canonical}"),
+            }
+        }
+        match check_simplify(&left, seed, 3) {
+            Ok(None) => {}
+            Ok(Some(d)) => dump_and_panic(&format!("generated-simplify-case{case}"), &d),
+            Err(e) if skippable(&e) => {}
+            Err(e) => panic!("simplify oracle failed: {e}\n{canonical}"),
+        }
+    }
+    assert!(
+        pairs >= cases * 3,
+        "too few compilable rewrite pairs: {pairs}"
+    );
+    assert!(
+        proven * 3 >= pairs * 2,
+        "the oracle proved too few generated pairs: {proven}/{pairs} ({fragment_skipped} fragment-skipped)"
+    );
+}
