@@ -24,6 +24,15 @@
 //! the whole window) report `null` instead of pretending one sample is a
 //! distribution.
 //!
+//! Three **keystroke-trace** rows replay scripted single-character edit
+//! round-trips through a live [`SessionStore`] session (append-typing,
+//! a mid-query identifier rename, a predicate insertion), measuring the
+//! incremental tiers an editor actually hits. The rename trace is
+//! structure-preserving and asserts a zero full-recompile fallback rate;
+//! the run as a whole asserts single-character-edit p99 < same-run cold
+//! compile p50 — the relative contract `bench_guard` cannot express
+//! across hosts.
+//!
 //! Four **eviction-policy** rows replay deterministic seeded traces — a
 //! zipfian-skewed key stream and a hot-set-with-cold-scan-bursts stream —
 //! against the real ARC cache and against a strict-LRU reference with
@@ -620,6 +629,133 @@ fn main() {
         ));
     }
 
+    // Keystroke traces: the incremental-session contract. Each row opens
+    // one session and replays a scripted round-trip of single-character
+    // edits (type forward, unwind back) through the typed `SessionStore`
+    // API — the same code path the `open`/`edit` wire ops take, minus
+    // socket framing. `rename_identifier` is structure-preserving (every
+    // intermediate buffer compiles; the session must stay on the warm
+    // token/fragment tiers — asserted below as a ~0 full-recompile rate);
+    // `append_typing` and `insert_predicate` pass through transient parse
+    // states like a real editor does, so their per-edit time averages the
+    // cheap error replies with the recompile on recovery. The headline
+    // gate — a single-character edit must beat a cold compile — is
+    // asserted at the end of the run against the same-run
+    // `single/cold_compile` p50, not an absolute number.
+    {
+        use queryvis_service::{SessionConfig, SessionStore};
+        use queryvis_sql::Edit;
+
+        let base = "SELECT F.person FROM Frequents F WHERE NOT EXISTS \
+                    (SELECT * FROM Serves S WHERE S.bar = F.bar AND NOT EXISTS \
+                    (SELECT L.drink FROM Likes L WHERE L.person = F.person \
+                     AND S.drink = L.drink))";
+
+        /// Type `text` at byte offset `at` one character per edit, then
+        /// unwind with single-character deletes — the buffer round-trips
+        /// to `base`, so the script can replay forever on one session.
+        fn typing_script(at: usize, text: &str) -> Vec<Edit> {
+            let mut edits = Vec::new();
+            let mut off = at;
+            for ch in text.chars() {
+                edits.push(Edit {
+                    offset: off,
+                    deleted: 0,
+                    inserted: ch.to_string(),
+                });
+                off += ch.len_utf8();
+            }
+            for ch in text.chars().rev() {
+                off -= ch.len_utf8();
+                edits.push(Edit {
+                    offset: off,
+                    deleted: ch.len_utf8(),
+                    inserted: String::new(),
+                });
+            }
+            edits
+        }
+
+        /// Rename every occurrence of `from` to the same-length `to` one
+        /// character per edit, then back. Identifiers stay well-formed at
+        /// every step, so every intermediate buffer compiles.
+        fn rename_script(base: &str, from: &str, to: &str) -> Vec<Edit> {
+            assert_eq!(from.len(), to.len(), "rename must preserve offsets");
+            let sites: Vec<usize> = base.match_indices(from).map(|(i, _)| i).collect();
+            assert!(!sites.is_empty(), "rename target must occur in the base");
+            let mut edits = Vec::new();
+            for (old, new) in [(from, to), (to, from)] {
+                for &site in &sites {
+                    for (i, (a, b)) in old.bytes().zip(new.bytes()).enumerate() {
+                        if a != b {
+                            edits.push(Edit {
+                                offset: site + i,
+                                deleted: 1,
+                                inserted: (b as char).to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+            edits
+        }
+
+        let insert_at = base.find("S.bar = F.bar").expect("anchor present") + "S.bar = F.bar".len();
+        let traces: [(&'static str, Vec<Edit>, bool); 3] = [
+            (
+                "service/keystroke/append_typing",
+                typing_script(base.len(), " AND F.city = 'boston'"),
+                false,
+            ),
+            (
+                "service/keystroke/rename_identifier",
+                rename_script(base, "person", "patron"),
+                true,
+            ),
+            (
+                "service/keystroke/insert_predicate",
+                typing_script(insert_at, " AND S.kind = 'pub'"),
+                false,
+            ),
+        ];
+        for (name, script, structure_preserving) in traces {
+            let service = Arc::new(fresh_service());
+            let store = SessionStore::new(Arc::clone(&service), SessionConfig::default());
+            let (id, opened) = store.open(base, 0).expect("base fits the session budget");
+            opened.expect("base query compiles");
+            let edits_per_iter = script.len();
+            rows.push(measure(mode, name, "session", 1, edits_per_iter, || {
+                let mut last_ok = 0usize;
+                for edit in &script {
+                    if store
+                        .edit(id, std::slice::from_ref(black_box(edit)), 0)
+                        .expect("scripted edits are in-range")
+                        .is_ok()
+                    {
+                        last_ok += 1;
+                    }
+                }
+                last_ok
+            }));
+            let stats = store.snapshot();
+            if structure_preserving {
+                // The fallback-rate contract: a structure-preserving trace
+                // must never leave the warm tiers. `path_full` counts
+                // every edit that fell back to the from-scratch pipeline.
+                assert_eq!(
+                    stats.path_full, 0,
+                    "{name}: {} of {} edits fell back to a full recompile",
+                    stats.path_full, stats.edits
+                );
+                assert_eq!(stats.parse_errors, 0, "{name}: trace must stay well-formed");
+            }
+            println!(
+                "  {name}: {} edits/iter (tokens {} / fragment {} / full {} over the run)",
+                edits_per_iter, stats.path_tokens, stats.path_fragment, stats.path_full
+            );
+        }
+    }
+
     // Multiformat: the shared-scene win, isolated from compile cost. The
     // entry is compiled once outside the loop; each iteration measures
     // exactly what `CompiledEntry` does per format set — multiformat =
@@ -744,6 +880,30 @@ fn main() {
             row.hit_rate = Some(lru_rate);
             rows.push(row);
             println!("  {arc_name}: hit rate {arc_rate:.4} (lru reference {lru_rate:.4})");
+        }
+    }
+
+    // The incremental-session headline, relative and same-run (so host
+    // speed cancels out): a single-character edit at p99 must be cheaper
+    // than a cold compile at p50. Skipped in smoke mode, where single
+    // iterations report no percentiles.
+    {
+        let p50_of = |name: &str| rows.iter().find(|r| r.name == name).and_then(|r| r.p50_ns);
+        let p99_of = |name: &str| rows.iter().find(|r| r.name == name).and_then(|r| r.p99_ns);
+        if let (Some(cold_p50), Some(edit_p99)) = (
+            p50_of("service/single/cold_compile"),
+            p99_of("service/keystroke/rename_identifier"),
+        ) {
+            println!(
+                "  keystroke edit p99 {:.2} µs vs cold compile p50 {:.2} µs",
+                edit_p99 / 1e3,
+                cold_p50 / 1e3
+            );
+            assert!(
+                edit_p99 < cold_p50,
+                "incremental edit p99 ({edit_p99:.0} ns) must beat cold compile p50 \
+                 ({cold_p50:.0} ns) in the same run"
+            );
         }
     }
 

@@ -12,6 +12,9 @@
 //! 5. mid-request disconnects    → server unaffected
 //! 6. connection floods          → `overloaded` sheds past the limit
 //! 7. injected compile panics    → `panic`, one request only
+//! 8. session faults             → oversized edits refused `too_large`
+//!    with the session intact; a mid-edit disconnect reaps the owner's
+//!    sessions
 //!
 //! Ends with a graceful shutdown and asserts the drain report exists and
 //! the process exits 0. Prints one PASS/FAIL line per class to stderr and
@@ -224,6 +227,82 @@ fn injected_panic(conn: &mut Conn) -> Result<(), String> {
     Ok(())
 }
 
+/// Session fault classes: the incremental-session layer must enforce its
+/// per-session source budget with a structured refusal (buffer and
+/// session untouched), and must reap a session whose owning connection
+/// vanishes mid-edit — leaving the id dead for everyone else.
+fn session_faults(addr: std::net::SocketAddr) -> Result<(), String> {
+    // -- Oversized edit payload. Each 40 KiB insert fits the 64 KiB frame
+    // limit; the first fits the session budget too (and merely fails to
+    // compile — the buffer keeps the bytes), the second would cross the
+    // budget and must be refused atomically.
+    let mut conn = Conn::open(addr)?;
+    let opened = conn.rpc("{\"op\":\"open\",\"id\":1,\"sql\":\"SELECT T.a FROM T\"}")?;
+    let sid = opened
+        .get("session")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("open did not return a session: {opened}"))?;
+    let chunk = "x".repeat(40 * 1024);
+    let grow = format!(
+        "{{\"op\":\"edit\",\"session\":{sid},\"edits\":[{{\"at\":0,\"ins\":\"{chunk}\"}}]}}"
+    );
+    expect_kind(&conn.rpc(&grow)?, "compile")?;
+    expect_kind(&conn.rpc(&grow)?, "too_large")?;
+    // The session survived the refusal: deleting the garbage restores a
+    // compiling buffer on the same id.
+    let fix = format!(
+        "{{\"op\":\"edit\",\"session\":{sid},\"edits\":[{{\"at\":0,\"del\":{}}}]}}",
+        40 * 1024
+    );
+    let fixed = conn.rpc(&fix)?;
+    if fixed.get("fingerprint").is_none() {
+        return Err(format!(
+            "session did not survive the oversized edit: {fixed}"
+        ));
+    }
+
+    // -- Mid-edit disconnect: the owner dies with an edit frame
+    // half-written.
+    let doomed_sid;
+    {
+        let mut doomed = Conn::open(addr)?;
+        let opened = doomed.rpc("{\"op\":\"open\",\"id\":2,\"sql\":\"SELECT T.b FROM T\"}")?;
+        doomed_sid = opened
+            .get("session")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("open did not return a session: {opened}"))?;
+        let partial = format!("{{\"op\":\"edit\",\"session\":{doomed_sid},\"edits\":[{{\"at\":0,");
+        let _ = doomed.stream.write_all(partial.as_bytes());
+        let _ = doomed.stream.shutdown(Shutdown::Both);
+    }
+    // Reaping rides connection teardown; poll the stats op briefly.
+    let mut reaped = false;
+    for _ in 0..20 {
+        let stats = conn.rpc("{\"op\":\"stats\"}")?;
+        let n = stats
+            .get("sessions")
+            .and_then(|s| s.get("reaped"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if n >= 1 {
+            reaped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if !reaped {
+        return Err("disconnected owner's session was never reaped".to_string());
+    }
+    // The reaped id is dead — and owner-scoped anyway.
+    let stale = format!("{{\"op\":\"edit\",\"session\":{doomed_sid},\"edits\":[]}}");
+    expect_kind(&conn.rpc(&stale)?, "bad_request")?;
+    let closed = conn.rpc(&format!("{{\"op\":\"close\",\"session\":{sid}}}"))?;
+    if closed.get("closed") != Some(&Json::Bool(true)) {
+        return Err(format!("close failed after the fault cases: {closed}"));
+    }
+    liveness(&mut conn)
+}
+
 fn main() {
     let mut server_bin = "target/release/server".to_string();
     let mut args = std::env::args().skip(1);
@@ -289,6 +368,7 @@ fn main() {
     suite.class("slow_writes", slow_writes(addr));
     suite.class("half_close", half_close(addr));
     suite.class("mid_request_disconnect", mid_request_disconnect(addr));
+    suite.class("session_faults", session_faults(addr));
     suite.class("connection_flood", connection_flood(addr, MAX_CONNS));
 
     // Graceful shutdown: the server must ack, drain, report, and exit 0.

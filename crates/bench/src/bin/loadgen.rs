@@ -15,18 +15,23 @@
 //! 2. **Drain.** With requests still in flight, one control connection
 //!    sends `{"op":"shutdown"}`; the server must answer everything it
 //!    accepted, report `dropped == 0`, and exit 0.
-//! 3. **Restart.** A fresh server on the same state-free binary serves a
-//!    verification batch and drains cleanly again — the
-//!    accepted-requests ledger balances across a full restart cycle.
+//! 3. **Restart.** A fresh server — warmed from the snapshot the soak
+//!    server wrote at drain (`--snapshot`) — serves a verification batch
+//!    and drains cleanly again. The batch must be **entirely warm**: the
+//!    pre/post `stats` delta shows zero compiles (every pattern came back
+//!    from the snapshot) and every request resolved through the L1 memo
+//!    or the L2 pattern cache.
 //!
 //! Gates (exit 1 on violation): p99 ≤ `--p99-ms`, p999 ≤ `--p999-ms`,
 //! zero client-visible errors, both drain reports `dropped == 0`, L1 and
-//! L2 hits observed. The full machine-readable result is written to
-//! `--report` (default `SOAK_report.json`).
+//! L2 hits observed, and a compile-free first pass after restart. The
+//! full machine-readable result is written to `--report` (default
+//! `SOAK_report.json`).
 //!
 //! ```text
 //! Usage: loadgen [--server PATH] [--duration-secs N] [--rate N]
 //!                [--conns N] [--p99-ms N] [--p999-ms N] [--report PATH]
+//!                [--snapshot PATH]
 //! ```
 
 use queryvis_bench::harness::{percentile_ns, Conn, ServerProcess};
@@ -43,6 +48,10 @@ struct Cli {
     p99_ms: u64,
     p999_ms: u64,
     report: String,
+    snapshot: String,
+    /// Explicit `--snapshot` paths are kept; the default temp path is
+    /// deleted on exit.
+    keep_snapshot: bool,
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -54,6 +63,11 @@ fn parse_cli() -> Result<Cli, String> {
         p99_ms: 50,
         p999_ms: 250,
         report: "SOAK_report.json".to_string(),
+        snapshot: std::env::temp_dir()
+            .join(format!("loadgen-snapshot-{}.sql", std::process::id()))
+            .to_string_lossy()
+            .into_owned(),
+        keep_snapshot: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -71,6 +85,10 @@ fn parse_cli() -> Result<Cli, String> {
             "--p99-ms" => cli.p99_ms = number("--p99-ms")?,
             "--p999-ms" => cli.p999_ms = number("--p999-ms")?,
             "--report" => cli.report = args.next().ok_or("--report needs a path")?,
+            "--snapshot" => {
+                cli.snapshot = args.next().ok_or("--snapshot needs a path")?;
+                cli.keep_snapshot = true;
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -194,7 +212,9 @@ fn drive_connection(
     Ok(outcome)
 }
 
-fn spawn_server(bin: &str) -> Result<ServerProcess, String> {
+/// Both phases pass `--snapshot`: the soak server *writes* the warm set
+/// at drain, the restart server *reads* it back at startup.
+fn spawn_server(bin: &str, snapshot: &str) -> Result<ServerProcess, String> {
     ServerProcess::spawn(
         bin,
         &[
@@ -205,6 +225,8 @@ fn spawn_server(bin: &str) -> Result<ServerProcess, String> {
             "--drain-grace-ms",
             "1000",
             "--stats",
+            "--snapshot",
+            snapshot,
         ],
         &[],
     )
@@ -221,7 +243,7 @@ fn main() {
     let mut gate_failures: Vec<String> = Vec::new();
 
     // ---- Phase 1: soak ----
-    let server = match spawn_server(&cli.server_bin) {
+    let server = match spawn_server(&cli.server_bin, &cli.snapshot) {
         Ok(server) => server,
         Err(message) => {
             eprintln!("loadgen: {message}");
@@ -360,16 +382,53 @@ fn main() {
         }
     }
 
-    // ---- Phase 3: restart and verify ----
+    // ---- Phase 3: restart warm from the drain snapshot and verify ----
     let drain2 = (|| -> Result<Json, String> {
-        let server = spawn_server(&cli.server_bin)?;
+        let server = spawn_server(&cli.server_bin, &cli.snapshot)?;
         let mut conn = Conn::open(server.addr)?;
+        // Pre-batch stats: whatever the snapshot warm-up compiled is the
+        // baseline; the verification batch itself must compile nothing.
+        let service_counter = |stats: &Json, path: &[&str]| -> u64 {
+            let mut value = stats.get("service");
+            for key in path {
+                value = value.and_then(|v| v.get(key));
+            }
+            value.and_then(Json::as_u64).unwrap_or(0)
+        };
+        let before = conn.rpc("{\"op\":\"stats\"}")?;
+        if service_counter(&before, &["compiles"]) == 0 {
+            server.kill();
+            return Err(format!(
+                "snapshot warm-up compiled nothing — snapshot {} missing or empty",
+                cli.snapshot
+            ));
+        }
         for id in 0..32u64 {
             let response = conn.rpc(&format!("{{\"id\":{id},\"sql\":\"{}\"}}", query_for(id)))?;
             if response.get("artifacts").is_none() {
                 server.kill();
                 return Err(format!("restart verification failed: {response}"));
             }
+        }
+        // The warm-restart gate: first post-restart pass is all cache.
+        let after = conn.rpc("{\"op\":\"stats\"}")?;
+        let compiled =
+            service_counter(&after, &["compiles"]) - service_counter(&before, &["compiles"]);
+        if compiled != 0 {
+            server.kill();
+            return Err(format!(
+                "{compiled} cold compiles after restart — snapshot warm-up must cover the mix"
+            ));
+        }
+        let warm_hits = service_counter(&after, &["l1_hits"])
+            + service_counter(&after, &["cache", "hits"])
+            - service_counter(&before, &["l1_hits"])
+            - service_counter(&before, &["cache", "hits"]);
+        if warm_hits < 32 {
+            server.kill();
+            return Err(format!(
+                "only {warm_hits} warm hits for a 32-request post-restart batch"
+            ));
         }
         let ack = conn.rpc("{\"op\":\"shutdown\"}")?;
         if ack.get("draining") != Some(&Json::Bool(true)) {
@@ -433,6 +492,9 @@ fn main() {
             Json::Arr(gate_failures.iter().map(|m| Json::Str(m.clone())).collect()),
         ),
     ]);
+    if !cli.keep_snapshot {
+        let _ = std::fs::remove_file(&cli.snapshot);
+    }
     if let Err(e) = std::fs::write(&cli.report, format!("{report}\n")) {
         eprintln!("loadgen: cannot write {}: {e}", cli.report);
         std::process::exit(2);

@@ -87,6 +87,10 @@ pub enum TextRole {
 /// A rectangle mark.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RectMark {
+    /// Stable structural identity (see [`build_scene`]): equal across
+    /// rebuilds of edited queries whenever the mark plays the same
+    /// structural role, which is what scene diffing keys on.
+    pub id: u32,
     pub rect: Rect,
     pub role: MarkRole,
     pub class: StyleClass,
@@ -98,6 +102,8 @@ pub struct RectMark {
 /// apply their own baseline/centering projection).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TextMark {
+    /// Stable structural identity (see [`build_scene`]).
+    pub id: u32,
     pub text: String,
     pub anchor: Point,
     pub role: TextRole,
@@ -120,6 +126,8 @@ pub enum EdgeKind {
 /// legend, a browser client's tooltips).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EdgeMark {
+    /// Stable structural identity (see [`build_scene`]).
+    pub id: u32,
     pub from: Point,
     pub to: Point,
     pub kind: EdgeKind,
@@ -140,6 +148,54 @@ pub enum Mark {
     Rect(RectMark),
     Text(TextMark),
     Edge(EdgeMark),
+}
+
+impl Mark {
+    /// The mark's stable structural identity (unique within its branch).
+    pub fn id(&self) -> u32 {
+        match self {
+            Mark::Rect(m) => m.id,
+            Mark::Text(m) => m.id,
+            Mark::Edge(m) => m.id,
+        }
+    }
+}
+
+/// Assigns mark ids within one branch: FNV-1a over a structural path
+/// string (`"rowr:<alias>:<i>"`, `"edge:<from><op><to>"`, …) plus an
+/// occurrence counter for repeated paths (duplicate aliases), linearly
+/// probed to uniqueness. Purely deterministic — two builds of the same
+/// diagram assign identical ids, and a mark that survives an edit in the
+/// same structural role keeps its id, which is what lets scene diffs pair
+/// marks across recompiles.
+struct MarkIds {
+    used: std::collections::HashSet<u32>,
+    seen: std::collections::HashMap<String, u32>,
+}
+
+impl MarkIds {
+    fn new() -> MarkIds {
+        MarkIds {
+            used: std::collections::HashSet::new(),
+            seen: std::collections::HashMap::new(),
+        }
+    }
+
+    fn id(&mut self, path: String) -> u32 {
+        let occurrence = self.seen.entry(path.clone()).or_insert(0);
+        *occurrence += 1;
+        let mut h: u32 = 0x811c_9dc5;
+        for &b in path.as_bytes() {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+        h ^= *occurrence;
+        h = h.wrapping_mul(0x0100_0193);
+        while !self.used.insert(h) {
+            h = h.wrapping_mul(0x0100_0193) ^ 0x9e37;
+        }
+        h
+    }
 }
 
 /// One diagram's marks within a (possibly multi-branch) scene, already
@@ -263,12 +319,22 @@ pub fn build_scene(diagram: &Diagram, layout: &Layout, options: &SceneOptions) -
     let mut marks: Vec<Mark> = Vec::with_capacity(
         layout.boxes.len() * 2 + layout.edges.len() * 2 + layout.tables.len() * 4,
     );
+    let mut ids = MarkIds::new();
 
-    // Quantifier boxes first (beneath tables).
+    // Quantifier boxes first (beneath tables). Box identity keys on the
+    // first table's alias — content-addressed, so box ids survive edits
+    // that add or remove *other* boxes (positional indices would shift).
+    let box_key = |qbox: &queryvis_diagram::QuantifierBox| {
+        qbox.tables
+            .first()
+            .map_or("", |&t| diagram.tables[t].alias.as_str())
+            .to_string()
+    };
     for bl in &layout.boxes {
         let qbox = &diagram.boxes[bl.box_index];
         match qbox.quantifier {
             Quantifier::NotExists => marks.push(Mark::Rect(RectMark {
+                id: ids.id(format!("box:{}:ne", box_key(qbox))),
                 rect: bl.rect,
                 role: MarkRole::QuantifierBox,
                 class: StyleClass::BoxNotExists,
@@ -276,12 +342,14 @@ pub fn build_scene(diagram: &Diagram, layout: &Layout, options: &SceneOptions) -
             })),
             Quantifier::ForAll => {
                 marks.push(Mark::Rect(RectMark {
+                    id: ids.id(format!("box:{}:fa", box_key(qbox))),
                     rect: bl.rect,
                     role: MarkRole::QuantifierBox,
                     class: StyleClass::BoxForAll,
                     radius: BOX_RADIUS,
                 }));
                 marks.push(Mark::Rect(RectMark {
+                    id: ids.id(format!("boxi:{}", box_key(qbox))),
                     rect: Rect::new(
                         bl.rect.x + FORALL_INNER_INSET,
                         bl.rect.y + FORALL_INNER_INSET,
@@ -302,7 +370,14 @@ pub fn build_scene(diagram: &Diagram, layout: &Layout, options: &SceneOptions) -
         let edge = &diagram.edges[el.edge_index];
         let from_table = &diagram.tables[edge.from.table];
         let to_table = &diagram.tables[edge.to.table];
+        let from_text = format!(
+            "{}.{}",
+            from_table.alias, from_table.rows[edge.from.row].column
+        );
+        let to_text = format!("{}.{}", to_table.alias, to_table.rows[edge.to.row].column);
+        let op = edge.label.map_or("-", |op| op.as_str());
         marks.push(Mark::Edge(EdgeMark {
+            id: ids.id(format!("edge:{from_text}{op}{to_text}")),
             from: el.from,
             to: el.to,
             kind: if edge.directed {
@@ -312,31 +387,32 @@ pub fn build_scene(diagram: &Diagram, layout: &Layout, options: &SceneOptions) -
             },
             label: edge.label.map(|op| op.as_str().to_string()),
             label_pos: el.label_pos,
-            from_text: format!(
-                "{}.{}",
-                from_table.alias, from_table.rows[edge.from.row].column
-            ),
-            to_text: format!("{}.{}", to_table.alias, to_table.rows[edge.to.row].column),
+            from_text,
+            to_text,
         }));
     }
 
     // Tables: frame, header band + title, then row bands + texts.
     for tl in &layout.tables {
         let table = &diagram.tables[tl.table];
+        let alias = table.alias.as_str();
         let header = header_class(table.is_select);
         marks.push(Mark::Rect(RectMark {
+            id: ids.id(format!("frame:{alias}")),
             rect: tl.rect,
             role: MarkRole::Frame,
             class: StyleClass::Frame,
             radius: 0.0,
         }));
         marks.push(Mark::Rect(RectMark {
+            id: ids.id(format!("hdr:{alias}")),
             rect: tl.header,
             role: MarkRole::Header,
             class: header,
             radius: 0.0,
         }));
         marks.push(Mark::Text(TextMark {
+            id: ids.id(format!("title:{alias}")),
             text: table.name.to_string(),
             anchor: tl.header.center(),
             role: TextRole::Title,
@@ -346,6 +422,7 @@ pub fn build_scene(diagram: &Diagram, layout: &Layout, options: &SceneOptions) -
             let annotation = title_annotation(diagram, tl.table);
             if !annotation.is_empty() {
                 marks.push(Mark::Text(TextMark {
+                    id: ids.id(format!("ann:{alias}")),
                     text: annotation,
                     anchor: tl.header.right_mid(),
                     role: TextRole::TitleAnnotation,
@@ -357,12 +434,14 @@ pub fn build_scene(diagram: &Diagram, layout: &Layout, options: &SceneOptions) -
             let class = row_class(&row.kind);
             let rect = tl.row_rects[i];
             marks.push(Mark::Rect(RectMark {
+                id: ids.id(format!("rowr:{alias}:{i}")),
                 rect,
                 role: MarkRole::Row,
                 class,
                 radius: 0.0,
             }));
             marks.push(Mark::Text(TextMark {
+                id: ids.id(format!("rowt:{alias}:{i}")),
                 text: row.display(),
                 anchor: rect.center(),
                 role: TextRole::RowText,

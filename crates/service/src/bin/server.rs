@@ -29,6 +29,7 @@ struct Cli {
     shards: usize,
     default_formats: Vec<Format>,
     stats: bool,
+    snapshot: Option<String>,
 }
 
 const USAGE: &str = "
@@ -46,9 +47,17 @@ server — QueryVis diagram-compilation service (JSON lines over TCP)
                          ascii,dot,svg,reading,scene_json)        [default: ascii]
   --stats                enable process telemetry (the `stats` op
                          reports counters and latency histograms)
+  --snapshot PATH        warm-cache persistence: on startup recompile the
+                         representative texts listed in PATH (one SQL per
+                         line, missing file tolerated); on graceful drain
+                         rewrite PATH from the live cache, so a restarted
+                         server answers its working set warm
 
 Request lines:  {\"id\": 1, \"sql\": \"SELECT T.a FROM T\", \"formats\": [\"ascii\"]}
 Operations:     {\"op\": \"ping\"} | {\"op\": \"stats\"} | {\"op\": \"shutdown\"}
+Sessions:       {\"op\": \"open\", \"sql\": …} | {\"op\": \"edit\", \"session\": N,
+                \"edits\": [{\"at\": O, \"del\": N, \"ins\": \"text\"}]} |
+                {\"op\": \"close\", \"session\": N}
 ";
 
 fn parse_cli() -> Result<Cli, String> {
@@ -58,6 +67,7 @@ fn parse_cli() -> Result<Cli, String> {
         shards: 16,
         default_formats: vec![Format::Ascii],
         stats: false,
+        snapshot: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +106,9 @@ fn parse_cli() -> Result<Cli, String> {
                     .collect::<Result<Vec<Format>, String>>()?;
             }
             "--stats" => cli.stats = true,
+            "--snapshot" => {
+                cli.snapshot = Some(args.next().ok_or("--snapshot needs a path")?);
+            }
             "--help" | "-h" => {
                 println!("{}", USAGE.trim());
                 std::process::exit(0);
@@ -133,7 +146,22 @@ fn main() {
         options: Default::default(),
         default_formats: cli.default_formats.clone(),
     }));
-    let server = match Server::bind(service, cli.server) {
+    // Warm-cache persistence (DESIGN.md §9): replay the previous run's
+    // representative texts through the normal request path so the L2
+    // cache starts populated. A missing or partly stale file costs
+    // nothing but the failed recompiles.
+    if let Some(path) = &cli.snapshot {
+        if let Ok(body) = std::fs::read_to_string(path) {
+            let mut warmed = 0usize;
+            for line in body.lines().filter(|l| !l.trim().is_empty()) {
+                if service.warm(line) {
+                    warmed += 1;
+                }
+            }
+            eprintln!("server: warmed {warmed} cache entries from {path}");
+        }
+    }
+    let server = match Server::bind(Arc::clone(&service), cli.server) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("server: cannot bind: {e}");
@@ -145,6 +173,22 @@ fn main() {
     let _ = std::io::stdout().flush();
 
     let report = server.run();
+    // Snapshot on the way out of a graceful drain: one representative SQL
+    // text per line, newline-escaped texts skipped (none exist today —
+    // the lexer rejects raw newlines inside texts it accepts, but guard
+    // the file format anyway).
+    if let Some(path) = &cli.snapshot {
+        let mut body = String::new();
+        for sql in service.cache().representatives() {
+            if !sql.contains('\n') {
+                body.push_str(&sql);
+                body.push('\n');
+            }
+        }
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("server: cannot write --snapshot {path}: {e}");
+        }
+    }
     println!("{{\"drain_report\":{}}}", report.json());
     if report.dropped > 0 {
         std::process::exit(1);

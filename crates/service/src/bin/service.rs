@@ -32,8 +32,10 @@
 //! telemetry; without them every span/counter call site stays a single
 //! relaxed atomic load.
 
+use queryvis_service::json::Json;
 use queryvis_service::net::{LineReader, Poll};
 use queryvis_service::protocol::ErrorKind;
+use queryvis_service::session::{is_session_op, SessionConfig, SessionStore};
 use queryvis_service::stats_json::{histogram_json, stats_snapshot_json, write_trace_jsonl};
 use queryvis_service::{
     paper_corpus_requests, CacheConfig, DiagramService, Format, MemoConfig, Request, Response,
@@ -41,6 +43,7 @@ use queryvis_service::{
 };
 use queryvis_telemetry::TelemetrySnapshot;
 use std::io::Write;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Cli {
@@ -129,29 +132,62 @@ service — QueryVis diagram-compilation service (JSON lines on stdin/stdout)
 
 Request lines:  {\"id\": 1, \"sql\": \"SELECT T.a FROM T\", \"formats\": [\"ascii\"]}
 Response lines: {\"id\":1,\"fingerprint\":\"…\",\"sql_words\":4,\"artifacts\":{\"ascii\":\"…\"}}
+Session lines:  {\"op\":\"open\",\"id\":1,\"sql\":\"SELECT T.a FROM T\"}
+                {\"op\":\"edit\",\"id\":2,\"session\":1,\"edits\":[{\"at\":9,\"del\":0,\"ins\":\"a\"}]}
+                {\"op\":\"close\",\"id\":3,\"session\":1}
 ";
 
-/// Read the whole input batch through the same bounded line framer the
-/// TCP server uses: a line past `max_line` bytes is *discarded to its
+/// One ordered slice of the input stream. Runs of plain compile requests
+/// stay together so they still go through the deterministic batch
+/// executor at full `--threads` parallelism; a session op is a sequence
+/// point (its effect depends on every line before it), so it cuts the
+/// batch and executes inline.
+enum Segment {
+    /// Consecutive plain requests plus pre-built error lines interleaved
+    /// at their original positions within the run.
+    Batch {
+        requests: Vec<Request>,
+        bad_lines: Vec<(usize, Response)>,
+    },
+    /// One `open`/`edit`/`close` line (input line number, parsed value).
+    Op(u64, Json),
+}
+
+/// Read the whole input through the same bounded line framer the TCP
+/// server uses: a line past `max_line` bytes is *discarded to its
 /// newline* (never buffered whole — a hostile or corrupt input cannot
 /// balloon memory through one giant line) and becomes a structured
 /// `too_large` error at its position. Malformed lines likewise become
 /// pre-built `bad_request` error responses, so every non-empty input line
 /// still produces exactly one output line in order.
-fn read_requests(
-    corpus: bool,
-    formats: &[Format],
-    max_line: usize,
-) -> (Vec<Request>, Vec<(usize, Response)>) {
+fn read_segments(corpus: bool, formats: &[Format], max_line: usize) -> Vec<Segment> {
     if corpus {
-        return (paper_corpus_requests(formats), Vec::new());
+        return vec![Segment::Batch {
+            requests: paper_corpus_requests(formats),
+            bad_lines: Vec::new(),
+        }];
     }
     let stdin = std::io::stdin();
     let mut reader = LineReader::new(stdin.lock(), max_line);
+    let mut segments = Vec::new();
     let mut requests = Vec::new();
     let mut bad_lines = Vec::new();
     let mut position = 0usize;
     let mut line_no = 0u64;
+    fn cut(
+        segments: &mut Vec<Segment>,
+        requests: &mut Vec<Request>,
+        bad_lines: &mut Vec<(usize, Response)>,
+        position: &mut usize,
+    ) {
+        if !requests.is_empty() || !bad_lines.is_empty() {
+            segments.push(Segment::Batch {
+                requests: std::mem::take(requests),
+                bad_lines: std::mem::take(bad_lines),
+            });
+        }
+        *position = 0;
+    }
     loop {
         match reader.poll() {
             Poll::Line(line) => {
@@ -159,6 +195,13 @@ fn read_requests(
                 line_no += 1;
                 if line.trim().is_empty() {
                     continue;
+                }
+                if let Ok(value) = queryvis_service::json::parse(&line) {
+                    if is_session_op(&value) {
+                        cut(&mut segments, &mut requests, &mut bad_lines, &mut position);
+                        segments.push(Segment::Op(id, value));
+                        continue;
+                    }
                 }
                 match Request::from_json_line(&line, id) {
                     Ok(request) => requests.push(request),
@@ -198,7 +241,8 @@ fn read_requests(
             }
         }
     }
-    (requests, bad_lines)
+    cut(&mut segments, &mut requests, &mut bad_lines, &mut position);
+    segments
 }
 
 fn stats_line(
@@ -298,7 +342,7 @@ fn main() {
     if cli.trace_jsonl.is_some() {
         queryvis_telemetry::global().set_tracing(true);
     }
-    let service = DiagramService::new(ServiceConfig {
+    let service = Arc::new(DiagramService::new(ServiceConfig {
         cache: CacheConfig {
             capacity: cli.capacity,
             shards: cli.shards,
@@ -312,8 +356,16 @@ fn main() {
         },
         options: Default::default(),
         default_formats: cli.default_formats.clone(),
-    });
-    let (requests, bad_lines) = read_requests(cli.corpus, &cli.default_formats, cli.max_line);
+    }));
+    let sessions = SessionStore::new(Arc::clone(&service), SessionConfig::default());
+    let segments = read_segments(cli.corpus, &cli.default_formats, cli.max_line);
+    let batch_len: usize = segments
+        .iter()
+        .map(|s| match s {
+            Segment::Batch { requests, .. } => requests.len(),
+            Segment::Op(..) => 1,
+        })
+        .sum();
 
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
@@ -331,25 +383,41 @@ fn main() {
         let before = service.stats();
         let telemetry_before = telemetry_on.then(|| queryvis_telemetry::global().snapshot());
         let start = Instant::now();
-        let responses = service.execute_batch(&requests, cli.threads);
+        for segment in &segments {
+            match segment {
+                Segment::Batch {
+                    requests,
+                    bad_lines,
+                } => {
+                    let responses = service.execute_batch(requests, cli.threads);
+                    // Interleave computed responses with the pre-built
+                    // error lines at their original input positions.
+                    let mut bad = bad_lines.iter().peekable();
+                    let mut written = 0usize;
+                    for (slot, response) in responses.iter().enumerate() {
+                        while bad.peek().is_some_and(|(pos, _)| *pos == written + slot) {
+                            let (_, error) = bad.next().expect("peeked");
+                            write_line(&mut out, error);
+                            written += 1;
+                        }
+                        write_line(&mut out, response);
+                    }
+                    for (_, error) in bad {
+                        write_line(&mut out, error);
+                    }
+                }
+                Segment::Op(id, value) => {
+                    // Session ops execute inline: each depends on the
+                    // buffer state every prior line produced. Stdin is one
+                    // client; owner 0 covers the whole stream.
+                    let mut response = sessions.dispatch_value(value, *id, 0);
+                    response.push('\n');
+                    out.write_all(response.as_bytes()).expect("stdout write");
+                }
+            }
+        }
         let elapsed = start.elapsed().as_secs_f64();
         let after = service.stats();
-
-        // Interleave computed responses with the pre-built error lines at
-        // their original input positions.
-        let mut bad = bad_lines.iter().peekable();
-        let mut written = 0usize;
-        for (slot, response) in responses.iter().enumerate() {
-            while bad.peek().is_some_and(|(pos, _)| *pos == written + slot) {
-                let (_, error) = bad.next().expect("peeked");
-                write_line(&mut out, error);
-                written += 1;
-            }
-            write_line(&mut out, response);
-        }
-        for (_, error) in bad {
-            write_line(&mut out, error);
-        }
         out.flush().expect("stdout flush");
 
         if cli.stats {
@@ -364,7 +432,7 @@ fn main() {
                     delta_hits,
                     delta_lookups,
                     elapsed,
-                    requests.len(),
+                    batch_len,
                     telemetry_before.as_ref().map(|b| (b, &telemetry_after)),
                 )
             );
@@ -372,7 +440,11 @@ fn main() {
     }
 
     if let Some(path) = &cli.stats_json {
-        let doc = stats_snapshot_json(&service.stats(), &queryvis_telemetry::global().snapshot());
+        let doc = stats_snapshot_json(
+            &service.stats(),
+            &queryvis_telemetry::global().snapshot(),
+            Some(&sessions.snapshot()),
+        );
         if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
             eprintln!("service: cannot write --stats-json {path}: {e}");
             std::process::exit(1);

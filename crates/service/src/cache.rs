@@ -844,6 +844,27 @@ impl ShardedCache {
         stats
     }
 
+    /// The representative SQL of every resident entry, shard by shard —
+    /// the warm-cache persistence hook: recompiling these texts in a
+    /// fresh process reproduces the cache's diagram set (entries are pure
+    /// functions of their representative's text). Takes each shard's
+    /// write lock briefly; order is unspecified.
+    pub fn representatives(&self) -> Vec<Arc<str>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let state = shard
+                .write
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for node in &state.slab {
+                if let Some(value) = &node.value {
+                    out.push(Arc::clone(value.representative_shared()));
+                }
+            }
+        }
+        out
+    }
+
     /// Total reads that fell back to a mutex (the zero-lock test hook).
     pub fn read_fallbacks(&self) -> u64 {
         self.shards

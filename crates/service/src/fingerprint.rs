@@ -114,6 +114,15 @@ pub fn fingerprint_sql(
     options: impl Into<Arc<QueryVisOptions>>,
 ) -> Result<FingerprintedQuery, QueryVisError> {
     let prepared = queryvis::QueryVis::prepare(sql, options)?;
+    Ok(fingerprint_prepared(prepared))
+}
+
+/// Canonicalize + hash an already-prepared query — the incremental
+/// session path, which reaches a [`PreparedQuery`] without re-lexing (and
+/// on fragment splices without re-parsing sibling `UNION` branches) and
+/// joins the standard pipeline here. Byte-identical to what
+/// [`fingerprint_sql`] computes for the same text.
+pub fn fingerprint_prepared(prepared: PreparedQuery) -> FingerprintedQuery {
     let _span = STAGE_CANONICALIZE.span();
     let fingerprint = PATTERN_TOKENS.with(|cell| match cell.try_borrow_mut() {
         Ok(mut tokens) => {
@@ -127,10 +136,10 @@ pub fn fingerprint_sql(
         // fall back to a one-off key.
         Err(_) => Fingerprint::of_key(&prepared.pattern_key()),
     });
-    Ok(FingerprintedQuery {
+    FingerprintedQuery {
         prepared,
         fingerprint,
-    })
+    }
 }
 
 #[cfg(test)]

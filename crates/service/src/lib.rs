@@ -55,20 +55,24 @@ pub mod json;
 pub mod memo;
 pub mod net;
 pub mod protocol;
+pub mod scene_diff;
 pub mod scene_json;
 pub mod server;
 pub mod service;
+pub mod session;
 pub mod stats_json;
 
 pub use cache::{CacheConfig, CacheStats, ShardedCache};
 pub use compile::{compile_representative, CompiledEntry};
-pub use fingerprint::{fingerprint_sql, Fingerprint, FingerprintedQuery};
+pub use fingerprint::{fingerprint_prepared, fingerprint_sql, Fingerprint, FingerprintedQuery};
 pub use memo::{L1Memo, MemoConfig, MemoStats};
 pub use protocol::{Artifacts, ErrorKind, Format, Request, Response, ServiceError};
-pub use scene_json::{scene_json, write_scene_json};
+pub use scene_diff::{apply_patch, diff_scenes, parse_patch_ops, write_patch_ops, PatchOp};
+pub use scene_json::{scene_json, scene_json_v2, write_scene_json, write_scene_json_v2};
 pub use server::{DrainReport, Server, ServerConfig, ServerHandle};
 pub use service::{DiagramService, ServiceConfig, ServiceStats};
-pub use stats_json::{stats_snapshot_json, write_trace_jsonl};
+pub use session::{SessionConfig, SessionReply, SessionStatsSnapshot, SessionStore};
+pub use stats_json::{session_stats_json, stats_snapshot_json, write_trace_jsonl};
 
 /// Every query of the paper corpus as a request batch — the standard
 /// workload of the `service` binary's `--corpus` mode and the throughput

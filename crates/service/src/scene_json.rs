@@ -33,8 +33,12 @@ use queryvis::layout::{
     EdgeKind, EdgeMark, Mark, MarkRole, RectMark, Scene, StyleClass, TextMark, TextRole,
 };
 
-/// Schema version of the scene_json document.
+/// Schema version of the scene_json artifact document.
 const VERSION: u64 = 1;
+
+/// Schema version of the session-path document: identical to v1 plus a
+/// stable `"id"` per mark — the identity scene-diff patch ops address.
+const VERSION_SESSION: u64 = 2;
 
 fn class_name(class: StyleClass) -> &'static str {
     match class {
@@ -77,8 +81,14 @@ fn write_f64(out: &mut String, value: f64) {
     let _ = write!(out, "{value}");
 }
 
-fn write_rect(out: &mut String, rect: &RectMark) {
-    out.push_str("{\"t\":\"rect\",\"role\":");
+fn write_rect_with(out: &mut String, rect: &RectMark, with_id: bool) {
+    out.push_str("{\"t\":\"rect\",");
+    if with_id {
+        out.push_str("\"id\":");
+        write_u64(out, u64::from(rect.id));
+        out.push(',');
+    }
+    out.push_str("\"role\":");
     escape_into(out, role_name(rect.role));
     out.push_str(",\"class\":");
     escape_into(out, class_name(rect.class));
@@ -95,8 +105,14 @@ fn write_rect(out: &mut String, rect: &RectMark) {
     out.push('}');
 }
 
-fn write_text(out: &mut String, text: &TextMark) {
-    out.push_str("{\"t\":\"text\",\"role\":");
+fn write_text_with(out: &mut String, text: &TextMark, with_id: bool) {
+    out.push_str("{\"t\":\"text\",");
+    if with_id {
+        out.push_str("\"id\":");
+        write_u64(out, u64::from(text.id));
+        out.push(',');
+    }
+    out.push_str("\"role\":");
     escape_into(out, text_role_name(text.role));
     out.push_str(",\"class\":");
     escape_into(out, class_name(text.class));
@@ -109,8 +125,14 @@ fn write_text(out: &mut String, text: &TextMark) {
     out.push('}');
 }
 
-fn write_edge(out: &mut String, edge: &EdgeMark) {
-    out.push_str("{\"t\":\"edge\",\"kind\":");
+fn write_edge_with(out: &mut String, edge: &EdgeMark, with_id: bool) {
+    out.push_str("{\"t\":\"edge\",");
+    if with_id {
+        out.push_str("\"id\":");
+        write_u64(out, u64::from(edge.id));
+        out.push(',');
+    }
+    out.push_str("\"kind\":");
     escape_into(
         out,
         match edge.kind {
@@ -141,10 +163,30 @@ fn write_edge(out: &mut String, edge: &EdgeMark) {
     out.push('}');
 }
 
+/// Serialize one mark as a v2 (id-carrying) JSON object — shared with the
+/// scene-diff writer's `add` ops so patched and full documents agree byte
+/// for byte.
+pub(crate) fn write_mark_v2(out: &mut String, mark: &Mark) {
+    match mark {
+        Mark::Rect(rect) => write_rect_with(out, rect, true),
+        Mark::Text(text) => write_text_with(out, text, true),
+        Mark::Edge(edge) => write_edge_with(out, edge, true),
+    }
+}
+
 /// Serialize a scene into `out` (no trailing newline).
 pub fn write_scene_json(out: &mut String, scene: &Scene) {
+    write_scene_json_with(out, scene, VERSION, false)
+}
+
+/// Serialize the session-path v2 document: v1 plus `"id"` per mark.
+pub fn write_scene_json_v2(out: &mut String, scene: &Scene) {
+    write_scene_json_with(out, scene, VERSION_SESSION, true)
+}
+
+fn write_scene_json_with(out: &mut String, scene: &Scene, version: u64, with_ids: bool) {
     out.push_str("{\"v\":");
-    write_u64(out, VERSION);
+    write_u64(out, version);
     out.push_str(",\"w\":");
     write_f64(out, scene.width);
     out.push_str(",\"h\":");
@@ -179,9 +221,9 @@ pub fn write_scene_json(out: &mut String, scene: &Scene) {
                 out.push(',');
             }
             match mark {
-                Mark::Rect(rect) => write_rect(out, rect),
-                Mark::Text(text) => write_text(out, text),
-                Mark::Edge(edge) => write_edge(out, edge),
+                Mark::Rect(rect) => write_rect_with(out, rect, with_ids),
+                Mark::Text(text) => write_text_with(out, text, with_ids),
+                Mark::Edge(edge) => write_edge_with(out, edge, with_ids),
             }
         }
         out.push_str("]}");
@@ -193,6 +235,13 @@ pub fn write_scene_json(out: &mut String, scene: &Scene) {
 pub fn scene_json(scene: &Scene) -> String {
     let mut out = String::with_capacity(4096);
     write_scene_json(&mut out, scene);
+    out
+}
+
+/// [`write_scene_json_v2`] into a fresh string.
+pub fn scene_json_v2(scene: &Scene) -> String {
+    let mut out = String::with_capacity(4096);
+    write_scene_json_v2(&mut out, scene);
     out
 }
 

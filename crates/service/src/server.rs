@@ -35,7 +35,8 @@ use crate::json::{self, Json};
 use crate::net::{write_all_stall_bounded, LineReader, Poll};
 use crate::protocol::{ErrorKind, Request, Response};
 use crate::service::DiagramService;
-use crate::stats_json::{service_stats_json, telemetry_json};
+use crate::session::{self, SessionConfig, SessionStore};
+use crate::stats_json::{service_stats_json, session_stats_json, telemetry_json};
 use queryvis_telemetry::CounterDef;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -104,6 +105,9 @@ pub struct DrainReport {
     pub timeouts: u64,
     pub too_large: u64,
     pub slow_disconnects: u64,
+    /// Edit sessions still open when the drain completed, closed by it —
+    /// zero when every client closed (or lost) its sessions first.
+    pub sessions_closed: u64,
 }
 
 impl DrainReport {
@@ -121,6 +125,10 @@ impl DrainReport {
                 "slow_disconnects".to_string(),
                 Json::Int(self.slow_disconnects),
             ),
+            (
+                "sessions_closed".to_string(),
+                Json::Int(self.sessions_closed),
+            ),
         ])
     }
 }
@@ -128,6 +136,7 @@ impl DrainReport {
 /// State shared by the accept loop and every connection thread.
 struct Shared {
     service: Arc<DiagramService>,
+    sessions: SessionStore,
     config: ServerConfig,
     draining: AtomicBool,
     open_conns: AtomicUsize,
@@ -155,6 +164,7 @@ impl Shared {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             too_large: self.too_large.load(Ordering::Relaxed),
             slow_disconnects: self.slow_disconnects.load(Ordering::Relaxed),
+            sessions_closed: 0, // filled in by the drain in `run`
         }
     }
 
@@ -205,6 +215,10 @@ impl Shared {
             (
                 "service".to_string(),
                 service_stats_json(&self.service.stats()),
+            ),
+            (
+                "sessions".to_string(),
+                session_stats_json(&self.sessions.snapshot()),
             ),
             (
                 "telemetry".to_string(),
@@ -288,6 +302,7 @@ impl Server {
             listener,
             addr,
             shared: Arc::new(Shared {
+                sessions: SessionStore::new(Arc::clone(&service), SessionConfig::default()),
                 service,
                 config,
                 draining: AtomicBool::new(false),
@@ -336,11 +351,14 @@ impl Server {
                         continue;
                     }
                     shared.open_conns.fetch_add(1, Ordering::AcqRel);
-                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    // The connection ordinal doubles as the session owner
+                    // id: sessions opened here die with this connection.
+                    let owner = shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
                     C_CONNECTIONS.add(1);
                     let conn_shared = Arc::clone(&shared);
                     workers.push(thread::spawn(move || {
-                        serve_connection(&conn_shared, stream);
+                        serve_connection(&conn_shared, stream, owner);
+                        conn_shared.sessions.reap_owner(owner);
                         conn_shared.open_conns.fetch_sub(1, Ordering::AcqRel);
                     }));
                 }
@@ -365,7 +383,13 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
-        shared.report()
+        // Workers have reaped their own sessions on the way out; whatever
+        // is left (none, in a clean drain) is closed here so the ledger
+        // balances.
+        let sessions_closed = shared.sessions.close_all() as u64;
+        let mut report = shared.report();
+        report.sessions_closed = sessions_closed;
+        report
     }
 
     /// Run on a dedicated thread; the returned handle joins for the
@@ -390,9 +414,12 @@ enum Dispatch {
     Shutdown(String),
 }
 
-fn dispatch(shared: &Shared, text: &str, default_id: u64) -> Dispatch {
+fn dispatch(shared: &Shared, text: &str, default_id: u64, owner: u64) -> Dispatch {
     // Wire operations ride the same JSON-lines framing with an `op` key.
     if let Ok(value) = json::parse(text) {
+        if session::is_session_op(&value) {
+            return Dispatch::Respond(shared.sessions.dispatch_value(&value, default_id, owner));
+        }
         if let Some(op) = value.get("op").and_then(Json::as_str) {
             return match op {
                 "ping" => Dispatch::Respond("{\"op\":\"ping\",\"ok\":true}".to_string()),
@@ -404,7 +431,7 @@ fn dispatch(shared: &Shared, text: &str, default_id: u64) -> Dispatch {
                     Response::error_kind(
                         default_id,
                         ErrorKind::BadRequest,
-                        format!("unknown op `{other}` (ping, stats, shutdown)"),
+                        format!("unknown op `{other}` (ping, stats, shutdown, open, edit, close)"),
                     )
                     .to_json_line(),
                 ),
@@ -444,7 +471,7 @@ fn write_response(shared: &Shared, writer: &mut TcpStream, line: &mut String) ->
     }
 }
 
-fn serve_connection(shared: &Shared, stream: TcpStream) {
+fn serve_connection(shared: &Shared, stream: TcpStream, owner: u64) {
     let config = &shared.config;
     // Read in `tick` slices so deadline and drain checks interleave with
     // blocking reads; writes carry the stall budget.
@@ -480,7 +507,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
                 // Panic isolation above the service's own compile guard:
                 // no request line may take down the connection thread.
-                let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(shared, &text, id)));
+                let outcome = catch_unwind(AssertUnwindSafe(|| dispatch(shared, &text, id, owner)));
                 let outcome = outcome.unwrap_or_else(|_| {
                     Dispatch::Respond(
                         Response::error_kind(

@@ -213,6 +213,31 @@ impl DiagramService {
         &self.memo
     }
 
+    /// The shared pipeline options (the session layer's frontend runs
+    /// outside `handle` but must prepare with identical options).
+    pub(crate) fn options_arc(&self) -> &Arc<QueryVisOptions> {
+        &self.options
+    }
+
+    /// The L2 cache (exposed for warm-snapshot export and tests).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// Pre-warm both cache levels with one SQL text, as if a request for
+    /// it had been served (counted as a normal request/compile). Returns
+    /// false when the text does not compile — a stale snapshot line must
+    /// not prevent startup.
+    pub fn warm(&self, sql: &str) -> bool {
+        let request = Request {
+            id: 0,
+            sql: sql.to_string(),
+            formats: Vec::new(),
+            rows: None,
+        };
+        self.handle(&request).outcome.is_ok()
+    }
+
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
@@ -282,7 +307,10 @@ impl DiagramService {
     /// Look up or compile the entry for a fingerprinted query, joining an
     /// in-flight compile of the same fingerprint when one exists. `Err`
     /// means the compile failed or panicked (classified by its kind).
-    fn entry_for(
+    /// The incremental session layer (and its equivalence oracles) join
+    /// the standard cache/coalescing machinery here after their own
+    /// frontend shortcut.
+    pub fn entry_for(
         &self,
         fingerprinted: FingerprintedQuery,
     ) -> Result<Arc<CompiledEntry>, ServiceError> {

@@ -1,0 +1,1240 @@
+//! Incremental compile sessions: the live-editing front end (DESIGN.md §9).
+//!
+//! A session pins one SQL buffer server-side. The client opens it once
+//! (`{"op":"open","sql":…}`), then streams byte-range edits
+//! (`{"op":"edit","session":S,"edits":[{"at":O,"del":N,"ins":T}]}`)
+//! instead of re-sending the whole text per keystroke. The server applies
+//! each edit to its copy of the buffer and recompiles *incrementally*,
+//! descending only as far as the damage requires:
+//!
+//! 1. **Token splice** ([`queryvis_sql::relex`]): only the damaged window
+//!    is re-lexed; the surviving prefix/suffix token runs are spliced
+//!    around it with shifted spans.
+//! 2. **Tier `tokens`** — if the new token stream has the same kinds and
+//!    symbols as the last successfully compiled one ([`same_kinds`]),
+//!    the AST is unchanged (the parser is a function of kinds+symbols),
+//!    so the cached fingerprint, word count, and compiled entry are
+//!    reused outright. Whitespace, comments, and keyword-case edits land
+//!    here.
+//! 3. **Tier `fragment`** — the token stream is split into per-branch
+//!    runs at depth-0 `UNION` connectives. If the branch structure is
+//!    unchanged and *exactly one* run's kinds differ, only that branch is
+//!    re-parsed ([`parse_branch_tokens`]), lowered, and translated; the
+//!    sibling branches' cached (AST, logic-tree) pairs are reused
+//!    verbatim and the whole set is reassembled with
+//!    [`PreparedQuery::from_parts`].
+//! 4. **Tier `full`** — anything structural (branch count, connective
+//!    flavor, no previous compile) re-parses the whole expression from
+//!    the (still splice-lexed) tokens. Any error inside the fragment
+//!    path also falls back here, so error text and acceptance are always
+//!    those of the canonical pipeline.
+//!
+//! **Why fragments reuse parse+translate, not erasures.** The canonical
+//! pattern erases names to *query-wide* first-use indices and shares
+//! physical-identity information across branches
+//! (`PatternKey::of_branches_into` builds one sharing profile over all
+//! trees), so per-branch erasure streams are not independent and cannot
+//! be spliced soundly. What *is* per-branch is the expensive part —
+//! parsing, lowering, and translation. The session reuses those and
+//! re-runs the cheap id-arithmetic canonicalization over the real trees,
+//! which makes warm≡cold byte-identity hold by construction on every
+//! path: each tier hands the standard pipeline the same values a cold
+//! compile would compute.
+//!
+//! The response serves the *pattern representative's* compiled entry —
+//! exactly the semantics of a plain request for the same text, including
+//! the `representative_sql` disclosure. Scenes are serialized as
+//! `scene_json` v2 (stable mark ids); an `edit` response carries either a
+//! [`crate::scene_diff`] patch against the session's last acknowledged
+//! scene or a full-scene resync when the patch would not be smaller (or
+//! the branch structure changed).
+//!
+//! Sessions are bounded ([`SessionConfig`]): at most `max_sessions` live
+//! at once (least-recently-used is evicted), each buffer capped at
+//! `max_source_bytes`. A transient parse error keeps the session (and
+//! its edited buffer) alive — the next edit may recover — while the last
+//! successfully compiled state stays cached, so recovery re-enters the
+//! warm tiers directly.
+
+use crate::compile::CompiledEntry;
+use crate::fingerprint::{fingerprint_prepared, fingerprint_sql, Fingerprint};
+use crate::json::{escape_into, write_u64, Json};
+use crate::protocol::{ErrorKind, ServiceError};
+use crate::scene_diff::{diff_scenes, write_patch_ops};
+use crate::scene_json::scene_json_v2;
+use crate::service::DiagramService;
+use queryvis::layout::Scene;
+use queryvis::PreparedQuery;
+use queryvis_logic::LogicTree;
+use queryvis_sql::token::{Keyword, Token, TokenKind};
+use queryvis_sql::{
+    apply_edit, parse_branch_tokens, relex, same_kinds, tokenize_in, Edit, Query, QueryExpr, Relex,
+};
+use queryvis_telemetry::{CounterDef, GaugeDef};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+// Telemetry mirrors of the per-store counters (the `sessions` stats
+// section is the per-instance source of truth).
+static C_OPENS: CounterDef = CounterDef::new("session.opens");
+static C_EDITS: CounterDef = CounterDef::new("session.edits");
+static C_PATH_TOKENS: CounterDef = CounterDef::new("session.path_tokens");
+static C_PATH_FRAGMENT: CounterDef = CounterDef::new("session.path_fragment");
+static C_PATH_FULL: CounterDef = CounterDef::new("session.path_full");
+static C_PARSE_ERRORS: CounterDef = CounterDef::new("session.parse_errors");
+static C_PATCHES: CounterDef = CounterDef::new("session.patches");
+static C_RESYNCS: CounterDef = CounterDef::new("session.resyncs");
+static C_EVICTIONS: CounterDef = CounterDef::new("session.evictions");
+static G_OPEN: GaugeDef = GaugeDef::new("session.open");
+
+/// Bounds on per-session server state.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Concurrent open sessions; opening one more evicts the
+    /// least-recently-used.
+    pub max_sessions: usize,
+    /// Byte cap on a session's source buffer; an `open` or `edit` that
+    /// would exceed it is refused with a `too_large` error (the buffer is
+    /// left unchanged).
+    pub max_source_bytes: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            max_sessions: 64,
+            max_source_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Counter snapshot for the `sessions` stats section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStatsSnapshot {
+    /// Sessions open right now.
+    pub open: u64,
+    pub opened_total: u64,
+    pub closed: u64,
+    /// Closed by LRU eviction (a new `open` needed the slot).
+    pub evicted: u64,
+    /// Closed because their connection went away without `close`.
+    pub reaped: u64,
+    /// Edit requests applied (each may carry several byte-range edits).
+    pub edits: u64,
+    /// Edits whose relex spliced surviving token runs (vs full re-lex).
+    pub token_splices: u64,
+    /// Edits resolved by tier `tokens` (kinds unchanged — total reuse).
+    pub path_tokens: u64,
+    /// Edits resolved by tier `fragment` (one branch re-derived).
+    pub path_fragment: u64,
+    /// Edits that fell back to the full pipeline.
+    pub path_full: u64,
+    /// Edits (or opens) whose buffer does not currently compile.
+    pub parse_errors: u64,
+    /// Edit responses answered with a scene patch.
+    pub patches: u64,
+    /// Edit responses answered with a full-scene resync.
+    pub resyncs: u64,
+}
+
+/// One written `UNION` branch's cached derivation: the pre-lowering AST
+/// and the lowered, translated pairs it expands to. Reused verbatim by
+/// the fragment tier when the branch's token run is undamaged.
+struct BranchFrag {
+    ast: Query,
+    lowered: Vec<(Query, LogicTree)>,
+}
+
+/// The last *successful* compile of a session's buffer. Kept across
+/// transient error states so recovery re-enters the warm tiers.
+struct Compiled {
+    /// Token stream at compile time (spans may be stale relative to the
+    /// current buffer; tier comparisons use kinds+symbols only).
+    tokens: Vec<Token>,
+    fingerprint: Fingerprint,
+    words: usize,
+    entry: Arc<CompiledEntry>,
+    frags: Vec<BranchFrag>,
+    union_all: bool,
+}
+
+struct Session {
+    owner: u64,
+    source: String,
+    /// Token stream of `source` while it lexes cleanly; dropped on a lex
+    /// error (re-derived by the next successful compile).
+    tokens: Option<Vec<Token>>,
+    compiled: Option<Compiled>,
+    /// The scene the client last acknowledged — the base scene diffs are
+    /// computed against. Survives error states (the client keeps showing
+    /// it) so the recovery response patches from the right base.
+    last_scene: Option<Arc<Scene>>,
+    last_used: u64,
+    edits: u64,
+}
+
+struct Inner {
+    sessions: HashMap<u64, Session>,
+    next_id: u64,
+    tick: u64,
+}
+
+/// The compile body of a successful `open`/`edit` response.
+#[derive(Debug, Clone)]
+pub struct SessionReply {
+    pub session: u64,
+    pub fingerprint: Fingerprint,
+    pub fingerprint_hex: Arc<str>,
+    pub sql_words: usize,
+    /// Disclosure, as in plain responses: the artifacts/scene come from
+    /// this pattern-equivalent representative, not the session's text.
+    pub representative_sql: Option<Arc<str>>,
+    /// Which tier served the compile: `cold` (open), `tokens`,
+    /// `fragment`, or `full`.
+    pub path: &'static str,
+    /// Serialized `scene_json` v2 document (open and resync responses) …
+    pub scene: Option<String>,
+    /// … or serialized patch ops (the contents of the `patch` array).
+    pub patch: Option<String>,
+}
+
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Depth-0 branch structure of a token stream: per-branch run ranges and
+/// the `ALL` flavor of each connective. `None` when the stream is not a
+/// plain `block (UNION [ALL] block)* [;] EOF` shape (e.g. trailing
+/// tokens after the semicolon) — such streams take the full path.
+struct BranchSplit {
+    runs: Vec<(usize, usize)>,
+    alls: Vec<bool>,
+}
+
+fn split_depth0(tokens: &[Token]) -> Option<BranchSplit> {
+    let mut runs = Vec::new();
+    let mut alls = Vec::new();
+    let mut depth: i64 = 0;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::LParen => depth += 1,
+            TokenKind::RParen => depth -= 1,
+            TokenKind::Keyword(Keyword::Union) if depth == 0 => {
+                runs.push((start, i));
+                let all = matches!(
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Keyword(Keyword::All))
+                );
+                alls.push(all);
+                if all {
+                    i += 1;
+                }
+                start = i + 1;
+            }
+            TokenKind::Semicolon if depth == 0 => {
+                // Only `EOF` may follow a depth-0 semicolon; anything else
+                // is an error the full parser must surface.
+                if !matches!(tokens.get(i + 1).map(|t| &t.kind), Some(TokenKind::Eof)) {
+                    return None;
+                }
+                runs.push((start, i));
+                return Some(BranchSplit { runs, alls });
+            }
+            TokenKind::Eof => {
+                runs.push((start, i));
+                return Some(BranchSplit { runs, alls });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None // no EOF sentinel: not a lexer-produced stream
+}
+
+/// The bounded, evictable session table in front of one
+/// [`DiagramService`]. All front ends (stdin `service`, TCP `server`)
+/// share one store per service so `stats` sees one ledger.
+pub struct SessionStore {
+    service: Arc<DiagramService>,
+    config: SessionConfig,
+    inner: Mutex<Inner>,
+    opened_total: AtomicU64,
+    closed: AtomicU64,
+    evicted: AtomicU64,
+    reaped: AtomicU64,
+    edits: AtomicU64,
+    token_splices: AtomicU64,
+    path_tokens: AtomicU64,
+    path_fragment: AtomicU64,
+    path_full: AtomicU64,
+    parse_errors: AtomicU64,
+    patches: AtomicU64,
+    resyncs: AtomicU64,
+}
+
+impl SessionStore {
+    pub fn new(service: Arc<DiagramService>, config: SessionConfig) -> SessionStore {
+        SessionStore {
+            service,
+            config,
+            inner: Mutex::new(Inner {
+                sessions: HashMap::new(),
+                next_id: 1,
+                tick: 0,
+            }),
+            opened_total: AtomicU64::new(0),
+            closed: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            edits: AtomicU64::new(0),
+            token_splices: AtomicU64::new(0),
+            path_tokens: AtomicU64::new(0),
+            path_fragment: AtomicU64::new(0),
+            path_full: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            patches: AtomicU64::new(0),
+            resyncs: AtomicU64::new(0),
+        }
+    }
+
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    pub fn open_count(&self) -> usize {
+        lock_unpoisoned(&self.inner).sessions.len()
+    }
+
+    pub fn snapshot(&self) -> SessionStatsSnapshot {
+        SessionStatsSnapshot {
+            open: self.open_count() as u64,
+            opened_total: self.opened_total.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            reaped: self.reaped.load(Ordering::Relaxed),
+            edits: self.edits.load(Ordering::Relaxed),
+            token_splices: self.token_splices.load(Ordering::Relaxed),
+            path_tokens: self.path_tokens.load(Ordering::Relaxed),
+            path_fragment: self.path_fragment.load(Ordering::Relaxed),
+            path_full: self.path_full.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            patches: self.patches.load(Ordering::Relaxed),
+            resyncs: self.resyncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Open a session over `sql`. The outer `Err` means the open was
+    /// refused (buffer too large) and no session exists; the inner result
+    /// is the first compile, which may fail (the session still opens —
+    /// live editing may well start from broken text).
+    pub fn open(
+        &self,
+        sql: &str,
+        owner: u64,
+    ) -> Result<(u64, Result<SessionReply, ServiceError>), ServiceError> {
+        if sql.len() > self.config.max_source_bytes {
+            return Err(ServiceError::new(
+                ErrorKind::TooLarge,
+                format!(
+                    "session source exceeds the {} byte budget ({} bytes)",
+                    self.config.max_source_bytes,
+                    sql.len()
+                ),
+            ));
+        }
+        let mut inner = lock_unpoisoned(&self.inner);
+        let inner = &mut *inner;
+        if inner.sessions.len() >= self.config.max_sessions.max(1) {
+            let victim = inner
+                .sessions
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(id, _)| *id)
+                .expect("non-empty table");
+            inner.sessions.remove(&victim);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            C_EVICTIONS.add(1);
+            G_OPEN.add(-1);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.tick += 1;
+        let mut session = Session {
+            owner,
+            source: sql.to_string(),
+            tokens: None,
+            compiled: None,
+            last_scene: None,
+            last_used: inner.tick,
+            edits: 0,
+        };
+        self.opened_total.fetch_add(1, Ordering::Relaxed);
+        C_OPENS.add(1);
+        G_OPEN.add(1);
+        let compiled = self.compile(&mut session, id, "cold");
+        let reply = match compiled {
+            Ok(mut reply) => {
+                // An open always syncs the full scene.
+                let scene = Arc::clone(session.compiled.as_ref().expect("compiled").entry.scene());
+                reply.scene = Some(scene_json_v2(&scene));
+                session.last_scene = Some(scene);
+                Ok(reply)
+            }
+            Err(e) => Err(e),
+        };
+        inner.sessions.insert(id, session);
+        Ok((id, reply))
+    }
+
+    /// Apply `edits` (in order, each offset relative to the buffer the
+    /// previous ones produced) and recompile incrementally. The outer
+    /// `Err` means the request was refused — unknown session, foreign
+    /// owner, invalid edit range, or buffer overflow — and the session
+    /// state is unchanged. The inner result is the compile outcome: on
+    /// error the buffer *is* updated (the text really is broken) and the
+    /// session stays open.
+    pub fn edit(
+        &self,
+        session_id: u64,
+        edits: &[Edit],
+        owner: u64,
+    ) -> Result<Result<SessionReply, ServiceError>, ServiceError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let inner = &mut *inner;
+        inner.tick += 1;
+        let tick = inner.tick;
+        let Some(session) = inner.sessions.get_mut(&session_id) else {
+            return Err(ServiceError::new(
+                ErrorKind::BadRequest,
+                format!("unknown session {session_id}"),
+            ));
+        };
+        if session.owner != owner {
+            return Err(ServiceError::new(
+                ErrorKind::BadRequest,
+                format!("session {session_id} belongs to another connection"),
+            ));
+        }
+        session.last_used = tick;
+        // Stage the edits on copies: a mid-sequence failure must leave
+        // the session exactly as it was (client and server buffers agree
+        // on every acknowledged state, never on a half-applied one).
+        let mut source = session.source.clone();
+        let mut tokens = session.tokens.clone();
+        let mut spliced = 0u64;
+        for edit in edits {
+            apply_edit(&mut source, edit)
+                .map_err(|m| ServiceError::new(ErrorKind::BadRequest, format!("bad edit: {m}")))?;
+            if source.len() > self.config.max_source_bytes {
+                return Err(ServiceError::new(
+                    ErrorKind::TooLarge,
+                    format!(
+                        "edit would grow the session past the {} byte budget",
+                        self.config.max_source_bytes
+                    ),
+                ));
+            }
+            tokens = match tokens.take() {
+                Some(old) => {
+                    let mut out = Vec::with_capacity(old.len() + 4);
+                    match relex(&source, &old, edit, self.service.interner(), &mut out) {
+                        Ok(Relex::Spliced { .. }) => {
+                            spliced += 1;
+                            Some(out)
+                        }
+                        Ok(Relex::Full) => Some(out),
+                        // The buffer no longer lexes; the compile below
+                        // reproduces the canonical error from scratch.
+                        Err(_) => None,
+                    }
+                }
+                None => None,
+            };
+        }
+        session.source = source;
+        session.tokens = tokens;
+        session.edits += edits.len() as u64;
+        self.edits.fetch_add(1, Ordering::Relaxed);
+        self.token_splices.fetch_add(spliced, Ordering::Relaxed);
+        C_EDITS.add(1);
+        let result = self.compile(session, session_id, "edit");
+        Ok(match result {
+            Ok(mut reply) => {
+                let scene = Arc::clone(session.compiled.as_ref().expect("compiled").entry.scene());
+                self.attach_scene(&mut reply, session, &scene);
+                session.last_scene = Some(scene);
+                Ok(reply)
+            }
+            Err(e) => Err(e),
+        })
+    }
+
+    /// Close a session, returning how many edits it absorbed.
+    pub fn close(&self, session_id: u64, owner: u64) -> Result<u64, ServiceError> {
+        let mut inner = lock_unpoisoned(&self.inner);
+        match inner.sessions.get(&session_id) {
+            None => Err(ServiceError::new(
+                ErrorKind::BadRequest,
+                format!("unknown session {session_id}"),
+            )),
+            Some(s) if s.owner != owner => Err(ServiceError::new(
+                ErrorKind::BadRequest,
+                format!("session {session_id} belongs to another connection"),
+            )),
+            Some(_) => {
+                let session = inner.sessions.remove(&session_id).expect("present");
+                self.closed.fetch_add(1, Ordering::Relaxed);
+                G_OPEN.add(-1);
+                Ok(session.edits)
+            }
+        }
+    }
+
+    /// Drop every session belonging to `owner` — the disconnect hook (a
+    /// client that vanishes mid-edit must not pin buffer memory).
+    pub fn reap_owner(&self, owner: u64) -> usize {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let doomed: Vec<u64> = inner
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.owner == owner)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &doomed {
+            inner.sessions.remove(id);
+        }
+        let n = doomed.len();
+        self.reaped.fetch_add(n as u64, Ordering::Relaxed);
+        G_OPEN.add(-(n as i64));
+        n
+    }
+
+    /// Close every session (graceful drain). Returns how many were open.
+    pub fn close_all(&self) -> usize {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let n = inner.sessions.len();
+        inner.sessions.clear();
+        self.closed.fetch_add(n as u64, Ordering::Relaxed);
+        G_OPEN.add(-(n as i64));
+        n
+    }
+
+    /// Decide patch vs resync for an edit reply: patch when the branch
+    /// structure held and the serialized ops are smaller than the full
+    /// document they replace.
+    fn attach_scene(&self, reply: &mut SessionReply, session: &Session, scene: &Arc<Scene>) {
+        if let Some(last) = &session.last_scene {
+            if let Some(ops) = diff_scenes(last, scene) {
+                let mut patch = String::with_capacity(256);
+                write_patch_ops(&mut patch, &ops);
+                let full = scene_json_v2(scene);
+                if patch.len() < full.len() {
+                    self.patches.fetch_add(1, Ordering::Relaxed);
+                    C_PATCHES.add(1);
+                    reply.patch = Some(patch);
+                } else {
+                    self.resyncs.fetch_add(1, Ordering::Relaxed);
+                    C_RESYNCS.add(1);
+                    reply.scene = Some(full);
+                }
+                return;
+            }
+        }
+        self.resyncs.fetch_add(1, Ordering::Relaxed);
+        C_RESYNCS.add(1);
+        reply.scene = Some(scene_json_v2(scene));
+    }
+
+    /// The tiered incremental compile. On success the session's
+    /// `compiled` state is replaced; on error it is left as the last
+    /// successful state (recovery re-enters the warm tiers from there).
+    fn compile(
+        &self,
+        session: &mut Session,
+        session_id: u64,
+        mode: &'static str,
+    ) -> Result<SessionReply, ServiceError> {
+        // Ensure a token stream exists (open, or recovery from a lex
+        // error): the canonical lexer over the whole buffer.
+        if session.tokens.is_none() {
+            match tokenize_in(&session.source, self.service.interner()) {
+                Ok(tokens) => session.tokens = Some(tokens),
+                Err(e) => {
+                    self.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    C_PARSE_ERRORS.add(1);
+                    if mode == "edit" {
+                        self.path_full.fetch_add(1, Ordering::Relaxed);
+                        C_PATH_FULL.add(1);
+                    }
+                    return Err(ServiceError::new(ErrorKind::Compile, e.to_string()));
+                }
+            }
+        }
+        let tokens = session.tokens.as_ref().expect("ensured above");
+
+        // Tier `tokens`: kinds+symbols unchanged since the last success —
+        // the AST, pattern, fingerprint, and entry are all unchanged.
+        if let Some(compiled) = &mut session.compiled {
+            if same_kinds(tokens, &compiled.tokens) {
+                // Refresh the cached spans so later fragment splits see
+                // current coordinates.
+                compiled.tokens = tokens.clone();
+                let path = if mode == "cold" { "cold" } else { "tokens" };
+                if mode == "edit" {
+                    self.path_tokens.fetch_add(1, Ordering::Relaxed);
+                    C_PATH_TOKENS.add(1);
+                }
+                return Ok(self.reply_from(
+                    session_id,
+                    session.compiled.as_ref().unwrap(),
+                    path,
+                    &session.source,
+                ));
+            }
+        }
+
+        // Tier `fragment`: aligned branch structure with exactly one
+        // damaged run. Any error in here falls back to the full tier so
+        // acceptance and error text stay canonical.
+        if let Some(compiled) = &session.compiled {
+            // An Err(()) outcome means unsound or failed: fall through
+            // to the full tier below.
+            if let Some(Ok(new_compiled)) = self.try_fragment(session, compiled, tokens) {
+                if mode == "edit" {
+                    self.path_fragment.fetch_add(1, Ordering::Relaxed);
+                    C_PATH_FRAGMENT.add(1);
+                }
+                let reply = self.reply_from(session_id, &new_compiled, "fragment", &session.source);
+                session.compiled = Some(new_compiled);
+                return Ok(reply);
+            }
+        }
+
+        // Tier `full`: the canonical frontend over the (relex-maintained)
+        // buffer. `fingerprint_sql` is the exact path a plain request
+        // takes, so errors — and successes — are byte-identical to it.
+        if mode == "edit" {
+            self.path_full.fetch_add(1, Ordering::Relaxed);
+            C_PATH_FULL.add(1);
+        }
+        let fq = match fingerprint_sql(&session.source, Arc::clone(self.service.options_arc())) {
+            Ok(fq) => fq,
+            Err(e) => {
+                self.parse_errors.fetch_add(1, Ordering::Relaxed);
+                C_PARSE_ERRORS.add(1);
+                return Err(ServiceError::new(ErrorKind::Compile, e.to_string()));
+            }
+        };
+        let frags = frags_of(&fq.prepared);
+        let words = fq.prepared.sql_word_count();
+        let fingerprint = fq.fingerprint;
+        let union_all = fq.prepared.union_all;
+        let entry = self.service.entry_for(fq)?;
+        let compiled = Compiled {
+            tokens: tokens.clone(),
+            fingerprint,
+            words,
+            entry,
+            frags,
+            union_all,
+        };
+        let path = if mode == "cold" { "cold" } else { "full" };
+        let reply = self.reply_from(session_id, &compiled, path, &session.source);
+        session.compiled = Some(compiled);
+        Ok(reply)
+    }
+
+    /// Attempt the fragment tier. `None`: structure precludes it (take
+    /// the full tier silently). `Some(Err(()))`: it was attempted and
+    /// failed — the caller must fall back for canonical errors.
+    fn try_fragment(
+        &self,
+        session: &Session,
+        compiled: &Compiled,
+        tokens: &[Token],
+    ) -> Option<Result<Compiled, ()>> {
+        let new_split = split_depth0(tokens)?;
+        let old_split = split_depth0(&compiled.tokens)?;
+        if new_split.runs.len() != old_split.runs.len()
+            || new_split.alls != old_split.alls
+            || new_split.runs.len() != compiled.frags.len()
+        {
+            return None;
+        }
+        let mut damaged: Option<usize> = None;
+        for (i, (new_run, old_run)) in new_split.runs.iter().zip(&old_split.runs).enumerate() {
+            let new_toks = &tokens[new_run.0..new_run.1];
+            let old_toks = &compiled.tokens[old_run.0..old_run.1];
+            if !same_kinds(new_toks, old_toks) {
+                if damaged.is_some() {
+                    return None; // more than one damaged branch
+                }
+                damaged = Some(i);
+            }
+        }
+        let damaged = damaged?; // all runs equal ⇒ tier `tokens` handled it
+        let run = new_split.runs[damaged];
+        let options = Arc::clone(self.service.options_arc());
+        let interner = self.service.interner();
+        // Errors are deliberately discarded: any failure sends the caller
+        // to the full tier, which reproduces the canonical error text.
+        let attempt = || -> Result<Compiled, ()> {
+            let ast = parse_branch_tokens(&session.source, &tokens[run.0..run.1], interner)
+                .map_err(|_| ())?;
+            // Reassemble the written expression: cached sibling ASTs,
+            // the re-parsed branch in place. The connective flavor is
+            // unchanged by construction (alls compared above).
+            let mut branches: Vec<Query> = compiled.frags.iter().map(|f| f.ast.clone()).collect();
+            branches[damaged] = ast.clone();
+            let expr = QueryExpr {
+                branches,
+                all: compiled.union_all,
+            };
+            if let Some(schema) = &options.schema {
+                schema.check_query_expr(&expr).map_err(|_| ())?;
+            }
+            // Lower and translate only the damaged branch, exactly as
+            // `prepare_parsed` would.
+            let mut lowered: Vec<(Query, LogicTree)> = Vec::new();
+            if queryvis_logic::has_disjunction(&ast) {
+                for low in queryvis_logic::lower_disjunctions(&ast).map_err(|_| ())? {
+                    let tree =
+                        queryvis_logic::translate(&low, options.schema.as_ref()).map_err(|_| ())?;
+                    lowered.push((low, tree));
+                }
+            } else {
+                let tree =
+                    queryvis_logic::translate(&ast, options.schema.as_ref()).map_err(|_| ())?;
+                lowered.push((ast.clone(), tree));
+            }
+            let mut frags: Vec<BranchFrag> = Vec::with_capacity(compiled.frags.len());
+            let mut all_pairs: Vec<(Query, LogicTree)> = Vec::new();
+            for (i, frag) in compiled.frags.iter().enumerate() {
+                let pairs = if i == damaged {
+                    &lowered
+                } else {
+                    &frag.lowered
+                };
+                all_pairs.extend(pairs.iter().cloned());
+                frags.push(BranchFrag {
+                    ast: if i == damaged {
+                        ast.clone()
+                    } else {
+                        frag.ast.clone()
+                    },
+                    lowered: pairs.clone(),
+                });
+            }
+            let prepared =
+                PreparedQuery::from_parts(&session.source, expr, all_pairs, Arc::clone(&options))
+                    .map_err(|_| ())?;
+            let words = prepared.sql_word_count();
+            let fq = fingerprint_prepared(prepared);
+            let fingerprint = fq.fingerprint;
+            let entry = self.service.entry_for(fq).map_err(|_| ())?;
+            Ok(Compiled {
+                tokens: tokens.to_vec(),
+                fingerprint,
+                words,
+                entry,
+                frags,
+                union_all: compiled.union_all,
+            })
+        };
+        match attempt() {
+            Ok(compiled) => Some(Ok(compiled)),
+            Err(_) => Some(Err(())),
+        }
+    }
+
+    fn reply_from(
+        &self,
+        session_id: u64,
+        compiled: &Compiled,
+        path: &'static str,
+        source: &str,
+    ) -> SessionReply {
+        let representative_sql = (compiled.entry.representative_sql() != source)
+            .then(|| Arc::clone(compiled.entry.representative_shared()));
+        SessionReply {
+            session: session_id,
+            fingerprint: compiled.fingerprint,
+            fingerprint_hex: Arc::clone(compiled.entry.fingerprint_hex()),
+            sql_words: compiled.words,
+            representative_sql,
+            path,
+            scene: None,
+            patch: None,
+        }
+    }
+}
+
+/// Per-written-branch derivations of a freshly prepared query, cloned
+/// for the session's fragment cache. The prepared query's flattened
+/// branch list is re-grouped by re-lowering each written AST — cheap id
+/// work, and structurally identical to what `prepare_parsed` produced.
+fn frags_of(prepared: &PreparedQuery) -> Vec<BranchFrag> {
+    let mut flat: Vec<(Query, LogicTree)> = Vec::with_capacity(1 + prepared.rest.len());
+    flat.push((prepared.query.clone(), prepared.logic_tree.clone()));
+    flat.extend(prepared.rest.iter().cloned());
+    let mut frags = Vec::with_capacity(prepared.expr.branches.len());
+    let mut taken = 0usize;
+    for written in &prepared.expr.branches {
+        let width = if queryvis_logic::has_disjunction(written) {
+            // The lowering fan-out is deterministic; recompute the width
+            // to slice this branch's share of the flattened pairs.
+            queryvis_logic::lower_disjunctions(written)
+                .map(|v| v.len())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        let end = (taken + width).min(flat.len());
+        frags.push(BranchFrag {
+            ast: written.clone(),
+            lowered: flat[taken..end].to_vec(),
+        });
+        taken = end;
+    }
+    frags
+}
+
+// ---------------------------------------------------------------------
+// Wire layer: `open` / `edit` / `close` ops over the JSON-lines framing.
+// ---------------------------------------------------------------------
+
+/// True when a parsed request line is a session op this module owns.
+pub fn is_session_op(value: &Json) -> bool {
+    matches!(
+        value.get("op").and_then(Json::as_str),
+        Some("open" | "edit" | "close")
+    )
+}
+
+fn error_line(id: u64, session: Option<u64>, error: &ServiceError) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"id\":");
+    write_u64(&mut out, id);
+    if let Some(session) = session {
+        out.push_str(",\"session\":");
+        write_u64(&mut out, session);
+    }
+    out.push_str(",\"error\":");
+    escape_into(&mut out, &error.message);
+    out.push_str(",\"error_kind\":");
+    escape_into(&mut out, error.kind.name());
+    out.push('}');
+    out
+}
+
+fn reply_line(id: u64, reply: &SessionReply) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"id\":");
+    write_u64(&mut out, id);
+    out.push_str(",\"session\":");
+    write_u64(&mut out, reply.session);
+    out.push_str(",\"fingerprint\":");
+    escape_into(&mut out, &reply.fingerprint_hex);
+    out.push_str(",\"sql_words\":");
+    write_u64(&mut out, reply.sql_words as u64);
+    if let Some(representative) = &reply.representative_sql {
+        out.push_str(",\"representative_sql\":");
+        escape_into(&mut out, representative);
+    }
+    out.push_str(",\"path\":");
+    escape_into(&mut out, reply.path);
+    if let Some(patch) = &reply.patch {
+        out.push_str(",\"patch\":[");
+        out.push_str(patch);
+        out.push(']');
+    }
+    if let Some(scene) = &reply.scene {
+        out.push_str(",\"scene\":");
+        out.push_str(scene); // already a JSON document
+    }
+    out.push('}');
+    out
+}
+
+impl SessionStore {
+    /// Serve one parsed session-op line, returning the response line (no
+    /// trailing newline). Callers route lines here when
+    /// [`is_session_op`] matched.
+    pub fn dispatch_value(&self, value: &Json, default_id: u64, owner: u64) -> String {
+        let id = match value.get("id") {
+            None => default_id,
+            Some(v) => match v.as_u64() {
+                Some(id) => id,
+                None => {
+                    return error_line(
+                        default_id,
+                        None,
+                        &ServiceError::new(
+                            ErrorKind::BadRequest,
+                            "`id` must be a non-negative integer",
+                        ),
+                    )
+                }
+            },
+        };
+        match value.get("op").and_then(Json::as_str) {
+            Some("open") => {
+                let Some(sql) = value.get("sql").and_then(Json::as_str) else {
+                    return error_line(
+                        id,
+                        None,
+                        &ServiceError::new(
+                            ErrorKind::BadRequest,
+                            "open needs a string `sql` field",
+                        ),
+                    );
+                };
+                match self.open(sql, owner) {
+                    Err(e) => error_line(id, None, &e),
+                    Ok((_session, Ok(reply))) => reply_line(id, &reply),
+                    Ok((session, Err(e))) => error_line(id, Some(session), &e),
+                }
+            }
+            Some("edit") => {
+                let Some(session) = value.get("session").and_then(Json::as_u64) else {
+                    return error_line(
+                        id,
+                        None,
+                        &ServiceError::new(
+                            ErrorKind::BadRequest,
+                            "edit needs a numeric `session` field",
+                        ),
+                    );
+                };
+                let edits = match parse_edits(value) {
+                    Ok(edits) => edits,
+                    Err(message) => {
+                        return error_line(
+                            id,
+                            Some(session),
+                            &ServiceError::new(ErrorKind::BadRequest, message),
+                        )
+                    }
+                };
+                match self.edit(session, &edits, owner) {
+                    Err(e) => error_line(id, Some(session), &e),
+                    Ok(Ok(reply)) => reply_line(id, &reply),
+                    Ok(Err(e)) => error_line(id, Some(session), &e),
+                }
+            }
+            Some("close") => {
+                let Some(session) = value.get("session").and_then(Json::as_u64) else {
+                    return error_line(
+                        id,
+                        None,
+                        &ServiceError::new(
+                            ErrorKind::BadRequest,
+                            "close needs a numeric `session` field",
+                        ),
+                    );
+                };
+                match self.close(session, owner) {
+                    Err(e) => error_line(id, Some(session), &e),
+                    Ok(edits) => {
+                        let mut out = String::with_capacity(64);
+                        out.push_str("{\"id\":");
+                        write_u64(&mut out, id);
+                        out.push_str(",\"session\":");
+                        write_u64(&mut out, session);
+                        out.push_str(",\"closed\":true,\"edits\":");
+                        write_u64(&mut out, edits);
+                        out.push('}');
+                        out
+                    }
+                }
+            }
+            _ => error_line(
+                id,
+                None,
+                &ServiceError::new(ErrorKind::BadRequest, "not a session op"),
+            ),
+        }
+    }
+}
+
+/// Parse the `edits` array: `[{"at":N,"del":N,"ins":"text"}, …]` (`del`
+/// and `ins` optional, defaulting to 0 / empty).
+fn parse_edits(value: &Json) -> Result<Vec<Edit>, String> {
+    let Some(arr) = value.get("edits").and_then(Json::as_arr) else {
+        return Err("edit needs an `edits` array".to_string());
+    };
+    let mut edits = Vec::with_capacity(arr.len());
+    for item in arr {
+        let at = item
+            .get("at")
+            .and_then(Json::as_u64)
+            .ok_or("each edit needs a numeric `at` offset")?;
+        let del = match item.get("del") {
+            None => 0,
+            Some(v) => v.as_u64().ok_or("`del` must be a non-negative integer")?,
+        };
+        let ins = match item.get("ins") {
+            None => "",
+            Some(v) => v.as_str().ok_or("`ins` must be a string")?,
+        };
+        edits.push(Edit {
+            offset: at as usize,
+            deleted: del as usize,
+            inserted: ins.to_string(),
+        });
+    }
+    Ok(edits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Format;
+    use crate::service::{DiagramService, ServiceConfig};
+    use crate::{apply_patch, parse_patch_ops};
+
+    fn store() -> SessionStore {
+        SessionStore::new(
+            Arc::new(DiagramService::new(ServiceConfig::default())),
+            SessionConfig::default(),
+        )
+    }
+
+    fn ins(at: usize, text: &str) -> Edit {
+        Edit {
+            offset: at,
+            deleted: 0,
+            inserted: text.to_string(),
+        }
+    }
+
+    fn del(at: usize, n: usize) -> Edit {
+        Edit {
+            offset: at,
+            deleted: n,
+            inserted: String::new(),
+        }
+    }
+
+    /// Compile `sql` from scratch through a plain request and return the
+    /// fingerprint hex + v2 scene — the oracle every session reply must
+    /// match byte for byte.
+    fn oracle(service: &DiagramService, sql: &str) -> (String, String) {
+        let fq = fingerprint_sql(sql, Arc::clone(service.options_arc())).unwrap();
+        let fingerprint = fq.fingerprint.to_string();
+        let entry = service.entry_for(fq).unwrap();
+        (fingerprint, scene_json_v2(entry.scene()))
+    }
+
+    #[test]
+    fn open_edit_close_lifecycle() {
+        let store = store();
+        let (id, reply) = store.open("SELECT T.a FROM T", 1).unwrap();
+        let reply = reply.unwrap();
+        assert_eq!(reply.path, "cold");
+        assert!(reply.scene.is_some());
+        assert_eq!(store.open_count(), 1);
+
+        // Whitespace edit: tier `tokens`.
+        let reply = store.edit(id, &[ins(6, "  ")], 1).unwrap().unwrap();
+        assert_eq!(reply.path, "tokens");
+        // Same entry, same scene → empty patch.
+        assert_eq!(reply.patch.as_deref(), Some(""));
+
+        assert_eq!(store.close(id, 1).unwrap(), 1);
+        assert_eq!(store.open_count(), 0);
+        let stats = store.snapshot();
+        assert_eq!(stats.opened_total, 1);
+        assert_eq!(stats.closed, 1);
+        assert_eq!(stats.path_tokens, 1);
+    }
+
+    #[test]
+    fn edits_track_the_from_scratch_compile() {
+        let store = store();
+        let base = "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl'";
+        let (id, reply) = store.open(base, 1).unwrap();
+        assert!(reply.is_ok());
+        // Rename the constant: single-branch fragment path.
+        let target = base.find("'Owl'").unwrap();
+        let reply = store
+            .edit(id, &[del(target + 1, 3), ins(target + 1, "Tap")], 1)
+            .unwrap()
+            .unwrap();
+        let now = "SELECT F.person FROM Frequents F WHERE F.bar = 'Tap'";
+        let (fp, _scene) = oracle(&store.service, now);
+        assert_eq!(reply.fingerprint_hex.as_ref(), fp);
+        assert_eq!(reply.path, "fragment");
+    }
+
+    #[test]
+    fn union_edit_takes_the_fragment_path_and_patches() {
+        let store = store();
+        let sql = "SELECT F.person FROM Frequents F WHERE F.bar = 'Owl' \
+                   UNION SELECT L.person FROM Likes L WHERE L.beer = 'IPA'";
+        let (id, reply) = store.open(sql, 1).unwrap();
+        assert!(reply.is_ok());
+        // Edit only the second branch's constant (same length: retext).
+        let at = sql.find("'IPA'").unwrap() + 1;
+        let reply = store
+            .edit(id, &[del(at, 3), ins(at, "ALE")], 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(reply.path, "fragment");
+        let now = sql.replace("'IPA'", "'ALE'");
+        let (fp, scene) = oracle(&store.service, &now);
+        assert_eq!(reply.fingerprint_hex.as_ref(), fp);
+        // The patch applies onto the open scene and reproduces the
+        // from-scratch scene byte for byte.
+        let patch = reply.patch.expect("small edit should patch");
+        let parsed = crate::json::parse(&format!("[{patch}]")).unwrap();
+        let ops = parse_patch_ops(parsed.as_arr().unwrap()).unwrap();
+        let base_scene = {
+            let fq = fingerprint_sql(sql, Arc::clone(store.service.options_arc())).unwrap();
+            let entry = store.service.entry_for(fq).unwrap();
+            Arc::clone(entry.scene())
+        };
+        let patched = apply_patch(&base_scene, &ops).unwrap();
+        assert_eq!(scene_json_v2(&patched), scene);
+    }
+
+    #[test]
+    fn structural_edit_falls_back_to_full() {
+        let store = store();
+        let (id, reply) = store.open("SELECT T.a FROM T", 1).unwrap();
+        assert!(reply.is_ok());
+        let suffix = " UNION SELECT U.b FROM U";
+        let reply = store
+            .edit(id, &[ins("SELECT T.a FROM T".len(), suffix)], 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(reply.path, "full");
+        assert!(reply.scene.is_some(), "branch split must resync");
+        assert_eq!(store.snapshot().path_full, 1);
+    }
+
+    #[test]
+    fn transient_parse_errors_keep_the_session_and_recover() {
+        let store = store();
+        let sql = "SELECT T.a FROM T";
+        let (id, reply) = store.open(sql, 1).unwrap();
+        let before = reply.unwrap().fingerprint_hex;
+        // Break it: dangling WHERE.
+        let err = store.edit(id, &[ins(sql.len(), " WHERE")], 1).unwrap();
+        let err = err.unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Compile);
+        // Canonical error text: same as compiling the text from scratch.
+        let oracle_err = fingerprint_sql(
+            "SELECT T.a FROM T WHERE",
+            Arc::clone(store.service.options_arc()),
+        )
+        .unwrap_err();
+        assert_eq!(err.message, oracle_err.to_string());
+        // Recover by deleting the damage: back to the original pattern,
+        // via the warm tier (kinds match the last success again).
+        let reply = store
+            .edit(id, &[del(sql.len(), " WHERE".len())], 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(reply.path, "tokens");
+        assert_eq!(reply.fingerprint_hex, before);
+        assert_eq!(store.snapshot().parse_errors, 1);
+    }
+
+    #[test]
+    fn sessions_are_bounded_and_lru_evicted() {
+        let store = SessionStore::new(
+            Arc::new(DiagramService::new(ServiceConfig::default())),
+            SessionConfig {
+                max_sessions: 2,
+                max_source_bytes: 256,
+            },
+        );
+        let (a, _) = store.open("SELECT T.a FROM T", 1).unwrap();
+        let (b, _) = store.open("SELECT U.b FROM U", 1).unwrap();
+        // Touch a so b is the LRU.
+        store.edit(a, &[ins(6, " ")], 1).unwrap().unwrap();
+        let (_c, _) = store.open("SELECT V.c FROM V", 1).unwrap();
+        assert_eq!(store.open_count(), 2);
+        assert!(store.edit(b, &[ins(0, " ")], 1).is_err(), "b was evicted");
+        assert!(store.edit(a, &[ins(6, " ")], 1).is_ok(), "a survives");
+        assert_eq!(store.snapshot().evicted, 1);
+
+        // Oversized open refused; oversized edit refused, buffer intact.
+        let big = "x".repeat(300);
+        assert_eq!(store.open(&big, 1).unwrap_err().kind, ErrorKind::TooLarge);
+        let grow = "y".repeat(300);
+        let err = store.edit(a, &[ins(0, &grow)], 1).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::TooLarge);
+        // The session still works after the refusal.
+        assert!(store.edit(a, &[ins(6, " ")], 1).unwrap().is_ok());
+    }
+
+    #[test]
+    fn owner_isolation_and_reaping() {
+        let store = store();
+        let (id, _) = store.open("SELECT T.a FROM T", 7).unwrap();
+        assert!(store.edit(id, &[ins(6, " ")], 8).is_err());
+        assert!(store.close(id, 8).is_err());
+        assert_eq!(store.reap_owner(7), 1);
+        assert_eq!(store.open_count(), 0);
+        assert_eq!(store.snapshot().reaped, 1);
+    }
+
+    #[test]
+    fn wire_ops_round_trip() {
+        let store = store();
+        let open = crate::json::parse(r#"{"op":"open","id":1,"sql":"SELECT T.a FROM T"}"#).unwrap();
+        let line = store.dispatch_value(&open, 0, 1);
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_u64), Some(1));
+        let session = doc.get("session").and_then(Json::as_u64).unwrap();
+        assert_eq!(doc.get("path").and_then(Json::as_str), Some("cold"));
+        assert_eq!(
+            doc.get("scene")
+                .and_then(|s| s.get("v"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+
+        let edit = crate::json::parse(&format!(
+            r#"{{"op":"edit","id":2,"session":{session},"edits":[{{"at":6,"ins":" "}}]}}"#
+        ))
+        .unwrap();
+        let line = store.dispatch_value(&edit, 0, 1);
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("path").and_then(Json::as_str), Some("tokens"));
+        assert!(doc.get("patch").is_some());
+
+        let close =
+            crate::json::parse(&format!(r#"{{"op":"close","id":3,"session":{session}}}"#)).unwrap();
+        let line = store.dispatch_value(&close, 0, 1);
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(doc.get("closed"), Some(&Json::Bool(true)));
+
+        // Unknown session → structured bad_request.
+        let line = store.dispatch_value(&close, 0, 1);
+        let doc = crate::json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("error_kind").and_then(Json::as_str),
+            Some("bad_request")
+        );
+    }
+
+    #[test]
+    fn default_formats_do_not_leak_into_session_scene() {
+        // Sessions always serve scene_json v2 regardless of the service's
+        // default format list.
+        let service = Arc::new(DiagramService::new(ServiceConfig {
+            default_formats: vec![Format::Svg],
+            ..ServiceConfig::default()
+        }));
+        let store = SessionStore::new(service, SessionConfig::default());
+        let (_, reply) = store.open("SELECT T.a FROM T", 1).unwrap();
+        let scene = reply.unwrap().scene.unwrap();
+        assert!(scene.starts_with("{\"v\":2,"));
+    }
+}

@@ -29,6 +29,7 @@
 
 use crate::json::Json;
 use crate::service::ServiceStats;
+use crate::session::SessionStatsSnapshot;
 use queryvis_telemetry::{HistogramSnapshot, TelemetrySnapshot, TraceRecord};
 
 fn usize_json(n: usize) -> Json {
@@ -154,14 +155,44 @@ pub fn telemetry_json(snapshot: &TelemetrySnapshot) -> Json {
     ])
 }
 
-/// The full stats document: `ServiceStats` compat view + telemetry
-/// snapshot. This is what `service --stats-json` emits and what the
-/// acceptance smoke round-trips through [`crate::json::parse`].
-pub fn stats_snapshot_json(stats: &ServiceStats, snapshot: &TelemetrySnapshot) -> Json {
+/// The incremental-session ledger as the `sessions` section (DESIGN.md
+/// §9): how many sessions exist, how their edits resolved across the
+/// compile tiers, and how their scene updates shipped.
+pub fn session_stats_json(s: &SessionStatsSnapshot) -> Json {
     Json::Obj(vec![
+        ("open".to_string(), Json::Int(s.open)),
+        ("opened_total".to_string(), Json::Int(s.opened_total)),
+        ("closed".to_string(), Json::Int(s.closed)),
+        ("evicted".to_string(), Json::Int(s.evicted)),
+        ("reaped".to_string(), Json::Int(s.reaped)),
+        ("edits".to_string(), Json::Int(s.edits)),
+        ("token_splices".to_string(), Json::Int(s.token_splices)),
+        ("path_tokens".to_string(), Json::Int(s.path_tokens)),
+        ("path_fragment".to_string(), Json::Int(s.path_fragment)),
+        ("path_full".to_string(), Json::Int(s.path_full)),
+        ("parse_errors".to_string(), Json::Int(s.parse_errors)),
+        ("patches".to_string(), Json::Int(s.patches)),
+        ("resyncs".to_string(), Json::Int(s.resyncs)),
+    ])
+}
+
+/// The full stats document: `ServiceStats` compat view + telemetry
+/// snapshot, plus the `sessions` ledger when the front end ran one. This
+/// is what `service --stats-json` emits and what the acceptance smoke
+/// round-trips through [`crate::json::parse`].
+pub fn stats_snapshot_json(
+    stats: &ServiceStats,
+    snapshot: &TelemetrySnapshot,
+    sessions: Option<&SessionStatsSnapshot>,
+) -> Json {
+    let mut fields = vec![
         ("service".to_string(), service_stats_json(stats)),
         ("telemetry".to_string(), telemetry_json(snapshot)),
-    ])
+    ];
+    if let Some(sessions) = sessions {
+        fields.push(("sessions".to_string(), session_stats_json(sessions)));
+    }
+    Json::Obj(fields)
 }
 
 /// Serialize trace records as JSON lines (one span per line) into `out`.
@@ -207,7 +238,13 @@ mod tests {
             memo: Default::default(),
         };
         let snapshot = queryvis_telemetry::global().snapshot();
-        let doc = stats_snapshot_json(&stats, &snapshot);
+        let sessions = SessionStatsSnapshot {
+            open: 1,
+            opened_total: 4,
+            edits: 9,
+            ..Default::default()
+        };
+        let doc = stats_snapshot_json(&stats, &snapshot, Some(&sessions));
         let text = doc.to_string();
         let parsed = json::parse(&text).expect("stats JSON must parse");
         assert_eq!(parsed, doc, "serialize → parse must be the identity");
@@ -219,6 +256,17 @@ mod tests {
             Some(5)
         );
         assert!(parsed.get("telemetry").is_some());
+        assert_eq!(
+            parsed
+                .get("sessions")
+                .and_then(|s| s.get("edits"))
+                .and_then(Json::as_u64),
+            Some(9)
+        );
+        // Without a session front end the section is absent, keeping the
+        // legacy document shape byte-stable.
+        let bare = stats_snapshot_json(&stats, &snapshot, None);
+        assert!(bare.get("sessions").is_none());
     }
 
     #[test]

@@ -411,3 +411,139 @@ fn stats_op_reports_server_service_and_telemetry_sections() {
     server.shutdown();
     assert_eq!(server.join().expect("report").dropped, 0);
 }
+
+#[test]
+fn session_ops_compile_incrementally_over_the_wire() {
+    let server = spawn_server(ServerConfig::default());
+    let (mut stream, mut reader) = paired(server.addr());
+
+    let opened = roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"op\":\"open\",\"id\":1,\"sql\":\"SELECT T.a FROM T\"}",
+    );
+    let session = opened
+        .get("session")
+        .and_then(Json::as_u64)
+        .expect("open assigns a session id");
+    assert_eq!(opened.get("path").and_then(Json::as_str), Some("cold"));
+    assert_eq!(
+        opened
+            .get("scene")
+            .and_then(|s| s.get("v"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "open syncs a v2 scene document"
+    );
+    let cold_fp = opened.get("fingerprint").and_then(Json::as_str).unwrap();
+
+    // Whitespace keystroke: token-tier reuse, fingerprint unchanged,
+    // empty patch against the acked scene.
+    let edited = roundtrip(
+        &mut stream,
+        &mut reader,
+        &format!(
+            "{{\"op\":\"edit\",\"id\":2,\"session\":{session},\"edits\":[{{\"at\":6,\"ins\":\" \"}}]}}"
+        ),
+    );
+    assert_eq!(edited.get("path").and_then(Json::as_str), Some("tokens"));
+    assert_eq!(
+        edited.get("fingerprint").and_then(Json::as_str),
+        Some(cold_fp)
+    );
+    assert!(edited.get("patch").is_some(), "small edit ships a patch");
+
+    // A broken intermediate state is an error, not a lost session.
+    let broken = roundtrip(
+        &mut stream,
+        &mut reader,
+        &format!(
+            "{{\"op\":\"edit\",\"id\":3,\"session\":{session},\"edits\":[{{\"at\":18,\"ins\":\" WHERE\"}}]}}"
+        ),
+    );
+    assert_eq!(error_kind(&broken).as_deref(), Some("compile"));
+    let recovered = roundtrip(
+        &mut stream,
+        &mut reader,
+        &format!(
+            "{{\"op\":\"edit\",\"id\":4,\"session\":{session},\"edits\":[{{\"at\":18,\"del\":6}}]}}"
+        ),
+    );
+    assert_eq!(recovered.get("path").and_then(Json::as_str), Some("tokens"));
+
+    // The stats op carries the session ledger.
+    let stats = roundtrip(&mut stream, &mut reader, "{\"op\":\"stats\"}");
+    let sessions = stats.get("sessions").expect("sessions section");
+    assert_eq!(sessions.get("open").and_then(Json::as_u64), Some(1));
+    assert_eq!(sessions.get("edits").and_then(Json::as_u64), Some(3));
+    assert_eq!(sessions.get("path_tokens").and_then(Json::as_u64), Some(2));
+    assert_eq!(sessions.get("parse_errors").and_then(Json::as_u64), Some(1));
+
+    let closed = roundtrip(
+        &mut stream,
+        &mut reader,
+        &format!("{{\"op\":\"close\",\"id\":5,\"session\":{session}}}"),
+    );
+    assert_eq!(closed.get("closed"), Some(&Json::Bool(true)));
+
+    server.shutdown();
+    let report = server.join().expect("report");
+    assert_eq!(report.dropped, 0);
+    assert_eq!(report.sessions_closed, 0, "client closed its own session");
+}
+
+#[test]
+fn sessions_are_owner_scoped_reaped_on_disconnect_and_closed_by_drain() {
+    let server = spawn_server(ServerConfig::default());
+
+    // Connection A opens a session, then vanishes without closing it.
+    let leaked_session;
+    {
+        let (mut stream, mut reader) = paired(server.addr());
+        let opened = roundtrip(
+            &mut stream,
+            &mut reader,
+            "{\"op\":\"open\",\"id\":1,\"sql\":\"SELECT T.a FROM T\"}",
+        );
+        leaked_session = opened.get("session").and_then(Json::as_u64).unwrap();
+        stream.shutdown(Shutdown::Both).expect("vanish");
+    }
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Connection B cannot see A's (now reaped) session, and its own edit
+    // against it is a structured refusal either way.
+    let (mut stream, mut reader) = paired(server.addr());
+    let foreign = roundtrip(
+        &mut stream,
+        &mut reader,
+        &format!(
+            "{{\"op\":\"edit\",\"id\":1,\"session\":{leaked_session},\"edits\":[{{\"at\":0,\"ins\":\" \"}}]}}"
+        ),
+    );
+    assert_eq!(error_kind(&foreign).as_deref(), Some("bad_request"));
+    let stats = roundtrip(&mut stream, &mut reader, "{\"op\":\"stats\"}");
+    let sessions = stats.get("sessions").expect("sessions section");
+    assert_eq!(sessions.get("reaped").and_then(Json::as_u64), Some(1));
+    assert_eq!(sessions.get("open").and_then(Json::as_u64), Some(0));
+
+    // B opens a session and leaves it open across the drain: the drain
+    // must close it and say so in the report.
+    let opened = roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"op\":\"open\",\"id\":2,\"sql\":\"SELECT U.b FROM U\"}",
+    );
+    assert!(opened.get("session").is_some());
+    stream
+        .write_all(b"{\"op\":\"shutdown\"}\n")
+        .expect("shutdown op");
+    let ack = read_line(&mut reader);
+    assert_eq!(ack.get("draining"), Some(&Json::Bool(true)));
+    drop((stream, reader));
+
+    let report = server.join().expect("report");
+    assert_eq!(report.dropped, 0);
+    // The open session was cleaned up by disconnect-reap or the drain
+    // sweep (whichever won the race); nothing may leak.
+    assert!(report.sessions_closed <= 1);
+}

@@ -40,7 +40,7 @@ fn corpus_stats_snapshot_is_parseable_schema_stable_and_consistent() {
     assert_eq!(stats.errors, 0);
 
     // (a) serialize → parse is the identity on the full document.
-    let doc = stats_snapshot_json(&stats, &snapshot);
+    let doc = stats_snapshot_json(&stats, &snapshot, None);
     let text = doc.to_string();
     let parsed = json::parse(&text).expect("stats document must parse");
     assert_eq!(parsed, doc);

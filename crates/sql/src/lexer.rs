@@ -116,203 +116,199 @@ pub fn tokenize_into(
     let bytes = source.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
-        let start = i;
-        let b = bytes[i];
-        match CLASS[b as usize] {
-            Class::Ws => {
-                i = scan::ws_run_end(bytes, i + 1);
+        match scan_token(source, bytes, i, interner)? {
+            Step::Tok(token, next) => {
+                tokens.push(token);
+                i = next;
             }
-            Class::Minus => {
-                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
-                    // Line comment: skip to end of line.
-                    i = scan::find_byte(bytes, i + 2, b'\n').unwrap_or(bytes.len());
-                } else {
-                    return Err(unexpected_char(source, start));
-                }
-            }
-            Class::Slash => {
-                if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                    // Block comment; nests per the SQL standard. Only `*`
-                    // and `/` can open or close a delimiter, so the scan
-                    // leaps between them.
-                    let mut depth = 1usize;
-                    i += 2;
-                    while depth > 0 {
-                        let at = scan::find_byte2(bytes, i, b'*', b'/');
-                        match at {
-                            Some(at) if at + 1 < bytes.len() => match (bytes[at], bytes[at + 1]) {
-                                (b'/', b'*') => {
-                                    depth += 1;
-                                    i = at + 2;
-                                }
-                                (b'*', b'/') => {
-                                    depth -= 1;
-                                    i = at + 2;
-                                }
-                                _ => i = at + 1,
-                            },
-                            _ => {
-                                return Err(ParseError::new(
-                                    "unterminated block comment",
-                                    Span::new(start, bytes.len()),
-                                    source,
-                                ));
-                            }
-                        }
-                    }
-                } else {
-                    return Err(unexpected_char(source, start));
-                }
-            }
-            Class::LParen => {
-                tokens.push(tok(TokenKind::LParen, start, i + 1));
-                i += 1;
-            }
-            Class::RParen => {
-                tokens.push(tok(TokenKind::RParen, start, i + 1));
-                i += 1;
-            }
-            Class::Comma => {
-                tokens.push(tok(TokenKind::Comma, start, i + 1));
-                i += 1;
-            }
-            Class::Dot => {
-                tokens.push(tok(TokenKind::Dot, start, i + 1));
-                i += 1;
-            }
-            Class::Star => {
-                tokens.push(tok(TokenKind::Star, start, i + 1));
-                i += 1;
-            }
-            Class::Semi => {
-                tokens.push(tok(TokenKind::Semicolon, start, i + 1));
-                i += 1;
-            }
-            Class::Eq => {
-                tokens.push(tok(TokenKind::Eq, start, i + 1));
-                i += 1;
-            }
-            Class::Lt => {
-                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(tok(TokenKind::Ne, start, i + 2));
-                    i += 2;
-                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(tok(TokenKind::Le, start, i + 2));
-                    i += 2;
-                } else {
-                    tokens.push(tok(TokenKind::Lt, start, i + 1));
-                    i += 1;
-                }
-            }
-            Class::Gt => {
-                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(tok(TokenKind::Ge, start, i + 2));
-                    i += 2;
-                } else {
-                    tokens.push(tok(TokenKind::Gt, start, i + 1));
-                    i += 1;
-                }
-            }
-            Class::Bang => {
-                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    // Accept the common `!=` spelling, normalized to `<>`.
-                    tokens.push(tok(TokenKind::Ne, start, i + 2));
-                    i += 2;
-                } else {
-                    return Err(ParseError::new(
-                        "unexpected character `!` (did you mean `!=`?)",
-                        Span::new(start, start + 1),
-                        source,
-                    ));
-                }
-            }
-            Class::Quote => {
-                // String literal; doubled quote ('') escapes a quote. The
-                // scan is bytewise: `'` is ASCII, so it can never be a
-                // continuation byte of a multi-byte UTF-8 character, and
-                // the source is already valid UTF-8.
-                i += 1;
-                let body_start = i;
-                let mut escaped: Option<String> = None;
-                let Some(at) = scan::find_byte(bytes, i, b'\'') else {
-                    return Err(ParseError::new(
-                        "unterminated string literal",
-                        Span::new(start, bytes.len()),
-                        source,
-                    ));
-                };
-                i = at;
-                if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
-                    // First escape: switch to the unescaping buffer.
-                    let value = escaped.get_or_insert_with(String::new);
-                    value.push_str(&source[body_start..i]);
-                    // From here on, re-slice per segment.
-                    i += 2;
-                    value.push('\'');
-                    // Continue scanning segments until the closing
-                    // quote, copying each unescaped run whole.
-                    let mut seg = i;
-                    loop {
-                        let Some(at) = scan::find_byte(bytes, i, b'\'') else {
-                            return Err(ParseError::new(
-                                "unterminated string literal",
-                                Span::new(start, bytes.len()),
-                                source,
-                            ));
-                        };
-                        i = at;
-                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
-                            value.push_str(&source[seg..i]);
-                            value.push('\'');
-                            i += 2;
-                            seg = i;
-                        } else {
-                            value.push_str(&source[seg..i]);
-                            i += 1;
-                            break;
-                        }
-                    }
-                } else {
-                    i += 1;
-                }
-                let symbol = match &escaped {
-                    // Escape-free literal: intern straight from the source.
-                    None => interner.intern(&source[body_start..i - 1]),
-                    Some(value) => interner.intern(value),
-                };
-                tokens.push(tok(TokenKind::Str(symbol), start, i));
-            }
-            Class::Digit => {
-                let mut j = scan::digit_run_end(bytes, i + 1);
-                // One fractional part: absorb `.` only when a digit
-                // follows (so `L1.a` and a trailing `1.` keep their dot).
-                if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
-                    j = scan::digit_run_end(bytes, j + 1);
-                }
-                tokens.push(tok(
-                    TokenKind::Number(interner.intern(&source[i..j])),
-                    start,
-                    j,
-                ));
-                i = j;
-            }
-            Class::Ident => {
-                let j = scan::ident_run_end(bytes, i + 1);
-                let text = &source[i..j];
-                let kind = match Keyword::lookup(text) {
-                    Some(kw) => TokenKind::Keyword(kw),
-                    None => TokenKind::Ident(interner.intern(text)),
-                };
-                tokens.push(tok(kind, start, j));
-                i = j;
-            }
-            Class::Other => {
-                return Err(unexpected_char(source, start));
-            }
+            Step::Gap(next) => i = next,
         }
     }
     tokens.push(tok(TokenKind::Eof, bytes.len(), bytes.len()));
     Ok(())
+}
+
+/// One step of the lexer's main loop at position `i` (which must be a
+/// token or separator boundary — any position a previous step returned,
+/// or 0). The incremental relexer (`crate::incremental`) drives this same
+/// step function from a damage anchor, so spliced and full token streams
+/// come from one lexing definition.
+pub(crate) enum Step {
+    /// A token, and the position after it.
+    Tok(Token, usize),
+    /// Whitespace or a comment was skipped; resume at the position.
+    Gap(usize),
+}
+
+pub(crate) fn scan_token(
+    source: &str,
+    bytes: &[u8],
+    start: usize,
+    interner: &Interner,
+) -> Result<Step, ParseError> {
+    let mut i = start;
+    let b = bytes[i];
+    match CLASS[b as usize] {
+        Class::Ws => Ok(Step::Gap(scan::ws_run_end(bytes, i + 1))),
+        Class::Minus => {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                // Line comment: skip to end of line.
+                Ok(Step::Gap(
+                    scan::find_byte(bytes, i + 2, b'\n').unwrap_or(bytes.len()),
+                ))
+            } else {
+                Err(unexpected_char(source, start))
+            }
+        }
+        Class::Slash => {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                // Block comment; nests per the SQL standard. Only `*`
+                // and `/` can open or close a delimiter, so the scan
+                // leaps between them.
+                let mut depth = 1usize;
+                i += 2;
+                while depth > 0 {
+                    let at = scan::find_byte2(bytes, i, b'*', b'/');
+                    match at {
+                        Some(at) if at + 1 < bytes.len() => match (bytes[at], bytes[at + 1]) {
+                            (b'/', b'*') => {
+                                depth += 1;
+                                i = at + 2;
+                            }
+                            (b'*', b'/') => {
+                                depth -= 1;
+                                i = at + 2;
+                            }
+                            _ => i = at + 1,
+                        },
+                        _ => {
+                            return Err(ParseError::new(
+                                "unterminated block comment",
+                                Span::new(start, bytes.len()),
+                                source,
+                            ));
+                        }
+                    }
+                }
+                Ok(Step::Gap(i))
+            } else {
+                Err(unexpected_char(source, start))
+            }
+        }
+        Class::LParen => Ok(Step::Tok(tok(TokenKind::LParen, start, i + 1), i + 1)),
+        Class::RParen => Ok(Step::Tok(tok(TokenKind::RParen, start, i + 1), i + 1)),
+        Class::Comma => Ok(Step::Tok(tok(TokenKind::Comma, start, i + 1), i + 1)),
+        Class::Dot => Ok(Step::Tok(tok(TokenKind::Dot, start, i + 1), i + 1)),
+        Class::Star => Ok(Step::Tok(tok(TokenKind::Star, start, i + 1), i + 1)),
+        Class::Semi => Ok(Step::Tok(tok(TokenKind::Semicolon, start, i + 1), i + 1)),
+        Class::Eq => Ok(Step::Tok(tok(TokenKind::Eq, start, i + 1), i + 1)),
+        Class::Lt => {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                Ok(Step::Tok(tok(TokenKind::Ne, start, i + 2), i + 2))
+            } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                Ok(Step::Tok(tok(TokenKind::Le, start, i + 2), i + 2))
+            } else {
+                Ok(Step::Tok(tok(TokenKind::Lt, start, i + 1), i + 1))
+            }
+        }
+        Class::Gt => {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                Ok(Step::Tok(tok(TokenKind::Ge, start, i + 2), i + 2))
+            } else {
+                Ok(Step::Tok(tok(TokenKind::Gt, start, i + 1), i + 1))
+            }
+        }
+        Class::Bang => {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                // Accept the common `!=` spelling, normalized to `<>`.
+                Ok(Step::Tok(tok(TokenKind::Ne, start, i + 2), i + 2))
+            } else {
+                Err(ParseError::new(
+                    "unexpected character `!` (did you mean `!=`?)",
+                    Span::new(start, start + 1),
+                    source,
+                ))
+            }
+        }
+        Class::Quote => {
+            // String literal; doubled quote ('') escapes a quote. The
+            // scan is bytewise: `'` is ASCII, so it can never be a
+            // continuation byte of a multi-byte UTF-8 character, and
+            // the source is already valid UTF-8.
+            i += 1;
+            let body_start = i;
+            let mut escaped: Option<String> = None;
+            let Some(at) = scan::find_byte(bytes, i, b'\'') else {
+                return Err(ParseError::new(
+                    "unterminated string literal",
+                    Span::new(start, bytes.len()),
+                    source,
+                ));
+            };
+            i = at;
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                // First escape: switch to the unescaping buffer.
+                let value = escaped.get_or_insert_with(String::new);
+                value.push_str(&source[body_start..i]);
+                // From here on, re-slice per segment.
+                i += 2;
+                value.push('\'');
+                // Continue scanning segments until the closing
+                // quote, copying each unescaped run whole.
+                let mut seg = i;
+                loop {
+                    let Some(at) = scan::find_byte(bytes, i, b'\'') else {
+                        return Err(ParseError::new(
+                            "unterminated string literal",
+                            Span::new(start, bytes.len()),
+                            source,
+                        ));
+                    };
+                    i = at;
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                        value.push_str(&source[seg..i]);
+                        value.push('\'');
+                        i += 2;
+                        seg = i;
+                    } else {
+                        value.push_str(&source[seg..i]);
+                        i += 1;
+                        break;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+            let symbol = match &escaped {
+                // Escape-free literal: intern straight from the source.
+                None => interner.intern(&source[body_start..i - 1]),
+                Some(value) => interner.intern(value),
+            };
+            Ok(Step::Tok(tok(TokenKind::Str(symbol), start, i), i))
+        }
+        Class::Digit => {
+            let mut j = scan::digit_run_end(bytes, i + 1);
+            // One fractional part: absorb `.` only when a digit
+            // follows (so `L1.a` and a trailing `1.` keep their dot).
+            if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+                j = scan::digit_run_end(bytes, j + 1);
+            }
+            Ok(Step::Tok(
+                tok(TokenKind::Number(interner.intern(&source[i..j])), start, j),
+                j,
+            ))
+        }
+        Class::Ident => {
+            let j = scan::ident_run_end(bytes, i + 1);
+            let text = &source[i..j];
+            let kind = match Keyword::lookup(text) {
+                Some(kw) => TokenKind::Keyword(kw),
+                None => TokenKind::Ident(interner.intern(text)),
+            };
+            Ok(Step::Tok(tok(kind, start, j), j))
+        }
+        Class::Other => Err(unexpected_char(source, start)),
+    }
 }
 
 /// Cold path: decode the offending character for the error message only.
